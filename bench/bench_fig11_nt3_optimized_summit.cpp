@@ -1,0 +1,17 @@
+// Reproduces Figure 11: performance of original vs optimized Horovod NT3
+// on Summit under strong scaling (paper: up to 67.68% improvement).
+// [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::nt3(),
+                                    summit_strong_ranks(), 384, false);
+  std::printf("Figure 11: Horovod NT3 vs optimized NT3 on Summit, strong "
+              "scaling [simulated]\n\n");
+  print_comparison_panels("NT3 on Summit", rows, "GPUs");
+  std::printf("paper: up to 67.68%% performance improvement\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 13: performance and energy of original vs optimized
+// Horovod NT3 on Theta, strong scaling (paper: up to 38.46% performance
+// improvement, up to 32.21% energy saving). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::theta(),
+                                    sim::BenchmarkProfile::nt3(),
+                                    theta_ranks(), 384, false);
+  std::printf("Figure 13: Horovod NT3 vs optimized NT3 on Theta, strong "
+              "scaling [simulated]\n\n");
+  print_comparison_panels("NT3 on Theta", rows, "nodes");
+  std::printf("paper: up to 38.46%% performance improvement, up to 32.21%% "
+              "energy saving\n");
+  return 0;
+}

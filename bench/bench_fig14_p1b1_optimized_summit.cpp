@@ -1,0 +1,22 @@
+// Reproduces Figure 14: original vs optimized Horovod P1B1 on Summit,
+// strong scaling (paper: up to 78.25% performance improvement and up to
+// 78% energy saving — the headline result). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  // P1B1 runs at most 96 GPUs (needs >= 4 epochs of 384).
+  std::vector<std::size_t> ranks;
+  for (std::size_t r : summit_strong_ranks())
+    if (comp_epochs_balanced(384, r) >= 4) ranks.push_back(r);
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::p1b1(), ranks,
+                                    384, false);
+  std::printf("Figure 14: Horovod P1B1 vs optimized P1B1 on Summit, strong "
+              "scaling [simulated]\n\n");
+  print_comparison_panels("P1B1 on Summit", rows, "GPUs");
+  std::printf("paper: up to 78.25%% performance improvement, up to 78%% "
+              "energy saving\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Figure 15: original vs optimized Horovod P1B1 on Theta
+// (paper: up to 45.22% performance improvement, up to 41.78% energy
+// saving). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  std::vector<std::size_t> ranks;
+  for (std::size_t r : theta_ranks())
+    if (comp_epochs_balanced(384, r) >= 4) ranks.push_back(r);
+  const auto rows = compare_loaders(sim::Machine::theta(),
+                                    sim::BenchmarkProfile::p1b1(), ranks,
+                                    384, false);
+  std::printf("Figure 15: Horovod P1B1 vs optimized P1B1 on Theta, strong "
+              "scaling [simulated]\n\n");
+  print_comparison_panels("P1B1 on Theta", rows, "nodes");
+  std::printf("paper: up to 45.22%% performance improvement, up to 41.78%% "
+              "energy saving\n");
+  return 0;
+}

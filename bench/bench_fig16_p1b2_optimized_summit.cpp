@@ -1,0 +1,18 @@
+// Reproduces Figure 16: original vs optimized Horovod P1B2 on Summit
+// (paper: up to 55.45% performance improvement, up to 55.44% energy
+// saving). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::p1b2(),
+                                    summit_strong_ranks(), 768, false);
+  std::printf("Figure 16: Horovod P1B2 vs optimized P1B2 on Summit, strong "
+              "scaling [simulated]\n\n");
+  print_comparison_panels("P1B2 on Summit", rows, "GPUs");
+  std::printf("paper: up to 55.45%% performance improvement, up to 55.44%% "
+              "energy saving\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 17: original vs optimized Horovod P1B2 on Theta
+// (paper: up to 40.72% performance improvement, up to 40.95% energy
+// saving). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::theta(),
+                                    sim::BenchmarkProfile::p1b2(),
+                                    theta_ranks(), 768, false);
+  std::printf("Figure 17: Horovod P1B2 vs optimized P1B2 on Theta, strong "
+              "scaling [simulated]\n\n");
+  print_comparison_panels("P1B2 on Theta", rows, "nodes");
+  std::printf("paper: up to 40.72%% performance improvement, up to 40.95%% "
+              "energy saving\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 18: Horovod NT3 with weak scaling (8 epochs per GPU)
+// on Summit up to 3,072 GPUs (paper: 34.23-52.44% performance improvement,
+// 22.31-28.59% energy saving). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::nt3(),
+                                    summit_weak_ranks(), 8, /*weak=*/true);
+  std::printf("Figure 18: Horovod NT3, weak scaling (8 epochs/GPU) on "
+              "Summit [simulated]\n\n");
+  print_comparison_panels("NT3 weak scaling", rows, "GPUs");
+  std::printf("paper: improvement between 34.23%% and 52.44%%, energy "
+              "saving between 22.31%% and 28.59%%; the improvement\n"
+              "percentage decreases with GPUs because the (unchanged) "
+              "Horovod overhead grows.\n");
+  return 0;
+}

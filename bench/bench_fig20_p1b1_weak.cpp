@@ -1,0 +1,18 @@
+// Reproduces Figure 20: Horovod P1B1 with weak scaling on Summit (paper:
+// 75.24-79.50% performance improvement, 69.70-77.11% energy saving).
+// [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::p1b1(),
+                                    summit_weak_ranks(), 8, /*weak=*/true);
+  std::printf("Figure 20: Horovod P1B1, weak scaling (8 epochs/GPU) on "
+              "Summit [simulated]\n\n");
+  print_comparison_panels("P1B1 weak scaling", rows, "GPUs");
+  std::printf("paper: improvement between 75.24%% and 79.50%%, energy "
+              "saving between 69.70%% and 77.11%%\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 21: Horovod P1B2 with weak scaling on Summit (paper:
+// 48.63-56.62% performance improvement, 45.86-53.91% energy saving).
+// [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::p1b2(),
+                                    summit_weak_ranks(), 8, /*weak=*/true);
+  std::printf("Figure 21: Horovod P1B2, weak scaling (8 epochs/GPU) on "
+              "Summit [simulated]\n\n");
+  print_comparison_panels("P1B2 weak scaling", rows, "GPUs");
+  std::printf("paper: improvement between 48.63%% and 56.62%%, energy "
+              "saving between 45.86%% and 53.91%%\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the communication substrate: ring vs naive allreduce,
+// broadcast, and the tensor-fusion ablation (fused vs per-tensor).
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.h"
+#include "hvd/context.h"
+#include "hvd/fusion.h"
+
+namespace {
+
+using namespace candle;
+
+void BM_AllreduceRing(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      std::vector<float> data(elems, static_cast<float>(c.rank()));
+      for (int i = 0; i < 8; ++i) c.allreduce_sum(data);
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8 *
+                          static_cast<int64_t>(elems * sizeof(float)));
+}
+
+void BM_AllreduceNaive(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  comm::WorldOptions opt;
+  opt.allreduce_algo = comm::AllreduceAlgo::kNaive;
+  for (auto _ : state) {
+    comm::World::run(
+        ranks,
+        [&](comm::Communicator& c) {
+          std::vector<float> data(elems, static_cast<float>(c.rank()));
+          for (int i = 0; i < 8; ++i) c.allreduce_sum(data);
+        },
+        opt);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8 *
+                          static_cast<int64_t>(elems * sizeof(float)));
+}
+
+void BM_Broadcast(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      std::vector<float> data(elems, 1.0f);
+      for (int i = 0; i < 8; ++i) c.broadcast(data, 0);
+    });
+  }
+}
+
+// Fusion ablation: 64 small gradient tensors, fused vs one-collective-each.
+void BM_FusedAllreduce(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  for (auto _ : state) {
+    comm::World::run(4, [&](comm::Communicator& c) {
+      hvd::Context ctx(c);
+      std::vector<Tensor> tensors;
+      for (int i = 0; i < 64; ++i) tensors.emplace_back(Shape{256}, 1.0f);
+      std::vector<Tensor*> ptrs;
+      for (auto& t : tensors) ptrs.push_back(&t);
+      hvd::FusionOptions opt;
+      opt.threshold_bytes = fused ? 64ull << 20 : 0;
+      hvd::allreduce_average_fused(ctx, ptrs, opt);
+    });
+  }
+  state.SetLabel(fused ? "fused" : "per-tensor");
+}
+
+BENCHMARK(BM_AllreduceRing)
+    ->Args({2, 1 << 16})->Args({4, 1 << 16})->Args({8, 1 << 16})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4);
+BENCHMARK(BM_AllreduceNaive)
+    ->Args({2, 1 << 16})->Args({4, 1 << 16})->Args({8, 1 << 16})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4);
+BENCHMARK(BM_Broadcast)
+    ->Args({4, 1 << 16})->Args({8, 1 << 16})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4);
+BENCHMARK(BM_FusedAllreduce)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

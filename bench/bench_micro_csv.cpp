@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark) of the three CSV readers across file
+// geometries — the kernel-level view of Tables 3/4.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "io/csv_reader.h"
+#include "io/synthetic.h"
+
+namespace {
+
+using candle::io::FileGeometry;
+
+std::string make_file(std::size_t rows, std::size_t cols) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("micro_csv_" + std::to_string(rows) + "x" + std::to_string(cols) +
+        ".csv"))
+          .string();
+  if (!std::filesystem::exists(path))
+    candle::io::write_synthetic_csv(path, FileGeometry{rows, cols, false},
+                                    rows * 31 + cols);
+  return path;
+}
+
+void BM_ReadOriginal(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  const std::string path = make_file(rows, cols);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    candle::io::CsvReadStats stats;
+    benchmark::DoNotOptimize(candle::io::read_csv_original(path, &stats));
+    bytes = stats.bytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ReadChunked(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  const std::string path = make_file(rows, cols);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    candle::io::CsvReadStats stats;
+    benchmark::DoNotOptimize(candle::io::read_csv_chunked(path, &stats));
+    bytes = stats.bytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ReadDask(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  const std::string path = make_file(rows, cols);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    candle::io::CsvReadStats stats;
+    benchmark::DoNotOptimize(candle::io::read_csv_dask(path, &stats));
+    bytes = stats.bytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+// Wide (NT3-like) and narrow (P1B3-like) geometries of ~2 MB each.
+#define CSV_GEOMETRIES()                 \
+  Args({24, 10000})->Args({2400, 100})  \
+      ->Unit(benchmark::kMillisecond)->MinTime(0.4)
+
+BENCHMARK(BM_ReadOriginal)->CSV_GEOMETRIES();
+BENCHMARK(BM_ReadChunked)->CSV_GEOMETRIES();
+BENCHMARK(BM_ReadDask)->CSV_GEOMETRIES();
+
+}  // namespace
+
+BENCHMARK_MAIN();

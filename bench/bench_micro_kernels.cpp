@@ -1,0 +1,84 @@
+// Micro-benchmarks of the tensor kernels (matmul / conv1d / maxpool) that
+// carry the NN substrate's training cost.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace candle;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (float& v : t.values()) v = static_cast<float>(rng.normal(0, 1));
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+
+void BM_MatmulTn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_tn(a, b));
+}
+
+void BM_Conv1dForward(benchmark::State& state) {
+  const auto length = static_cast<std::size_t>(state.range(0));
+  const Tensor x = random_tensor({8, length, 1}, 3);
+  const Tensor w = random_tensor({9, 1, 16}, 4);
+  const Tensor b = random_tensor({16}, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(conv1d_forward(x, w, b, 1));
+}
+
+void BM_Conv1dBackward(benchmark::State& state) {
+  const auto length = static_cast<std::size_t>(state.range(0));
+  const Tensor x = random_tensor({8, length, 1}, 3);
+  const Tensor w = random_tensor({9, 1, 16}, 4);
+  const Tensor b = random_tensor({16}, 5);
+  const Tensor y = conv1d_forward(x, w, b, 1);
+  const Tensor dy(y.shape(), 1.0f);
+  Tensor dx(x.shape()), dw(w.shape()), db(b.shape());
+  for (auto _ : state) {
+    conv1d_backward(x, w, dy, 1, dx, dw, db);
+    benchmark::DoNotOptimize(dw.data());
+  }
+}
+
+void BM_MaxPool(benchmark::State& state) {
+  const auto length = static_cast<std::size_t>(state.range(0));
+  const Tensor x = random_tensor({8, length, 16}, 6);
+  std::vector<std::size_t> argmax;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(maxpool1d_forward(x, 4, 4, argmax));
+}
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor x = random_tensor({64, n}, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(softmax_rows(x));
+}
+
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->MinTime(0.4);
+BENCHMARK(BM_MatmulTn)->Arg(128)->MinTime(0.4);
+BENCHMARK(BM_Conv1dForward)->Arg(512)->Arg(2048)->MinTime(0.4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv1dBackward)->Arg(512)->Arg(2048)->MinTime(0.4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxPool)->Arg(4096)->MinTime(0.4);
+BENCHMARK(BM_SoftmaxRows)->Arg(1024)->MinTime(0.4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table 1: epochs, batch size, data samples, and training and
+// testing file sizes for the P1 benchmarks.
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  std::printf("Table 1: configuration of the CANDLE P1 benchmarks\n\n");
+  Table t({"Benchmark", "NT3", "P1B1", "P1B2", "P1B3"});
+  const auto all = sim::BenchmarkProfile::all();
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const auto* p : all) cells.push_back(getter(*p));
+    t.add_row(std::move(cells));
+  };
+  row("Training data size", [](const sim::BenchmarkProfile& p) {
+    return format_bytes(static_cast<double>(p.train_bytes));
+  });
+  row("Testing data size", [](const sim::BenchmarkProfile& p) {
+    return format_bytes(static_cast<double>(p.test_bytes));
+  });
+  row("Number of epochs", [](const sim::BenchmarkProfile& p) {
+    return std::to_string(p.default_epochs);
+  });
+  row("Batch size", [](const sim::BenchmarkProfile& p) {
+    return std::to_string(p.default_batch);
+  });
+  row("Learning rate", [](const sim::BenchmarkProfile& p) {
+    return strprintf("%g", p.learning_rate);
+  });
+  row("Optimizer",
+      [](const sim::BenchmarkProfile& p) { return p.optimizer; });
+  row("Total training samples", [](const sim::BenchmarkProfile& p) {
+    return std::to_string(p.train_samples);
+  });
+  row("Elements per sample", [](const sim::BenchmarkProfile& p) {
+    return std::to_string(p.features_per_sample);
+  });
+  row("Batch steps per epoch", [](const sim::BenchmarkProfile& p) {
+    return std::to_string(p.steps_per_epoch(p.default_batch));
+  });
+  t.print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Table 2: time per epoch (s) and average GPU power (W) for
+// Horovod NT3 on Summit at batch sizes 20 and 40. [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::nt3());
+
+  std::printf("Table 2: time per epoch and average GPU power, Horovod NT3 "
+              "on Summit [simulated]\n\n");
+  Table t({"GPUs", "s/epoch bs=20", "s/epoch bs=40", "GPU W bs=20",
+           "GPU W bs=40"});
+  for (std::size_t ranks : summit_strong_ranks()) {
+    const std::size_t epochs = comp_epochs_balanced(384, ranks);
+    if (epochs == 0) continue;
+    sim::RunPlan plan;
+    plan.ranks = ranks;
+    plan.epochs_per_rank = epochs;
+    plan.batch_per_rank = 20;
+    const sim::SimResult r20 = simulator.simulate(plan);
+    plan.batch_per_rank = 40;
+    const sim::SimResult r40 = simulator.simulate(plan);
+    t.add_row({std::to_string(ranks),
+               strprintf("%.2f", r20.time_per_epoch),
+               strprintf("%.2f", r40.time_per_epoch),
+               strprintf("%.1f", r20.avg_power_w),
+               strprintf("%.1f", r40.avg_power_w)});
+  }
+  t.print();
+  std::printf("\nShape check vs the paper: ~10 s/epoch on 1 GPU growing to "
+              "~22 s on 384 GPUs (allreduce overhead); bs=40 has lower time "
+              "per epoch and lower GPU power.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 4: data-loading time by method on Theta, plus the
+// at-scale contention the paper describes in §5.1 ("the time spent in the
+// data loading ... on Theta is more than four times that on Summit").
+//
+// Theta hardware is unavailable, so single-rank numbers come from the
+// calibration (the paper's own Table 4 values) and the at-scale columns
+// from the Lustre contention model. [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+
+  std::printf("Table 4: data loading on Theta [calibrated from the paper; "
+              "at-scale columns simulated]\n\n");
+  Table t({"Benchmark", "File", "original (s)", "chunked (s)",
+           "original @384 nodes (s)", "chunked @384 nodes (s)"});
+  for (const sim::BenchmarkProfile* p : sim::BenchmarkProfile::all()) {
+    const auto& mc = p->theta;
+    const sim::Machine& theta = sim::Machine::theta();
+    const double c_orig = theta.io_contention(384, false);
+    const double c_chunk = theta.io_contention(384, true);
+    t.add_row({p->name, "Training",
+               strprintf("%.2f", mc.load_original.train_s),
+               strprintf("%.2f", mc.load_chunked.train_s),
+               strprintf("%.1f", mc.load_original.train_s * c_orig),
+               strprintf("%.1f", mc.load_chunked.train_s * c_chunk)});
+    t.add_row({p->name, "Testing",
+               strprintf("%.2f", mc.load_original.test_s),
+               strprintf("%.2f", mc.load_chunked.test_s),
+               strprintf("%.1f", mc.load_original.test_s * c_orig),
+               strprintf("%.1f", mc.load_chunked.test_s * c_chunk)});
+  }
+  t.print();
+
+  // The §5.1 cross-machine claim.
+  sim::RunSimulator summit(sim::Machine::summit(),
+                           sim::BenchmarkProfile::nt3());
+  sim::RunSimulator theta(sim::Machine::theta(), sim::BenchmarkProfile::nt3());
+  const double s384 = summit.data_load_seconds(io::LoaderKind::kOriginal, 384);
+  const double t384 = theta.data_load_seconds(io::LoaderKind::kOriginal, 384);
+  std::printf("\nNT3 at-scale loading: Theta(384 nodes) %.0f s vs "
+              "Summit(384 GPUs) %.0f s -> %.1fx (paper: \"more than four "
+              "times\").\n", t384, s384, t384 / s384);
+  return 0;
+}

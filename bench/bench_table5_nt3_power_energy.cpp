@@ -1,0 +1,38 @@
+// Reproduces Table 5: (a) average GPU power and (b) energy per GPU for
+// Horovod NT3 vs optimized Horovod NT3 on Summit (paper: power up by as
+// much as 68.77%, energy down by up to 55.93%). [simulated]
+#include "harness.h"
+
+int main() {
+  using namespace candle;
+  using namespace candle::bench;
+  const auto rows = compare_loaders(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::nt3(),
+                                    summit_strong_ranks(), 384, false);
+
+  std::printf("Table 5(a): average GPU power (W) [simulated]\n\n");
+  Table power({"GPUs", "original", "optimized", "increase %"});
+  Table energy({"GPUs", "original (kJ)", "optimized (kJ)", "saving %"});
+  double max_power_up = 0.0, max_energy_down = 0.0;
+  for (const auto& row : rows) {
+    const double p0 = row.original.avg_power_w;
+    const double p1 = row.optimized.avg_power_w;
+    const double e0 = row.original.energy_per_rank_j / 1e3;
+    const double e1 = row.optimized.energy_per_rank_j / 1e3;
+    max_power_up = std::max(max_power_up, 100.0 * (p1 - p0) / p0);
+    max_energy_down = std::max(max_energy_down, improvement_pct(e0, e1));
+    power.add_row({std::to_string(row.ranks), strprintf("%.1f", p0),
+                   strprintf("%.1f", p1),
+                   strprintf("%.2f", 100.0 * (p1 - p0) / p0)});
+    energy.add_row({std::to_string(row.ranks), strprintf("%.2f", e0),
+                    strprintf("%.2f", e1),
+                    strprintf("%.2f", improvement_pct(e0, e1))});
+  }
+  power.print();
+  std::printf("\nTable 5(b): energy per GPU [simulated]\n\n");
+  energy.print();
+  std::printf("\nmax avg-power increase: %.2f%% (paper: up to 68.77%%)   "
+              "max energy saving: %.2f%% (paper: up to 55.93%%)\n",
+              max_power_up, max_energy_down);
+  return 0;
+}

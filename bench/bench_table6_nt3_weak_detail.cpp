@@ -1,0 +1,59 @@
+// Reproduces Table 6: training accuracy, time per epoch, and average GPU
+// power for the weak-scaling Horovod NT3 on Summit (original vs optimized).
+// Accuracy via real training (weak scaling keeps 8 epochs/GPU so accuracy
+// stays high); time/power simulated.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  using namespace candle::bench;
+  Cli cli;
+  cli.flag("scale", "dataset scale for the accuracy runs", "0.0015")
+      .bool_flag("skip-accuracy", "skip the real-training column");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  const bool with_acc = !cli.get_bool("skip-accuracy");
+
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::nt3());
+  std::printf("Table 6: NT3 weak scaling (8 epochs/GPU) on Summit "
+              "[time/power simulated; accuracy real]\n\n");
+  std::vector<std::string> headers{"GPUs", "s/epoch orig", "s/epoch opt",
+                                   "GPU W orig", "GPU W opt"};
+  if (with_acc) headers.push_back("train accuracy");
+  Table t(headers);
+
+  // Accuracy under weak scaling depends on epochs/GPU (constant at 8) and
+  // the scaled lr; computed once at the 48-GPU point Fig 6b validates
+  // (beyond that, raw lr x N needs the warmup extension to stay stable).
+  std::string acc_cell = "-";
+  if (with_acc) {
+    const AccuracyPoint p = reference_accuracy(
+        BenchmarkId::kNT3, 48, 8, 20, cli.get_double("scale"),
+        /*weak=*/true);
+    acc_cell = strprintf("%.4f", p.accuracy);
+  }
+
+  for (std::size_t ranks : summit_weak_ranks()) {
+    sim::RunPlan plan;
+    plan.ranks = ranks;
+    plan.epochs_per_rank = 8;
+    plan.loader = io::LoaderKind::kOriginal;
+    const sim::SimResult r0 = simulator.simulate(plan);
+    plan.loader = io::LoaderKind::kChunked;
+    const sim::SimResult r1 = simulator.simulate(plan);
+    std::vector<std::string> cells{
+        std::to_string(ranks), strprintf("%.2f", r0.time_per_epoch),
+        strprintf("%.2f", r1.time_per_epoch),
+        strprintf("%.1f", r0.avg_power_w),
+        strprintf("%.1f", r1.avg_power_w)};
+    if (with_acc) cells.push_back(acc_cell);
+    t.add_row(std::move(cells));
+  }
+  t.print();
+  std::printf("\nShape check: time/epoch on 3,072 GPUs is >3x the "
+              "sequential 10.3 s (paper §7); optimized runs draw higher "
+              "average power (less idle I/O time); accuracy stays ~1.0 "
+              "at 8 epochs/GPU (Fig 6b).\n");
+  return 0;
+}

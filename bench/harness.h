@@ -1,0 +1,110 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Every bench prints the same rows/series as the corresponding table or
+// figure in the paper, using the calibrated simulator for at-scale numbers
+// and real training for accuracy columns. EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by these binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "candle/models.h"
+#include "candle/scaling.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "io/csv_reader.h"
+#include "sim/run_sim.h"
+
+namespace candle::bench {
+
+/// GPU counts used on the paper's strong-scaling x-axes (Summit).
+inline std::vector<std::size_t> summit_strong_ranks() {
+  return {1, 6, 12, 24, 48, 96, 192, 384};
+}
+
+/// Node counts used on Theta (one rank per node).
+inline std::vector<std::size_t> theta_ranks() {
+  return {1, 24, 48, 96, 192, 384};
+}
+
+/// GPU counts of the weak-scaling study (Fig 18/20/21).
+inline std::vector<std::size_t> summit_weak_ranks() {
+  return {6, 48, 384, 768, 1536, 3072};
+}
+
+/// Performance improvement percentage, as the paper reports it.
+inline double improvement_pct(double original, double optimized) {
+  require(original > 0.0, "improvement_pct: original must be > 0");
+  return 100.0 * (original - optimized) / original;
+}
+
+/// One row of an original-vs-optimized comparison.
+struct ComparisonRow {
+  std::size_t ranks = 0;
+  sim::SimResult original;
+  sim::SimResult optimized;
+};
+
+/// Simulates the paper's original-vs-optimized loader comparison for a
+/// benchmark/machine pair. `weak` fixes epochs per rank at `epochs`;
+/// strong scaling divides `epochs` by the rank count (skipping rank counts
+/// that leave zero epochs).
+inline std::vector<ComparisonRow> compare_loaders(
+    const sim::Machine& machine, const sim::BenchmarkProfile& profile,
+    const std::vector<std::size_t>& rank_counts, std::size_t epochs,
+    bool weak) {
+  sim::RunSimulator simulator(machine, profile);
+  std::vector<ComparisonRow> rows;
+  for (std::size_t ranks : rank_counts) {
+    const std::size_t per_rank =
+        weak ? epochs : comp_epochs_balanced(epochs, ranks);
+    if (per_rank == 0) continue;
+    sim::RunPlan plan;
+    plan.ranks = ranks;
+    plan.epochs_per_rank = per_rank;
+    plan.loader = io::LoaderKind::kOriginal;
+    ComparisonRow row;
+    row.ranks = ranks;
+    row.original = simulator.simulate(plan);
+    plan.loader = io::LoaderKind::kChunked;
+    row.optimized = simulator.simulate(plan);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Prints the Figure 11/13/14/15/16/17-style panel: runtime comparison (a)
+/// and energy comparison (b) with improvement percentages.
+inline void print_comparison_panels(const std::string& caption,
+                                    const std::vector<ComparisonRow>& rows,
+                                    const char* rank_label) {
+  Table perf({rank_label, "original (s)", "optimized (s)", "improvement %"});
+  Table energy({rank_label, "original (kJ)", "optimized (kJ)",
+                "energy saving %"});
+  double best_perf = 0.0, best_energy = 0.0;
+  for (const auto& row : rows) {
+    const double t0 = row.original.phases.total();
+    const double t1 = row.optimized.phases.total();
+    const double e0 = row.original.total_energy_j / 1e3;
+    const double e1 = row.optimized.total_energy_j / 1e3;
+    best_perf = std::max(best_perf, improvement_pct(t0, t1));
+    best_energy = std::max(best_energy, improvement_pct(e0, e1));
+    perf.add_row({std::to_string(row.ranks), strprintf("%.1f", t0),
+                  strprintf("%.1f", t1),
+                  strprintf("%.2f", improvement_pct(t0, t1))});
+    energy.add_row({std::to_string(row.ranks), strprintf("%.1f", e0),
+                    strprintf("%.1f", e1),
+                    strprintf("%.2f", improvement_pct(e0, e1))});
+  }
+  perf.print("(a) " + caption + " — performance");
+  std::printf("\n");
+  energy.print("(b) " + caption + " — energy");
+  std::printf("\nmax performance improvement: %.2f%%   max energy saving: %.2f%%\n",
+              best_perf, best_energy);
+}
+
+}  // namespace candle::bench

@@ -1,0 +1,59 @@
+// Checkpoint/restart demonstration (the paper's §7 fault-tolerance plan).
+//
+// Phase 1 trains NT3 with per-epoch checkpointing and "crashes" (stops)
+// after a few epochs. Phase 2 resumes from the checkpoint on a fresh set
+// of ranks and finishes training, showing that the resumed run starts from
+// the saved weights (first-epoch loss continues where the crash left off).
+//
+//   ./checkpoint_restart [--ranks 2] [--epochs-before-crash 3]
+#include <cstdio>
+
+#include "candle/runner.h"
+#include "common/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  Cli cli;
+  cli.flag("ranks", "Horovod ranks", "2")
+      .flag("epochs-before-crash", "epochs completed before the failure", "3")
+      .flag("epochs-after-restart", "epochs to run after resuming", "3")
+      .flag("workdir", "scratch directory", "/tmp");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  RealRunConfig config;
+  config.benchmark = BenchmarkId::kNT3;
+  config.ranks = static_cast<std::size_t>(cli.get_int("ranks"));
+  config.weak_scaling = true;  // epochs are per rank in this demo
+  config.workdir = cli.get("workdir");
+  config.checkpoint_every = 1;
+  config.seed = 20260707;
+
+  config.total_epochs =
+      static_cast<std::size_t>(cli.get_int("epochs-before-crash"));
+  std::printf("phase 1: training %zu epochs with per-epoch checkpoints...\n",
+              config.total_epochs);
+  const RealRunResult before = run_real(config);
+  std::printf("  final loss %.4f, %zu checkpoints written to %s\n",
+              before.final_loss, before.checkpoints_written,
+              checkpoint_path(config).c_str());
+  std::printf("  -- simulated failure: job killed --\n\n");
+
+  config.total_epochs =
+      static_cast<std::size_t>(cli.get_int("epochs-after-restart"));
+  config.resume = true;
+  std::printf("phase 2: restarting from the checkpoint...\n");
+  const RealRunResult after = run_real(config);
+  std::printf("  resumed_from_checkpoint: %s\n",
+              after.resumed_from_checkpoint ? "yes" : "no");
+  std::printf("  first epoch after restart: loss %.4f (pre-crash final "
+              "was %.4f)\n",
+              after.history.epochs.front().loss, before.final_loss);
+  std::printf("  final loss after restart: %.4f\n", after.final_loss);
+  if (after.history.epochs.front().loss <
+      before.history.epochs.front().loss) {
+    std::printf("\nThe restarted run begins well below the cold-start loss "
+                "— training state survived the failure.\n");
+  }
+  return 0;
+}

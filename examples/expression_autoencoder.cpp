@@ -1,0 +1,54 @@
+// RNA-seq expression autoencoder (the P1B1 scenario).
+//
+// Compresses synthetic expression profiles into a low-dimensional latent
+// vector and reports reconstruction error before/after training, plus the
+// compression ratio — the quality-control use case the CANDLE project
+// motivates for P1B1.
+//
+//   ./expression_autoencoder [--features F] [--epochs E]
+#include <cstdio>
+
+#include "candle/models.h"
+#include "common/cli.h"
+#include "nn/model.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  Cli cli;
+  cli.flag("features", "expression profile width", "128")
+      .flag("epochs", "training epochs", "12");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  ScaledGeometry geometry = scaled_geometry(BenchmarkId::kP1B1, 0.002);
+  geometry.features = static_cast<std::size_t>(cli.get_int("features"));
+
+  const BenchmarkData data =
+      make_benchmark_data(BenchmarkId::kP1B1, geometry, 11);
+  nn::Model model = build_model(BenchmarkId::kP1B1, geometry);
+  compile_benchmark_model(BenchmarkId::kP1B1, model, geometry, 0.001, 11);
+  std::printf("%s", model.summary().c_str());
+
+  const auto [loss_before, r2_before] =
+      model.evaluate(data.test.x, data.test.y, /*classification=*/false);
+  std::printf("reconstruction MSE before training: %.5f\n", loss_before);
+
+  nn::FitOptions fit;
+  fit.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  fit.batch_size = geometry.batch;
+  fit.classification = false;
+  const nn::History history = model.fit(data.train, fit);
+  for (const auto& e : history.epochs)
+    std::printf("  epoch %2zu: loss %.5f (%.0f ms)\n", e.epoch + 1, e.loss,
+                e.seconds * 1e3);
+
+  const auto [loss_after, r2_after] =
+      model.evaluate(data.test.x, data.test.y, false);
+  const std::size_t latent = std::max<std::size_t>(8, geometry.features / 16);
+  std::printf(
+      "reconstruction MSE after training: %.5f (R^2 %.3f -> %.3f)\n"
+      "compression: %zu floats -> %zu latent dims (%.1fx)\n",
+      loss_after, r2_before, r2_after, geometry.features, latent,
+      static_cast<double>(geometry.features) / static_cast<double>(latent));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// CANDLE/Supervisor hyperparameter search (paper Fig 1b, [33]).
+//
+// Runs a real-training campaign over epochs/batch/lr/optimizer for a
+// benchmark, prints the ranked leaderboard, then plans the same campaign's
+// placement on a simulated Summit allocation and reports the makespan and
+// utilization the scheduler achieves.
+//
+//   ./hyperparameter_search [--benchmark P1B2] [--trials 12] [--ranks 48]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "supervisor/supervisor.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  using namespace candle::supervisor;
+  Cli cli;
+  cli.flag("benchmark", "NT3 | P1B1 | P1B2 | P1B3", "P1B2")
+      .flag("trials", "stratified sample size (0 = full grid)", "8")
+      .flag("ranks", "allocation size for the campaign plan", "48")
+      .flag("scale", "dataset scale for real training", "0.0013")
+      .flag("out", "results CSV path (empty = don't save)", "");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  CampaignConfig config;
+  config.benchmark = benchmark_from_name(cli.get("benchmark"));
+  config.scale = cli.get_double("scale");
+
+  SearchSpace space;
+  space.epochs = {2, 4, 8};
+  space.batches = {20, 60, 100};
+  space.learning_rates = {0.001, 0.005, 0.02};
+  space.optimizers = {benchmark_optimizer(config.benchmark)};
+
+  const auto trials_requested =
+      static_cast<std::size_t>(cli.get_int("trials"));
+  const std::vector<Trial> trials =
+      trials_requested == 0 ? grid_search(space)
+                            : stratified_search(space, trials_requested, 11);
+  std::printf("Supervisor campaign: %zu trials of %s (grid size %zu)\n\n",
+              trials.size(), benchmark_name(config.benchmark),
+              space.grid_size());
+
+  const ResultsDb db = run_campaign(config, trials);
+  Table board({"rank", "config", "metric", "loss", "train (s)"});
+  std::size_t place = 1;
+  for (const auto& r : db.ranked()) {
+    board.add_row({std::to_string(place++), r.trial.key(),
+                   r.failed ? "FAILED" : strprintf("%.4f", r.metric),
+                   strprintf("%.4f", r.loss),
+                   strprintf("%.2f", r.train_seconds)});
+  }
+  board.print("Leaderboard (real training):");
+  if (const auto best = db.best())
+    std::printf("\nbest configuration: %s (metric %.4f)\n",
+                best->trial.key().c_str(), best->metric);
+
+  // Plan the same campaign at full scale on a Summit allocation.
+  config.mode = EvalMode::kSimulated;
+  config.ranks_per_trial = 6;  // one node per trial
+  const auto ranks = static_cast<std::size_t>(cli.get_int("ranks"));
+  const Schedule plan = plan_campaign(config, trials, ranks);
+  std::printf(
+      "\nCampaign plan on %zu Summit GPUs (6 per trial): %zu jobs, "
+      "makespan %s, utilization %.0f%%\n",
+      ranks, plan.jobs.size(), format_seconds(plan.makespan_s).c_str(),
+      100.0 * plan.utilization());
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    db.save_csv(out);
+    std::printf("results saved to %s\n", out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scaling explorer: predict time / power / energy of any configuration.
+//
+// Uses the calibrated Summit/Theta simulator to answer "what would this
+// benchmark cost at N GPUs with loader X?" — the planning question the
+// paper's §4-§6 answer empirically. Sweeps rank counts and prints the
+// phase breakdown, time per epoch, average device power and energy.
+//
+//   ./scaling_explorer --benchmark NT3 --machine summit --loader chunked
+//       (plus --weak / --epochs as needed)
+#include <cstdio>
+#include <vector>
+
+#include "candle/models.h"
+#include "candle/scaling.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "sim/run_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace candle;
+  Cli cli;
+  cli.flag("benchmark", "NT3 | P1B1 | P1B2 | P1B3", "NT3")
+      .flag("machine", "summit | theta", "summit")
+      .flag("loader", "original | chunked | dask", "original")
+      .flag("epochs", "total epochs (strong) or per-rank (weak)", "384")
+      .bool_flag("weak", "weak scaling (epochs per rank constant)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  const sim::Machine& machine = cli.get("machine") == "theta"
+                                    ? sim::Machine::theta()
+                                    : sim::Machine::summit();
+  const sim::BenchmarkProfile& profile =
+      sim::BenchmarkProfile::by_name(cli.get("benchmark"));
+  const std::string loader_str = cli.get("loader");
+  const io::LoaderKind loader =
+      loader_str == "chunked"  ? io::LoaderKind::kChunked
+      : loader_str == "dask"   ? io::LoaderKind::kDask
+                               : io::LoaderKind::kOriginal;
+  const auto total_epochs =
+      static_cast<std::size_t>(cli.get_int("epochs"));
+  const bool weak = cli.get_bool("weak");
+
+  sim::RunSimulator simulator(machine, profile);
+  std::printf("%s on %s, %s scaling, loader: %s\n\n", profile.name.c_str(),
+              machine.name.c_str(), weak ? "weak" : "strong",
+              io::loader_name(loader).c_str());
+
+  Table table({"ranks", "load (s)", "bcast wait (s)", "train (s)",
+               "total", "s/epoch", "avg W", "energy/rank (kJ)"});
+  std::vector<std::size_t> rank_counts{1, 6, 24, 96, 384};
+  if (weak && machine.kind == sim::MachineKind::kSummit)
+    rank_counts = {6, 48, 384, 768, 1536, 3072};
+
+  for (std::size_t ranks : rank_counts) {
+    if (ranks > machine.max_ranks) break;
+    sim::RunPlan plan;
+    plan.ranks = ranks;
+    plan.loader = loader;
+    plan.epochs_per_rank =
+        weak ? total_epochs : comp_epochs_balanced(total_epochs, ranks);
+    if (plan.epochs_per_rank == 0) continue;
+    try {
+      const sim::SimResult r = simulator.simulate(plan);
+      table.add_row(
+          {std::to_string(ranks), strprintf("%.1f", r.phases.data_load),
+           strprintf("%.1f", r.phases.negotiate_broadcast),
+           strprintf("%.1f", r.phases.train()),
+           format_seconds(r.phases.total()),
+           strprintf("%.1f", r.time_per_epoch),
+           strprintf("%.0f", r.avg_power_w),
+           strprintf("%.1f", r.energy_per_rank_j / 1e3)});
+    } catch (const OutOfMemory& oom) {
+      table.add_row({std::to_string(ranks), "OOM", oom.what()});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,341 @@
+#include "candle/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "candle/scaling.h"
+#include "io/synthetic.h"
+
+namespace candle {
+namespace {
+
+std::size_t scaled_dim(std::size_t full, double scale, std::size_t floor_dim) {
+  const auto v = static_cast<std::size_t>(
+      std::llround(static_cast<double>(full) * scale));
+  return std::max(floor_dim, v);
+}
+
+}  // namespace
+
+const char* benchmark_name(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kNT3: return "NT3";
+    case BenchmarkId::kP1B1: return "P1B1";
+    case BenchmarkId::kP1B2: return "P1B2";
+    case BenchmarkId::kP1B3: return "P1B3";
+    case BenchmarkId::kP2B1: return "P2B1";
+    case BenchmarkId::kP3B1: return "P3B1";
+  }
+  return "?";
+}
+
+std::vector<BenchmarkId> all_benchmarks() {
+  return {BenchmarkId::kNT3, BenchmarkId::kP1B1, BenchmarkId::kP1B2,
+          BenchmarkId::kP1B3, BenchmarkId::kP2B1, BenchmarkId::kP3B1};
+}
+
+BenchmarkId benchmark_from_name(const std::string& name) {
+  if (name == "NT3" || name == "nt3") return BenchmarkId::kNT3;
+  if (name == "P1B1" || name == "p1b1") return BenchmarkId::kP1B1;
+  if (name == "P1B2" || name == "p1b2") return BenchmarkId::kP1B2;
+  if (name == "P1B3" || name == "p1b3") return BenchmarkId::kP1B3;
+  if (name == "P2B1" || name == "p2b1") return BenchmarkId::kP2B1;
+  if (name == "P3B1" || name == "p3b1") return BenchmarkId::kP3B1;
+  throw InvalidArgument("unknown benchmark: " + name);
+}
+
+const sim::BenchmarkProfile& profile_for(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kNT3: return sim::BenchmarkProfile::nt3();
+    case BenchmarkId::kP1B1: return sim::BenchmarkProfile::p1b1();
+    case BenchmarkId::kP1B2: return sim::BenchmarkProfile::p1b2();
+    case BenchmarkId::kP1B3: return sim::BenchmarkProfile::p1b3();
+    case BenchmarkId::kP2B1: return sim::BenchmarkProfile::p2b1();
+    case BenchmarkId::kP3B1: return sim::BenchmarkProfile::p3b1();
+  }
+  throw InvalidArgument("profile_for: bad id");
+}
+
+ScaledGeometry scaled_geometry(BenchmarkId id, double scale) {
+  require(scale > 0.0 && scale <= 1.0, "scaled_geometry: scale in (0, 1]");
+  const sim::BenchmarkProfile& p = profile_for(id);
+  ScaledGeometry g;
+  g.batch = p.default_batch;
+  switch (id) {
+    case BenchmarkId::kNT3:
+      g.train_samples = p.train_samples;  // 1,120 — cheap to keep
+      g.test_samples = p.test_samples;
+      g.features = scaled_dim(p.features_per_sample, scale, 60);
+      g.classes = 2;
+      break;
+    case BenchmarkId::kP1B1:
+      g.train_samples = p.train_samples;  // 2,700
+      g.test_samples = p.test_samples;
+      g.features = scaled_dim(p.features_per_sample, scale, 32);
+      g.classes = 0;  // autoencoder
+      break;
+    case BenchmarkId::kP1B2:
+      g.train_samples = p.train_samples;  // 2,700
+      g.test_samples = p.test_samples;
+      g.features = scaled_dim(p.features_per_sample, scale, 40);
+      g.classes = 20;  // cancer types
+      break;
+    case BenchmarkId::kP1B3:
+      // The huge sample count is the point of P1B3; scale samples and keep
+      // a moderate feature width.
+      g.train_samples = scaled_dim(p.train_samples, scale, 1000);
+      g.test_samples = scaled_dim(p.test_samples, scale, 300);
+      g.features =
+          std::max<std::size_t>(20, static_cast<std::size_t>(
+                                        1000.0 * std::sqrt(scale)));
+      g.classes = 0;  // regression
+      break;
+    case BenchmarkId::kP2B1:
+      g.train_samples = scaled_dim(p.train_samples, scale * 50, 400);
+      g.test_samples = scaled_dim(p.test_samples, scale * 50, 100);
+      g.features = scaled_dim(p.features_per_sample, scale, 48);
+      g.classes = 0;  // autoencoder
+      break;
+    case BenchmarkId::kP3B1:
+      g.train_samples = scaled_dim(p.train_samples, scale * 100, 600);
+      g.test_samples = scaled_dim(p.test_samples, scale * 100, 150);
+      g.features = scaled_dim(p.features_per_sample, scale, 48);
+      g.classes = 10;  // primary cancer sites
+      break;
+  }
+  return g;
+}
+
+nn::Model build_model(BenchmarkId id, const ScaledGeometry& geometry) {
+  using namespace nn;
+  const std::size_t F = geometry.features;
+  Model m;
+  switch (id) {
+    case BenchmarkId::kNT3: {
+      // 1D conv stack: conv/pool x2 + dense head (§2.1.1).
+      require(F >= 60, "NT3 model needs >= 60 features");
+      m.add<ExpandDims>();
+      m.add<Conv1D>(16, 9, 1, Act::kRelu);
+      m.add<MaxPool1D>(4);
+      m.add<Conv1D>(16, 5, 1, Act::kRelu);
+      m.add<MaxPool1D>(4);
+      m.add<Flatten>();
+      m.add<Dense>(32, Act::kRelu);
+      m.add<Dropout>(0.1);
+      m.add<Dense>(16, Act::kRelu);
+      m.add<Dropout>(0.1);
+      m.add<Dense>(geometry.classes, Act::kSoftmax);
+      break;
+    }
+    case BenchmarkId::kP1B1: {
+      // Encoding -> bottleneck -> decoding autoencoder (§2.1.2).
+      const std::size_t h1 = std::max<std::size_t>(16, F / 4);
+      const std::size_t latent = std::max<std::size_t>(8, F / 16);
+      m.add<Dense>(h1, Act::kRelu);
+      m.add<Dense>(latent, Act::kRelu);
+      m.add<Dense>(h1, Act::kRelu);
+      m.add<Dense>(F, Act::kSigmoid);
+      break;
+    }
+    case BenchmarkId::kP1B2: {
+      // 5-layer MLP with regularization (§2.1.3): dropout + L2 decay.
+      m.add<Dense>(128, Act::kRelu, 1e-5);
+      m.add<Dropout>(0.1);
+      m.add<Dense>(64, Act::kRelu, 1e-5);
+      m.add<Dense>(32, Act::kRelu, 1e-5);
+      m.add<Dense>(geometry.classes, Act::kSoftmax);
+      break;
+    }
+    case BenchmarkId::kP1B3: {
+      // "MLP network with convolution-like layers" (§2.1.4): a locally
+      // connected front end over the feature vector, then dense layers.
+      require(F >= 8, "P1B3 model needs >= 8 features");
+      m.add<ExpandDims>();
+      m.add<LocallyConnected1D>(4, 7, 7, Act::kRelu);
+      m.add<Flatten>();
+      m.add<Dense>(32, Act::kRelu);
+      // Small-init head: growth predictions start near 0, the target mean.
+      m.add<Dense>(1, Act::kNone, 0.0, 0.05);
+      break;
+    }
+    case BenchmarkId::kP2B1: {
+      // Deep autoencoder over MD-frame features (extension).
+      const std::size_t h1 = std::max<std::size_t>(24, F / 4);
+      const std::size_t h2 = std::max<std::size_t>(12, F / 12);
+      const std::size_t latent = std::max<std::size_t>(6, F / 24);
+      m.add<Dense>(h1, Act::kRelu);
+      m.add<Dense>(h2, Act::kRelu);
+      m.add<Dense>(latent, Act::kRelu);
+      m.add<Dense>(h2, Act::kRelu);
+      m.add<Dense>(h1, Act::kRelu);
+      m.add<Dense>(F, Act::kSigmoid);
+      break;
+    }
+    case BenchmarkId::kP3B1: {
+      // Batch-normalized MLP over sparse report features (extension).
+      m.add<BatchNorm>();
+      m.add<Dense>(64, Act::kRelu);
+      m.add<Dropout>(0.2);
+      m.add<Dense>(32, Act::kRelu);
+      m.add<Dense>(geometry.classes, Act::kSoftmax);
+      break;
+    }
+  }
+  return m;
+}
+
+std::string benchmark_optimizer(BenchmarkId id) {
+  return profile_for(id).optimizer;
+}
+
+std::string benchmark_loss(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kNT3:
+    case BenchmarkId::kP1B2:
+    case BenchmarkId::kP3B1:
+      return "categorical_crossentropy";
+    case BenchmarkId::kP1B1:
+    case BenchmarkId::kP1B3:
+    case BenchmarkId::kP2B1:
+      return "mse";
+  }
+  throw InvalidArgument("benchmark_loss: bad id");
+}
+
+bool benchmark_is_classification(BenchmarkId id) {
+  return id == BenchmarkId::kNT3 || id == BenchmarkId::kP1B2 ||
+         id == BenchmarkId::kP3B1;
+}
+
+void compile_benchmark_model(BenchmarkId id, nn::Model& model,
+                             const ScaledGeometry& geometry, double lr,
+                             std::uint64_t seed) {
+  model.compile({geometry.features},
+                nn::make_optimizer(benchmark_optimizer(id), lr),
+                nn::make_loss(benchmark_loss(id)), seed);
+}
+
+BenchmarkData make_benchmark_data(BenchmarkId id,
+                                  const ScaledGeometry& geometry,
+                                  std::uint64_t seed) {
+  BenchmarkData out;
+  switch (id) {
+    case BenchmarkId::kNT3: {
+      io::ClassificationSpec spec;
+      spec.samples = geometry.train_samples + geometry.test_samples;
+      spec.features = geometry.features;
+      spec.classes = geometry.classes;
+      spec.informative = std::min<std::size_t>(geometry.features, 16);
+      spec.class_sep = 1.25;  // tuned so accuracy reaches ~1.0 by ~8
+      spec.noise = 1.3;       // epochs/GPU and degrades below that (Fig 6b)
+      spec.seed = seed;
+      nn::Dataset all = io::make_classification(spec);
+      auto [train, test] = nn::validation_split(
+          all, static_cast<double>(geometry.test_samples) /
+                   static_cast<double>(spec.samples));
+      out.train = std::move(train);
+      out.test = std::move(test);
+      break;
+    }
+    case BenchmarkId::kP1B2: {
+      io::ClassificationSpec spec;
+      spec.samples = geometry.train_samples + geometry.test_samples;
+      spec.features = geometry.features;
+      spec.classes = geometry.classes;
+      spec.informative = std::min<std::size_t>(geometry.features, 32);
+      spec.class_sep = 1.6;  // 20-way problem: needs ~16 epochs (Fig 9b)
+      spec.noise = 2.2;
+      spec.seed = seed;
+      nn::Dataset all = io::make_classification(spec);
+      auto [train, test] = nn::validation_split(
+          all, static_cast<double>(geometry.test_samples) /
+                   static_cast<double>(spec.samples));
+      out.train = std::move(train);
+      out.test = std::move(test);
+      break;
+    }
+    case BenchmarkId::kP1B1: {
+      const std::size_t rank = std::max<std::size_t>(4, geometry.features / 16);
+      out.train = io::make_autoencoder_data(geometry.train_samples,
+                                            geometry.features, rank, seed);
+      out.test = io::make_autoencoder_data(geometry.test_samples,
+                                           geometry.features, rank, seed + 1);
+      break;
+    }
+    case BenchmarkId::kP2B1: {
+      const std::size_t rank = std::max<std::size_t>(4, geometry.features / 24);
+      out.train = io::make_autoencoder_data(geometry.train_samples,
+                                            geometry.features, rank, seed);
+      out.test = io::make_autoencoder_data(geometry.test_samples,
+                                           geometry.features, rank, seed + 1);
+      break;
+    }
+    case BenchmarkId::kP3B1: {
+      io::ClassificationSpec spec;
+      spec.samples = geometry.train_samples + geometry.test_samples;
+      spec.features = geometry.features;
+      spec.classes = geometry.classes;
+      spec.informative = std::min<std::size_t>(geometry.features, 30);
+      spec.class_sep = 1.8;
+      spec.noise = 1.8;
+      spec.seed = seed;
+      nn::Dataset all = io::make_classification(spec);
+      auto [train, test] = nn::validation_split(
+          all, static_cast<double>(geometry.test_samples) /
+                   static_cast<double>(spec.samples));
+      out.train = std::move(train);
+      out.test = std::move(test);
+      break;
+    }
+    case BenchmarkId::kP1B3: {
+      io::RegressionSpec spec;
+      spec.samples = geometry.train_samples + geometry.test_samples;
+      spec.features = geometry.features;
+      spec.informative = std::min<std::size_t>(geometry.features, 16);
+      spec.noise = 0.03;
+      spec.seed = seed;
+      nn::Dataset all = io::make_regression(spec);
+      auto [train, test] = nn::validation_split(
+          all, static_cast<double>(geometry.test_samples) /
+                   static_cast<double>(spec.samples));
+      out.train = std::move(train);
+      out.test = std::move(test);
+      break;
+    }
+  }
+  return out;
+}
+
+AccuracyPoint reference_accuracy(BenchmarkId id, std::size_t gpus,
+                                 std::size_t total_epochs, std::size_t batch,
+                                 double scale, bool weak, std::uint64_t seed) {
+  require(gpus > 0, "reference_accuracy: gpus must be > 0");
+  const ScaledGeometry geometry = scaled_geometry(id, scale);
+  const std::size_t epochs =
+      weak ? total_epochs : comp_epochs_balanced(total_epochs, gpus);
+  require(epochs >= 1, "reference_accuracy: fewer than 1 epoch per GPU — "
+                       "the benchmark requires at least 1 (paper §4.2.2)");
+
+  BenchmarkData data = make_benchmark_data(id, geometry, seed);
+  nn::Model model = build_model(id, geometry);
+  const double lr =
+      scaled_learning_rate(profile_for(id).learning_rate, gpus);
+  compile_benchmark_model(id, model, geometry, lr, seed);
+
+  nn::FitOptions options;
+  options.epochs = epochs;
+  options.batch_size = batch == 0 ? geometry.batch : batch;
+  options.classification = benchmark_is_classification(id);
+  const nn::History history = model.fit(data.train, options);
+
+  AccuracyPoint point;
+  point.gpus = gpus;
+  point.epochs_per_gpu = epochs;
+  point.batch = options.batch_size;
+  point.accuracy = history.final_accuracy();
+  point.loss = history.final_loss();
+  return point;
+}
+
+}  // namespace candle

@@ -1,0 +1,91 @@
+// CANDLE Pilot1 benchmark definitions: model builders and synthetic data.
+//
+// Real-mode runs train genuinely (our nn/ substrate) on scaled-down synthetic
+// datasets whose geometry mirrors Table 1. The `scale` knob shrinks feature
+// and sample counts proportionally so that laptop-scale runs finish in
+// seconds while preserving the training dynamics the paper studies
+// (accuracy vs epochs-per-GPU, batch-size effects).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "sim/calibration.h"
+
+namespace candle {
+
+/// The four Pilot1 benchmarks (paper §2.1) plus the P2/P3 extensions the
+/// paper's §1 says the methodology applies to "in a similar way".
+enum class BenchmarkId { kNT3, kP1B1, kP1B2, kP1B3, kP2B1, kP3B1 };
+
+/// All ids, paper benchmarks first.
+std::vector<BenchmarkId> all_benchmarks();
+
+const char* benchmark_name(BenchmarkId id);
+BenchmarkId benchmark_from_name(const std::string& name);
+
+/// Maps a benchmark to its calibrated full-scale profile (Table 1 etc.).
+const sim::BenchmarkProfile& profile_for(BenchmarkId id);
+
+/// Scaled-down geometry for real-mode training.
+struct ScaledGeometry {
+  std::size_t train_samples = 0;
+  std::size_t test_samples = 0;
+  std::size_t features = 0;
+  std::size_t classes = 0;  // 0 for regression/autoencoder
+  std::size_t batch = 0;    // default batch, scaled when needed
+};
+
+/// Scales Table 1 geometry by `scale` in features (samples are kept at the
+/// benchmark's true count for NT3/P1B1/P1B2 and scaled for P1B3).
+ScaledGeometry scaled_geometry(BenchmarkId id, double scale);
+
+/// Builds the benchmark's network (uncompiled) for a given feature width.
+/// Architectures follow §2.1: NT3 = Conv1D stack, P1B1 = autoencoder,
+/// P1B2 = 5-layer MLP classifier, P1B3 = MLP regressor.
+nn::Model build_model(BenchmarkId id, const ScaledGeometry& geometry);
+
+/// Compiles `model` with the benchmark's optimizer/loss at `lr`.
+void compile_benchmark_model(BenchmarkId id, nn::Model& model,
+                             const ScaledGeometry& geometry, double lr,
+                             std::uint64_t seed);
+
+/// Convenience: optimizer + loss names per benchmark (Table 1).
+std::string benchmark_optimizer(BenchmarkId id);
+std::string benchmark_loss(BenchmarkId id);
+bool benchmark_is_classification(BenchmarkId id);
+
+/// Synthetic train+test data with the scaled geometry. Deterministic in
+/// `seed`. Classification sets are Gaussian mixtures tuned to need several
+/// epochs to converge (reproducing the paper's accuracy cliffs).
+struct BenchmarkData {
+  nn::Dataset train;
+  nn::Dataset test;
+};
+BenchmarkData make_benchmark_data(BenchmarkId id,
+                                  const ScaledGeometry& geometry,
+                                  std::uint64_t seed);
+
+/// Result of a reference accuracy run.
+struct AccuracyPoint {
+  std::size_t gpus = 0;
+  std::size_t epochs_per_gpu = 0;
+  std::size_t batch = 0;
+  float accuracy = 0.0f;  // training accuracy (or R² for regression)
+  float loss = 0.0f;
+};
+
+/// Reproduces the paper's accuracy-vs-GPUs semantics by direct training:
+/// because every Horovod rank loads the identical full dataset, averaged
+/// gradients equal local gradients, so training one model for
+/// comp_epochs(E, gpus) epochs at lr*gpus is exactly equivalent (verified
+/// by test_equivalence). `weak` keeps epochs-per-GPU constant instead.
+AccuracyPoint reference_accuracy(BenchmarkId id, std::size_t gpus,
+                                 std::size_t total_epochs, std::size_t batch,
+                                 double scale, bool weak,
+                                 std::uint64_t seed = 7);
+
+}  // namespace candle

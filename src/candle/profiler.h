@@ -1,0 +1,49 @@
+// Per-layer kernel profiler (the paper's §7 future work: "we plan to use
+// NVProf to profile the TensorFlow run and identify the other performance
+// bottlenecks").
+//
+// Measures, with real executions on the scaled benchmark models, where one
+// training step's time goes: forward and backward wall-clock per layer,
+// like an nvprof kernel summary. Used by bench_ext_profiler and by anyone
+// deciding which kernel to optimize next.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "candle/models.h"
+
+namespace candle {
+
+/// One layer's measured share of a training step.
+struct LayerProfile {
+  std::string layer;        // Layer::describe()
+  double forward_ms = 0.0;  // mean per step
+  double backward_ms = 0.0;
+  std::size_t params = 0;
+
+  [[nodiscard]] double total_ms() const { return forward_ms + backward_ms; }
+};
+
+/// Whole-step profile.
+struct StepProfile {
+  std::vector<LayerProfile> layers;
+  double step_ms = 0.0;       // sum over layers
+  std::size_t batch = 0;
+  std::size_t repetitions = 0;
+
+  /// Index of the most expensive layer (the "bottleneck kernel").
+  [[nodiscard]] std::size_t hottest() const;
+};
+
+/// Profiles `repetitions` training steps of the benchmark's model at the
+/// given scale and batch size (0 = benchmark default), timing every layer's
+/// forward and backward individually.
+StepProfile profile_step(BenchmarkId id, double scale, std::size_t batch = 0,
+                         std::size_t repetitions = 5,
+                         std::uint64_t seed = 17);
+
+/// Renders an nvprof-style summary table.
+std::string format_profile(const StepProfile& profile);
+
+}  // namespace candle

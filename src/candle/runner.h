@@ -1,0 +1,89 @@
+// Real-mode parallel benchmark runner.
+//
+// Executes the paper's full control flow (Fig 2/3) with genuine work: rank
+// threads each parse a real CSV with the selected loader, preprocess,
+// broadcast initial weights from rank 0, train with the Horovod
+// DistributedOptimizer (ring allreduce per batch step), and evaluate on the
+// test set. This is the small-scale ground truth that the simulator
+// extrapolates; tests assert the two agree on the phase structure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "candle/models.h"
+#include "candle/scaling.h"
+#include "comm/communicator.h"
+#include "sim/run_sim.h"
+#include "hvd/fusion.h"
+#include "io/csv_reader.h"
+#include "nn/model.h"
+#include "trace/timeline.h"
+
+namespace candle {
+
+/// Configuration of one real-mode run.
+struct RealRunConfig {
+  BenchmarkId benchmark = BenchmarkId::kNT3;
+  std::size_t ranks = 2;
+  std::size_t total_epochs = 8;     // split by comp_epochs under strong scaling
+  bool weak_scaling = false;        // true: every rank runs total_epochs
+
+  // Parallelism level (paper Fig 3 / §2.3.1): epoch-level replicates the
+  // full dataset on every rank (the paper's P1 setup); batch-step-level
+  // shards each epoch's samples across ranks (rank r takes rows r, r+P,
+  // ...), so steps/epoch divide by the rank count.
+  sim::ParallelLevel level = sim::ParallelLevel::kEpoch;
+  std::size_t batch = 0;            // 0 -> benchmark default
+  BatchScaling batch_scaling = BatchScaling::kConstant;
+  io::LoaderKind loader = io::LoaderKind::kChunked;
+  double scale = 0.002;             // dataset scale (see scaled_geometry)
+  std::string workdir = "/tmp";     // where the synthetic CSVs are written
+  bool scale_lr = true;             // linear lr scaling (§2.3.2)
+  bool record_timeline = false;
+  hvd::FusionOptions fusion;
+  std::uint64_t seed = 7;
+
+  // Checkpoint/restart (the paper's §7 fault-tolerance future work):
+  // rank 0 saves weights every `checkpoint_every` epochs (0 disables);
+  // with `resume`, rank 0 loads the checkpoint before training and the
+  // initial broadcast distributes the restored weights to all ranks.
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
+};
+
+/// Measured results (rank-0 view; ranks are symmetric).
+struct RealRunResult {
+  double data_load_s = 0.0;         // rank 0's CSV parse time
+  double preprocess_s = 0.0;
+  double broadcast_negotiate_s = 0.0;  // straggler wait at initial broadcast
+  double train_s = 0.0;
+  double evaluate_s = 0.0;
+  double total_s = 0.0;
+  std::size_t epochs_rank0 = 0;
+  float final_accuracy = 0.0f;      // train metric (accuracy or R²)
+  float test_accuracy = 0.0f;
+  float final_loss = 0.0f;
+  nn::History history;              // rank 0's epochs
+  io::CsvReadStats load_stats;      // rank 0's loader stats
+  std::vector<comm::CommStats> comm_stats;  // per rank
+  std::shared_ptr<trace::Timeline> timeline;
+  bool resumed_from_checkpoint = false;
+  std::size_t checkpoints_written = 0;
+};
+
+/// Path of the run's checkpoint file under config.workdir.
+std::string checkpoint_path(const RealRunConfig& config);
+
+/// Writes the run's synthetic train/test CSVs (train.csv/test.csv under
+/// `workdir`, labeled layout for classifiers) and returns their paths.
+/// Deterministic in (benchmark, scale, seed).
+std::pair<std::string, std::string> prepare_benchmark_csvs(
+    const RealRunConfig& config);
+
+/// Runs the parallel benchmark end to end. Throws on invalid configs
+/// (e.g. epochs-per-rank of zero under strong scaling).
+RealRunResult run_real(const RealRunConfig& config);
+
+}  // namespace candle

@@ -1,0 +1,56 @@
+#include "candle/scaling.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle {
+
+std::size_t comp_epochs(std::size_t total_epochs, std::size_t myrank,
+                        std::size_t nprocs) {
+  require(nprocs > 0, "comp_epochs: nprocs must be > 0");
+  require(myrank < nprocs, "comp_epochs: myrank out of range");
+  const std::size_t j = total_epochs / nprocs;
+  const std::size_t k = total_epochs % nprocs;
+  return myrank < nprocs - 1 ? j : j + k;
+}
+
+std::size_t comp_epochs_balanced(std::size_t total_epochs,
+                                 std::size_t nprocs) {
+  require(nprocs > 0, "comp_epochs_balanced: nprocs must be > 0");
+  return total_epochs / nprocs;
+}
+
+const char* batch_scaling_name(BatchScaling s) {
+  switch (s) {
+    case BatchScaling::kConstant: return "constant";
+    case BatchScaling::kLinear: return "linear";
+    case BatchScaling::kSqrt: return "square root";
+    case BatchScaling::kCbrt: return "cubic root";
+  }
+  return "?";
+}
+
+std::size_t scaled_batch(std::size_t base_batch, std::size_t gpus,
+                         BatchScaling strategy) {
+  require(base_batch > 0 && gpus > 0, "scaled_batch: args must be > 0");
+  const double g = static_cast<double>(gpus);
+  const double b = static_cast<double>(base_batch);
+  switch (strategy) {
+    case BatchScaling::kConstant: return base_batch;
+    case BatchScaling::kLinear: return base_batch * gpus;
+    case BatchScaling::kSqrt:
+      return static_cast<std::size_t>(b * std::sqrt(g));
+    case BatchScaling::kCbrt:
+      return static_cast<std::size_t>(b * std::cbrt(g));
+  }
+  throw InvalidArgument("scaled_batch: bad strategy");
+}
+
+double scaled_learning_rate(double base_lr, std::size_t nprocs) {
+  require(base_lr > 0.0, "scaled_learning_rate: lr must be > 0");
+  require(nprocs > 0, "scaled_learning_rate: nprocs must be > 0");
+  return base_lr * static_cast<double>(nprocs);
+}
+
+}  // namespace candle

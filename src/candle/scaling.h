@@ -1,0 +1,36 @@
+// Scaling strategies from the paper's methodology (§2.3.1, Fig 4).
+#pragma once
+
+#include <cstddef>
+
+namespace candle {
+
+/// The paper's comp_epochs(): splits `total_epochs` across `nprocs` ranks;
+/// every rank gets floor(n/p) epochs and the last rank also takes the
+/// remainder. (Transcribed from the Python in §2.3.2.)
+std::size_t comp_epochs(std::size_t total_epochs, std::size_t myrank,
+                        std::size_t nprocs);
+
+/// Balanced variant: "For load balancing, we ensure that the number of
+/// epochs is the same for each GPU" — floor(n/p) everywhere, dropping the
+/// remainder. Used by the experiments (all ranks run E/P epochs).
+std::size_t comp_epochs_balanced(std::size_t total_epochs,
+                                 std::size_t nprocs);
+
+/// Batch-size scaling strategies (Fig 4b). kConstant keeps the default
+/// (NT3/P1B1/P1B2, small sample counts); the others scale with GPU count
+/// (P1B3, 900,100 samples).
+enum class BatchScaling { kConstant, kLinear, kSqrt, kCbrt };
+
+const char* batch_scaling_name(BatchScaling s);
+
+/// batch for `gpus` workers: linear = base*g; sqrt = int(base*g^1/2);
+/// cbrt = int(base*g^1/3); constant = base.
+std::size_t scaled_batch(std::size_t base_batch, std::size_t gpus,
+                         BatchScaling strategy);
+
+/// Linear learning-rate scaling: lr * nprocs (§2.3.2, "Scale the learning
+/// rate by the number of workers").
+double scaled_learning_rate(double base_lr, std::size_t nprocs);
+
+}  // namespace candle

@@ -1,0 +1,305 @@
+#include "comm/communicator.h"
+
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/error.h"
+
+namespace candle::comm {
+
+std::size_t Communicator::size() const { return world_->size(); }
+
+std::size_t Communicator::local_rank() const {
+  return rank_ % world_->options().ranks_per_node;
+}
+
+std::size_t Communicator::node() const {
+  return rank_ / world_->options().ranks_per_node;
+}
+
+void Communicator::barrier() {
+  ++stats_.barrier_calls;
+  world_->do_barrier();
+}
+
+void Communicator::allreduce_sum(std::span<float> data) {
+  ++stats_.allreduce_calls;
+  world_->allreduce(*this, data, /*average=*/false);
+}
+
+void Communicator::allreduce_average(std::span<float> data) {
+  ++stats_.allreduce_calls;
+  world_->allreduce(*this, data, /*average=*/true);
+}
+
+void Communicator::broadcast(std::span<float> data, std::size_t root) {
+  require(root < size(), "broadcast: root out of range");
+  ++stats_.broadcast_calls;
+  world_->do_broadcast(*this, data, root);
+}
+
+void Communicator::reduce_sum_to(std::span<float> data, std::size_t root) {
+  require(root < size(), "reduce_sum_to: root out of range");
+  ++stats_.reduce_calls;
+  world_->do_reduce_to(*this, data, root);
+}
+
+void Communicator::allgather(std::span<const float> contribution,
+                             std::vector<float>& gathered) {
+  ++stats_.allgather_calls;
+  world_->do_allgather(*this, contribution, gathered);
+}
+
+double Communicator::allreduce_scalar(double value) {
+  float v = static_cast<float>(value);
+  allreduce_sum(std::span<float>(&v, 1));
+  return static_cast<double>(v);
+}
+
+World::World(std::size_t size, WorldOptions options)
+    : size_(size),
+      options_(options),
+      barrier_(static_cast<std::ptrdiff_t>(size)),
+      bufs_(size, nullptr),
+      const_bufs_(size, nullptr),
+      counts_(size, 0) {
+  require(size > 0, "World: size must be > 0");
+  require(options.ranks_per_node > 0, "World: ranks_per_node must be > 0");
+}
+
+World::~World() = default;
+
+void World::do_barrier() { barrier_.arrive_and_wait(); }
+
+void World::check_uniform_count(std::size_t count, const char* op) {
+  for (std::size_t r = 0; r < size_; ++r)
+    if (counts_[r] != count)
+      throw CommError(std::string(op) +
+                      ": ranks passed different element counts");
+}
+
+void World::allreduce(Communicator& self, std::span<float> data,
+                      bool average) {
+  bufs_[self.rank_] = data.data();
+  counts_[self.rank_] = data.size();
+  do_barrier();
+  check_uniform_count(data.size(), "allreduce");
+  if (size_ > 1) {
+    switch (options_.allreduce_algo) {
+      case AllreduceAlgo::kRing: allreduce_ring(self, data); break;
+      case AllreduceAlgo::kNaive: allreduce_naive(self, data); break;
+      case AllreduceAlgo::kHierarchical:
+        allreduce_hierarchical(self, data);
+        break;
+    }
+  }
+  if (average && size_ > 1) {
+    const float inv = 1.0f / static_cast<float>(size_);
+    for (float& v : data) v *= inv;
+  }
+  do_barrier();
+}
+
+void World::allreduce_ring(Communicator& self, std::span<float> data) {
+  const std::size_t P = size_;
+  const std::size_t r = self.rank_;
+  const std::size_t n = data.size();
+
+  // Segment boundaries: segment g covers [off(g), off(g+1)).
+  auto off = [&](std::size_t g) { return g * n / P; };
+  auto seg = [&](std::size_t g) {
+    return std::pair<std::size_t, std::size_t>{off(g), off(g + 1)};
+  };
+  auto mod = [&](std::size_t a) { return a % P; };
+
+  // Scatter-reduce: after step s, this rank's segment (r-1-s mod P) holds
+  // the partial sum of s+2 contributions. Between barriers each rank writes
+  // only its own buffer, and reads a neighbor segment the neighbor is not
+  // writing in the same step.
+  for (std::size_t s = 0; s + 1 < P; ++s) {
+    const std::size_t recv_seg = mod(r + 2 * P - 1 - s);
+    const auto [b, e] = seg(recv_seg);
+    const float* src = bufs_[mod(r + P - 1)];
+    for (std::size_t i = b; i < e; ++i) data[i] += src[i];
+    self.stats_.bytes_sent += (e - b) * sizeof(float);
+    do_barrier();
+  }
+
+  // Allgather: step s copies segment (r - s mod P) from the predecessor,
+  // which completed it in the previous step (or in scatter-reduce for s=0).
+  for (std::size_t s = 0; s + 1 < P; ++s) {
+    const std::size_t copy_seg = mod(r + 2 * P - s);
+    const auto [b, e] = seg(copy_seg);
+    const float* src = bufs_[mod(r + P - 1)];
+    if (e > b)
+      std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
+    self.stats_.bytes_sent += (e - b) * sizeof(float);
+    do_barrier();
+  }
+}
+
+void World::allreduce_naive(Communicator& self, std::span<float> data) {
+  // Rank 0 accumulates everyone, then everyone copies rank 0.
+  if (self.rank_ == 0) {
+    for (std::size_t peer = 1; peer < size_; ++peer) {
+      const float* src = bufs_[peer];
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
+      self.stats_.bytes_sent += data.size() * sizeof(float);
+    }
+  }
+  do_barrier();
+  if (self.rank_ != 0 && !data.empty()) {
+    std::memcpy(data.data(), bufs_[0], data.size() * sizeof(float));
+    self.stats_.bytes_sent += data.size() * sizeof(float);
+  }
+  do_barrier();
+}
+
+void World::allreduce_hierarchical(Communicator& self,
+                                   std::span<float> data) {
+  // Two-level reduction matching Summit's topology: NVLink within a node,
+  // InfiniBand between node leaders (what NCCL does for multi-node jobs).
+  const std::size_t rpn = options_.ranks_per_node;
+  const std::size_t rank = self.rank_;
+  const std::size_t node = rank / rpn;
+  const std::size_t local = rank % rpn;
+  const std::size_t leader = node * rpn;
+  const std::size_t nnodes = (size_ + rpn - 1) / rpn;
+  const std::size_t node_end = std::min(size_, leader + rpn);
+
+  // Phase 1: intra-node reduce onto the node leader.
+  if (local == 0) {
+    for (std::size_t m = leader + 1; m < node_end; ++m) {
+      const float* src = bufs_[m];
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
+      self.stats_.bytes_sent += data.size() * sizeof(float);
+    }
+  }
+  do_barrier();
+
+  // Phase 2: ring over the node leaders. Every rank participates in the
+  // step barriers; only leaders move data. Segment arithmetic is the same
+  // ring as allreduce_ring with P = nnodes and my index = node.
+  if (nnodes > 1) {
+    const std::size_t P = nnodes;
+    const std::size_t n = data.size();
+    auto off = [&](std::size_t g) { return g * n / P; };
+    const std::size_t pred_leader = ((node + P - 1) % P) * rpn;
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      if (local == 0) {
+        const std::size_t recv_seg = (node + 2 * P - 1 - s) % P;
+        const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
+        const float* src = bufs_[pred_leader];
+        for (std::size_t i = b; i < e; ++i) data[i] += src[i];
+        self.stats_.bytes_sent += (e - b) * sizeof(float);
+      }
+      do_barrier();
+    }
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      if (local == 0) {
+        const std::size_t copy_seg = (node + 2 * P - s) % P;
+        const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
+        const float* src = bufs_[pred_leader];
+        if (e > b)
+          std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
+        self.stats_.bytes_sent += (e - b) * sizeof(float);
+      }
+      do_barrier();
+    }
+  }
+
+  // Phase 3: intra-node broadcast from the leader.
+  if (local != 0 && !data.empty()) {
+    std::memcpy(data.data(), bufs_[leader], data.size() * sizeof(float));
+    self.stats_.bytes_sent += data.size() * sizeof(float);
+  }
+  do_barrier();
+}
+
+void World::do_broadcast(Communicator& self, std::span<float> data,
+                         std::size_t root) {
+  bufs_[self.rank_] = data.data();
+  counts_[self.rank_] = data.size();
+  do_barrier();
+  check_uniform_count(data.size(), "broadcast");
+  const std::size_t P = size_;
+  const std::size_t rel = (self.rank_ + P - root % P) % P;
+  // Binomial tree: in round k, ranks [2^k, 2^(k+1)) (relative to root) pull
+  // from the peer 2^k below them.
+  for (std::size_t span = 1; span < P; span <<= 1) {
+    if (rel >= span && rel < 2 * span && !data.empty()) {
+      const std::size_t src_rank = (rel - span + root) % P;
+      std::memcpy(data.data(), bufs_[src_rank],
+                  data.size() * sizeof(float));
+      self.stats_.bytes_sent += data.size() * sizeof(float);
+    }
+    do_barrier();
+  }
+  do_barrier();
+}
+
+void World::do_reduce_to(Communicator& self, std::span<float> data,
+                         std::size_t root) {
+  bufs_[self.rank_] = data.data();
+  counts_[self.rank_] = data.size();
+  do_barrier();
+  check_uniform_count(data.size(), "reduce_sum_to");
+  if (self.rank_ == root) {
+    for (std::size_t peer = 0; peer < size_; ++peer) {
+      if (peer == root) continue;
+      const float* src = bufs_[peer];
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
+      self.stats_.bytes_sent += data.size() * sizeof(float);
+    }
+  }
+  do_barrier();
+}
+
+void World::do_allgather(Communicator& self,
+                         std::span<const float> contribution,
+                         std::vector<float>& gathered) {
+  const_bufs_[self.rank_] = contribution.data();
+  counts_[self.rank_] = contribution.size();
+  do_barrier();
+  check_uniform_count(contribution.size(), "allgather");
+  gathered.resize(size_ * contribution.size());
+  for (std::size_t peer = 0; peer < size_; ++peer) {
+    if (counts_[peer] == 0) continue;
+    std::memcpy(gathered.data() + peer * contribution.size(),
+                const_bufs_[peer], contribution.size() * sizeof(float));
+    if (peer != self.rank_)
+      self.stats_.bytes_sent += contribution.size() * sizeof(float);
+  }
+  do_barrier();
+}
+
+std::vector<CommStats> World::run(
+    std::size_t size, const std::function<void(Communicator&)>& body,
+    WorldOptions options) {
+  World world(size, options);
+  std::vector<std::exception_ptr> errors(size);
+  std::vector<CommStats> stats(size);
+  std::vector<std::thread> threads;
+  threads.reserve(size);
+  for (std::size_t r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &body, &errors, &stats, r] {
+      Communicator comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Leave the barrier group so surviving ranks cannot deadlock
+        // waiting for this rank (MPI would abort the whole job here).
+        world.barrier_.arrive_and_drop();
+      }
+      stats[r] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+  return stats;
+}
+
+}  // namespace candle::comm

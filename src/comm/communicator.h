@@ -1,0 +1,144 @@
+// In-process multi-rank communication runtime.
+//
+// This substitutes for MPI + NCCL in the paper's Horovod stack: every MPI
+// rank is a thread of one process, and the collectives move real bytes
+// between per-rank buffers using the same algorithms the real libraries use
+// (ring allreduce as in NCCL/baidu-allreduce, binomial-tree broadcast as in
+// MPI_Bcast). Collectives are synchronized with a phase barrier; the
+// algorithms are lock-free between barriers because every rank writes only
+// its own buffer.
+//
+// Usage:
+//   comm::World::run(4, [](comm::Communicator& c) {
+//     std::vector<float> grad = ...;
+//     c.allreduce_average(grad);
+//   });
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace candle::comm {
+
+/// Reduction algorithm selection.
+enum class AllreduceAlgo {
+  kRing,          // NCCL-style ring: 2(P-1)/P * N data volume per rank
+  kNaive,         // gather-to-root + broadcast (reference implementation)
+  kHierarchical,  // two-level: intra-node reduce, inter-node ring over node
+                  // leaders, intra-node broadcast (NCCL on Summit's
+                  // NVLink-within/IB-between topology)
+};
+
+/// Per-rank traffic accounting, used by tests and the fusion ablation.
+struct CommStats {
+  std::size_t allreduce_calls = 0;
+  std::size_t broadcast_calls = 0;
+  std::size_t reduce_calls = 0;
+  std::size_t allgather_calls = 0;
+  std::size_t barrier_calls = 0;
+  std::size_t bytes_sent = 0;  // bytes this rank moved to a peer buffer
+};
+
+class World;
+
+/// Per-rank handle; valid only inside World::run's callback, on that thread.
+class Communicator {
+ public:
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Rank within the node, given `ranks_per_node` from the WorldOptions
+  /// (Summit: 6 GPUs per node -> local_rank in 0..5, as in the paper).
+  [[nodiscard]] std::size_t local_rank() const;
+  [[nodiscard]] std::size_t node() const;
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// In-place sum-reduction across all ranks; every rank ends with the sum.
+  void allreduce_sum(std::span<float> data);
+
+  /// allreduce_sum followed by division by world size (gradient averaging).
+  void allreduce_average(std::span<float> data);
+
+  /// Copies root's buffer into every rank's buffer (binomial tree).
+  void broadcast(std::span<float> data, std::size_t root);
+
+  /// Sum-reduction onto `root` only (MPI_Reduce): root ends with the sum,
+  /// other ranks' buffers are unchanged. Used by the parameter-server
+  /// baseline's gradient push.
+  void reduce_sum_to(std::span<float> data, std::size_t root);
+
+  /// Gathers equal-size contributions from all ranks, in rank order.
+  void allgather(std::span<const float> contribution,
+                 std::vector<float>& gathered);
+
+  /// Reduces a single double (sum) — convenience for scalar metrics.
+  double allreduce_scalar(double value);
+
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class World;
+  Communicator(World& world, std::size_t rank)
+      : world_(&world), rank_(rank) {}
+
+  World* world_;
+  std::size_t rank_;
+  CommStats stats_;
+};
+
+/// World configuration.
+struct WorldOptions {
+  std::size_t ranks_per_node = 6;  // Summit node: 6 V100s
+  AllreduceAlgo allreduce_algo = AllreduceAlgo::kRing;
+};
+
+/// Owns the shared rendezvous state for `size` rank threads.
+class World {
+ public:
+  explicit World(std::size_t size, WorldOptions options = {});
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const WorldOptions& options() const { return options_; }
+
+  /// Spawns `size` threads, each running `body` with its Communicator.
+  /// Rethrows the first exception thrown by any rank (after joining all).
+  /// Returns the per-rank CommStats.
+  static std::vector<CommStats> run(
+      std::size_t size, const std::function<void(Communicator&)>& body,
+      WorldOptions options = {});
+
+ private:
+  friend class Communicator;
+
+  void do_barrier();
+  void allreduce(Communicator& self, std::span<float> data, bool average);
+  void allreduce_ring(Communicator& self, std::span<float> data);
+  void allreduce_naive(Communicator& self, std::span<float> data);
+  void allreduce_hierarchical(Communicator& self, std::span<float> data);
+  void do_broadcast(Communicator& self, std::span<float> data,
+                    std::size_t root);
+  void do_reduce_to(Communicator& self, std::span<float> data,
+                    std::size_t root);
+  void do_allgather(Communicator& self, std::span<const float> contribution,
+                    std::vector<float>& gathered);
+  void check_uniform_count(std::size_t count, const char* op);
+
+  std::size_t size_;
+  WorldOptions options_;
+  std::barrier<> barrier_;
+  std::vector<float*> bufs_;
+  std::vector<const float*> const_bufs_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace candle::comm

@@ -1,0 +1,88 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace candle {
+
+Cli& Cli::flag(const std::string& name, const std::string& help,
+               const std::string& default_value) {
+  specs_[name] = Spec{help, default_value, false};
+  return *this;
+}
+
+Cli& Cli::bool_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, "false", true};
+  return *this;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage(argv[0]).c_str());
+      help_requested_ = true;
+      return;
+    }
+    require(starts_with(arg, "--"), "unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(arg);
+    require(it != specs_.end(), "unknown flag: --" + arg);
+    if (it->second.is_bool) {
+      values_[arg] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        require(i + 1 < argc, "flag --" + arg + " needs a value");
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    out += strprintf("  --%-20s %s", name.c_str(), spec.help.c_str());
+    if (!spec.default_value.empty() && !spec.is_bool)
+      out += strprintf(" (default: %s)", spec.default_value.c_str());
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  require(spec != specs_.end(), "flag not registered: --" + name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+long long Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  require(!v.empty(), "flag --" + name + " has no value");
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  require(!v.empty(), "flag --" + name + " has no value");
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace candle

@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag`. Unknown
+// flags raise InvalidArgument so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace candle {
+
+/// Parsed command line; construct from main()'s argc/argv after registering
+/// the accepted flags.
+class Cli {
+ public:
+  Cli& flag(const std::string& name, const std::string& help,
+            const std::string& default_value = "");
+  Cli& bool_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws InvalidArgument on unknown flags. Recognizes
+  /// --help and, when seen, prints usage and sets `help_requested()`.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+};
+
+}  // namespace candle

@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace candle {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%10lld.%03lld] [%s] %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), tag(level), msg.c_str());
+}
+
+}  // namespace candle

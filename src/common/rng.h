@@ -1,0 +1,56 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic behaviour in the library (weight init, dropout, synthetic
+// data, simulated jitter) flows through Rng so experiments are reproducible
+// from a single seed. The core generator is xoshiro256++ (public-domain
+// algorithm by Blackman & Vigna), seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace candle {
+
+/// xoshiro256++ generator with convenience distributions.
+///
+/// Not thread-safe; give each rank/thread its own Rng (see `fork`).
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words via splitmix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw: true with probability p.
+  bool bernoulli(double p);
+
+  /// In-place Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& v);
+
+  /// Derives an independent child generator; stream `k` is decorrelated from
+  /// the parent and from other k values. Used to give each rank its own RNG.
+  Rng fork(std::uint64_t k) const;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace candle

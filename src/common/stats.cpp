@@ -1,0 +1,53 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle {
+
+void Summary::add(double v) { values_.push_back(v); }
+
+void Summary::add_all(const std::vector<double>& values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Summary::min() const {
+  require(!values_.empty(), "Summary::min: empty sample");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  require(!values_.empty(), "Summary::max: empty sample");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::percentile(double q) const {
+  require(!values_.empty(), "Summary::percentile: empty sample");
+  require(q >= 0.0 && q <= 100.0, "Summary::percentile: q in [0, 100]");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace candle

@@ -1,0 +1,29 @@
+// Descriptive statistics over a sample of doubles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace candle {
+
+/// Accumulating summary: count/mean/stddev/min/max plus percentiles over
+/// the retained sample.
+class Summary {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  /// Population standard deviation (0 for fewer than 2 samples).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace candle

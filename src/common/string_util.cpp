@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace candle {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_seconds(double s) {
+  if (s < 0) return "-" + format_seconds(-s);
+  if (s < 1.0) return strprintf("%.0f ms", s * 1e3);
+  if (s < 180.0) return strprintf("%.2f s", s);
+  const int minutes = static_cast<int>(s / 60.0);
+  return strprintf("%dm %02ds", minutes, static_cast<int>(s - 60.0 * minutes));
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes < 0) return "-" + format_bytes(-bytes);
+  if (bytes < 1024.0) return strprintf("%.0f B", bytes);
+  if (bytes < 1024.0 * 1024.0) return strprintf("%.1f KB", bytes / 1024.0);
+  if (bytes < 1024.0 * 1024.0 * 1024.0)
+    return strprintf("%.1f MB", bytes / (1024.0 * 1024.0));
+  return strprintf("%.2f GB", bytes / (1024.0 * 1024.0 * 1024.0));
+}
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace candle

@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace candle {
+
+/// Splits `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats seconds for human output: "12.34 s", "843 ms", "3m 21s".
+std::string format_seconds(double s);
+
+/// Formats a byte count: "597.0 MB", "1.5 GB", "128 B".
+std::string format_bytes(double bytes);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace candle

@@ -1,0 +1,37 @@
+// ASCII table renderer used by the benchmark harness to print rows in the
+// same layout as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace candle {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `%.2f`.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule and column alignment.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders in machine-friendly CSV (used to dump series for plotting).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints `to_string()` to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace candle

@@ -1,0 +1,45 @@
+#include "hvd/distributed_optimizer.h"
+
+#include "common/error.h"
+
+namespace candle::hvd {
+
+DistributedOptimizer::DistributedOptimizer(
+    std::unique_ptr<nn::Optimizer> inner, Context& ctx, FusionOptions fusion)
+    : inner_(std::move(inner)), ctx_(&ctx), fusion_(fusion) {
+  require(inner_ != nullptr, "DistributedOptimizer: null inner optimizer");
+}
+
+std::string DistributedOptimizer::name() const {
+  return "distributed(" + inner_->name() + ")";
+}
+
+double DistributedOptimizer::learning_rate() const {
+  return inner_->learning_rate();
+}
+
+void DistributedOptimizer::set_learning_rate(double lr) {
+  inner_->set_learning_rate(lr);
+}
+
+void DistributedOptimizer::apply(const std::vector<Tensor*>& params,
+                                 const std::vector<Tensor*>& grads) {
+  // Negotiation: Horovod's coordinator waits until every rank has announced
+  // the tensor is ready; with synchronous batch steps this is a barrier.
+  const double negotiate_start = ctx_->now();
+  ctx_->comm().barrier();
+  const double reduce_start = ctx_->now();
+  ctx_->record(trace::kNegotiateAllreduce, "allreduce", negotiate_start,
+               reduce_start - negotiate_start);
+
+  const FusionStats step = allreduce_average_fused(*ctx_, grads, fusion_);
+  stats_.collectives += step.collectives;
+  stats_.tensors += step.tensors;
+  stats_.fused_bytes += step.fused_bytes;
+  ctx_->record(trace::kNcclAllreduce, "allreduce", reduce_start,
+               ctx_->now() - reduce_start);
+
+  inner_->apply(params, grads);
+}
+
+}  // namespace candle::hvd

@@ -1,0 +1,44 @@
+// Horovod DistributedOptimizer.
+//
+// "Horovod adapts the MPI communication model by adding an allreduce between
+// the gradient computation and model update, replacing the native optimizer
+// with a new one called the Distributed Optimizer" (paper §1). This wrapper
+// does exactly that: it averages the gradient tensors across ranks (with
+// tensor fusion) and then delegates the update to the wrapped optimizer.
+#pragma once
+
+#include <memory>
+
+#include "hvd/fusion.h"
+#include "nn/optimizer.h"
+
+namespace candle::hvd {
+
+/// Wraps any nn::Optimizer with gradient allreduce-averaging.
+class DistributedOptimizer final : public nn::Optimizer {
+ public:
+  /// `ctx` must outlive the optimizer (it is owned by the rank's run body).
+  DistributedOptimizer(std::unique_ptr<nn::Optimizer> inner, Context& ctx,
+                       FusionOptions fusion = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double learning_rate() const override;
+  void set_learning_rate(double lr) override;
+
+  /// Negotiates, allreduce-averages `grads` in place, then applies the
+  /// wrapped optimizer. Records NEGOTIATE_ALLREDUCE / NCCL_ALLREDUCE events
+  /// when the context has a timeline.
+  void apply(const std::vector<Tensor*>& params,
+             const std::vector<Tensor*>& grads) override;
+
+  /// Cumulative fusion statistics over all apply() calls.
+  [[nodiscard]] const FusionStats& fusion_stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<nn::Optimizer> inner_;
+  Context* ctx_;
+  FusionOptions fusion_;
+  FusionStats stats_;
+};
+
+}  // namespace candle::hvd

@@ -1,0 +1,64 @@
+#include "hvd/fusion.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace candle::hvd {
+
+FusionStats allreduce_average_fused(Context& ctx,
+                                    const std::vector<Tensor*>& tensors,
+                                    const FusionOptions& options) {
+  FusionStats stats;
+  stats.tensors = tensors.size();
+
+  if (options.threshold_bytes == 0) {
+    // Fusion disabled: one collective per tensor.
+    for (Tensor* t : tensors) {
+      ctx.comm().allreduce_average(t->values());
+      ++stats.collectives;
+      stats.fused_bytes += t->numel() * sizeof(float);
+    }
+    return stats;
+  }
+
+  const std::size_t capacity = options.threshold_bytes / sizeof(float);
+  std::vector<float> buffer;
+  buffer.reserve(capacity);
+
+  std::size_t group_begin = 0;
+  auto flush = [&](std::size_t group_end) {
+    if (buffer.empty()) return;
+    ctx.comm().allreduce_average(buffer);
+    ++stats.collectives;
+    stats.fused_bytes += buffer.size() * sizeof(float);
+    std::size_t offset = 0;
+    for (std::size_t i = group_begin; i < group_end; ++i) {
+      std::memcpy(tensors[i]->data(), buffer.data() + offset,
+                  tensors[i]->numel() * sizeof(float));
+      offset += tensors[i]->numel();
+    }
+    buffer.clear();
+    group_begin = group_end;
+  };
+
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    Tensor* t = tensors[i];
+    require(t != nullptr, "allreduce_average_fused: null tensor");
+    if (t->numel() > capacity) {
+      // Oversized tensor: flush the pending group, reduce it in place.
+      flush(i);
+      ctx.comm().allreduce_average(t->values());
+      ++stats.collectives;
+      stats.fused_bytes += t->numel() * sizeof(float);
+      group_begin = i + 1;
+      continue;
+    }
+    if (buffer.size() + t->numel() > capacity) flush(i);
+    buffer.insert(buffer.end(), t->data(), t->data() + t->numel());
+  }
+  flush(tensors.size());
+  return stats;
+}
+
+}  // namespace candle::hvd

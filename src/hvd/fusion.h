@@ -1,0 +1,40 @@
+// Tensor fusion: batching small allreduces.
+//
+// Horovod "is able to batch small allreduce operations by combining all the
+// tensors that are ready to be reduced at a given moment into one reduction
+// operation" (paper §2.2). This module implements that: gradient tensors are
+// packed into a fusion buffer (64 MB by default, Horovod's
+// HOROVOD_FUSION_THRESHOLD) and reduced with one collective per buffer-full
+// instead of one per tensor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hvd/context.h"
+#include "tensor/tensor.h"
+
+namespace candle::hvd {
+
+/// Fusion configuration.
+struct FusionOptions {
+  /// Maximum fused buffer size in bytes; 0 disables fusion (one allreduce
+  /// per tensor, the ablation baseline).
+  std::size_t threshold_bytes = 64ull * 1024 * 1024;
+};
+
+/// Statistics from one fused reduction sweep.
+struct FusionStats {
+  std::size_t collectives = 0;   // allreduce operations issued
+  std::size_t tensors = 0;       // tensors reduced
+  std::size_t fused_bytes = 0;   // total payload
+};
+
+/// Allreduce-averages every tensor in `tensors` across ranks, packing
+/// consecutive tensors into fusion-buffer-sized groups. All ranks must call
+/// with identically-shaped tensor lists.
+FusionStats allreduce_average_fused(Context& ctx,
+                                    const std::vector<Tensor*>& tensors,
+                                    const FusionOptions& options = {});
+
+}  // namespace candle::hvd

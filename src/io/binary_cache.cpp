@@ -1,0 +1,115 @@
+#include "io/binary_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace candle::io {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'R', '1'};
+
+struct Header {
+  char magic[4];
+  std::uint64_t rows;
+  std::uint64_t cols;
+  std::uint64_t source_bytes;  // byte size of the CSV this was built from
+};
+
+/// Reads just the header; returns false on missing/invalid file.
+bool read_header(const std::string& path, Header& h) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  const bool ok = std::fread(&h, sizeof(h), 1, f) == 1 &&
+                  std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void write_frame(const DataFrame& df, const std::string& path,
+                 std::uint64_t source_bytes) {
+  require(df.rows > 0 && df.cols > 0, "save_frame: empty frame");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw IoError("save_frame: cannot open " + path);
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.rows = df.rows;
+  h.cols = df.cols;
+  h.source_bytes = source_bytes;
+  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  ok = ok && std::fwrite(df.data.data(), sizeof(float), df.data.size(), f) ==
+                 df.data.size();
+  std::fclose(f);
+  if (!ok) throw IoError("save_frame: short write to " + path);
+}
+
+}  // namespace
+
+void save_frame(const DataFrame& df, const std::string& path) {
+  write_frame(df, path, 0);
+}
+
+DataFrame load_frame(const std::string& path, CsvReadStats* stats) {
+  Stopwatch watch;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("load_frame: cannot open " + path);
+  Header h{};
+  if (std::fread(&h, sizeof(h), 1, f) != 1) {
+    std::fclose(f);
+    throw IoError("load_frame: truncated header in " + path);
+  }
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    throw IoError("load_frame: not a frame cache: " + path);
+  }
+  DataFrame df;
+  df.rows = h.rows;
+  df.cols = h.cols;
+  df.data.resize(df.rows * df.cols);
+  const std::size_t n =
+      std::fread(df.data.data(), sizeof(float), df.data.size(), f);
+  std::fclose(f);
+  if (n != df.data.size())
+    throw IoError("load_frame: truncated payload in " + path);
+  if (stats != nullptr) {
+    stats->seconds = watch.seconds();
+    stats->bytes = sizeof(Header) + df.data.size() * sizeof(float);
+    stats->rows = df.rows;
+    stats->cols = df.cols;
+    stats->chunks = 0;
+    stats->piece_allocs = 0;
+  }
+  return df;
+}
+
+bool is_cached_frame(const std::string& path) {
+  Header h{};
+  return read_header(path, h);
+}
+
+std::string cache_path_for(const std::string& csv_path) {
+  return csv_path + ".bin";
+}
+
+DataFrame read_csv_cached(const std::string& csv_path, LoaderKind loader,
+                          CsvReadStats* stats) {
+  const std::string cache = cache_path_for(csv_path);
+  std::error_code ec;
+  const std::uint64_t csv_size =
+      std::filesystem::file_size(csv_path, ec);
+  if (ec) throw IoError("read_csv_cached: cannot stat " + csv_path);
+
+  Header h{};
+  if (read_header(cache, h) && h.source_bytes == csv_size)
+    return load_frame(cache, stats);  // hit: stats->chunks == 0
+
+  DataFrame df = read_csv(csv_path, loader, stats);
+  write_frame(df, cache, csv_size);
+  return df;
+}
+
+}  // namespace candle::io

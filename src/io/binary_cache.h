@@ -1,0 +1,37 @@
+// Binary frame cache — the step beyond the paper's optimization.
+//
+// The paper speeds up repeated CSV parsing; the obvious follow-on (used by
+// later CANDLE releases via .npy feather caches) is to parse once and keep
+// a binary image whose load cost is a single sequential read. This module
+// implements that: a cached frame is a small header plus the raw float
+// payload, validated by size and checksum of the source file metadata.
+#pragma once
+
+#include <string>
+
+#include "io/csv_reader.h"
+#include "io/dataframe.h"
+
+namespace candle::io {
+
+/// Writes `df` as a binary cache file at `path`.
+void save_frame(const DataFrame& df, const std::string& path);
+
+/// Loads a cache written by save_frame; throws IoError on corruption.
+DataFrame load_frame(const std::string& path, CsvReadStats* stats = nullptr);
+
+/// True when `path` exists and has the cache magic.
+bool is_cached_frame(const std::string& path);
+
+/// Loads `csv_path` through the cache: on a cache hit (cache file exists
+/// and matches the CSV's byte size), reads the binary image; on a miss,
+/// parses the CSV with `loader`, writes the cache, and returns the frame.
+/// `stats->chunks` is 0 on a hit (no parsing happened).
+DataFrame read_csv_cached(const std::string& csv_path,
+                          LoaderKind loader = LoaderKind::kChunked,
+                          CsvReadStats* stats = nullptr);
+
+/// Cache file path derived from a CSV path ("x.csv" -> "x.csv.bin").
+std::string cache_path_for(const std::string& csv_path);
+
+}  // namespace candle::io

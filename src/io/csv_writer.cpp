@@ -1,0 +1,67 @@
+#include "io/csv_writer.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace candle::io {
+namespace {
+constexpr std::size_t kFlushThreshold = 1 << 20;  // 1 MiB write buffer
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) throw IoError("CsvWriter: cannot open " + path);
+  buffer_.reserve(kFlushThreshold + (1 << 16));
+}
+
+CsvWriter::~CsvWriter() {
+  if (f_ != nullptr) close();
+}
+
+void CsvWriter::put(const char* s, std::size_t n) {
+  buffer_.append(s, n);
+  if (buffer_.size() >= kFlushThreshold) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), f_) != buffer_.size())
+      throw IoError("CsvWriter: short write");
+    bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+}
+
+void CsvWriter::write_row(std::span<const float> values) {
+  char tmp[48];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int n = std::snprintf(tmp, sizeof(tmp), i ? ",%.6g" : "%.6g",
+                                static_cast<double>(values[i]));
+    put(tmp, static_cast<std::size_t>(n));
+  }
+  put("\n", 1);
+}
+
+void CsvWriter::write_labeled_row(long long label,
+                                  std::span<const float> values) {
+  char tmp[48];
+  int n = std::snprintf(tmp, sizeof(tmp), "%lld", label);
+  put(tmp, static_cast<std::size_t>(n));
+  for (float v : values) {
+    n = std::snprintf(tmp, sizeof(tmp), ",%.6g", static_cast<double>(v));
+    put(tmp, static_cast<std::size_t>(n));
+  }
+  put("\n", 1);
+}
+
+std::size_t CsvWriter::close() {
+  if (f_ == nullptr) return bytes_;
+  if (!buffer_.empty()) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), f_) != buffer_.size())
+      throw IoError("CsvWriter: short write on close");
+    bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+  std::fclose(f_);
+  f_ = nullptr;
+  return bytes_;
+}
+
+}  // namespace candle::io

@@ -1,0 +1,27 @@
+// Minimal columnar result of a CSV parse (pandas.DataFrame stand-in).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace candle::io {
+
+/// Row-major numeric frame produced by the CSV readers.
+struct DataFrame {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> data;  // rows * cols, row-major
+
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+
+  /// Moves the frame into a (rows, cols) tensor.
+  [[nodiscard]] Tensor to_tensor() && {
+    return Tensor({rows, cols}, std::move(data));
+  }
+};
+
+}  // namespace candle::io

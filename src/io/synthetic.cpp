@@ -1,0 +1,130 @@
+#include "io/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "io/csv_writer.h"
+
+namespace candle::io {
+
+std::size_t write_synthetic_csv(const std::string& path,
+                                const FileGeometry& geometry,
+                                std::uint64_t seed) {
+  require(geometry.rows > 0 && geometry.cols > 0,
+          "write_synthetic_csv: empty geometry");
+  Rng rng(seed);
+  CsvWriter writer(path);
+  std::vector<float> row(geometry.cols);
+  for (std::size_t r = 0; r < geometry.rows; ++r) {
+    for (float& v : row) v = static_cast<float>(rng.uniform(0.0, 100.0));
+    if (geometry.labeled) {
+      writer.write_labeled_row(static_cast<long long>(rng.uniform_index(2)),
+                               row);
+    } else {
+      writer.write_row(row);
+    }
+  }
+  return writer.close();
+}
+
+nn::Dataset make_classification(const ClassificationSpec& spec) {
+  require(spec.samples > 0 && spec.features > 0 && spec.classes >= 2,
+          "make_classification: bad spec");
+  require(spec.informative <= spec.features,
+          "make_classification: informative > features");
+  Rng rng(spec.seed);
+
+  // Class centroids in the informative subspace.
+  std::vector<std::vector<double>> centers(spec.classes,
+                                           std::vector<double>(spec.informative));
+  for (auto& center : centers)
+    for (double& v : center) v = rng.normal(0.0, spec.class_sep);
+
+  Tensor x({spec.samples, spec.features});
+  std::vector<std::size_t> labels(spec.samples);
+  float* px = x.data();
+  for (std::size_t i = 0; i < spec.samples; ++i) {
+    const std::size_t cls = i % spec.classes;  // balanced classes
+    labels[i] = cls;
+    for (std::size_t j = 0; j < spec.features; ++j) {
+      const double mean = j < spec.informative ? centers[cls][j] : 0.0;
+      px[i * spec.features + j] =
+          static_cast<float>(rng.normal(mean, spec.noise));
+    }
+  }
+  return nn::Dataset{std::move(x), nn::one_hot(labels, spec.classes)};
+}
+
+nn::Dataset make_regression(const RegressionSpec& spec) {
+  require(spec.samples > 0 && spec.features > 0, "make_regression: bad spec");
+  require(spec.informative <= spec.features,
+          "make_regression: informative > features");
+  Rng rng(spec.seed);
+
+  std::vector<double> w1(spec.informative), w2(spec.informative);
+  for (double& v : w1) v = rng.normal(0.0, 1.0);
+  for (double& v : w2) v = rng.normal(0.0, 1.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(spec.informative));
+
+  Tensor x({spec.samples, spec.features});
+  Tensor y({spec.samples, std::size_t{1}});
+  float* px = x.data();
+  float* py = y.data();
+  float lo = 1e30f, hi = -1e30f;
+  for (std::size_t i = 0; i < spec.samples; ++i) {
+    double d1 = 0.0, d2 = 0.0;
+    for (std::size_t j = 0; j < spec.features; ++j) {
+      const double v = rng.normal(0.0, 1.0);
+      px[i * spec.features + j] = static_cast<float>(v);
+      if (j < spec.informative) {
+        d1 += w1[j] * v;
+        d2 += w2[j] * v;
+      }
+    }
+    const double target = std::tanh(d1 * scale) + 0.5 * std::sin(d2 * scale) +
+                          rng.normal(0.0, spec.noise);
+    py[i] = static_cast<float>(target);
+    lo = std::min(lo, py[i]);
+    hi = std::max(hi, py[i]);
+  }
+  // Growth percentage is zero-centered like the NCI-60 screens (negative
+  // values = net cell kill): scaled into [-0.5, 0.5].
+  const float range = hi > lo ? hi - lo : 1.0f;
+  for (std::size_t i = 0; i < spec.samples; ++i)
+    py[i] = (py[i] - lo) / range - 0.5f;
+  return nn::Dataset{std::move(x), std::move(y)};
+}
+
+nn::Dataset make_autoencoder_data(std::size_t samples, std::size_t features,
+                                  std::size_t latent_rank,
+                                  std::uint64_t seed) {
+  require(samples > 0 && features > 0 && latent_rank > 0,
+          "make_autoencoder_data: bad spec");
+  require(latent_rank <= features, "make_autoencoder_data: rank > features");
+  Rng rng(seed);
+
+  // x = sigmoid(Z * W + noise): low-rank structure an autoencoder can learn.
+  std::vector<double> w(latent_rank * features);
+  for (double& v : w) v = rng.normal(0.0, 1.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(latent_rank));
+
+  Tensor x({samples, features});
+  float* px = x.data();
+  std::vector<double> z(latent_rank);
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (double& v : z) v = rng.normal(0.0, 1.0);
+    for (std::size_t j = 0; j < features; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < latent_rank; ++k)
+        acc += z[k] * w[k * features + j];
+      acc = acc * scale + rng.normal(0.0, 0.05);
+      px[i * features + j] =
+          static_cast<float>(1.0 / (1.0 + std::exp(-acc)));
+    }
+  }
+  Tensor y = x;
+  return nn::Dataset{std::move(x), std::move(y)};
+}
+
+}  // namespace candle::io

@@ -1,0 +1,70 @@
+// Synthetic data generation.
+//
+// The NCI genomic/drug-screening files behind the CANDLE benchmarks are not
+// redistributable, so the reproduction generates synthetic substitutes that
+// preserve what the paper's experiments actually depend on:
+//   * for the I/O experiments (Tables 3/4): the on-disk CSV *geometry* —
+//     file size, column count, numeric field density;
+//   * for the accuracy experiments (Figs 6b/8b/9b/10b): learnable structure
+//     whose training curves need several epochs to converge.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/dataset.h"
+
+namespace candle::io {
+
+/// On-disk CSV geometry for the loader experiments.
+struct FileGeometry {
+  std::size_t rows = 0;
+  std::size_t cols = 0;      // numeric feature columns (label extra if set)
+  bool labeled = false;      // integer class in column 0 (NT3/P1B2 layout)
+};
+
+/// Writes a synthetic CSV with the given geometry; returns bytes written.
+/// Values are uniform floats formatted with %.6g (~9 bytes/cell), matching
+/// the density of the CANDLE FPKM-UQ exports.
+std::size_t write_synthetic_csv(const std::string& path,
+                                const FileGeometry& geometry,
+                                std::uint64_t seed);
+
+/// Options for synthetic classification data.
+struct ClassificationSpec {
+  std::size_t samples = 1000;
+  std::size_t features = 64;
+  std::size_t classes = 2;
+  std::size_t informative = 16;  // features carrying class signal
+  double class_sep = 1.0;        // mean separation in informative dims
+  double noise = 1.0;            // stddev of additive noise
+  std::uint64_t seed = 1;
+};
+
+/// Gaussian-mixture classification set with one-hot targets. Lower
+/// `class_sep` / higher `noise` makes convergence need more epochs, which is
+/// how the paper's epochs-per-GPU accuracy cliffs are reproduced.
+nn::Dataset make_classification(const ClassificationSpec& spec);
+
+/// Options for synthetic regression data (P1B3-style drug response).
+struct RegressionSpec {
+  std::size_t samples = 1000;
+  std::size_t features = 32;
+  std::size_t informative = 16;
+  double noise = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Nonlinear regression set: y = tanh(w1.x) + 0.5 sin(w2.x) + noise,
+/// min-max scaled into [-0.5, 0.5] — zero-centered like the NCI-60 growth
+/// percentage (negative = net cell kill).
+nn::Dataset make_regression(const RegressionSpec& spec);
+
+/// Autoencoder dataset: correlated low-rank features, target == input
+/// (P1B1 learns to compress expression profiles).
+nn::Dataset make_autoencoder_data(std::size_t samples, std::size_t features,
+                                  std::size_t latent_rank,
+                                  std::uint64_t seed);
+
+}  // namespace candle::io

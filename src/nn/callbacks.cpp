@@ -1,0 +1,111 @@
+#include "nn/callbacks.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace candle::nn {
+
+EarlyStopping::EarlyStopping(std::size_t patience, double min_delta,
+                             bool monitor_validation)
+    : patience_(patience),
+      min_delta_(min_delta),
+      monitor_validation_(monitor_validation) {
+  require(min_delta >= 0.0, "EarlyStopping: min_delta must be >= 0");
+}
+
+void EarlyStopping::on_train_begin(Model& /*model*/) {
+  best_ = std::numeric_limits<float>::max();
+  wait_ = 0;
+  stopped_ = false;
+  stopped_epoch_ = 0;
+}
+
+void EarlyStopping::on_epoch_end(Model& /*model*/, const EpochStats& stats) {
+  if (stopped_) return;
+  const float monitored = monitor_validation_ ? stats.val_loss : stats.loss;
+  if (monitored < best_ - static_cast<float>(min_delta_)) {
+    best_ = monitored;
+    wait_ = 0;
+    return;
+  }
+  if (++wait_ > patience_) {
+    stopped_ = true;
+    stopped_epoch_ = stats.epoch;
+  }
+}
+
+ModelCheckpoint::ModelCheckpoint(std::string path, std::size_t period,
+                                 bool save_best_only)
+    : path_(std::move(path)),
+      period_(period),
+      save_best_only_(save_best_only) {
+  require(period_ > 0, "ModelCheckpoint: period must be > 0");
+}
+
+void ModelCheckpoint::on_epoch_end(Model& model, const EpochStats& stats) {
+  if ((stats.epoch + 1) % period_ != 0) return;
+  if (save_best_only_) {
+    if (stats.loss >= best_loss_) return;
+    best_loss_ = stats.loss;
+  }
+  save_weights(model, path_);
+  ++saves_;
+}
+
+LearningRateWarmup::LearningRateWarmup(double base_lr, double target_lr,
+                                       std::size_t warmup_epochs)
+    : base_lr_(base_lr),
+      target_lr_(target_lr),
+      warmup_epochs_(warmup_epochs) {
+  require(base_lr > 0.0 && target_lr > 0.0,
+          "LearningRateWarmup: rates must be > 0");
+  require(warmup_epochs > 0, "LearningRateWarmup: warmup_epochs must be > 0");
+}
+
+void LearningRateWarmup::on_epoch_begin(Model& model, std::size_t epoch) {
+  const double progress =
+      std::min(1.0, static_cast<double>(epoch + 1) /
+                        static_cast<double>(warmup_epochs_));
+  model.optimizer().set_learning_rate(base_lr_ +
+                                      (target_lr_ - base_lr_) * progress);
+}
+
+StepLrDecay::StepLrDecay(double base_lr, double factor,
+                         std::size_t every_epochs)
+    : base_lr_(base_lr), factor_(factor), every_epochs_(every_epochs) {
+  require(base_lr > 0.0, "StepLrDecay: base_lr must be > 0");
+  require(factor > 0.0 && factor <= 1.0, "StepLrDecay: factor in (0, 1]");
+  require(every_epochs > 0, "StepLrDecay: every_epochs must be > 0");
+}
+
+void StepLrDecay::on_epoch_begin(Model& model, std::size_t epoch) {
+  const auto drops = static_cast<double>(epoch / every_epochs_);
+  model.optimizer().set_learning_rate(base_lr_ *
+                                      std::pow(factor_, drops));
+}
+
+CosineLrDecay::CosineLrDecay(double base_lr, double floor_lr,
+                             std::size_t total_epochs)
+    : base_lr_(base_lr), floor_lr_(floor_lr), total_epochs_(total_epochs) {
+  require(base_lr > floor_lr && floor_lr >= 0.0,
+          "CosineLrDecay: need base_lr > floor_lr >= 0");
+  require(total_epochs > 0, "CosineLrDecay: total_epochs must be > 0");
+}
+
+void CosineLrDecay::on_epoch_begin(Model& model, std::size_t epoch) {
+  const double progress =
+      std::min(1.0, static_cast<double>(epoch) /
+                        static_cast<double>(total_epochs_));
+  const double cosine = 0.5 * (1.0 + std::cos(progress * 3.14159265358979));
+  model.optimizer().set_learning_rate(floor_lr_ +
+                                      (base_lr_ - floor_lr_) * cosine);
+}
+
+void HistoryRecorder::on_epoch_end(Model& /*model*/,
+                                   const EpochStats& stats) {
+  stats_.push_back(stats);
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,117 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace candle::nn {
+namespace {
+
+std::size_t row_width(const Tensor& t) {
+  require(t.rank() >= 2, "row ops: tensor must be rank >= 2");
+  return t.numel() / t.dim(0);
+}
+
+Shape row_shape(const Tensor& t, std::size_t rows) {
+  Shape s = t.shape();
+  s[0] = rows;
+  return s;
+}
+
+}  // namespace
+
+Tensor take_rows(const Tensor& t, std::size_t start, std::size_t count) {
+  const std::size_t w = row_width(t);
+  require(start + count <= t.dim(0), "take_rows: range out of bounds");
+  Tensor out(row_shape(t, count));
+  std::memcpy(out.data(), t.data() + start * w, count * w * sizeof(float));
+  return out;
+}
+
+Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index) {
+  const std::size_t w = row_width(t);
+  Tensor out(row_shape(t, index.size()));
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    require(index[i] < t.dim(0), "gather_rows: index out of bounds");
+    std::memcpy(out.data() + i * w, t.data() + index[i] * w,
+                w * sizeof(float));
+  }
+  return out;
+}
+
+Tensor one_hot(const std::vector<std::size_t>& labels,
+               std::size_t num_classes) {
+  require(num_classes > 0, "one_hot: num_classes must be > 0");
+  Tensor out({labels.size(), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    require(labels[i] < num_classes, "one_hot: label out of range");
+    out[i * num_classes + labels[i]] = 1.0f;
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> validation_split(const Dataset& d,
+                                             double fraction) {
+  require(fraction >= 0.0 && fraction < 1.0,
+          "validation_split: fraction must be in [0,1)");
+  const std::size_t n = d.size();
+  const std::size_t n_val = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n) * fraction));
+  const std::size_t n_train = n - n_val;
+  Dataset train{take_rows(d.x, 0, n_train), take_rows(d.y, 0, n_train)};
+  Dataset val{take_rows(d.x, n_train, n_val), take_rows(d.y, n_train, n_val)};
+  return {std::move(train), std::move(val)};
+}
+
+std::vector<std::size_t> shuffled_index(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  return idx;
+}
+
+void standardize_columns(Tensor& x) {
+  require(x.rank() == 2, "standardize_columns: rank-2 tensor expected");
+  const std::size_t n = x.dim(0), m = x.dim(1);
+  require(n > 0, "standardize_columns: empty tensor");
+  float* p = x.data();
+  for (std::size_t j = 0; j < m; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += p[i * m + j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = p[i * m + j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double inv = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+    for (std::size_t i = 0; i < n; ++i)
+      p[i * m + j] = static_cast<float>((p[i * m + j] - mean) * inv);
+  }
+}
+
+void minmax_scale_columns(Tensor& x) {
+  require(x.rank() == 2, "minmax_scale_columns: rank-2 tensor expected");
+  const std::size_t n = x.dim(0), m = x.dim(1);
+  require(n > 0, "minmax_scale_columns: empty tensor");
+  float* p = x.data();
+  for (std::size_t j = 0; j < m; ++j) {
+    float lo = p[j], hi = p[j];
+    for (std::size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, p[i * m + j]);
+      hi = std::max(hi, p[i * m + j]);
+    }
+    const float range = hi - lo;
+    if (range == 0.0f) {
+      for (std::size_t i = 0; i < n; ++i) p[i * m + j] = 0.0f;
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        p[i * m + j] = (p[i * m + j] - lo) / range;
+    }
+  }
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,48 @@
+// In-memory dataset utilities: batch slicing, one-hot encoding, splits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace candle::nn {
+
+/// Feature matrix + target matrix with matching leading dimension.
+struct Dataset {
+  Tensor x;  // (n, features...) — rank 2 or 3
+  Tensor y;  // (n, targets)
+
+  [[nodiscard]] std::size_t size() const {
+    return x.rank() == 0 ? 0 : x.dim(0);
+  }
+};
+
+/// Copies rows [start, start+count) of a rank-2 or rank-3 tensor.
+Tensor take_rows(const Tensor& t, std::size_t start, std::size_t count);
+
+/// Copies the rows listed in `index` (gathers, any order, repeats allowed).
+Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index);
+
+/// One-hot encodes integer labels into (n, num_classes).
+Tensor one_hot(const std::vector<std::size_t>& labels,
+               std::size_t num_classes);
+
+/// Splits off the last `fraction` of the rows as a validation set
+/// (Keras-style validation_split takes the tail without shuffling).
+std::pair<Dataset, Dataset> validation_split(const Dataset& d,
+                                             double fraction);
+
+/// Random permutation of [0, n).
+std::vector<std::size_t> shuffled_index(std::size_t n, Rng& rng);
+
+/// Standardizes columns of a rank-2 feature tensor in place to zero mean,
+/// unit variance (per-column; constant columns are left centered).
+void standardize_columns(Tensor& x);
+
+/// Min-max scales columns into [0, 1] in place, the preprocessing the
+/// CANDLE Pilot1 loaders apply with sklearn MinMaxScaler.
+void minmax_scale_columns(Tensor& x);
+
+}  // namespace candle::nn

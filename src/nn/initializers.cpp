@@ -1,0 +1,26 @@
+#include "nn/initializers.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle::nn {
+
+void glorot_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng) {
+  require(fan_in + fan_out > 0, "glorot_uniform: zero fan");
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : w.values())
+    v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void he_uniform(Tensor& w, std::size_t fan_in, Rng& rng) {
+  require(fan_in > 0, "he_uniform: zero fan_in");
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (float& v : w.values())
+    v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void zeros_init(Tensor& w) { w.zero(); }
+
+}  // namespace candle::nn

@@ -1,0 +1,21 @@
+// Weight initializers (Keras-compatible semantics).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace candle::nn {
+
+/// Glorot/Xavier uniform: U(-l, l) with l = sqrt(6 / (fan_in + fan_out)).
+/// Keras' default kernel initializer for Dense and Conv layers.
+void glorot_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng);
+
+/// He (Kaiming) uniform: U(-l, l) with l = sqrt(6 / fan_in). Preferred for
+/// deep ReLU stacks.
+void he_uniform(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// All zeros (Keras' default bias initializer).
+void zeros_init(Tensor& w);
+
+}  // namespace candle::nn

@@ -1,0 +1,109 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle::nn {
+namespace {
+
+constexpr float kEps = 1e-7f;  // Keras' epsilon for probability clipping.
+
+}  // namespace
+
+float CategoricalCrossentropy::value(const Tensor& pred,
+                                     const Tensor& target) const {
+  check_same_shape(pred, target, "cce");
+  require(pred.rank() == 2, "cce: inputs must be (batch, classes)");
+  const std::size_t b = pred.dim(0), n = pred.dim(1);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double total = 0.0;
+  for (std::size_t i = 0; i < b * n; ++i) {
+    if (pt[i] == 0.0f) continue;
+    const float p = std::clamp(pp[i], kEps, 1.0f - kEps);
+    total -= static_cast<double>(pt[i]) * std::log(p);
+  }
+  return static_cast<float>(total / static_cast<double>(b));
+}
+
+Tensor CategoricalCrossentropy::gradient(const Tensor& pred,
+                                         const Tensor& target) const {
+  check_same_shape(pred, target, "cce");
+  const std::size_t b = pred.dim(0);
+  Tensor g(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = g.data();
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    if (pt[i] == 0.0f) continue;
+    const float p = std::clamp(pp[i], kEps, 1.0f - kEps);
+    pg[i] = -pt[i] / p * inv_b;
+  }
+  return g;
+}
+
+float MeanSquaredError::value(const Tensor& pred, const Tensor& target) const {
+  check_same_shape(pred, target, "mse");
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    total += d * d;
+  }
+  return static_cast<float>(total / static_cast<double>(pred.numel()));
+}
+
+Tensor MeanSquaredError::gradient(const Tensor& pred,
+                                  const Tensor& target) const {
+  check_same_shape(pred, target, "mse");
+  Tensor g(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = g.data();
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i)
+    pg[i] = scale * (pp[i] - pt[i]);
+  return g;
+}
+
+float MeanAbsoluteError::value(const Tensor& pred,
+                               const Tensor& target) const {
+  check_same_shape(pred, target, "mae");
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i)
+    total += std::abs(static_cast<double>(pp[i]) - pt[i]);
+  return static_cast<float>(total / static_cast<double>(pred.numel()));
+}
+
+Tensor MeanAbsoluteError::gradient(const Tensor& pred,
+                                   const Tensor& target) const {
+  check_same_shape(pred, target, "mae");
+  Tensor g(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = g.data();
+  const float scale = 1.0f / static_cast<float>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pp[i] - pt[i];
+    pg[i] = d > 0.0f ? scale : (d < 0.0f ? -scale : 0.0f);
+  }
+  return g;
+}
+
+std::unique_ptr<Loss> make_loss(const std::string& name) {
+  if (name == "categorical_crossentropy")
+    return std::make_unique<CategoricalCrossentropy>();
+  if (name == "mse" || name == "mean_squared_error")
+    return std::make_unique<MeanSquaredError>();
+  if (name == "mae" || name == "mean_absolute_error")
+    return std::make_unique<MeanAbsoluteError>();
+  throw InvalidArgument("unknown loss: " + name);
+}
+
+}  // namespace candle::nn

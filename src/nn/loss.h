@@ -1,0 +1,60 @@
+// Loss functions: value plus gradient w.r.t. predictions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace candle::nn {
+
+/// Abstract loss. `value` returns the mean loss over the batch; `gradient`
+/// returns dL/dpred for the same batch (already divided by batch size so
+/// gradients are per-sample averages, matching Keras).
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual float value(const Tensor& pred,
+                                    const Tensor& target) const = 0;
+  [[nodiscard]] virtual Tensor gradient(const Tensor& pred,
+                                        const Tensor& target) const = 0;
+};
+
+/// Categorical cross-entropy over probability rows (predictions are the
+/// output of a softmax layer, as in the NT3/P1B2 classifiers).
+class CategoricalCrossentropy final : public Loss {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "categorical_crossentropy";
+  }
+  [[nodiscard]] float value(const Tensor& pred,
+                            const Tensor& target) const override;
+  [[nodiscard]] Tensor gradient(const Tensor& pred,
+                                const Tensor& target) const override;
+};
+
+/// Mean squared error (P1B1 autoencoder reconstruction, P1B3 regression).
+class MeanSquaredError final : public Loss {
+ public:
+  [[nodiscard]] std::string name() const override { return "mse"; }
+  [[nodiscard]] float value(const Tensor& pred,
+                            const Tensor& target) const override;
+  [[nodiscard]] Tensor gradient(const Tensor& pred,
+                                const Tensor& target) const override;
+};
+
+/// Mean absolute error (alternative regression loss, used in ablations).
+class MeanAbsoluteError final : public Loss {
+ public:
+  [[nodiscard]] std::string name() const override { return "mae"; }
+  [[nodiscard]] float value(const Tensor& pred,
+                            const Tensor& target) const override;
+  [[nodiscard]] Tensor gradient(const Tensor& pred,
+                                const Tensor& target) const override;
+};
+
+/// Factory from Keras-style names: "categorical_crossentropy", "mse", "mae".
+std::unique_ptr<Loss> make_loss(const std::string& name);
+
+}  // namespace candle::nn

@@ -1,0 +1,51 @@
+#include "nn/metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace candle::nn {
+
+float accuracy(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "accuracy");
+  const auto p = argmax_rows(pred);
+  const auto t = argmax_rows(target);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p[i] == t[i]) ++hits;
+  return p.empty() ? 0.0f
+                   : static_cast<float>(hits) / static_cast<float>(p.size());
+}
+
+float r2_score(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "r2_score");
+  require(pred.numel() > 0, "r2_score: empty tensors");
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < target.numel(); ++i) mean += pt[i];
+  mean /= static_cast<double>(target.numel());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < target.numel(); ++i) {
+    const double r = static_cast<double>(pt[i]) - pp[i];
+    const double d = static_cast<double>(pt[i]) - mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0f : 0.0f;
+  return static_cast<float>(1.0 - ss_res / ss_tot);
+}
+
+float mean_absolute_error(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "mean_absolute_error");
+  require(pred.numel() > 0, "mean_absolute_error: empty tensors");
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i)
+    total += std::abs(static_cast<double>(pp[i]) - pt[i]);
+  return static_cast<float>(total / static_cast<double>(pred.numel()));
+}
+
+}  // namespace candle::nn

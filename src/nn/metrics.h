@@ -1,0 +1,18 @@
+// Evaluation metrics.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace candle::nn {
+
+/// Classification accuracy: fraction of rows where argmax(pred) equals
+/// argmax(target) (one-hot targets).
+float accuracy(const Tensor& pred, const Tensor& target);
+
+/// Coefficient of determination R² for regression outputs.
+float r2_score(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error.
+float mean_absolute_error(const Tensor& pred, const Tensor& target);
+
+}  // namespace candle::nn

@@ -1,0 +1,193 @@
+#include "nn/model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "nn/metrics.h"
+
+namespace candle::nn {
+
+double History::total_seconds() const {
+  double total = 0.0;
+  for (const auto& e : epochs) total += e.seconds;
+  return total;
+}
+
+void Model::add(std::unique_ptr<Layer> layer) {
+  require(!compiled_, "Model::add: cannot add layers after compile()");
+  require(layer != nullptr, "Model::add: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+void Model::compile(const Shape& input_shape,
+                    std::unique_ptr<Optimizer> optimizer,
+                    std::unique_ptr<Loss> loss, std::uint64_t seed) {
+  require(!compiled_, "Model::compile: already compiled");
+  require(!layers_.empty(), "Model::compile: model has no layers");
+  require(optimizer != nullptr && loss != nullptr,
+          "Model::compile: optimizer and loss are required");
+  optimizer_ = std::move(optimizer);
+  loss_ = std::move(loss);
+  input_shape_ = input_shape;
+  Rng rng(seed);
+  fit_rng_ = rng.fork(0xF17);
+  Shape shape = input_shape;
+  for (auto& layer : layers_) shape = layer->build(shape, rng);
+  compiled_ = true;
+}
+
+Tensor Model::forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+void Model::backward(const Tensor& dloss) {
+  Tensor g = dloss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+Tensor Model::predict(const Tensor& x) {
+  require(compiled_, "Model::predict: compile() first");
+  return forward(x, /*training=*/false);
+}
+
+std::pair<float, float> Model::evaluate(const Tensor& x, const Tensor& y,
+                                        bool classification) {
+  require(compiled_, "Model::evaluate: compile() first");
+  const Tensor pred = forward(x, /*training=*/false);
+  const float l = loss_->value(pred, y);
+  const float metric =
+      classification ? accuracy(pred, y) : r2_score(pred, y);
+  return {l, metric};
+}
+
+float Model::train_on_batch(const Tensor& x, const Tensor& y) {
+  require(compiled_, "Model::train_on_batch: compile() first");
+  const Tensor pred = forward(x, /*training=*/true);
+  const float l = loss_->value(pred, y);
+  backward(loss_->gradient(pred, y));
+  optimizer_->apply(parameters(), gradients());
+  return l;
+}
+
+History Model::fit(const Dataset& data, const FitOptions& options,
+                   const std::vector<Callback*>& callbacks) {
+  require(compiled_, "Model::fit: compile() first");
+  require(options.batch_size > 0, "Model::fit: batch_size must be > 0");
+  require(data.size() > 0, "Model::fit: empty dataset");
+
+  Dataset train = data;
+  Dataset val;
+  if (options.validation_fraction > 0.0) {
+    auto [tr, va] = validation_split(data, options.validation_fraction);
+    train = std::move(tr);
+    val = std::move(va);
+  }
+  const std::size_t n = train.size();
+  require(n >= options.batch_size || !options.drop_remainder,
+          "Model::fit: dataset smaller than one batch with drop_remainder");
+
+  History history;
+  for (Callback* cb : callbacks) cb->on_train_begin(*this);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Stopwatch watch;
+    for (Callback* cb : callbacks) cb->on_epoch_begin(*this, epoch);
+
+    std::vector<std::size_t> order;
+    if (options.shuffle) order = shuffled_index(n, fit_rng_);
+
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t start = 0; start < n; start += options.batch_size) {
+      const std::size_t count = std::min(options.batch_size, n - start);
+      if (count < options.batch_size && options.drop_remainder) break;
+      Tensor bx, by;
+      if (options.shuffle) {
+        const std::vector<std::size_t> idx(order.begin() + start,
+                                           order.begin() + start + count);
+        bx = gather_rows(train.x, idx);
+        by = gather_rows(train.y, idx);
+      } else {
+        bx = take_rows(train.x, start, count);
+        by = take_rows(train.y, start, count);
+      }
+      loss_sum += train_on_batch(bx, by);
+      ++steps;
+      for (Callback* cb : callbacks) cb->on_batch_end(*this, steps - 1);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = steps ? static_cast<float>(loss_sum / steps) : 0.0f;
+    stats.batch_steps = steps;
+    const auto [train_loss, train_metric] =
+        evaluate(train.x, train.y, options.classification);
+    (void)train_loss;
+    stats.accuracy = train_metric;
+    if (val.size() > 0) {
+      const auto [vl, vm] = evaluate(val.x, val.y, options.classification);
+      stats.val_loss = vl;
+      stats.val_accuracy = vm;
+    }
+    stats.seconds = watch.seconds();
+    history.epochs.push_back(stats);
+    for (Callback* cb : callbacks) cb->on_epoch_end(*this, stats);
+    bool stop = false;
+    for (Callback* cb : callbacks) stop = stop || cb->stop_requested();
+    if (stop) break;
+  }
+  return history;
+}
+
+std::vector<Tensor*> Model::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Layer*> Model::layers() {
+  std::vector<Layer*> out;
+  out.reserve(layers_.size());
+  for (auto& layer : layers_) out.push_back(layer.get());
+  return out;
+}
+
+std::vector<Tensor*> Model::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  return out;
+}
+
+std::size_t Model::param_count() {
+  std::size_t total = 0;
+  for (auto& layer : layers_) total += layer->param_count();
+  return total;
+}
+
+Optimizer& Model::optimizer() {
+  require(optimizer_ != nullptr, "Model::optimizer: compile() first");
+  return *optimizer_;
+}
+
+const Loss& Model::loss() const {
+  require(loss_ != nullptr, "Model::loss: compile() first");
+  return *loss_;
+}
+
+std::string Model::summary() {
+  std::string out = "Model:\n";
+  for (auto& layer : layers_)
+    out += strprintf("  %-32s params=%zu\n", layer->describe().c_str(),
+                     layer->param_count());
+  out += strprintf("  total trainable parameters: %zu\n", param_count());
+  return out;
+}
+
+}  // namespace candle::nn

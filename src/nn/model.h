@@ -1,0 +1,147 @@
+// Sequential model with a Keras-style compile/fit/evaluate/predict API.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace candle::nn {
+
+class Model;
+
+/// Per-epoch training record.
+struct EpochStats {
+  std::size_t epoch = 0;       // 0-based epoch index
+  float loss = 0.0f;           // mean training loss over the epoch
+  float accuracy = 0.0f;       // training accuracy (classification) or R²
+  float val_loss = 0.0f;       // validation loss (0 when no validation set)
+  float val_accuracy = 0.0f;
+  double seconds = 0.0;        // wall-clock time of the epoch
+  std::size_t batch_steps = 0; // number of optimizer steps taken
+};
+
+/// Complete training history returned by fit().
+struct History {
+  std::vector<EpochStats> epochs;
+
+  [[nodiscard]] float final_loss() const {
+    return epochs.empty() ? 0.0f : epochs.back().loss;
+  }
+  [[nodiscard]] float final_accuracy() const {
+    return epochs.empty() ? 0.0f : epochs.back().accuracy;
+  }
+  [[nodiscard]] double total_seconds() const;
+};
+
+/// Training hook, mirroring Keras callbacks. The Horovod
+/// BroadcastGlobalVariablesHook is implemented as one of these.
+class Callback {
+ public:
+  virtual ~Callback() = default;
+  virtual void on_train_begin(Model& /*model*/) {}
+  virtual void on_epoch_begin(Model& /*model*/, std::size_t /*epoch*/) {}
+  virtual void on_epoch_end(Model& /*model*/, const EpochStats& /*stats*/) {}
+  virtual void on_batch_end(Model& /*model*/, std::size_t /*step*/) {}
+
+  /// Checked after every epoch; returning true ends fit() early
+  /// (EarlyStopping uses this).
+  [[nodiscard]] virtual bool stop_requested() const { return false; }
+};
+
+/// Options for Model::fit.
+struct FitOptions {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 32;
+  bool shuffle = true;              // reshuffle sample order each epoch
+  double validation_fraction = 0.0; // tail split evaluated per epoch
+  bool classification = true;       // accuracy vs R² for the metric column
+  bool drop_remainder = false;      // drop the final partial batch
+};
+
+/// Sequential neural network.
+///
+/// Usage:
+///   Model m;
+///   m.add<Dense>(128, Act::kRelu);
+///   m.add<Dense>(2, Act::kSoftmax);
+///   m.compile({700}, make_optimizer("sgd", 0.001),
+///             make_loss("categorical_crossentropy"), /*seed=*/42);
+///   History h = m.fit(train, {.epochs = 8, .batch_size = 20});
+class Model {
+ public:
+  Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Appends a layer (ownership transferred).
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Emplace-style layer construction.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  /// Builds all layers for the per-sample input shape, binds the optimizer
+  /// and loss, and initializes weights from `seed`. Must be called once
+  /// before fit/predict.
+  void compile(const Shape& input_shape, std::unique_ptr<Optimizer> optimizer,
+               std::unique_ptr<Loss> loss, std::uint64_t seed = 42);
+
+  [[nodiscard]] bool compiled() const { return compiled_; }
+
+  /// Forward pass without dropout.
+  [[nodiscard]] Tensor predict(const Tensor& x);
+
+  /// Returns {loss, metric} on the given data (metric: accuracy or R²).
+  [[nodiscard]] std::pair<float, float> evaluate(const Tensor& x,
+                                                 const Tensor& y,
+                                                 bool classification = true);
+
+  /// One optimizer step on a batch; returns the batch loss.
+  float train_on_batch(const Tensor& x, const Tensor& y);
+
+  /// Full training loop.
+  History fit(const Dataset& data, const FitOptions& options,
+              const std::vector<Callback*>& callbacks = {});
+
+  /// Flattened trainable parameters / gradients across layers.
+  [[nodiscard]] std::vector<Tensor*> parameters();
+  [[nodiscard]] std::vector<Tensor*> gradients();
+
+  /// Non-owning views of the layers, in forward order (used by the
+  /// per-layer profiler).
+  [[nodiscard]] std::vector<Layer*> layers();
+
+  [[nodiscard]] std::size_t param_count();
+  [[nodiscard]] Optimizer& optimizer();
+  [[nodiscard]] const Loss& loss() const;
+  [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
+
+  /// Keras-style model summary (one line per layer + parameter total).
+  [[nodiscard]] std::string summary();
+
+ private:
+  Tensor forward(const Tensor& x, bool training);
+  void backward(const Tensor& dloss);
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<Loss> loss_;
+  Shape input_shape_;
+  bool compiled_ = false;
+  Rng fit_rng_{0xF17};
+};
+
+}  // namespace candle::nn

@@ -1,0 +1,157 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle::nn {
+namespace {
+
+void check_lists(const std::vector<Tensor*>& params,
+                 const std::vector<Tensor*>& grads) {
+  require(params.size() == grads.size(),
+          "optimizer: params/grads list size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    check_same_shape(*params[i], *grads[i], "optimizer");
+}
+
+void ensure_state(std::vector<Tensor>& state,
+                  const std::vector<Tensor*>& params) {
+  if (state.size() == params.size()) return;
+  require(state.empty(), "optimizer: parameter list changed mid-training");
+  state.reserve(params.size());
+  for (const Tensor* p : params) state.emplace_back(p->shape());
+}
+
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum, bool nesterov)
+    : lr_(lr), momentum_(momentum), nesterov_(nesterov) {
+  require(lr > 0.0, "Sgd: lr must be > 0");
+  require(momentum >= 0.0 && momentum < 1.0, "Sgd: momentum must be in [0,1)");
+  require(!nesterov || momentum > 0.0, "Sgd: nesterov requires momentum");
+}
+
+void Sgd::apply(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  check_lists(params, grads);
+  if (momentum_ == 0.0) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float* w = params[i]->data();
+      const float* g = grads[i]->data();
+      const float lr = static_cast<float>(lr_);
+      for (std::size_t j = 0; j < params[i]->numel(); ++j) w[j] -= lr * g[j];
+    }
+    return;
+  }
+  ensure_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* w = params[i]->data();
+    const float* g = grads[i]->data();
+    float* v = velocity_[i].data();
+    const float lr = static_cast<float>(lr_);
+    const float mu = static_cast<float>(momentum_);
+    for (std::size_t j = 0; j < params[i]->numel(); ++j) {
+      v[j] = mu * v[j] - lr * g[j];
+      // Nesterov: look ahead along the updated velocity (Keras semantics).
+      w[j] += nesterov_ ? mu * v[j] - lr * g[j] : v[j];
+    }
+  }
+}
+
+ClippedOptimizer::ClippedOptimizer(std::unique_ptr<Optimizer> inner,
+                                   double max_norm)
+    : inner_(std::move(inner)), max_norm_(max_norm) {
+  require(inner_ != nullptr, "ClippedOptimizer: null inner optimizer");
+  require(max_norm > 0.0, "ClippedOptimizer: max_norm must be > 0");
+}
+
+std::string ClippedOptimizer::name() const {
+  return "clipped(" + inner_->name() + ")";
+}
+
+double ClippedOptimizer::learning_rate() const {
+  return inner_->learning_rate();
+}
+
+void ClippedOptimizer::set_learning_rate(double lr) {
+  inner_->set_learning_rate(lr);
+}
+
+void ClippedOptimizer::apply(const std::vector<Tensor*>& params,
+                             const std::vector<Tensor*>& grads) {
+  double sq = 0.0;
+  for (const Tensor* g : grads) sq += static_cast<double>(g->sq_norm());
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm_) {
+    const float scale = static_cast<float>(max_norm_ / norm);
+    for (Tensor* g : grads) *g *= scale;
+    ++clip_events_;
+  }
+  inner_->apply(params, grads);
+}
+
+RmsProp::RmsProp(double lr, double rho, double eps)
+    : lr_(lr), rho_(rho), eps_(eps) {
+  require(lr > 0.0, "RmsProp: lr must be > 0");
+  require(rho > 0.0 && rho < 1.0, "RmsProp: rho must be in (0,1)");
+}
+
+void RmsProp::apply(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) {
+  check_lists(params, grads);
+  ensure_state(mean_sq_, params);
+  const float lr = static_cast<float>(lr_);
+  const float rho = static_cast<float>(rho_);
+  const float eps = static_cast<float>(eps_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* w = params[i]->data();
+    const float* g = grads[i]->data();
+    float* s = mean_sq_[i].data();
+    for (std::size_t j = 0; j < params[i]->numel(); ++j) {
+      s[j] = rho * s[j] + (1.0f - rho) * g[j] * g[j];
+      w[j] -= lr * g[j] / (std::sqrt(s[j]) + eps);
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  require(lr > 0.0, "Adam: lr must be > 0");
+  require(beta1 > 0.0 && beta1 < 1.0, "Adam: beta1 must be in (0,1)");
+  require(beta2 > 0.0 && beta2 < 1.0, "Adam: beta2 must be in (0,1)");
+}
+
+void Adam::apply(const std::vector<Tensor*>& params,
+                 const std::vector<Tensor*>& grads) {
+  check_lists(params, grads);
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* w = params[i]->data();
+    const float* g = grads[i]->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::size_t j = 0; j < params[i]->numel(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(lr);
+  if (name == "adam") return std::make_unique<Adam>(lr);
+  if (name == "rmsprop") return std::make_unique<RmsProp>(lr);
+  throw InvalidArgument("unknown optimizer: " + name);
+}
+
+}  // namespace candle::nn

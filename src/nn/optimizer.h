@@ -1,0 +1,112 @@
+// Optimizers with Keras-default hyperparameters.
+//
+// The optimizer owns per-parameter state (momenta etc.) keyed by position in
+// the parameter list, which is stable for the lifetime of a model. The
+// Horovod DistributedOptimizer (hvd/distributed_optimizer.h) wraps any of
+// these, allreduce-averaging the gradients before delegating here — exactly
+// the paper's `hvd.DistributedOptimizer(optimizer)` pattern.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace candle::nn {
+
+/// Abstract optimizer: applies one step given parameter and gradient lists
+/// (same order/shapes every call).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Current learning rate (after any scaling).
+  [[nodiscard]] virtual double learning_rate() const = 0;
+  /// Sets the learning rate; used for the paper's lr × nprocs linear scaling.
+  virtual void set_learning_rate(double lr) = 0;
+
+  /// Applies one update step in-place.
+  virtual void apply(const std::vector<Tensor*>& params,
+                     const std::vector<Tensor*>& grads) = 0;
+};
+
+/// Stochastic gradient descent with optional (optionally Nesterov)
+/// momentum (NT3/P1B3 optimizer).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr = 0.01, double momentum = 0.0,
+               bool nesterov = false);
+  [[nodiscard]] std::string name() const override { return "sgd"; }
+  [[nodiscard]] double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  void apply(const std::vector<Tensor*>& params,
+             const std::vector<Tensor*>& grads) override;
+
+ private:
+  double lr_, momentum_;
+  bool nesterov_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Global-norm gradient clipping decorator (Keras clipnorm): when the
+/// concatenated gradient's L2 norm exceeds `max_norm`, every gradient is
+/// scaled by max_norm / norm before the wrapped optimizer applies. Guards
+/// the scaled-lr regime the paper's methodology creates at high GPU counts.
+class ClippedOptimizer final : public Optimizer {
+ public:
+  ClippedOptimizer(std::unique_ptr<Optimizer> inner, double max_norm);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double learning_rate() const override;
+  void set_learning_rate(double lr) override;
+  void apply(const std::vector<Tensor*>& params,
+             const std::vector<Tensor*>& grads) override;
+
+  /// Number of apply() calls where clipping actually triggered.
+  [[nodiscard]] std::size_t clip_events() const { return clip_events_; }
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  double max_norm_;
+  std::size_t clip_events_ = 0;
+};
+
+/// RMSprop (P1B2 optimizer). Keras defaults: rho 0.9, eps 1e-7.
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(double lr = 0.001, double rho = 0.9, double eps = 1e-7);
+  [[nodiscard]] std::string name() const override { return "rmsprop"; }
+  [[nodiscard]] double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  void apply(const std::vector<Tensor*>& params,
+             const std::vector<Tensor*>& grads) override;
+
+ private:
+  double lr_, rho_, eps_;
+  std::vector<Tensor> mean_sq_;
+};
+
+/// Adam (P1B1 optimizer). Keras defaults: beta1 0.9, beta2 0.999, eps 1e-7.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 0.001, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-7);
+  [[nodiscard]] std::string name() const override { return "adam"; }
+  [[nodiscard]] double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  void apply(const std::vector<Tensor*>& params,
+             const std::vector<Tensor*>& grads) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long long step_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Factory from Keras-style names ("sgd", "adam", "rmsprop") and an initial
+/// learning rate (ignored names throw).
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr);
+
+}  // namespace candle::nn

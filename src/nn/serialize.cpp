@@ -1,0 +1,149 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+
+namespace candle::nn {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'N', 'D', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Fletcher-64 over a byte stream (simple, order-sensitive integrity check).
+class Fletcher64 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ + p[i]) % 4294967295ULL;
+      b_ = (b_ + a_) % 4294967295ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return (b_ << 32) | a_; }
+
+ private:
+  std::uint64_t a_ = 0, b_ = 0;
+};
+
+struct Writer {
+  std::FILE* f;
+  Fletcher64 sum;
+  void write(const void* data, std::size_t n) {
+    if (std::fwrite(data, 1, n, f) != n)
+      throw IoError("save_weights: short write");
+    sum.update(data, n);
+  }
+  template <typename T>
+  void write_pod(const T& v) {
+    write(&v, sizeof(T));
+  }
+};
+
+struct Reader {
+  std::FILE* f;
+  Fletcher64 sum;
+  void read(void* data, std::size_t n) {
+    if (std::fread(data, 1, n, f) != n)
+      throw IoError("load_weights: truncated checkpoint");
+    sum.update(data, n);
+  }
+  template <typename T>
+  T read_pod() {
+    T v{};
+    read(&v, sizeof(T));
+    return v;
+  }
+};
+
+}  // namespace
+
+void save_weights(Model& model, const std::string& path) {
+  require(model.compiled(), "save_weights: model must be compiled");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw IoError("save_weights: cannot open " + path);
+  Writer w{f, {}};
+  try {
+    w.write(kMagic, sizeof(kMagic));
+    w.write_pod(kVersion);
+    const std::vector<Tensor*> params = model.parameters();
+    w.write_pod(static_cast<std::uint64_t>(params.size()));
+    for (const Tensor* t : params) {
+      w.write_pod(static_cast<std::uint64_t>(t->rank()));
+      for (std::size_t d : t->shape())
+        w.write_pod(static_cast<std::uint64_t>(d));
+      w.write(t->data(), t->numel() * sizeof(float));
+    }
+    const std::uint64_t checksum = w.sum.value();
+    if (std::fwrite(&checksum, 1, sizeof(checksum), f) != sizeof(checksum))
+      throw IoError("save_weights: short write");
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+}
+
+void load_weights(Model& model, const std::string& path) {
+  require(model.compiled(), "load_weights: model must be compiled");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("load_weights: cannot open " + path);
+  Reader r{f, {}};
+  try {
+    char magic[4];
+    r.read(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+      throw IoError("load_weights: not a CANDLE checkpoint: " + path);
+    const auto version = r.read_pod<std::uint32_t>();
+    if (version != kVersion)
+      throw IoError("load_weights: unsupported checkpoint version " +
+                    std::to_string(version));
+    const std::vector<Tensor*> params = model.parameters();
+    const auto count = r.read_pod<std::uint64_t>();
+    if (count != params.size())
+      throw IoError("load_weights: checkpoint has " + std::to_string(count) +
+                    " tensors, model has " + std::to_string(params.size()));
+    // Stage into temporaries so a corrupt file cannot half-update the model.
+    std::vector<std::vector<float>> staged(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const auto rank = r.read_pod<std::uint64_t>();
+      Shape shape(rank);
+      for (auto& d : shape)
+        d = static_cast<std::size_t>(r.read_pod<std::uint64_t>());
+      if (shape != params[i]->shape())
+        throw IoError("load_weights: tensor " + std::to_string(i) +
+                      " shape mismatch: checkpoint " +
+                      shape_to_string(shape) + " vs model " +
+                      shape_to_string(params[i]->shape()));
+      staged[i].resize(params[i]->numel());
+      r.read(staged[i].data(), staged[i].size() * sizeof(float));
+    }
+    const std::uint64_t expected = r.sum.value();
+    std::uint64_t checksum = 0;
+    if (std::fread(&checksum, 1, sizeof(checksum), f) != sizeof(checksum))
+      throw IoError("load_weights: truncated checkpoint (missing checksum)");
+    if (checksum != expected)
+      throw IoError("load_weights: checksum mismatch — corrupt checkpoint");
+    for (std::size_t i = 0; i < params.size(); ++i)
+      std::memcpy(params[i]->data(), staged[i].data(),
+                  staged[i].size() * sizeof(float));
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+}
+
+bool is_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[4] = {};
+  const std::size_t n = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return n == sizeof(magic) && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,29 @@
+// Model weight serialization — the checkpoint/restart capability the paper
+// lists as future work ("We will add checkpoint/restart features to the
+// Horovod benchmarks for fault tolerance", §7).
+//
+// Format (little-endian binary):
+//   magic "CNDL" | version u32 | tensor_count u64 |
+//   per tensor: rank u64, dims u64[rank], data f32[numel] |
+//   fletcher64 checksum over everything before it
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace candle::nn {
+
+/// Writes all trainable parameters of `model` to `path`.
+/// Throws IoError on filesystem failure.
+void save_weights(Model& model, const std::string& path);
+
+/// Loads parameters saved by save_weights into `model`. The model must be
+/// compiled with identical architecture (shape sequence is verified; a
+/// mismatch or corrupt file throws IoError).
+void load_weights(Model& model, const std::string& path);
+
+/// True when `path` exists and carries the checkpoint magic.
+bool is_checkpoint(const std::string& path);
+
+}  // namespace candle::nn

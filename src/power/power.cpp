@@ -1,0 +1,79 @@
+#include "power/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace candle::power {
+
+double PowerTrace::average_watts() const {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : samples) total += s.watts;
+  return total / static_cast<double>(samples.size());
+}
+
+double PowerTrace::peak_watts() const {
+  double peak = 0.0;
+  for (const auto& s : samples) peak = std::max(peak, s.watts);
+  return peak;
+}
+
+double PowerTrace::energy_joules() const {
+  double energy = 0.0;
+  for (const auto& s : samples) energy += s.watts * interval_s;
+  return energy;
+}
+
+std::string PowerTrace::to_csv() const {
+  std::string out = "t_s,watts\n";
+  for (const auto& s : samples)
+    out += strprintf("%.3f,%.2f\n", s.t_s, s.watts);
+  return out;
+}
+
+void PiecewisePower::append(double duration_s, double watts) {
+  require(duration_s >= 0.0, "PiecewisePower: negative duration");
+  require(watts >= 0.0, "PiecewisePower: negative power");
+  if (duration_s == 0.0) return;
+  starts_.push_back(end_);
+  watts_.push_back(watts);
+  end_ += duration_s;
+}
+
+double PiecewisePower::watts_at(double t_s) const {
+  if (t_s < 0.0 || t_s >= end_ || starts_.empty()) return 0.0;
+  // Binary search for the segment containing t_s.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t_s);
+  const std::size_t idx = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  return watts_[idx];
+}
+
+double PiecewisePower::energy_joules() const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    const double seg_end = i + 1 < starts_.size() ? starts_[i + 1] : end_;
+    energy += watts_[i] * (seg_end - starts_[i]);
+  }
+  return energy;
+}
+
+PowerMeter::PowerMeter(double sample_hz) : hz_(sample_hz) {
+  require(sample_hz > 0.0, "PowerMeter: rate must be > 0");
+}
+
+PowerTrace PowerMeter::sample(const PiecewisePower& curve) const {
+  PowerTrace trace;
+  trace.interval_s = 1.0 / hz_;
+  const double end = curve.duration();
+  for (double t = 0.0; t < end; t += trace.interval_s)
+    trace.samples.push_back(PowerSample{t, curve.watts_at(t)});
+  return trace;
+}
+
+PowerMeter nvidia_smi_meter() { return PowerMeter(1.0); }
+PowerMeter polimer_meter() { return PowerMeter(2.0); }
+
+}  // namespace candle::power

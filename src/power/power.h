@@ -1,0 +1,89 @@
+// Power measurement substrate.
+//
+// The paper measures GPU power with nvidia-smi at 1 sample/s on Summit and
+// node power with PoLiMEr/CapMC at ~2 samples/s on Theta, then integrates to
+// energy. This module reproduces that pipeline:
+//
+//   PiecewisePower — ground-truth power curve of a device over a run
+//                    (the simulator constructs one from the phase schedule)
+//   PowerMeter     — samples a PiecewisePower at a fixed rate, like the real
+//                    tools, producing a PowerTrace
+//   PowerTrace     — the sampled series; average/peak/energy computed the way
+//                    the paper does (left Riemann sum over samples)
+//
+// Keeping "true" power and "sampled" power separate lets tests check the
+// sampling error that a 1 Hz meter introduces on short phases.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace candle::power {
+
+/// One meter reading.
+struct PowerSample {
+  double t_s = 0.0;
+  double watts = 0.0;
+};
+
+/// A sampled power series at a fixed interval.
+struct PowerTrace {
+  std::vector<PowerSample> samples;
+  double interval_s = 1.0;
+
+  [[nodiscard]] double average_watts() const;
+  [[nodiscard]] double peak_watts() const;
+  /// Energy in joules: left Riemann sum (sample value held for one interval),
+  /// which is what integrating nvidia-smi output does.
+  [[nodiscard]] double energy_joules() const;
+  /// CSV dump: "t_s,watts" rows (for plotting Fig 7a-style curves).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Ground-truth piecewise-constant power curve.
+class PiecewisePower {
+ public:
+  /// Appends a segment of `duration_s` at `watts` starting where the
+  /// previous segment ended.
+  void append(double duration_s, double watts);
+
+  /// Instantaneous power at time t (0 outside the defined range).
+  [[nodiscard]] double watts_at(double t_s) const;
+
+  /// Total duration covered.
+  [[nodiscard]] double duration() const { return end_; }
+
+  /// Exact energy integral in joules.
+  [[nodiscard]] double energy_joules() const;
+
+  [[nodiscard]] std::size_t segments() const { return starts_.size(); }
+
+ private:
+  std::vector<double> starts_;
+  std::vector<double> watts_;
+  double end_ = 0.0;
+};
+
+/// Fixed-rate sampler ("the power sampling rate used is 1 sample per second"
+/// for nvidia-smi; ~2 samples/s for PoLiMEr).
+class PowerMeter {
+ public:
+  explicit PowerMeter(double sample_hz);
+
+  /// Samples the curve from t=0 to its end (inclusive of a final sample).
+  [[nodiscard]] PowerTrace sample(const PiecewisePower& curve) const;
+
+  [[nodiscard]] double sample_hz() const { return hz_; }
+
+ private:
+  double hz_;
+};
+
+/// nvidia-smi on Summit: 1 sample/s (paper §3).
+PowerMeter nvidia_smi_meter();
+
+/// PoLiMEr/CapMC on Theta: ~2 samples/s (paper §3).
+PowerMeter polimer_meter();
+
+}  // namespace candle::power

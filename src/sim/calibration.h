@@ -1,0 +1,103 @@
+// Calibrated workload profiles for the four CANDLE Pilot1 benchmarks.
+//
+// Every constant here is either copied from the paper or calibrated so the
+// simulator reproduces a number the paper reports; the provenance of each
+// value is commented at its definition in calibration.cpp. Values the paper
+// does not report (e.g. P1B1's exact time per epoch) are marked ASSUMED and
+// chosen so the paper's qualitative statements hold (e.g. "data loading
+// dominates the total runtime using 24 GPUs or more").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace candle::sim {
+
+/// Single-rank, contention-free load times for one loader (paper Tables 3/4).
+struct LoaderSeconds {
+  double train_s = 0.0;
+  double test_s = 0.0;
+  [[nodiscard]] double total() const { return train_s + test_s; }
+};
+
+/// Per-machine compute/power calibration for one benchmark.
+struct MachineCompute {
+  // One batch step costs step_fixed_s + batch * per_sample_s (kernel launch
+  // and framework overhead vs throughput term). Calibrated from the paper's
+  // time-per-epoch values at two batch sizes where available.
+  double step_fixed_s = 0.0;
+  double per_sample_s = 0.0;
+
+  double p_compute_w = 0.0;        // meter power while training (default batch)
+  double p_compute_batch_drop = 0.0;  // watts subtracted per batch doubling
+                                      // (paper Table 2: bs 40 draws less)
+  double eval_s = 0.0;             // prediction/evaluation phase
+  double preprocess_s = 0.0;       // scaling/encoding after the CSV load
+  double startup_s = 0.0;          // interpreter + framework + model build
+
+  LoaderSeconds load_original;     // pandas.read_csv defaults (Tables 3/4)
+  LoaderSeconds load_chunked;      // 16 MB chunks, low_memory=False
+};
+
+/// Full calibrated description of one benchmark (paper Table 1 + §4/§5).
+struct BenchmarkProfile {
+  std::string name;
+
+  // Table 1 rows.
+  std::size_t train_samples = 0;
+  std::size_t test_samples = 0;
+  std::size_t default_batch = 0;
+  std::size_t default_epochs = 0;
+  double learning_rate = 0.001;
+  std::string optimizer;
+  std::size_t features_per_sample = 0;
+  std::size_t train_bytes = 0;
+  std::size_t test_bytes = 0;
+
+  // Model size: the Horovod allreduce payload is 4 * param_count bytes.
+  std::size_t param_count = 0;
+
+  // Device-memory model: bytes of activations/workspace per sample in the
+  // batch. Calibrated so the OOM points the paper reports are reproduced
+  // (NT3 batch >= 50; P1B3 linear batch scaling on 192/384 GPUs).
+  double act_bytes_per_sample = 0.0;
+
+  MachineCompute summit;
+  MachineCompute theta;
+
+  [[nodiscard]] const MachineCompute& on(MachineKind kind) const {
+    return kind == MachineKind::kSummit ? summit : theta;
+  }
+
+  /// ceil(samples / batch) — Keras counts the final partial batch.
+  [[nodiscard]] std::size_t steps_per_epoch(std::size_t batch) const;
+
+  /// Dask load estimate: the paper reports it lands between the original
+  /// and chunked strategies; interpolated at 45 % of the gap above chunked.
+  [[nodiscard]] LoaderSeconds load_dask(MachineKind kind) const;
+
+  static const BenchmarkProfile& nt3();
+  static const BenchmarkProfile& p1b1();
+  static const BenchmarkProfile& p1b2();
+  static const BenchmarkProfile& p1b3();
+
+  /// P2/P3 extension profiles (paper §1: "This parallelization method can
+  /// be applied to other CANDLE benchmarks such as the P2 and P3
+  /// benchmarks in a similar way"). These benchmarks are NOT measured in
+  /// the paper; all constants are ASSUMED, with loading times derived from
+  /// the measured per-MB rates of the P1 wide CSVs.
+  static const BenchmarkProfile& p2b1();  // MD-frame autoencoder
+  static const BenchmarkProfile& p3b1();  // clinical-report classifier
+
+  static const BenchmarkProfile& by_name(const std::string& name);
+
+  /// The paper's four P1 benchmarks (Tables 1/3/4 scope).
+  static std::vector<const BenchmarkProfile*> all();
+  /// P1 + the P2/P3 extensions.
+  static std::vector<const BenchmarkProfile*> extended();
+};
+
+}  // namespace candle::sim

@@ -1,0 +1,78 @@
+#include "sim/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle::sim {
+
+DvfsPoint dvfs_evaluate(const RunSimulator& simulator, const RunPlan& plan,
+                        double freq_ratio, const DvfsModel& model) {
+  require(freq_ratio > 0.0, "dvfs_evaluate: frequency ratio must be > 0");
+  require(model.static_fraction >= 0.0 && model.static_fraction < 1.0,
+          "dvfs_evaluate: static_fraction must be in [0, 1)");
+  const SimResult base = simulator.simulate(plan);
+  const std::size_t batch = plan.batch_per_rank == 0
+                                ? simulator.profile().default_batch
+                                : plan.batch_per_rank;
+
+  const double p_compute = simulator.compute_power_watts(batch);
+  const double p_static = p_compute * model.static_fraction;
+  const double p_dynamic = p_compute - p_static;
+
+  // Non-compute phases are unaffected by core frequency.
+  const PhaseTimes& ph = base.phases;
+  const double other_s = ph.total() - ph.train_compute;
+  // Sampled energy minus the compute share; clamp against 1 Hz sampling
+  // granularity on very short phases.
+  const double other_j = std::max(
+      0.0, base.energy_per_rank_j - p_compute * ph.train_compute);
+
+  const double compute_s = ph.train_compute / freq_ratio;
+  const double compute_w =
+      p_static + p_dynamic * freq_ratio * freq_ratio * freq_ratio;
+
+  DvfsPoint point;
+  point.freq_ratio = freq_ratio;
+  point.total_s = other_s + compute_s;
+  point.energy_j = other_j + compute_w * compute_s;
+  point.edp = point.energy_j * point.total_s;
+  point.ed2p = point.energy_j * point.total_s * point.total_s;
+  return point;
+}
+
+std::vector<DvfsPoint> dvfs_sweep(const RunSimulator& simulator,
+                                  const RunPlan& plan,
+                                  const DvfsModel& model) {
+  require(model.steps >= 2, "dvfs_sweep: need at least 2 steps");
+  require(model.max_ratio > model.min_ratio, "dvfs_sweep: bad ratio range");
+  std::vector<DvfsPoint> sweep;
+  sweep.reserve(model.steps);
+  for (std::size_t i = 0; i < model.steps; ++i) {
+    const double ratio =
+        model.min_ratio + (model.max_ratio - model.min_ratio) *
+                              static_cast<double>(i) /
+                              static_cast<double>(model.steps - 1);
+    sweep.push_back(dvfs_evaluate(simulator, plan, ratio, model));
+  }
+  return sweep;
+}
+
+DvfsPoint dvfs_energy_optimal(const std::vector<DvfsPoint>& sweep) {
+  require(!sweep.empty(), "dvfs_energy_optimal: empty sweep");
+  return *std::min_element(sweep.begin(), sweep.end(),
+                           [](const DvfsPoint& a, const DvfsPoint& b) {
+                             return a.energy_j < b.energy_j;
+                           });
+}
+
+DvfsPoint dvfs_ed2p_optimal(const std::vector<DvfsPoint>& sweep) {
+  require(!sweep.empty(), "dvfs_ed2p_optimal: empty sweep");
+  return *std::min_element(sweep.begin(), sweep.end(),
+                           [](const DvfsPoint& a, const DvfsPoint& b) {
+                             return a.ed2p < b.ed2p;
+                           });
+}
+
+}  // namespace candle::sim

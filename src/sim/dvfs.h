@@ -1,0 +1,55 @@
+// DVFS performance-power modeling (the paper's §7 future work: "we plan to
+// use our performance and power modeling work [34] to model and further
+// optimize the CANDLE benchmarks").
+//
+// Classic frequency-scaling model: compute time scales as 1/f, dynamic
+// power as f^3 (v ∝ f), static power and non-compute phases (I/O,
+// communication, negotiation) are frequency-independent. Given a simulated
+// run, the model sweeps the frequency range and reports time, energy,
+// energy-delay product (EDP) and ED²P so the energy-optimal and
+// performance-balanced operating points can be located.
+#pragma once
+
+#include <vector>
+
+#include "sim/run_sim.h"
+
+namespace candle::sim {
+
+/// One operating point of the sweep.
+struct DvfsPoint {
+  double freq_ratio = 1.0;   // f / f_nominal
+  double total_s = 0.0;      // run time at this frequency
+  double energy_j = 0.0;     // per-rank energy
+  double edp = 0.0;          // energy * time
+  double ed2p = 0.0;         // energy * time^2
+};
+
+/// Frequency-scaling model parameters.
+struct DvfsModel {
+  double static_fraction = 0.35;  // share of compute-phase power that does
+                                  // not scale with frequency (leakage,
+                                  // memory, fans)
+  double min_ratio = 0.5;         // sweep range, relative to nominal
+  double max_ratio = 1.1;
+  std::size_t steps = 13;         // sweep resolution
+};
+
+/// Evaluates one operating point for a simulated run: compute phases
+/// stretch by 1/ratio; compute power splits into static + dynamic*(ratio^3);
+/// all other phases keep their time and power.
+DvfsPoint dvfs_evaluate(const RunSimulator& simulator, const RunPlan& plan,
+                        double freq_ratio, const DvfsModel& model = {});
+
+/// Full sweep over [min_ratio, max_ratio].
+std::vector<DvfsPoint> dvfs_sweep(const RunSimulator& simulator,
+                                  const RunPlan& plan,
+                                  const DvfsModel& model = {});
+
+/// The sweep point minimizing energy (ties: earliest).
+DvfsPoint dvfs_energy_optimal(const std::vector<DvfsPoint>& sweep);
+
+/// The sweep point minimizing ED²P (the usual performance-aware choice).
+DvfsPoint dvfs_ed2p_optimal(const std::vector<DvfsPoint>& sweep);
+
+}  // namespace candle::sim

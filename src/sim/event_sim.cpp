@@ -1,0 +1,54 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace candle::sim {
+
+StartupSample simulate_startup(const RunSimulator& simulator,
+                               io::LoaderKind loader, std::size_t ranks,
+                               std::uint64_t seed) {
+  require(ranks > 0, "simulate_startup: ranks must be > 0");
+  const Machine& machine = simulator.machine();
+  const double frac = loader == io::LoaderKind::kOriginal
+                          ? machine.load_skew_frac_original
+                          : machine.load_skew_frac_chunked;
+  // data_load_seconds already includes contention; treat it as the
+  // jitter-free floor each rank builds on.
+  const double base = simulator.data_load_seconds(loader, ranks);
+
+  StartupSample sample;
+  sample.load_seconds.resize(ranks);
+  sample.negotiate_wait.resize(ranks);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    Rng stream = rng.fork(r);  // decorrelated per-rank stream
+    sample.load_seconds[r] = base * (1.0 + stream.uniform(0.0, 2.0 * frac));
+  }
+  sample.max_arrival = *std::max_element(sample.load_seconds.begin(),
+                                         sample.load_seconds.end());
+  double load_sum = 0.0, wait_sum = 0.0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    sample.negotiate_wait[r] = sample.max_arrival - sample.load_seconds[r];
+    load_sum += sample.load_seconds[r];
+    wait_sum += sample.negotiate_wait[r];
+  }
+  sample.mean_load = load_sum / static_cast<double>(ranks);
+  sample.mean_wait = wait_sum / static_cast<double>(ranks);
+  sample.analytic_wait = simulator.load_skew_seconds(loader, ranks);
+  return sample;
+}
+
+double mc_negotiate_overhead(const RunSimulator& simulator,
+                             io::LoaderKind loader, std::size_t ranks,
+                             std::size_t trials, std::uint64_t seed) {
+  require(trials > 0, "mc_negotiate_overhead: trials must be > 0");
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t)
+    total += simulate_startup(simulator, loader, ranks, seed + t).mean_wait;
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace candle::sim

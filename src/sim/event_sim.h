@@ -1,0 +1,45 @@
+// Monte-Carlo straggler simulation of the startup phase.
+//
+// The analytic model (RunSimulator::load_skew_seconds) reduces the
+// broadcast-negotiation overhead to a closed form. This module simulates it
+// instead: every rank draws its own data-loading time (base x contention x
+// uniform jitter), ranks "arrive" at the negotiation, and the wait is
+// emergent — per-rank, not averaged. Tests cross-validate the two models;
+// the bench reports the per-rank distribution the paper's Fig 7b timeline
+// shows qualitatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/csv_reader.h"
+#include "sim/run_sim.h"
+
+namespace candle::sim {
+
+/// Result of one startup Monte-Carlo run.
+struct StartupSample {
+  std::vector<double> load_seconds;    // per-rank draw
+  std::vector<double> negotiate_wait;  // per-rank wait at the broadcast
+  double max_arrival = 0.0;            // when the slowest rank arrived
+  double mean_load = 0.0;
+  double mean_wait = 0.0;              // MC estimate of the bcast overhead
+  double analytic_wait = 0.0;          // closed-form value for comparison
+};
+
+/// Simulates the startup of `ranks` ranks loading with `loader`.
+/// Deterministic in `seed`. Jitter: each rank's load time is
+/// base * contention * (1 + U(0, 2*skew_frac)), making the expected
+/// (max - mean) gap equal the analytic skew_frac * load for large rank
+/// counts.
+StartupSample simulate_startup(const RunSimulator& simulator,
+                               io::LoaderKind loader, std::size_t ranks,
+                               std::uint64_t seed);
+
+/// Runs `trials` startups and returns the mean of their mean_wait — a
+/// smoother MC estimate for small rank counts.
+double mc_negotiate_overhead(const RunSimulator& simulator,
+                             io::LoaderKind loader, std::size_t ranks,
+                             std::size_t trials, std::uint64_t seed);
+
+}  // namespace candle::sim

@@ -1,0 +1,105 @@
+#include "sim/machine.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle::sim {
+
+std::size_t Machine::nodes_for(std::size_t ranks) const {
+  require(ranks > 0, "Machine::nodes_for: ranks must be > 0");
+  return (ranks + ranks_per_node - 1) / ranks_per_node;
+}
+
+double Machine::io_contention(std::size_t ranks, bool chunked_loader) const {
+  const double nodes = static_cast<double>(nodes_for(ranks));
+  if (nodes <= 1.0) return 1.0;
+  const double a =
+      chunked_loader ? io_contention_a_chunked : io_contention_a_original;
+  return 1.0 + a * std::pow((nodes - 1.0) / (io_ref_nodes - 1.0),
+                            io_contention_b);
+}
+
+double Machine::sync_overhead(std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  return sync_coeff_s * std::pow(static_cast<double>(ranks), sync_exp);
+}
+
+const Machine& Machine::summit() {
+  static const Machine m = [] {
+    Machine s;
+    s.kind = MachineKind::kSummit;
+    s.name = "Summit";
+    s.has_gpus = true;
+    s.ranks_per_node = 6;             // 6 V100 per AC922 node (paper §3)
+    s.max_ranks = 3072;               // largest run in the paper (Fig 18)
+    s.fs_peak_bw = 2.5e12;            // Spectrum Scale, 2.5 TB/s peak write
+    s.fs_block_bytes = 16.0 * 1024 * 1024;  // largest I/O block: 16 MB
+    s.net_latency_s = 2.0e-6;         // EDR IB fat-tree
+    s.net_bw = 25.0e9;                // dual EDR NICs, 25 GB/s per node
+    s.local_bw = 50.0e9;              // NVLink brick: 2 x 25 GB/s
+    // Calibrated: NT3 time/epoch 10.3 s (1 GPU) -> ~22 s (384 GPUs)
+    // -> >3x sequential at 3,072 GPUs (paper Table 2, Table 6, §7), while
+    // keeping data loading dominant from 48 GPUs on (§4.2.1).
+    s.sync_coeff_s = 0.011;
+    s.sync_exp = 0.50;
+    s.io_ref_nodes = 64.0;            // 384 GPUs = 64 nodes
+    s.io_contention_a_original = 0.47;  // NT3 load 104 s -> ~153 s (Fig 7a)
+    s.io_contention_a_chunked = 0.19;   // optimized load ~19.6 s -> ~23 s
+    s.io_contention_b = 0.5;
+    s.load_skew_frac_original = 0.28;   // bcast 43.72 s on 384 GPUs (Fig 7b)
+    s.load_skew_frac_chunked = 0.20;    // bcast 4.65 s optimized (Fig 12)
+    s.meter_hz = 1.0;                   // nvidia-smi, 1 sample/s
+    s.p_idle = 42.0;                    // V100 idle
+    s.p_io = 45.0;                      // loading: GPU idles, host parses
+    s.p_comm = 58.0;                    // NCCL transfers
+    s.p_eval = 120.0;
+    s.device_tdp = 300.0;               // V100 TDP (paper §3)
+    s.rank_mem_bytes = 16.0e9;          // 16 GB HBM2 per V100
+    return s;
+  }();
+  return m;
+}
+
+const Machine& Machine::theta() {
+  static const Machine m = [] {
+    Machine t;
+    t.kind = MachineKind::kTheta;
+    t.name = "Theta";
+    t.has_gpus = false;
+    t.ranks_per_node = 1;             // one rank per KNL node, 64 threads
+    t.max_ranks = 384;                // largest run in the paper (Fig 13)
+    t.fs_peak_bw = 210.0e9;           // Lustre, 210 GB/s (paper §3)
+    t.fs_block_bytes = 1.0 * 1024 * 1024;
+    t.net_latency_s = 3.0e-6;         // Aries dragonfly
+    t.net_bw = 8.0e9;
+    t.local_bw = 8.0e9;               // single rank per node: no NVLink tier
+    // Calibrated to hit BOTH anchors: NT3 time/epoch 695 s on 24 nodes and
+    // 965 s on 384 nodes (paper §5.1): 0.05 * 24^0.787 = 0.61 s/step and
+    // 0.05 * 384^0.787 = 5.43 s/step over the 661 s single-node epoch.
+    t.sync_coeff_s = 0.05;
+    t.sync_exp = 0.787;
+    t.io_ref_nodes = 384.0;
+    // Lustre has far less headroom than Spectrum Scale and the original
+    // loader's many small reads hammer it; calibrated so NT3/P1B1/P1B2
+    // total improvements land near the paper's 38.46 / 45.22 / 40.72 %
+    // and at-scale loading is >4x Summit's (§5.1).
+    t.io_contention_a_original = 10.0;
+    t.io_contention_a_chunked = 4.0;
+    t.io_contention_b = 0.65;
+    t.load_skew_frac_original = 0.28;
+    t.load_skew_frac_chunked = 0.20;
+    t.meter_hz = 2.0;                 // PoLiMEr / CapMC, ~2 samples/s
+    t.p_idle = 95.0;                  // KNL node floor
+    t.p_io = 175.0;                   // pandas parsing keeps the KNL busy:
+                                      // node power stays near compute level
+    t.p_comm = 130.0;
+    t.p_eval = 180.0;
+    t.device_tdp = 215.0;             // KNL 7230 TDP (paper §3)
+    t.rank_mem_bytes = 208.0e9;       // 192 GB DDR4 + 16 GB MCDRAM
+    return t;
+  }();
+  return m;
+}
+
+}  // namespace candle::sim

@@ -1,0 +1,221 @@
+#include "sim/run_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace candle::sim {
+namespace {
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+RunSimulator::RunSimulator(const Machine& machine,
+                           const BenchmarkProfile& profile)
+    : machine_(&machine), profile_(&profile) {}
+
+double RunSimulator::data_load_seconds(io::LoaderKind loader,
+                                       std::size_t ranks) const {
+  const MachineCompute& mc = profile_->on(machine_->kind);
+  double base = 0.0;
+  switch (loader) {
+    case io::LoaderKind::kOriginal: base = mc.load_original.total(); break;
+    case io::LoaderKind::kChunked: base = mc.load_chunked.total(); break;
+    case io::LoaderKind::kDask:
+      base = profile_->load_dask(machine_->kind).total();
+      break;
+  }
+  const bool chunked_like = loader != io::LoaderKind::kOriginal;
+  return base * machine_->io_contention(ranks, chunked_like);
+}
+
+double RunSimulator::load_skew_seconds(io::LoaderKind loader,
+                                       std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double frac = loader == io::LoaderKind::kOriginal
+                          ? machine_->load_skew_frac_original
+                          : machine_->load_skew_frac_chunked;
+  // Straggler skew approaches frac * load as the population grows.
+  const double population = 1.0 - 1.0 / static_cast<double>(ranks);
+  return frac * data_load_seconds(loader, ranks) * population;
+}
+
+double RunSimulator::broadcast_tree_seconds(std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double payload =
+      static_cast<double>(profile_->param_count) * sizeof(float);
+  const double bw =
+      ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
+  const double rounds = static_cast<double>(ceil_log2(ranks));
+  return rounds * (machine_->net_latency_s + payload / bw);
+}
+
+double RunSimulator::allreduce_step_seconds(std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double payload =
+      static_cast<double>(profile_->param_count) * sizeof(float);
+  const double p = static_cast<double>(ranks);
+  const double bw =
+      ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
+  // Ring allreduce: 2(P-1) stages, each moving payload/P at `bw`, plus the
+  // calibrated per-step synchronization/straggler overhead.
+  const double ring = 2.0 * (p - 1.0) *
+                      (machine_->net_latency_s + payload / p / bw);
+  return ring + machine_->sync_overhead(ranks);
+}
+
+double RunSimulator::allreduce_hierarchical_seconds(
+    std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double payload =
+      static_cast<double>(profile_->param_count) * sizeof(float);
+  const std::size_t rpn = machine_->ranks_per_node;
+  const double local = static_cast<double>(std::min(ranks, rpn));
+  const double nodes = static_cast<double>(machine_->nodes_for(ranks));
+
+  // Intra-node reduce + final broadcast over NVLink (2 passes of payload).
+  double t = 0.0;
+  if (local > 1.0) t += 2.0 * payload / machine_->local_bw;
+  // Inter-node ring over the node leaders.
+  if (nodes > 1.0)
+    t += 2.0 * (nodes - 1.0) *
+         (machine_->net_latency_s + payload / nodes / machine_->net_bw);
+  return t + machine_->sync_overhead(ranks);
+}
+
+double RunSimulator::step_compute_seconds(std::size_t batch) const {
+  const MachineCompute& mc = profile_->on(machine_->kind);
+  return mc.step_fixed_s + static_cast<double>(batch) * mc.per_sample_s;
+}
+
+double RunSimulator::memory_bytes(std::size_t batch) const {
+  // Weights + gradients + optimizer state (3x) at fp32, plus activations.
+  return static_cast<double>(profile_->param_count) * 12.0 +
+         static_cast<double>(batch) * profile_->act_bytes_per_sample;
+}
+
+double RunSimulator::compute_power_watts(std::size_t batch) const {
+  const MachineCompute& mc = profile_->on(machine_->kind);
+  const double doublings =
+      std::log2(static_cast<double>(batch) /
+                static_cast<double>(profile_->default_batch));
+  const double w = mc.p_compute_w - mc.p_compute_batch_drop * doublings;
+  return std::clamp(w, machine_->p_idle, machine_->device_tdp);
+}
+
+SimResult RunSimulator::simulate(const RunPlan& plan) const {
+  require(plan.ranks > 0, "simulate: ranks must be > 0");
+  require(plan.epochs_per_rank > 0, "simulate: epochs_per_rank must be > 0");
+  const std::size_t batch =
+      plan.batch_per_rank == 0 ? profile_->default_batch : plan.batch_per_rank;
+
+  if (memory_bytes(batch) > machine_->rank_mem_bytes) {
+    throw OutOfMemory(strprintf(
+        "%s on %s: batch size %zu needs %.1f GB but the device has %.1f GB",
+        profile_->name.c_str(), machine_->name.c_str(), batch,
+        memory_bytes(batch) / 1e9, machine_->rank_mem_bytes / 1e9));
+  }
+
+  const MachineCompute& mc = profile_->on(machine_->kind);
+  std::size_t steps = profile_->steps_per_epoch(batch);
+  if (plan.level == ParallelLevel::kBatchStep) {
+    // Each epoch's steps are sharded across ranks (global batch =
+    // batch_per_rank * ranks).
+    steps = (steps + plan.ranks - 1) / plan.ranks;
+  }
+
+  const double step_c = step_compute_seconds(batch);
+  const double step_ar = allreduce_step_seconds(plan.ranks);
+  const double epochs = static_cast<double>(plan.epochs_per_rank);
+  const double steps_d = static_cast<double>(steps);
+
+  SimResult result;
+  result.steps_per_epoch = steps;
+  PhaseTimes& ph = result.phases;
+  ph.startup = mc.startup_s;
+  ph.data_load = data_load_seconds(plan.loader, plan.ranks);
+  ph.preprocess = mc.preprocess_s;
+  ph.negotiate_broadcast = load_skew_seconds(plan.loader, plan.ranks);
+  ph.broadcast_xfer = broadcast_tree_seconds(plan.ranks);
+  ph.train_compute = epochs * steps_d * step_c;
+  ph.train_comm = epochs * steps_d * step_ar;
+  ph.evaluate = mc.eval_s;
+  result.time_per_epoch = steps_d * (step_c + step_ar);
+
+  // --- power curve ----------------------------------------------------------
+  const double p_compute = compute_power_watts(batch);
+  power::PiecewisePower curve;
+  curve.append(ph.startup, machine_->p_idle);
+  curve.append(ph.data_load, machine_->p_io);
+  curve.append(ph.preprocess, machine_->p_io);
+  curve.append(ph.negotiate_broadcast, machine_->p_idle);
+  curve.append(ph.broadcast_xfer, machine_->p_comm);
+  for (std::size_t e = 0; e < plan.epochs_per_rank; ++e) {
+    curve.append(steps_d * step_c, p_compute);
+    curve.append(steps_d * step_ar, machine_->p_comm);
+  }
+  curve.append(ph.evaluate, machine_->p_eval);
+
+  const power::PowerMeter meter(machine_->meter_hz);
+  const power::PowerTrace trace = meter.sample(curve);
+  result.avg_power_w = trace.average_watts();
+  result.energy_per_rank_j = trace.energy_joules();
+  result.total_energy_j =
+      result.energy_per_rank_j * static_cast<double>(plan.ranks);
+  if (plan.make_power_trace) result.trace = trace;
+
+  // --- timeline ---------------------------------------------------------------
+  if (plan.make_timeline) {
+    auto tl = std::make_shared<trace::Timeline>();
+    const std::size_t lanes = std::min<std::size_t>(plan.ranks, 6);
+    const double max_arrival = ph.data_load + ph.negotiate_broadcast;
+    for (std::size_t r = 0; r < lanes; ++r) {
+      // Spread lane arrival times across the skew window; rank 0 is the
+      // earliest (it waits the full negotiate window).
+      const double frac =
+          lanes > 1 ? static_cast<double>(r) / static_cast<double>(lanes - 1)
+                    : 0.0;
+      const double load_r = ph.data_load + frac * ph.negotiate_broadcast;
+      double t = ph.startup;
+      tl->record(trace::kDataLoading, "io", r, t, load_r);
+      t += load_r;
+      tl->record(trace::kPreprocessing, "io", r, t, ph.preprocess);
+      t += ph.preprocess;
+      const double wait = max_arrival - load_r;
+      tl->record(trace::kNegotiateBroadcast, "broadcast", r, t, wait);
+      t += wait;
+      tl->record(trace::kMpiBroadcast, "broadcast", r, t, ph.broadcast_xfer);
+      t += ph.broadcast_xfer;
+      for (std::size_t e = 0; e < plan.epochs_per_rank; ++e) {
+        tl->record(trace::kComputeGradients, "compute", r, t,
+                   steps_d * step_c);
+        t += steps_d * step_c;
+        const double negotiate = 0.3 * steps_d * step_ar;
+        tl->record(trace::kNegotiateAllreduce, "allreduce", r, t, negotiate);
+        tl->record(trace::kNcclAllreduce, "allreduce", r, t + negotiate,
+                   steps_d * step_ar - negotiate);
+        t += steps_d * step_ar;
+      }
+      tl->record(trace::kEvaluation, "compute", r, t, ph.evaluate);
+    }
+    // Power counter track (Fig 7a overlaid on the Fig 7b lanes).
+    for (const auto& s : trace.samples)
+      tl->record_counter(machine_->has_gpus ? "gpu_power_w" : "node_power_w",
+                         s.t_s, s.watts);
+    result.timeline = std::move(tl);
+  }
+  return result;
+}
+
+}  // namespace candle::sim

@@ -1,0 +1,122 @@
+// Phase-level simulator for at-scale Horovod CANDLE runs.
+//
+// Given a machine model, a calibrated benchmark profile, and a run plan
+// (rank count, epochs/rank, batch/rank, loader, parallelism level), the
+// simulator computes the phase schedule the paper instruments:
+//
+//   startup | data load | preprocess | negotiate_broadcast | broadcast |
+//   { per epoch: compute + negotiate_allreduce + allreduce } | evaluate
+//
+// and derives total runtime, time/epoch, the metered power trace (nvidia-smi
+// at 1 Hz / PoLiMEr at 2 Hz), per-rank and total energy, and optionally a
+// Horovod-style timeline. It throws OutOfMemory for configurations the
+// paper reports as failing (NT3 batch >= 50; P1B3 linear batch scaling at
+// 192/384 GPUs).
+#pragma once
+
+#include <memory>
+
+#include "io/csv_reader.h"
+#include "power/power.h"
+#include "sim/calibration.h"
+#include "sim/machine.h"
+#include "trace/timeline.h"
+
+namespace candle::sim {
+
+/// Where data parallelism is applied (paper §2.3.1): epoch-level runs the
+/// full dataset per rank each epoch; batch-step-level shards each epoch
+/// across ranks.
+enum class ParallelLevel { kEpoch, kBatchStep };
+
+/// One simulated configuration.
+struct RunPlan {
+  std::size_t ranks = 1;
+  std::size_t epochs_per_rank = 1;
+  std::size_t batch_per_rank = 0;  // 0 -> benchmark default
+  io::LoaderKind loader = io::LoaderKind::kOriginal;
+  ParallelLevel level = ParallelLevel::kEpoch;
+  bool make_timeline = false;      // emit Horovod-style events (<= 6 lanes)
+  bool make_power_trace = false;   // keep the rank-0 sampled power series
+};
+
+/// Phase durations in seconds (per rank; ranks are symmetric).
+struct PhaseTimes {
+  double startup = 0.0;
+  double data_load = 0.0;
+  double preprocess = 0.0;
+  double negotiate_broadcast = 0.0;  // straggler wait (the paper's overhead)
+  double broadcast_xfer = 0.0;       // binomial-tree data movement
+  double train_compute = 0.0;
+  double train_comm = 0.0;           // allreduce (incl. per-step sync)
+  double evaluate = 0.0;
+
+  [[nodiscard]] double total() const {
+    return startup + data_load + preprocess + negotiate_broadcast +
+           broadcast_xfer + train_compute + train_comm + evaluate;
+  }
+  [[nodiscard]] double train() const { return train_compute + train_comm; }
+};
+
+/// Simulation output.
+struct SimResult {
+  PhaseTimes phases;
+  std::size_t steps_per_epoch = 0;
+  double time_per_epoch = 0.0;     // compute + comm per epoch
+  double avg_power_w = 0.0;        // metered average over the run
+  double energy_per_rank_j = 0.0;  // metered energy, one device
+  double total_energy_j = 0.0;     // all ranks
+  power::PowerTrace trace;         // rank-0 power series (if requested)
+  std::shared_ptr<trace::Timeline> timeline;  // if requested
+};
+
+/// The simulator. Stateless once constructed; safe to share const.
+class RunSimulator {
+ public:
+  RunSimulator(const Machine& machine, const BenchmarkProfile& profile);
+
+  /// Simulates one configuration. Throws OutOfMemory when the plan exceeds
+  /// device memory, InvalidArgument on malformed plans.
+  [[nodiscard]] SimResult simulate(const RunPlan& plan) const;
+
+  // --- individual cost models (exposed for unit tests and ablations) ------
+
+  /// Per-rank data-loading seconds including filesystem contention.
+  [[nodiscard]] double data_load_seconds(io::LoaderKind loader,
+                                         std::size_t ranks) const;
+
+  /// Straggler skew at the initial broadcast: the negotiate overhead.
+  [[nodiscard]] double load_skew_seconds(io::LoaderKind loader,
+                                         std::size_t ranks) const;
+
+  /// Binomial-tree broadcast of the model weights.
+  [[nodiscard]] double broadcast_tree_seconds(std::size_t ranks) const;
+
+  /// One ring-allreduce of the gradient payload, incl. sync overhead.
+  [[nodiscard]] double allreduce_step_seconds(std::size_t ranks) const;
+
+  /// Two-level (NCCL-hierarchical) allreduce cost: intra-node ring over
+  /// NVLink, inter-node ring over the NIC between node leaders, intra-node
+  /// broadcast. Exposed for the topology ablation; the flat model above is
+  /// what the calibrated anchors use.
+  [[nodiscard]] double allreduce_hierarchical_seconds(
+      std::size_t ranks) const;
+
+  /// One batch step's compute time for a per-rank batch size.
+  [[nodiscard]] double step_compute_seconds(std::size_t batch) const;
+
+  /// Device memory demanded by a per-rank batch size.
+  [[nodiscard]] double memory_bytes(std::size_t batch) const;
+
+  /// Metered power while training with the given per-rank batch.
+  [[nodiscard]] double compute_power_watts(std::size_t batch) const;
+
+  [[nodiscard]] const Machine& machine() const { return *machine_; }
+  [[nodiscard]] const BenchmarkProfile& profile() const { return *profile_; }
+
+ private:
+  const Machine* machine_;
+  const BenchmarkProfile* profile_;
+};
+
+}  // namespace candle::sim

@@ -1,0 +1,78 @@
+#include "sim/scaling_metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle::sim {
+
+double speedup(const ScalingPoint& baseline, const ScalingPoint& point) {
+  require(baseline.ranks == 1, "speedup: baseline must be the 1-rank run");
+  require(baseline.seconds > 0.0 && point.seconds > 0.0,
+          "speedup: times must be > 0");
+  return baseline.seconds / point.seconds;
+}
+
+double parallel_efficiency(const ScalingPoint& baseline,
+                           const ScalingPoint& point) {
+  require(point.ranks > 0, "parallel_efficiency: ranks must be > 0");
+  return speedup(baseline, point) / static_cast<double>(point.ranks);
+}
+
+double karp_flatt(const ScalingPoint& baseline, const ScalingPoint& point) {
+  require(point.ranks > 1, "karp_flatt: needs more than one rank");
+  const double s = speedup(baseline, point);
+  const double p = static_cast<double>(point.ranks);
+  return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p);
+}
+
+double amdahl_time(double t1, double serial_fraction, std::size_t ranks) {
+  require(t1 > 0.0, "amdahl_time: t1 must be > 0");
+  require(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+          "amdahl_time: fraction in [0, 1]");
+  require(ranks > 0, "amdahl_time: ranks must be > 0");
+  return t1 * (serial_fraction +
+               (1.0 - serial_fraction) / static_cast<double>(ranks));
+}
+
+double fit_serial_fraction(const std::vector<ScalingPoint>& curve) {
+  require(curve.size() >= 2, "fit_serial_fraction: need >= 2 points");
+  require(curve.front().ranks == 1,
+          "fit_serial_fraction: first point must be the 1-rank baseline");
+  const double t1 = curve.front().seconds;
+
+  auto error = [&](double f) {
+    double total = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      const double predicted = amdahl_time(t1, f, curve[i].ranks);
+      const double d = predicted - curve[i].seconds;
+      total += d * d;
+    }
+    return total;
+  };
+
+  // Golden-section search on the unimodal squared error.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 0.0, hi = 1.0;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double e1 = error(x1), e2 = error(x2);
+  for (int iter = 0; iter < 80; ++iter) {
+    if (e1 < e2) {
+      hi = x2;
+      x2 = x1;
+      e2 = e1;
+      x1 = hi - phi * (hi - lo);
+      e1 = error(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      e1 = e2;
+      x2 = lo + phi * (hi - lo);
+      e2 = error(x2);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace candle::sim

@@ -1,0 +1,42 @@
+// Parallel scaling metrics: speedup, efficiency, Karp-Flatt serial
+// fraction.
+//
+// The paper reports raw times; these are the standard derived metrics an
+// HPC analysis computes from them. The Karp-Flatt metric is particularly
+// telling here: the experimentally determined serial fraction
+//     e(P) = (1/S - 1/P) / (1 - 1/P)
+// exposes the per-rank replicated data loading as serial work — and shows
+// the paper's loader fix shrinking exactly that fraction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace candle::sim {
+
+/// One measured point of a strong-scaling curve.
+struct ScalingPoint {
+  std::size_t ranks = 1;
+  double seconds = 0.0;
+};
+
+/// Speedup S(P) = T(1) / T(P). Requires both times > 0.
+double speedup(const ScalingPoint& baseline, const ScalingPoint& point);
+
+/// Parallel efficiency S(P) / P in [0, ...].
+double parallel_efficiency(const ScalingPoint& baseline,
+                           const ScalingPoint& point);
+
+/// Karp-Flatt experimentally determined serial fraction. Requires
+/// point.ranks > 1.
+double karp_flatt(const ScalingPoint& baseline, const ScalingPoint& point);
+
+/// Amdahl's-law prediction: T(P) for a serial fraction f and T(1).
+double amdahl_time(double t1, double serial_fraction, std::size_t ranks);
+
+/// Fits the serial fraction minimizing squared error of Amdahl's law over
+/// a measured curve (golden-section search on f in [0, 1]). The first
+/// point must be ranks == 1 (the baseline).
+double fit_serial_fraction(const std::vector<ScalingPoint>& curve);
+
+}  // namespace candle::sim

@@ -1,0 +1,72 @@
+#include "supervisor/results_db.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace candle::supervisor {
+
+void ResultsDb::record(TrialResult result) {
+  results_.push_back(std::move(result));
+}
+
+std::optional<TrialResult> ResultsDb::best() const {
+  std::optional<TrialResult> best;
+  for (const auto& r : results_) {
+    if (r.failed) continue;
+    if (!best || r.metric > best->metric) best = r;
+  }
+  return best;
+}
+
+std::optional<TrialResult> ResultsDb::best_per_energy() const {
+  std::optional<TrialResult> best;
+  double best_ratio = 0.0;
+  for (const auto& r : results_) {
+    if (r.failed || r.energy_joules <= 0.0) continue;
+    const double ratio = static_cast<double>(r.metric) /
+                         (r.energy_joules / 1e3);
+    if (!best || ratio > best_ratio) {
+      best = r;
+      best_ratio = ratio;
+    }
+  }
+  return best;
+}
+
+std::vector<TrialResult> ResultsDb::ranked() const {
+  std::vector<TrialResult> out = results_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TrialResult& a, const TrialResult& b) {
+                     if (a.failed != b.failed) return !a.failed;
+                     return a.metric > b.metric;
+                   });
+  return out;
+}
+
+std::string ResultsDb::to_csv() const {
+  std::string out =
+      "trial_id,epochs,batch,learning_rate,optimizer,metric,loss,"
+      "train_seconds,energy_joules,failed,failure_reason\n";
+  for (const auto& r : results_) {
+    out += strprintf("%zu,%zu,%zu,%g,%s,%.6f,%.6f,%.3f,%.1f,%d,%s\n",
+                     r.trial.id, r.trial.epochs, r.trial.batch,
+                     r.trial.learning_rate, r.trial.optimizer.c_str(),
+                     r.metric, r.loss, r.train_seconds, r.energy_joules,
+                     r.failed ? 1 : 0, r.failure_reason.c_str());
+  }
+  return out;
+}
+
+void ResultsDb::save_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw IoError("ResultsDb: cannot open " + path);
+  const std::string csv = to_csv();
+  const std::size_t n = std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  if (n != csv.size()) throw IoError("ResultsDb: short write to " + path);
+}
+
+}  // namespace candle::supervisor

@@ -1,0 +1,54 @@
+// Results database for hyperparameter campaigns (the "database" component
+// of the CANDLE system overview, Fig 1b).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "supervisor/search_space.h"
+
+namespace candle::supervisor {
+
+/// Outcome of one evaluated trial.
+struct TrialResult {
+  Trial trial;
+  float metric = 0.0f;      // accuracy or R² (higher is better)
+  float loss = 0.0f;
+  double train_seconds = 0.0;
+  double energy_joules = 0.0;  // 0 when not simulated
+  bool failed = false;         // e.g. OOM
+  std::string failure_reason;
+};
+
+/// In-memory store with CSV persistence.
+class ResultsDb {
+ public:
+  void record(TrialResult result);
+
+  [[nodiscard]] std::size_t size() const { return results_.size(); }
+  [[nodiscard]] const std::vector<TrialResult>& all() const {
+    return results_;
+  }
+
+  /// Best non-failed result by metric; nullopt when all failed/empty.
+  [[nodiscard]] std::optional<TrialResult> best() const;
+
+  /// Best by metric-per-kilojoule (the energy-aware objective the paper's
+  /// power study motivates). Results with zero energy are skipped.
+  [[nodiscard]] std::optional<TrialResult> best_per_energy() const;
+
+  /// Results sorted by metric descending (failed trials last).
+  [[nodiscard]] std::vector<TrialResult> ranked() const;
+
+  /// CSV dump: header + one row per result.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes to_csv() to a file; throws IoError on failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<TrialResult> results_;
+};
+
+}  // namespace candle::supervisor

@@ -1,0 +1,67 @@
+#include "supervisor/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace candle::supervisor {
+
+double Schedule::utilization() const {
+  if (makespan_s <= 0.0 || total_ranks == 0) return 0.0;
+  return busy_rank_seconds / (makespan_s * static_cast<double>(total_ranks));
+}
+
+ClusterScheduler::ClusterScheduler(std::size_t total_ranks)
+    : total_ranks_(total_ranks) {
+  require(total_ranks > 0, "ClusterScheduler: total_ranks must be > 0");
+}
+
+Schedule ClusterScheduler::schedule(
+    const std::vector<JobRequest>& jobs) const {
+  Schedule out;
+  out.total_ranks = total_ranks_;
+  std::vector<double> available(total_ranks_, 0.0);
+  std::vector<std::size_t> index(total_ranks_);
+
+  for (const JobRequest& job : jobs) {
+    require(job.ranks > 0, "schedule: job needs at least one rank");
+    require(job.ranks <= total_ranks_,
+            "schedule: job '" + job.trial.key() + "' requests " +
+                std::to_string(job.ranks) + " ranks but the allocation has " +
+                std::to_string(total_ranks_));
+    require(job.seconds >= 0.0, "schedule: negative duration");
+
+    // Pick the job.ranks ranks that free earliest (stable by rank id).
+    std::iota(index.begin(), index.end(), 0);
+    std::stable_sort(index.begin(), index.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return available[a] < available[b];
+                     });
+    ScheduledJob placed;
+    placed.request = job;
+    placed.rank_ids.assign(index.begin(),
+                           index.begin() + static_cast<long>(job.ranks));
+    double start = 0.0;
+    for (std::size_t r : placed.rank_ids) start = std::max(start, available[r]);
+    placed.start_s = start;
+    placed.end_s = start + job.seconds;
+    for (std::size_t r : placed.rank_ids) available[r] = placed.end_s;
+    out.makespan_s = std::max(out.makespan_s, placed.end_s);
+    out.busy_rank_seconds +=
+        static_cast<double>(job.ranks) * job.seconds;
+    out.jobs.push_back(std::move(placed));
+  }
+  return out;
+}
+
+Schedule ClusterScheduler::schedule_lpt(std::vector<JobRequest> jobs) const {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const JobRequest& a, const JobRequest& b) {
+                     return a.seconds * static_cast<double>(a.ranks) >
+                            b.seconds * static_cast<double>(b.ranks);
+                   });
+  return schedule(jobs);
+}
+
+}  // namespace candle::supervisor

@@ -1,0 +1,63 @@
+// Cluster job scheduler for hyperparameter campaigns.
+//
+// The CANDLE supervisor launches many training jobs onto an allocation of
+// nodes/GPUs. This is a deterministic list scheduler: each job requests a
+// number of ranks and an estimated duration; jobs are placed on the ranks
+// that free up earliest. Used to plan campaign makespans on the simulated
+// Summit/Theta allocations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "supervisor/search_space.h"
+
+namespace candle::supervisor {
+
+/// A job to place: `trial` is evaluated on `ranks` ranks for an estimated
+/// `seconds` of wall-clock.
+struct JobRequest {
+  Trial trial;
+  std::size_t ranks = 1;
+  double seconds = 0.0;
+};
+
+/// Placement decision for one job.
+struct ScheduledJob {
+  JobRequest request;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<std::size_t> rank_ids;  // which cluster ranks it occupies
+};
+
+/// Outcome of scheduling a whole campaign.
+struct Schedule {
+  std::vector<ScheduledJob> jobs;
+  double makespan_s = 0.0;      // completion time of the last job
+  double busy_rank_seconds = 0.0;  // sum of job ranks * duration
+  std::size_t total_ranks = 0;
+
+  /// Allocation utilization in [0, 1]: busy rank-seconds over
+  /// total_ranks * makespan.
+  [[nodiscard]] double utilization() const;
+};
+
+/// Deterministic earliest-available list scheduler over `total_ranks`
+/// identical ranks. Jobs are placed in the order given (FIFO) on the ranks
+/// with the smallest available time; a job starts when all its ranks are
+/// free. Throws InvalidArgument when a job requests more ranks than exist.
+class ClusterScheduler {
+ public:
+  explicit ClusterScheduler(std::size_t total_ranks);
+
+  [[nodiscard]] Schedule schedule(const std::vector<JobRequest>& jobs) const;
+
+  /// Convenience: schedules jobs in decreasing-duration order (LPT), which
+  /// bounds makespan within 4/3 of optimal for identical machines.
+  [[nodiscard]] Schedule schedule_lpt(std::vector<JobRequest> jobs) const;
+
+ private:
+  std::size_t total_ranks_;
+};
+
+}  // namespace candle::supervisor

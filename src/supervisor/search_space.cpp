@@ -1,0 +1,107 @@
+#include "supervisor/search_space.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace candle::supervisor {
+
+std::string Trial::key() const {
+  return strprintf("e%zu_b%zu_lr%g_%s", epochs, batch, learning_rate,
+                   optimizer.c_str());
+}
+
+std::size_t SearchSpace::grid_size() const {
+  return epochs.size() * batches.size() * learning_rates.size() *
+         optimizers.size();
+}
+
+void SearchSpace::validate() const {
+  require(!epochs.empty(), "SearchSpace: epochs axis is empty");
+  require(!batches.empty(), "SearchSpace: batches axis is empty");
+  require(!learning_rates.empty(), "SearchSpace: learning_rates axis is empty");
+  require(!optimizers.empty(), "SearchSpace: optimizers axis is empty");
+}
+
+std::vector<Trial> grid_search(const SearchSpace& space) {
+  space.validate();
+  std::vector<Trial> trials;
+  trials.reserve(space.grid_size());
+  std::size_t id = 0;
+  for (std::size_t e : space.epochs)
+    for (std::size_t b : space.batches)
+      for (double lr : space.learning_rates)
+        for (const std::string& opt : space.optimizers)
+          trials.push_back(Trial{id++, e, b, lr, opt});
+  return trials;
+}
+
+std::vector<Trial> random_search(const SearchSpace& space, std::size_t count,
+                                 std::uint64_t seed) {
+  space.validate();
+  Rng rng(seed);
+  std::vector<Trial> trials;
+  trials.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Trial t;
+    t.id = i;
+    t.epochs = space.epochs[rng.uniform_index(space.epochs.size())];
+    t.batch = space.batches[rng.uniform_index(space.batches.size())];
+    t.learning_rate =
+        space.learning_rates[rng.uniform_index(space.learning_rates.size())];
+    t.optimizer =
+        space.optimizers[rng.uniform_index(space.optimizers.size())];
+    trials.push_back(std::move(t));
+  }
+  return trials;
+}
+
+namespace {
+
+/// Stratified index sequence: a reshuffled cycle over [0, n).
+class StratifiedAxis {
+ public:
+  StratifiedAxis(std::size_t n, Rng& rng) : n_(n), rng_(&rng) { refill(); }
+
+  std::size_t next() {
+    if (pos_ == order_.size()) refill();
+    return order_[pos_++];
+  }
+
+ private:
+  void refill() {
+    order_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) order_[i] = i;
+    rng_->shuffle(order_);
+    pos_ = 0;
+  }
+  std::size_t n_;
+  Rng* rng_;
+  std::vector<std::size_t> order_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Trial> stratified_search(const SearchSpace& space,
+                                     std::size_t count, std::uint64_t seed) {
+  space.validate();
+  Rng rng(seed);
+  StratifiedAxis ax_e(space.epochs.size(), rng);
+  StratifiedAxis ax_b(space.batches.size(), rng);
+  StratifiedAxis ax_lr(space.learning_rates.size(), rng);
+  StratifiedAxis ax_opt(space.optimizers.size(), rng);
+  std::vector<Trial> trials;
+  trials.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Trial t;
+    t.id = i;
+    t.epochs = space.epochs[ax_e.next()];
+    t.batch = space.batches[ax_b.next()];
+    t.learning_rate = space.learning_rates[ax_lr.next()];
+    t.optimizer = space.optimizers[ax_opt.next()];
+    trials.push_back(std::move(t));
+  }
+  return trials;
+}
+
+}  // namespace candle::supervisor

@@ -1,0 +1,55 @@
+// Hyperparameter search space for the CANDLE/Supervisor workflow.
+//
+// The CANDLE system (paper Fig 1b, [33]) drives the benchmarks through a
+// supervisor that performs hyperparameter optimization over epochs, batch
+// sizes, and learning rates — exactly the parameters this paper studies.
+// This module defines the search space and the grid/random samplers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace candle::supervisor {
+
+/// One hyperparameter configuration to evaluate.
+struct Trial {
+  std::size_t id = 0;
+  std::size_t epochs = 1;
+  std::size_t batch = 32;
+  double learning_rate = 0.001;
+  std::string optimizer = "sgd";
+
+  /// Stable human-readable key, e.g. "e8_b20_lr0.001_sgd".
+  [[nodiscard]] std::string key() const;
+};
+
+/// Axis-aligned discrete search space.
+struct SearchSpace {
+  std::vector<std::size_t> epochs;
+  std::vector<std::size_t> batches;
+  std::vector<double> learning_rates;
+  std::vector<std::string> optimizers;
+
+  /// Total number of grid points.
+  [[nodiscard]] std::size_t grid_size() const;
+
+  /// Throws InvalidArgument when any axis is empty.
+  void validate() const;
+};
+
+/// Full Cartesian grid, in deterministic axis-major order.
+std::vector<Trial> grid_search(const SearchSpace& space);
+
+/// `count` uniform random draws (with replacement) from the space.
+std::vector<Trial> random_search(const SearchSpace& space, std::size_t count,
+                                 std::uint64_t seed);
+
+/// Latin-hypercube-style draw: `count` samples that stratify each axis as
+/// evenly as possible (no axis value repeats until all are used).
+std::vector<Trial> stratified_search(const SearchSpace& space,
+                                     std::size_t count, std::uint64_t seed);
+
+}  // namespace candle::supervisor

@@ -1,0 +1,130 @@
+#include "supervisor/supervisor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/stopwatch.h"
+
+namespace candle::supervisor {
+
+ResultsDb run_campaign(const CampaignConfig& config,
+                       const std::vector<Trial>& trials) {
+  ResultsDb db;
+  const ScaledGeometry geometry =
+      scaled_geometry(config.benchmark, config.scale);
+  const BenchmarkData data =
+      config.mode == EvalMode::kRealTraining
+          ? make_benchmark_data(config.benchmark, geometry, config.seed)
+          : BenchmarkData{};
+
+  for (const Trial& trial : trials) {
+    TrialResult result;
+    result.trial = trial;
+    try {
+      if (config.mode == EvalMode::kRealTraining) {
+        nn::Model model = build_model(config.benchmark, geometry);
+        model.compile({geometry.features},
+                      nn::make_optimizer(trial.optimizer, trial.learning_rate),
+                      nn::make_loss(benchmark_loss(config.benchmark)),
+                      config.seed + trial.id);
+        nn::FitOptions fit;
+        fit.epochs = trial.epochs;
+        fit.batch_size = trial.batch;
+        fit.classification = benchmark_is_classification(config.benchmark);
+        Stopwatch watch;
+        const nn::History history = model.fit(data.train, fit);
+        result.train_seconds = watch.seconds();
+        result.metric = history.final_accuracy();
+        result.loss = history.final_loss();
+      } else {
+        sim::RunSimulator simulator(*config.machine,
+                                    profile_for(config.benchmark));
+        sim::RunPlan plan;
+        plan.ranks = config.ranks_per_trial;
+        plan.epochs_per_rank = trial.epochs;
+        plan.batch_per_rank = trial.batch;
+        const sim::SimResult r = simulator.simulate(plan);
+        result.train_seconds = r.phases.total();
+        result.energy_joules = r.total_energy_j;
+      }
+    } catch (const Error& err) {
+      result.failed = true;
+      result.failure_reason = err.what();
+      log_warn() << "trial " << trial.key() << " failed: " << err.what();
+    }
+    db.record(std::move(result));
+  }
+  return db;
+}
+
+HalvingResult successive_halving(const CampaignConfig& config,
+                                 std::vector<Trial> candidates,
+                                 std::size_t initial_epochs,
+                                 std::size_t max_epochs,
+                                 std::size_t reduction) {
+  require(config.mode == EvalMode::kRealTraining,
+          "successive_halving: real-training mode only");
+  require(!candidates.empty(), "successive_halving: no candidates");
+  require(initial_epochs > 0 && max_epochs >= initial_epochs,
+          "successive_halving: bad epoch budgets");
+  require(reduction >= 2, "successive_halving: reduction must be >= 2");
+
+  HalvingResult result;
+  std::size_t epochs = initial_epochs;
+  TrialResult latest_best;
+
+  while (true) {
+    ++result.rungs;
+    // Evaluate every surviving candidate at the current fidelity.
+    std::vector<Trial> rung = candidates;
+    for (Trial& t : rung) t.epochs = epochs;
+    const ResultsDb rung_db = run_campaign(config, rung);
+    std::vector<TrialResult> ranked = rung_db.ranked();
+    for (const TrialResult& r : rung_db.all()) result.db.record(r);
+    require(!ranked.empty() && !ranked.front().failed,
+            "successive_halving: every candidate failed");
+    latest_best = ranked.front();
+
+    const std::size_t keep =
+        std::max<std::size_t>(1, candidates.size() / reduction);
+    if (keep == candidates.size() && candidates.size() > 1) break;
+    std::vector<Trial> survivors;
+    survivors.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i)
+      if (!ranked[i].failed) survivors.push_back(ranked[i].trial);
+    require(!survivors.empty(), "successive_halving: no survivors");
+    candidates = std::move(survivors);
+
+    if (candidates.size() == 1 || epochs * reduction > max_epochs) break;
+    epochs *= reduction;
+  }
+  result.winner = latest_best;
+  return result;
+}
+
+Schedule plan_campaign(const CampaignConfig& config,
+                       const std::vector<Trial>& trials,
+                       std::size_t allocation_ranks) {
+  sim::RunSimulator simulator(*config.machine, profile_for(config.benchmark));
+  std::vector<JobRequest> jobs;
+  jobs.reserve(trials.size());
+  for (const Trial& trial : trials) {
+    JobRequest job;
+    job.trial = trial;
+    job.ranks = config.ranks_per_trial;
+    sim::RunPlan plan;
+    plan.ranks = config.ranks_per_trial;
+    plan.epochs_per_rank = trial.epochs;
+    plan.batch_per_rank = trial.batch;
+    try {
+      job.seconds = simulator.simulate(plan).phases.total();
+    } catch (const OutOfMemory&) {
+      continue;  // unschedulable configurations are dropped from the plan
+    }
+    jobs.push_back(std::move(job));
+  }
+  return ClusterScheduler(allocation_ranks).schedule_lpt(std::move(jobs));
+}
+
+}  // namespace candle::supervisor

@@ -1,0 +1,64 @@
+// CANDLE/Supervisor: the hyperparameter-optimization workflow driver
+// (paper Fig 1b, reference [33]).
+//
+// Evaluates a set of trials against a benchmark, either by REAL scaled-down
+// training (metric = measured accuracy/R²) or through the calibrated
+// simulator (time/energy at full scale), records everything in a ResultsDb,
+// and plans the campaign's placement on a cluster allocation with the list
+// scheduler.
+#pragma once
+
+#include "candle/models.h"
+#include "sim/run_sim.h"
+#include "supervisor/results_db.h"
+#include "supervisor/scheduler.h"
+
+namespace candle::supervisor {
+
+/// How a trial is evaluated.
+enum class EvalMode {
+  kRealTraining,  // train the scaled benchmark, measure accuracy
+  kSimulated,     // cost-model time/energy only (metric stays 0)
+};
+
+/// Campaign configuration.
+struct CampaignConfig {
+  BenchmarkId benchmark = BenchmarkId::kNT3;
+  EvalMode mode = EvalMode::kRealTraining;
+  double scale = 0.0015;          // dataset scale for real training
+  std::size_t ranks_per_trial = 1;  // allocation granularity
+  const sim::Machine* machine = &sim::Machine::summit();
+  std::uint64_t seed = 7;
+};
+
+/// Runs all trials and returns the filled database. OOM (or other
+/// configuration failures) are recorded as failed trials, not thrown —
+/// a hyperparameter sweep must survive bad configurations.
+ResultsDb run_campaign(const CampaignConfig& config,
+                       const std::vector<Trial>& trials);
+
+/// Plans the campaign's execution on `allocation_ranks` ranks using the
+/// simulator's per-trial runtime estimates, and returns the schedule.
+Schedule plan_campaign(const CampaignConfig& config,
+                       const std::vector<Trial>& trials,
+                       std::size_t allocation_ranks);
+
+/// Successive halving (Hyperband's inner loop): evaluates all candidates
+/// at `initial_epochs`, keeps the best 1/`reduction` by metric, multiplies
+/// the epoch budget by `reduction`, and repeats until one survivor remains
+/// (or epochs would exceed `max_epochs`). Far cheaper than grid search at
+/// equal final fidelity. Real-training mode only. Returns the full
+/// database (every evaluation at every rung) plus the winner via
+/// `ResultsDb::best()` semantics on the final rung.
+struct HalvingResult {
+  ResultsDb db;             // all rung evaluations
+  TrialResult winner;       // highest-fidelity evaluation of the survivor
+  std::size_t rungs = 0;    // number of halving rounds executed
+};
+HalvingResult successive_halving(const CampaignConfig& config,
+                                 std::vector<Trial> candidates,
+                                 std::size_t initial_epochs,
+                                 std::size_t max_epochs,
+                                 std::size_t reduction = 2);
+
+}  // namespace candle::supervisor

@@ -1,0 +1,186 @@
+#include "tensor/conv.h"
+
+#include "common/error.h"
+
+namespace candle {
+
+std::size_t conv1d_out_length(std::size_t length, std::size_t window,
+                              std::size_t stride) {
+  require(window > 0 && stride > 0, "conv1d: window and stride must be > 0");
+  require(length >= window,
+          "conv1d: input length " + std::to_string(length) +
+              " shorter than window " + std::to_string(window));
+  return (length - window) / stride + 1;
+}
+
+Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      std::size_t stride) {
+  require(x.rank() == 3, "conv1d_forward: x must be (b, L, Cin)");
+  require(w.rank() == 3, "conv1d_forward: w must be (K, Cin, Cout)");
+  const std::size_t b = x.dim(0), L = x.dim(1), cin = x.dim(2);
+  const std::size_t K = w.dim(0), cout = w.dim(2);
+  require(w.dim(1) == cin, "conv1d_forward: channel mismatch");
+  require(bias.rank() == 1 && bias.dim(0) == cout,
+          "conv1d_forward: bias must be (Cout)");
+  const std::size_t lout = conv1d_out_length(L, K, stride);
+
+  Tensor y({b, lout, cout});
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = bias.data();
+  float* py = y.data();
+
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    const float* xb = px + bi * L * cin;
+    float* yb = py + bi * lout * cout;
+    for (std::size_t t = 0; t < lout; ++t) {
+      float* yrow = yb + t * cout;
+      for (std::size_t oc = 0; oc < cout; ++oc) yrow[oc] = pb[oc];
+      const float* xwin = xb + t * stride * cin;
+      for (std::size_t k = 0; k < K; ++k) {
+        const float* xrow = xwin + k * cin;
+        const float* wrow = pw + k * cin * cout;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          const float xv = xrow[ic];
+          if (xv == 0.0f) continue;
+          const float* wvec = wrow + ic * cout;
+          for (std::size_t oc = 0; oc < cout; ++oc) yrow[oc] += xv * wvec[oc];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+void conv1d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     std::size_t stride, Tensor& dx, Tensor& dw,
+                     Tensor& dbias) {
+  const std::size_t b = x.dim(0), L = x.dim(1), cin = x.dim(2);
+  const std::size_t K = w.dim(0), cout = w.dim(2);
+  const std::size_t lout = conv1d_out_length(L, K, stride);
+  require(dy.rank() == 3 && dy.dim(0) == b && dy.dim(1) == lout &&
+              dy.dim(2) == cout,
+          "conv1d_backward: dy shape mismatch");
+  check_same_shape(dx, x, "conv1d_backward dx");
+  check_same_shape(dw, w, "conv1d_backward dw");
+  require(dbias.rank() == 1 && dbias.dim(0) == cout,
+          "conv1d_backward: dbias must be (Cout)");
+
+  dx.zero();
+  dw.zero();
+  dbias.zero();
+
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  float* pdw = dw.data();
+  float* pdb = dbias.data();
+
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    const float* xb = px + bi * L * cin;
+    float* dxb = pdx + bi * L * cin;
+    const float* dyb = pdy + bi * lout * cout;
+    for (std::size_t t = 0; t < lout; ++t) {
+      const float* dyrow = dyb + t * cout;
+      for (std::size_t oc = 0; oc < cout; ++oc) pdb[oc] += dyrow[oc];
+      const std::size_t base = t * stride * cin;
+      for (std::size_t k = 0; k < K; ++k) {
+        const float* xrow = xb + base + k * cin;
+        float* dxrow = dxb + base + k * cin;
+        const float* wrow = pw + k * cin * cout;
+        float* dwrow = pdw + k * cin * cout;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          const float xv = xrow[ic];
+          const float* wvec = wrow + ic * cout;
+          float* dwvec = dwrow + ic * cout;
+          double dxacc = 0.0;
+          for (std::size_t oc = 0; oc < cout; ++oc) {
+            const float g = dyrow[oc];
+            dwvec[oc] += xv * g;
+            dxacc += static_cast<double>(wvec[oc]) * g;
+          }
+          dxrow[ic] += static_cast<float>(dxacc);
+        }
+      }
+    }
+  }
+}
+
+Tensor maxpool1d_forward(const Tensor& x, std::size_t window,
+                         std::size_t stride,
+                         std::vector<std::size_t>& argmax) {
+  require(x.rank() == 3, "maxpool1d_forward: x must be (b, L, C)");
+  const std::size_t b = x.dim(0), L = x.dim(1), C = x.dim(2);
+  const std::size_t lout = conv1d_out_length(L, window, stride);
+  Tensor y({b, lout, C});
+  argmax.assign(y.numel(), 0);
+  const float* px = x.data();
+  float* py = y.data();
+
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    const float* xb = px + bi * L * C;
+    for (std::size_t t = 0; t < lout; ++t) {
+      const std::size_t base = t * stride;
+      for (std::size_t c = 0; c < C; ++c) {
+        std::size_t best = base * C + c;
+        float bestv = xb[best];
+        for (std::size_t k = 1; k < window; ++k) {
+          const std::size_t idx = (base + k) * C + c;
+          if (xb[idx] > bestv) {
+            bestv = xb[idx];
+            best = idx;
+          }
+        }
+        const std::size_t oidx = (bi * lout + t) * C + c;
+        py[oidx] = bestv;
+        argmax[oidx] = bi * L * C + best;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor maxpool1d_backward(const Tensor& dy, const Shape& x_shape,
+                          const std::vector<std::size_t>& argmax) {
+  require(dy.numel() == argmax.size(),
+          "maxpool1d_backward: argmax size mismatch");
+  Tensor dx(x_shape);
+  float* pdx = dx.data();
+  const float* pdy = dy.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) pdx[argmax[i]] += pdy[i];
+  return dx;
+}
+
+Tensor global_avgpool1d_forward(const Tensor& x) {
+  require(x.rank() == 3, "global_avgpool1d: x must be (b, L, C)");
+  const std::size_t b = x.dim(0), L = x.dim(1), C = x.dim(2);
+  require(L > 0, "global_avgpool1d: empty time axis");
+  Tensor y({b, C});
+  const float* px = x.data();
+  float* py = y.data();
+  const float inv = 1.0f / static_cast<float>(L);
+  for (std::size_t bi = 0; bi < b; ++bi)
+    for (std::size_t t = 0; t < L; ++t)
+      for (std::size_t c = 0; c < C; ++c)
+        py[bi * C + c] += px[(bi * L + t) * C + c] * inv;
+  return y;
+}
+
+Tensor global_avgpool1d_backward(const Tensor& dy, const Shape& x_shape) {
+  require(x_shape.size() == 3, "global_avgpool1d_backward: x must be rank-3");
+  const std::size_t b = x_shape[0], L = x_shape[1], C = x_shape[2];
+  require(dy.rank() == 2 && dy.dim(0) == b && dy.dim(1) == C,
+          "global_avgpool1d_backward: dy shape mismatch");
+  Tensor dx(x_shape);
+  const float inv = 1.0f / static_cast<float>(L);
+  float* pdx = dx.data();
+  const float* pdy = dy.data();
+  for (std::size_t bi = 0; bi < b; ++bi)
+    for (std::size_t t = 0; t < L; ++t)
+      for (std::size_t c = 0; c < C; ++c)
+        pdx[(bi * L + t) * C + c] = pdy[bi * C + c] * inv;
+  return dx;
+}
+
+}  // namespace candle

@@ -1,0 +1,45 @@
+// 1-D convolution and max-pooling kernels (channels-last layout), the
+// building blocks of the NT3 convolutional classifier.
+//
+// Layout convention (matches Keras Conv1D with channels_last):
+//   activations: (batch, length, channels)
+//   conv weights: (kernel, in_channels, out_channels)
+// Padding is 'valid' and dilation is 1, which is what NT3 uses.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace candle {
+
+/// Output length of a valid 1-D convolution / pooling window sweep.
+/// Requires length >= window.
+std::size_t conv1d_out_length(std::size_t length, std::size_t window,
+                              std::size_t stride);
+
+/// Forward convolution: x (b, L, Cin), w (K, Cin, Cout), bias (Cout)
+/// -> y (b, Lout, Cout).
+Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      std::size_t stride);
+
+/// Gradients of the valid conv. `dy` is (b, Lout, Cout).
+/// Outputs are written to dx/dw/dbias which must be pre-shaped like
+/// x/w/bias (they are zeroed first).
+void conv1d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     std::size_t stride, Tensor& dx, Tensor& dw,
+                     Tensor& dbias);
+
+/// Max-pool forward: x (b, L, C) -> y (b, Lout, C); `argmax` records, for
+/// every output element, the flat input index that won (for backward).
+Tensor maxpool1d_forward(const Tensor& x, std::size_t window,
+                         std::size_t stride,
+                         std::vector<std::size_t>& argmax);
+
+/// Max-pool backward: routes dy elements to the recorded argmax positions.
+Tensor maxpool1d_backward(const Tensor& dy, const Shape& x_shape,
+                          const std::vector<std::size_t>& argmax);
+
+/// Global average pool over time: x (b, L, C) -> y (b, C).
+Tensor global_avgpool1d_forward(const Tensor& x);
+Tensor global_avgpool1d_backward(const Tensor& dy, const Shape& x_shape);
+
+}  // namespace candle

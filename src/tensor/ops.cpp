@@ -1,0 +1,229 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace candle {
+namespace {
+
+void check_rank2(const Tensor& t, const char* op) {
+  require(t.rank() == 2, std::string(op) + ": operand must be rank-2, got " +
+                             shape_to_string(t.shape()));
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dims differ: " +
+                             shape_to_string(a.shape()) + " x " +
+                             shape_to_string(b.shape()));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: unit-stride access on B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul_tn: leading dims differ: " +
+                             shape_to_string(a.shape()) + " x " +
+                             shape_to_string(b.shape()));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt: inner dims differ: " +
+                             shape_to_string(a.shape()) + " x " +
+                             shape_to_string(b.shape()) + "^T");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(arow[kk]) * brow[kk];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+void add_bias_rows(Tensor& y, const Tensor& bias) {
+  check_rank2(y, "add_bias_rows");
+  require(bias.rank() == 1 && bias.dim(0) == y.dim(1),
+          "add_bias_rows: bias shape must equal row width");
+  const std::size_t m = y.dim(0), n = y.dim(1);
+  float* py = y.data();
+  const float* pb = bias.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) py[i * n + j] += pb[j];
+}
+
+Tensor sum_rows(const Tensor& a) {
+  check_rank2(a, "sum_rows");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  return out;
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  check_same_shape(x, y, "axpy");
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.numel(); ++i) py[i] += alpha * px[i];
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out = x;
+  for (float& v : out.values()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& dy, const Tensor& y) {
+  check_same_shape(dy, y, "relu_backward");
+  Tensor dx = dy;
+  float* pd = dx.data();
+  const float* py = y.data();
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    if (py[i] <= 0.0f) pd[i] = 0.0f;
+  return dx;
+}
+
+Tensor sigmoid(const Tensor& x) {
+  Tensor out = x;
+  for (float& v : out.values()) v = 1.0f / (1.0f + std::exp(-v));
+  return out;
+}
+
+Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
+  check_same_shape(dy, y, "sigmoid_backward");
+  Tensor dx = dy;
+  float* pd = dx.data();
+  const float* py = y.data();
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    pd[i] *= py[i] * (1.0f - py[i]);
+  return dx;
+}
+
+Tensor tanh_act(const Tensor& x) {
+  Tensor out = x;
+  for (float& v : out.values()) v = std::tanh(v);
+  return out;
+}
+
+Tensor tanh_backward(const Tensor& dy, const Tensor& y) {
+  check_same_shape(dy, y, "tanh_backward");
+  Tensor dx = dy;
+  float* pd = dx.data();
+  const float* py = y.data();
+  for (std::size_t i = 0; i < dx.numel(); ++i) pd[i] *= 1.0f - py[i] * py[i];
+  return dx;
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  check_rank2(x, "softmax_rows");
+  const std::size_t m = x.dim(0), n = x.dim(1);
+  require(n > 0, "softmax_rows: zero-width rows");
+  Tensor out = x;
+  float* p = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = p + i * n;
+    const float mx = *std::max_element(row, row + n);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& x) {
+  check_rank2(x, "argmax_rows");
+  const std::size_t m = x.dim(0), n = x.dim(1);
+  require(n > 0, "argmax_rows: zero-width rows");
+  std::vector<std::size_t> out(m);
+  const float* p = x.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = p + i * n;
+    out[i] = static_cast<std::size_t>(
+        std::max_element(row, row + n) - row);
+  }
+  return out;
+}
+
+}  // namespace candle

@@ -1,0 +1,73 @@
+// Dense linear algebra and elementwise kernels over Tensor.
+//
+// Matmul variants cover exactly the products needed by dense-layer
+// forward/backward passes; conv/pool kernels live in conv.h.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace candle {
+
+// ---------------------------------------------------------------------------
+// Matrix products (all operands rank-2).
+// ---------------------------------------------------------------------------
+
+/// C = A(m,k) * B(k,n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T(k,m)^T... i.e. C(m,n) = A(k,m)^T * B(k,n). Used for dW = X^T dY.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C(m,n) = A(m,k) * B(n,k)^T. Used for dX = dY W^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Elementwise math.
+// ---------------------------------------------------------------------------
+
+/// out = a + b (same shape).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b (same shape).
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a ⊙ b (Hadamard product, same shape).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = s * a.
+Tensor scale(const Tensor& a, float s);
+
+/// y += rows of bias: y has shape (m,n), bias has shape (n).
+void add_bias_rows(Tensor& y, const Tensor& bias);
+
+/// Sums a (m,n) tensor over rows into a (n) tensor. Used for bias gradients.
+Tensor sum_rows(const Tensor& a);
+
+/// axpy: y += alpha * x (same shape; no allocation).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+// ---------------------------------------------------------------------------
+// Activations (forward value + backward via saved output).
+// ---------------------------------------------------------------------------
+
+Tensor relu(const Tensor& x);
+/// dx = dy ⊙ 1[y > 0]; `y` is the saved forward output.
+Tensor relu_backward(const Tensor& dy, const Tensor& y);
+
+Tensor sigmoid(const Tensor& x);
+/// dx = dy ⊙ y(1-y).
+Tensor sigmoid_backward(const Tensor& dy, const Tensor& y);
+
+Tensor tanh_act(const Tensor& x);
+/// dx = dy ⊙ (1-y²).
+Tensor tanh_backward(const Tensor& dy, const Tensor& y);
+
+/// Row-wise softmax over a (m,n) tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Row-wise argmax (class prediction) over a (m,n) tensor.
+// ---------------------------------------------------------------------------
+std::vector<std::size_t> argmax_rows(const Tensor& x);
+
+}  // namespace candle

@@ -1,0 +1,91 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric substrate for the NN library. It is intentionally
+// simple: contiguous storage, shape as a small vector, no views/strides.
+// All layer math is expressed through the free functions in ops.h / conv.h.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace candle {
+
+/// Shape of a tensor; empty shape denotes a scalar with one element.
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements implied by a shape (product of dims; 1 for scalar).
+std::size_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 5]" — used in error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Contiguous row-major float tensor.
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, rank 0 with explicit zero-dim shape {0}).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with every element set to `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor adopting `values` (size must match the shape).
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+
+  /// 1-D tensor from an initializer list.
+  static Tensor from(std::initializer_list<float> values);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const;
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> values() { return data_; }
+  [[nodiscard]] std::span<const float> values() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Checked 2-D accessors (row, col); requires rank() == 2.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Returns a tensor with the same data and a new shape of equal numel.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// In-place: fills with zeros.
+  void zero();
+
+  /// In-place elementwise operations (shape must match for tensor forms).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  /// Sum, mean, min, max over all elements (0 for empty tensors).
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+
+  /// Squared L2 norm of all elements.
+  [[nodiscard]] float sq_norm() const;
+
+ private:
+  Shape shape_{0};
+  std::vector<float> data_;
+};
+
+/// Throws InvalidArgument unless both shapes are identical.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op);
+
+}  // namespace candle

@@ -1,0 +1,95 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace candle::trace {
+
+void Timeline::record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Timeline::record(const std::string& name, const std::string& category,
+                      std::size_t rank, double start_s, double duration_s) {
+  record(Event{name, category, rank, start_s, duration_s});
+}
+
+void Timeline::record_counter(const std::string& name, double t_s,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(CounterSample{name, t_s, value});
+}
+
+std::size_t Timeline::counter_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size();
+}
+
+std::size_t Timeline::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<Event> Timeline::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+double Timeline::total_duration(const std::string& name,
+                                std::size_t rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& e : events_)
+    if (e.rank == rank && e.name == name) total += e.duration_s;
+  return total;
+}
+
+double Timeline::span_end() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double end = 0.0;
+  for (const auto& e : events_)
+    end = std::max(end, e.start_s + e.duration_s);
+  return end;
+}
+
+std::string Timeline::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "[\n";
+  const std::size_t total = events_.size() + counters_.size();
+  std::size_t emitted = 0;
+  for (const Event& e : events_) {
+    ++emitted;
+    os << strprintf(
+        "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"pid\": 0, \"tid\": %zu, \"ts\": %.1f, \"dur\": %.1f}%s\n",
+        e.name.c_str(), e.category.c_str(), e.rank, e.start_s * 1e6,
+        e.duration_s * 1e6, emitted < total ? "," : "");
+  }
+  for (const CounterSample& c : counters_) {
+    ++emitted;
+    os << strprintf(
+        "  {\"name\": \"%s\", \"ph\": \"C\", \"pid\": 0, \"ts\": %.1f, "
+        "\"args\": {\"value\": %.3f}}%s\n",
+        c.name.c_str(), c.t_s * 1e6, c.value,
+        emitted < total ? "," : "");
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void Timeline::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw IoError("Timeline: cannot open " + path);
+  const std::string json = to_chrome_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) throw IoError("Timeline: short write to " + path);
+}
+
+}  // namespace candle::trace

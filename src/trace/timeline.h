@@ -1,0 +1,86 @@
+// Horovod-style activity timeline.
+//
+// Horovod can record a timeline of its collective activity for inspection in
+// chrome://tracing (paper Figs 7b, 12, 19). This module reproduces that:
+// phases are recorded per rank with the same event names Horovod emits
+// (NEGOTIATE_BROADCAST, MPI_BCAST, NEGOTIATE_ALLREDUCE, NCCL_ALLREDUCE, ...)
+// and serialized to the Chrome Trace Event JSON format.
+//
+// The recorder is thread-safe so real-mode rank threads can log concurrently;
+// the simulator logs synthetic events with explicit timestamps.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace candle::trace {
+
+/// Standard Horovod activity names used across the library.
+inline constexpr const char* kNegotiateBroadcast = "NEGOTIATE_BROADCAST";
+inline constexpr const char* kMpiBroadcast = "MPI_BCAST";
+inline constexpr const char* kNegotiateAllreduce = "NEGOTIATE_ALLREDUCE";
+inline constexpr const char* kNcclAllreduce = "NCCL_ALLREDUCE";
+inline constexpr const char* kMpiAllreduce = "MPI_ALLREDUCE";
+inline constexpr const char* kDataLoading = "DATA_LOADING";
+inline constexpr const char* kPreprocessing = "PREPROCESSING";
+inline constexpr const char* kComputeGradients = "COMPUTE_GRADIENTS";
+inline constexpr const char* kEvaluation = "EVALUATION";
+
+/// One complete-duration event ("ph":"X").
+struct Event {
+  std::string name;      // activity name (see constants above)
+  std::string category;  // "broadcast", "allreduce", "compute", "io"
+  std::size_t rank = 0;  // rendered as the tid lane
+  double start_s = 0.0;  // seconds since timeline start
+  double duration_s = 0.0;
+};
+
+/// One counter sample ("ph":"C") — chrome://tracing renders these as a
+/// value track (used for the GPU power series, as in the paper's Fig 7a).
+struct CounterSample {
+  std::string name;   // e.g. "gpu_power_w"
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// Collects events and serializes Chrome Trace Event JSON.
+class Timeline {
+ public:
+  /// Records one event (thread-safe).
+  void record(Event event);
+
+  /// Convenience: record with explicit fields.
+  void record(const std::string& name, const std::string& category,
+              std::size_t rank, double start_s, double duration_s);
+
+  /// Records one counter sample (thread-safe).
+  void record_counter(const std::string& name, double t_s, double value);
+
+  [[nodiscard]] std::size_t counter_count() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Total duration of events with the given name across rank 0's lane
+  /// (e.g. broadcast overhead for Figs 12/19).
+  [[nodiscard]] double total_duration(const std::string& name,
+                                      std::size_t rank = 0) const;
+
+  /// End time of the latest event.
+  [[nodiscard]] double span_end() const;
+
+  /// Chrome Trace Event JSON (array-of-events form; timestamps in µs).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to a file; throws IoError on failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::vector<CounterSample> counters_;
+};
+
+}  // namespace candle::trace

@@ -1,0 +1,376 @@
+// Tests for src/comm: the in-process multi-rank runtime and collectives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "comm/communicator.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace candle::comm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// World basics
+// ---------------------------------------------------------------------------
+
+TEST(World, RejectsZeroRanks) {
+  EXPECT_THROW(World w(0), InvalidArgument);
+}
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::vector<std::atomic<int>> seen(4);
+  World::run(4, [&](Communicator& c) {
+    ++count;
+    seen[c.rank()]++;
+    EXPECT_EQ(c.size(), 4u);
+  });
+  EXPECT_EQ(count.load(), 4);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(World, LocalRankAndNodeFollowSummitLayout) {
+  WorldOptions opt;
+  opt.ranks_per_node = 6;  // Summit: 6 GPUs per node
+  World::run(
+      13,
+      [&](Communicator& c) {
+        EXPECT_EQ(c.local_rank(), c.rank() % 6);
+        EXPECT_EQ(c.node(), c.rank() / 6);
+      },
+      opt);
+}
+
+TEST(World, BodyExceptionIsRethrown) {
+  EXPECT_THROW(World::run(3,
+                          [](Communicator& c) {
+                            if (c.rank() == 1)
+                              throw InvalidArgument("rank 1 fails");
+                            c.barrier();  // survivors must not deadlock
+                          }),
+               InvalidArgument);
+}
+
+TEST(World, BarrierSynchronizes) {
+  // After the barrier every rank must observe all pre-barrier increments.
+  std::atomic<int> before{0};
+  World::run(8, [&](Communicator& c) {
+    ++before;
+    c.barrier();
+    EXPECT_EQ(before.load(), 8);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce
+// ---------------------------------------------------------------------------
+
+void check_allreduce_sum(std::size_t ranks, std::size_t n,
+                         AllreduceAlgo algo) {
+  WorldOptions opt;
+  opt.allreduce_algo = algo;
+  World::run(
+      ranks,
+      [&](Communicator& c) {
+        // data[i] = rank + i, so the sum is ranks*i + ranks(ranks-1)/2.
+        std::vector<float> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+          data[i] = static_cast<float>(c.rank() + i);
+        c.allreduce_sum(data);
+        const float rank_sum =
+            static_cast<float>(ranks * (ranks - 1)) / 2.0f;
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_FLOAT_EQ(data[i],
+                          static_cast<float>(ranks * i) + rank_sum)
+              << "ranks=" << ranks << " n=" << n << " i=" << i;
+      },
+      opt);
+}
+
+TEST(Allreduce, RingMatchesExpectedSums) {
+  for (std::size_t ranks : {1u, 2u, 3u, 4u, 6u, 8u, 13u})
+    for (std::size_t n : {1u, 5u, 64u, 1000u})
+      check_allreduce_sum(ranks, n, AllreduceAlgo::kRing);
+}
+
+TEST(Allreduce, NaiveMatchesExpectedSums) {
+  for (std::size_t ranks : {2u, 5u, 7u})
+    for (std::size_t n : {1u, 17u, 256u})
+      check_allreduce_sum(ranks, n, AllreduceAlgo::kNaive);
+}
+
+TEST(Allreduce, RingHandlesFewerElementsThanRanks) {
+  check_allreduce_sum(8, 3, AllreduceAlgo::kRing);
+  check_allreduce_sum(6, 1, AllreduceAlgo::kRing);
+}
+
+TEST(Allreduce, HierarchicalMatchesExpectedSums) {
+  // Rank counts covering: single node, exact multi-node, partial last node.
+  for (std::size_t ranks : {1u, 4u, 6u, 12u, 13u, 18u})
+    for (std::size_t n : {1u, 7u, 256u})
+      check_allreduce_sum(ranks, n, AllreduceAlgo::kHierarchical);
+}
+
+TEST(Allreduce, HierarchicalAgreesWithRingOnRandomData) {
+  const std::size_t ranks = 13;  // partial last node with 6 ranks/node
+  std::vector<std::vector<float>> ring_out(ranks), hier_out(ranks);
+  for (AllreduceAlgo algo :
+       {AllreduceAlgo::kRing, AllreduceAlgo::kHierarchical}) {
+    auto& out = algo == AllreduceAlgo::kRing ? ring_out : hier_out;
+    WorldOptions opt;
+    opt.allreduce_algo = algo;
+    opt.ranks_per_node = 6;
+    World::run(
+        ranks,
+        [&](Communicator& c) {
+          Rng rng(300 + c.rank());
+          std::vector<float> data(143);
+          for (float& v : data) v = static_cast<float>(rng.normal(0, 1));
+          c.allreduce_average(data);
+          out[c.rank()] = data;
+        },
+        opt);
+  }
+  for (std::size_t r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < 143; ++i)
+      ASSERT_NEAR(ring_out[r][i], hier_out[r][i], 1e-4f)
+          << "r=" << r << " i=" << i;
+}
+
+TEST(Allreduce, HierarchicalLeadersCarryInterNodeTraffic) {
+  // Node leaders (local_rank 0) move strictly more bytes than members.
+  WorldOptions opt;
+  opt.allreduce_algo = AllreduceAlgo::kHierarchical;
+  opt.ranks_per_node = 3;
+  const auto stats = World::run(
+      9,
+      [](Communicator& c) {
+        std::vector<float> data(300, 1.0f);
+        c.allreduce_sum(data);
+      },
+      opt);
+  for (std::size_t r = 0; r < 9; ++r) {
+    if (r % 3 == 0) {
+      EXPECT_GT(stats[r].bytes_sent, stats[r + 1].bytes_sent) << r;
+    } else {
+      // Members only copy the final buffer from their leader.
+      EXPECT_EQ(stats[r].bytes_sent, 300 * sizeof(float)) << r;
+    }
+  }
+}
+
+TEST(Allreduce, AverageDividesBySize) {
+  World::run(4, [](Communicator& c) {
+    std::vector<float> data{static_cast<float>(c.rank()) * 4.0f};
+    c.allreduce_average(data);
+    EXPECT_FLOAT_EQ(data[0], 6.0f);  // (0+4+8+12)/4
+  });
+}
+
+TEST(Allreduce, RingAgreesWithNaiveOnRandomData) {
+  for (std::size_t ranks : {3u, 5u, 6u}) {
+    std::vector<std::vector<float>> ring_out(ranks), naive_out(ranks);
+    for (AllreduceAlgo algo : {AllreduceAlgo::kRing, AllreduceAlgo::kNaive}) {
+      auto& out = algo == AllreduceAlgo::kRing ? ring_out : naive_out;
+      WorldOptions opt;
+      opt.allreduce_algo = algo;
+      World::run(
+          ranks,
+          [&](Communicator& c) {
+            Rng rng(100 + c.rank());
+            std::vector<float> data(97);
+            for (float& v : data)
+              v = static_cast<float>(rng.normal(0.0, 1.0));
+            c.allreduce_sum(data);
+            out[c.rank()] = data;
+          },
+          opt);
+    }
+    for (std::size_t r = 0; r < ranks; ++r)
+      for (std::size_t i = 0; i < 97; ++i)
+        ASSERT_NEAR(ring_out[r][i], naive_out[r][i], 1e-4f)
+            << "ranks=" << ranks << " r=" << r << " i=" << i;
+  }
+}
+
+TEST(Allreduce, AllRanksEndIdentical) {
+  const std::size_t ranks = 6;
+  std::vector<std::vector<float>> results(ranks);
+  World::run(ranks, [&](Communicator& c) {
+    Rng rng(7 + c.rank() * 13);
+    std::vector<float> data(50);
+    for (float& v : data) v = static_cast<float>(rng.uniform(-1, 1));
+    c.allreduce_average(data);
+    results[c.rank()] = data;
+  });
+  for (std::size_t r = 1; r < ranks; ++r)
+    for (std::size_t i = 0; i < 50; ++i)
+      ASSERT_FLOAT_EQ(results[0][i], results[r][i]);
+}
+
+TEST(Allreduce, MismatchedCountsThrow) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> data(c.rank() + 1);
+                            c.allreduce_sum(data);
+                          }),
+               CommError);
+}
+
+TEST(Allreduce, RingByteAccountingMatchesTheory) {
+  // Ring moves 2(P-1)/P * N elements per rank.
+  const std::size_t ranks = 4, n = 400;
+  const auto stats = World::run(ranks, [&](Communicator& c) {
+    std::vector<float> data(n, 1.0f);
+    c.allreduce_sum(data);
+  });
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.allreduce_calls, 1u);
+    EXPECT_EQ(s.bytes_sent,
+              2 * (ranks - 1) * (n / ranks) * sizeof(float));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+TEST(Broadcast, CopiesRootDataToAllRanks) {
+  for (std::size_t ranks : {2u, 3u, 6u, 9u}) {
+    World::run(ranks, [&](Communicator& c) {
+      std::vector<float> data(32);
+      if (c.rank() == 0)
+        for (std::size_t i = 0; i < data.size(); ++i)
+          data[i] = static_cast<float>(i) * 1.5f;
+      c.broadcast(data, 0);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        ASSERT_FLOAT_EQ(data[i], static_cast<float>(i) * 1.5f)
+            << "ranks=" << ranks;
+    });
+  }
+}
+
+TEST(Broadcast, NonZeroRoot) {
+  World::run(5, [](Communicator& c) {
+    std::vector<float> data{c.rank() == 3 ? 42.0f : 0.0f};
+    c.broadcast(data, 3);
+    EXPECT_FLOAT_EQ(data[0], 42.0f);
+  });
+}
+
+TEST(Broadcast, RootOutOfRangeThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> data(1);
+                            c.broadcast(data, 5);
+                          }),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Reduce-to-root
+// ---------------------------------------------------------------------------
+
+TEST(ReduceTo, RootGetsSumOthersUnchanged) {
+  World::run(5, [](Communicator& c) {
+    std::vector<float> data(8, static_cast<float>(c.rank() + 1));
+    c.reduce_sum_to(data, 2);
+    if (c.rank() == 2) {
+      for (float v : data) ASSERT_FLOAT_EQ(v, 15.0f);  // 1+2+3+4+5
+    } else {
+      for (float v : data)
+        ASSERT_FLOAT_EQ(v, static_cast<float>(c.rank() + 1));
+    }
+  });
+}
+
+TEST(ReduceTo, RootOutOfRangeThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> d(1);
+                            c.reduce_sum_to(d, 7);
+                          }),
+               InvalidArgument);
+}
+
+TEST(ReduceTo, CountsInStats) {
+  const auto stats = World::run(3, [](Communicator& c) {
+    std::vector<float> d(4, 1.0f);
+    c.reduce_sum_to(d, 0);
+  });
+  for (const auto& s : stats) EXPECT_EQ(s.reduce_calls, 1u);
+  // Only the root moves bytes (it reads the two peers).
+  EXPECT_EQ(stats[0].bytes_sent, 2 * 4 * sizeof(float));
+  EXPECT_EQ(stats[1].bytes_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Allgather / scalar reduce
+// ---------------------------------------------------------------------------
+
+TEST(Allgather, GathersInRankOrder) {
+  World::run(4, [](Communicator& c) {
+    const std::vector<float> mine{static_cast<float>(c.rank()) * 10.0f,
+                                  static_cast<float>(c.rank()) * 10.0f + 1};
+    std::vector<float> all;
+    c.allgather(mine, all);
+    ASSERT_EQ(all.size(), 8u);
+    for (std::size_t r = 0; r < 4; ++r) {
+      EXPECT_FLOAT_EQ(all[r * 2], static_cast<float>(r) * 10.0f);
+      EXPECT_FLOAT_EQ(all[r * 2 + 1], static_cast<float>(r) * 10.0f + 1);
+    }
+  });
+}
+
+TEST(AllreduceScalar, SumsDoubles) {
+  World::run(6, [](Communicator& c) {
+    const double sum = c.allreduce_scalar(1.5);
+    EXPECT_NEAR(sum, 9.0, 1e-6);
+  });
+}
+
+TEST(CommStats, CountsCollectiveCalls) {
+  const auto stats = World::run(3, [](Communicator& c) {
+    std::vector<float> d(8, 1.0f);
+    c.allreduce_sum(d);
+    c.allreduce_average(d);
+    c.broadcast(d, 0);
+    std::vector<float> all;
+    c.allgather(d, all);
+    c.barrier();
+  });
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.allreduce_calls, 2u);
+    EXPECT_EQ(s.broadcast_calls, 1u);
+    EXPECT_EQ(s.allgather_calls, 1u);
+    EXPECT_EQ(s.barrier_calls, 1u);
+  }
+}
+
+// Parameterized stress: repeated mixed collectives stay consistent.
+class CollectiveStress : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollectiveStress, RepeatedRoundsStayCorrect) {
+  const std::size_t ranks = GetParam();
+  World::run(ranks, [&](Communicator& c) {
+    for (int round = 0; round < 25; ++round) {
+      std::vector<float> d(31, static_cast<float>(c.rank() + round));
+      c.allreduce_average(d);
+      const float expected =
+          static_cast<float>(ranks - 1) / 2.0f + static_cast<float>(round);
+      for (float v : d) ASSERT_NEAR(v, expected, 1e-4f);
+      std::vector<float> b{static_cast<float>(round)};
+      c.broadcast(b, round % ranks);
+      ASSERT_FLOAT_EQ(b[0], static_cast<float>(round));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveStress,
+                         ::testing::Values(1, 2, 4, 6, 12));
+
+}  // namespace
+}  // namespace candle::comm

@@ -1,0 +1,441 @@
+// Tests for src/hvd: context, tensor fusion, DistributedOptimizer,
+// BroadcastGlobalVariables — including the key data-parallel equivalence
+// the accuracy experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/communicator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "hvd/broadcast.h"
+#include "hvd/context.h"
+#include "hvd/distributed_optimizer.h"
+#include "hvd/fusion.h"
+#include "hvd/parameter_server.h"
+#include "io/synthetic.h"
+#include "nn/model.h"
+
+namespace candle::hvd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+TEST(Context, ExposesRankSizeLocalRank) {
+  comm::WorldOptions opt;
+  opt.ranks_per_node = 6;
+  comm::World::run(
+      8,
+      [](comm::Communicator& c) {
+        Context ctx(c);
+        EXPECT_EQ(ctx.rank(), c.rank());
+        EXPECT_EQ(ctx.size(), 8u);
+        EXPECT_EQ(ctx.local_rank(), c.rank() % 6);
+        EXPECT_FALSE(ctx.has_timeline());
+      },
+      opt);
+}
+
+TEST(Context, RecordsToSharedTimeline) {
+  trace::Timeline timeline;
+  Stopwatch clock;
+  comm::World::run(3, [&](comm::Communicator& c) {
+    Context ctx(c, &timeline, &clock);
+    ctx.record("TEST_EVENT", "test", 0.0, 0.5);
+  });
+  EXPECT_EQ(timeline.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Tensor fusion
+// ---------------------------------------------------------------------------
+
+TEST(Fusion, AveragesAcrossRanksCorrectly) {
+  const std::size_t ranks = 4;
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    Tensor a({10}, static_cast<float>(c.rank()));
+    Tensor b({20}, static_cast<float>(c.rank()) * 2.0f);
+    allreduce_average_fused(ctx, {&a, &b});
+    for (float v : a.values()) ASSERT_FLOAT_EQ(v, 1.5f);   // mean(0..3)
+    for (float v : b.values()) ASSERT_FLOAT_EQ(v, 3.0f);   // mean(0,2,4,6)
+  });
+}
+
+TEST(Fusion, BatchesSmallTensorsIntoOneCollective) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    std::vector<Tensor> tensors;
+    for (int i = 0; i < 10; ++i) tensors.emplace_back(Shape{100}, 1.0f);
+    std::vector<Tensor*> ptrs;
+    for (auto& t : tensors) ptrs.push_back(&t);
+    const FusionStats stats = allreduce_average_fused(ctx, ptrs);
+    EXPECT_EQ(stats.tensors, 10u);
+    EXPECT_EQ(stats.collectives, 1u);  // all fit in one 64 MB buffer
+    EXPECT_EQ(stats.fused_bytes, 10u * 100 * sizeof(float));
+  });
+}
+
+TEST(Fusion, DisabledFusionIssuesOnePerTensor) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    Tensor a({5}, 1.0f), b({5}, 2.0f);
+    FusionOptions opt;
+    opt.threshold_bytes = 0;
+    const FusionStats stats = allreduce_average_fused(ctx, {&a, &b}, opt);
+    EXPECT_EQ(stats.collectives, 2u);
+  });
+}
+
+TEST(Fusion, SplitsWhenExceedingThreshold) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    // Threshold of 130 floats; tensors of 60 floats pack pairwise:
+    // {a, b} fuse, then {d} -> 2 collectives.
+    FusionOptions opt;
+    opt.threshold_bytes = 130 * sizeof(float);
+    Tensor a({60}, 1.0f), b({60}, 1.0f), d({60}, 1.0f);
+    const FusionStats stats = allreduce_average_fused(ctx, {&a, &b, &d}, opt);
+    EXPECT_EQ(stats.collectives, 2u);
+    for (float v : a.values()) ASSERT_FLOAT_EQ(v, 1.0f);
+    for (float v : d.values()) ASSERT_FLOAT_EQ(v, 1.0f);
+  });
+}
+
+TEST(Fusion, OversizedTensorReducedInPlace) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    FusionOptions opt;
+    opt.threshold_bytes = 16;  // 4 floats
+    Tensor small({2}, static_cast<float>(c.rank()));
+    Tensor big({100}, static_cast<float>(c.rank()));
+    const FusionStats stats =
+        allreduce_average_fused(ctx, {&small, &big}, opt);
+    EXPECT_EQ(stats.collectives, 2u);
+    for (float v : small.values()) ASSERT_FLOAT_EQ(v, 0.5f);
+    for (float v : big.values()) ASSERT_FLOAT_EQ(v, 0.5f);
+  });
+}
+
+TEST(Fusion, FusionReducesCollectiveCountVsUnfused) {
+  // The ablation the paper's §2.2 motivates: fused Horovod issues far fewer
+  // collectives for many small tensors.
+  std::size_t fused_calls = 0, unfused_calls = 0;
+  comm::World::run(2, [&](comm::Communicator& c) {
+    Context ctx(c);
+    std::vector<Tensor> tensors;
+    for (int i = 0; i < 32; ++i) tensors.emplace_back(Shape{64}, 1.0f);
+    std::vector<Tensor*> ptrs;
+    for (auto& t : tensors) ptrs.push_back(&t);
+    const auto fused = allreduce_average_fused(ctx, ptrs);
+    FusionOptions off;
+    off.threshold_bytes = 0;
+    const auto unfused = allreduce_average_fused(ctx, ptrs, off);
+    if (c.rank() == 0) {
+      fused_calls = fused.collectives;
+      unfused_calls = unfused.collectives;
+    }
+  });
+  EXPECT_EQ(fused_calls, 1u);
+  EXPECT_EQ(unfused_calls, 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast of parameters
+// ---------------------------------------------------------------------------
+
+TEST(BroadcastParams, AllRanksAdoptRootWeights) {
+  comm::World::run(4, [](comm::Communicator& c) {
+    Context ctx(c);
+    Tensor w({16}, static_cast<float>(c.rank() + 1));
+    Tensor b({4}, static_cast<float>(c.rank() * 10));
+    broadcast_parameters(ctx, {&w, &b}, 0);
+    for (float v : w.values()) ASSERT_FLOAT_EQ(v, 1.0f);
+    for (float v : b.values()) ASSERT_FLOAT_EQ(v, 0.0f);
+  });
+}
+
+TEST(BroadcastParams, HookBroadcastsAtTrainBegin) {
+  // Compile each rank's model with a different seed; after one fit() with
+  // the hook, rank-0 weights must have won everywhere — verified by all
+  // ranks converging to identical parameters after identical updates.
+  const std::size_t ranks = 3;
+  std::vector<std::vector<float>> weights(ranks);
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    nn::Dataset data{Tensor({8, 4}, 0.5f), Tensor({8, 2})};
+    for (std::size_t i = 0; i < 8; ++i) data.y.at(i, i % 2) = 1.0f;
+
+    nn::Model m;
+    m.add<nn::Dense>(2, nn::Act::kSoftmax);
+    auto opt = std::make_unique<DistributedOptimizer>(
+        nn::make_optimizer("sgd", 0.01), ctx);
+    m.compile({4}, std::move(opt),
+              nn::make_loss("categorical_crossentropy"),
+              /*seed=*/100 + c.rank());  // rank-distinct init
+
+    BroadcastGlobalVariablesHook hook(ctx, 0);
+    nn::FitOptions fit;
+    fit.epochs = 2;
+    fit.batch_size = 4;
+    fit.shuffle = false;
+    (void)m.fit(data, fit, {&hook});
+
+    std::vector<float> flat;
+    for (Tensor* p : m.parameters())
+      flat.insert(flat.end(), p->data(), p->data() + p->numel());
+    weights[c.rank()] = flat;
+  });
+  for (std::size_t r = 1; r < ranks; ++r) {
+    ASSERT_EQ(weights[0].size(), weights[r].size());
+    for (std::size_t i = 0; i < weights[0].size(); ++i)
+      ASSERT_FLOAT_EQ(weights[0][i], weights[r][i]) << "rank " << r;
+  }
+}
+
+TEST(BroadcastParams, TimelineRecordsNegotiateAndBcast) {
+  trace::Timeline timeline;
+  Stopwatch clock;
+  comm::World::run(2, [&](comm::Communicator& c) {
+    Context ctx(c, &timeline, &clock);
+    Tensor w({8}, 1.0f);
+    broadcast_parameters(ctx, {&w}, 0);
+  });
+  bool has_negotiate = false, has_bcast = false;
+  for (const auto& e : timeline.events()) {
+    if (e.name == trace::kNegotiateBroadcast) has_negotiate = true;
+    if (e.name == trace::kMpiBroadcast) has_bcast = true;
+  }
+  EXPECT_TRUE(has_negotiate);
+  EXPECT_TRUE(has_bcast);
+}
+
+// ---------------------------------------------------------------------------
+// DistributedOptimizer
+// ---------------------------------------------------------------------------
+
+TEST(DistributedOptimizer, AveragesGradientsBeforeApplying) {
+  // Two ranks, gradients 0 and 2 -> averaged gradient 1 -> SGD step -lr.
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    DistributedOptimizer opt(nn::make_optimizer("sgd", 0.1), ctx);
+    Tensor w({4}, 1.0f);
+    Tensor g({4}, static_cast<float>(c.rank()) * 2.0f);
+    opt.apply({&w}, {&g});
+    for (float v : w.values()) ASSERT_NEAR(v, 1.0f - 0.1f, 1e-6f);
+  });
+}
+
+TEST(DistributedOptimizer, NameAndLrDelegation) {
+  comm::World::run(1, [](comm::Communicator& c) {
+    Context ctx(c);
+    DistributedOptimizer opt(nn::make_optimizer("adam", 0.001), ctx);
+    EXPECT_EQ(opt.name(), "distributed(adam)");
+    opt.set_learning_rate(0.048);
+    EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.048);
+  });
+}
+
+TEST(DistributedOptimizer, KeepsRanksInLockstep) {
+  // After identical initial weights and N distributed steps on different
+  // data, all ranks hold identical weights (the core Horovod invariant).
+  const std::size_t ranks = 4;
+  std::vector<float> final_w(ranks);
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    DistributedOptimizer opt(nn::make_optimizer("sgd", 0.05), ctx);
+    Tensor w({1}, 3.0f);
+    Rng rng(500 + c.rank());
+    for (int step = 0; step < 20; ++step) {
+      Tensor g({1}, static_cast<float>(rng.normal(w[0] - 1.0, 0.1)));
+      opt.apply({&w}, {&g});
+    }
+    final_w[c.rank()] = w[0];
+  });
+  for (std::size_t r = 1; r < ranks; ++r)
+    ASSERT_FLOAT_EQ(final_w[0], final_w[r]);
+}
+
+TEST(DistributedOptimizer, StatefulOptimizersStayInLockstep) {
+  // Adam keeps per-parameter moments on every rank; identical averaged
+  // gradients must keep those states — and the weights — in sync.
+  for (const char* name : {"adam", "rmsprop"}) {
+    const std::size_t ranks = 3;
+    std::vector<std::vector<float>> final_w(ranks);
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      Context ctx(c);
+      DistributedOptimizer opt(nn::make_optimizer(name, 0.01), ctx);
+      Tensor w({5}, 1.0f);
+      Rng rng(900 + c.rank());
+      for (int step = 0; step < 25; ++step) {
+        Tensor g({5});
+        for (float& v : g.values())
+          v = static_cast<float>(rng.normal(0.3, 0.2));
+        opt.apply({&w}, {&g});
+      }
+      final_w[c.rank()].assign(w.data(), w.data() + w.numel());
+    });
+    for (std::size_t r = 1; r < ranks; ++r)
+      for (std::size_t i = 0; i < 5; ++i)
+        ASSERT_FLOAT_EQ(final_w[0][i], final_w[r][i]) << name;
+  }
+}
+
+TEST(DistributedOptimizer, SingleRankEqualsInnerOptimizer) {
+  // P=1 Horovod must match plain training exactly.
+  float distributed_result = 0.0f;
+  comm::World::run(1, [&](comm::Communicator& c) {
+    Context ctx(c);
+    DistributedOptimizer opt(nn::make_optimizer("rmsprop", 0.01), ctx);
+    Tensor w({1}, 5.0f);
+    for (int i = 0; i < 30; ++i) {
+      Tensor g({1}, 2.0f * (w[0] - 1.0f));
+      opt.apply({&w}, {&g});
+    }
+    distributed_result = w[0];
+  });
+  nn::RmsProp plain(0.01);
+  Tensor w({1}, 5.0f);
+  for (int i = 0; i < 30; ++i) {
+    Tensor g({1}, 2.0f * (w[0] - 1.0f));
+    plain.apply({&w}, {&g});
+  }
+  EXPECT_FLOAT_EQ(distributed_result, w[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-server baseline
+// ---------------------------------------------------------------------------
+
+TEST(ParameterServer, MatchesAllreduceTrainingExactly) {
+  // With sgd (stateless), PS and allreduce produce the same update
+  // sequence; only traffic differs.
+  const std::size_t ranks = 4;
+  std::vector<float> ps_w, ring_w;
+  for (const bool use_ps : {true, false}) {
+    auto& out = use_ps ? ps_w : ring_w;
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      Context ctx(c);
+      std::unique_ptr<nn::Optimizer> opt;
+      if (use_ps) {
+        opt = std::make_unique<ParameterServerOptimizer>(
+            nn::make_optimizer("sgd", 0.1), ctx, /*server=*/1);
+      } else {
+        opt = std::make_unique<DistributedOptimizer>(
+            nn::make_optimizer("sgd", 0.1), ctx);
+      }
+      Tensor w({6}, 2.0f);
+      Rng rng(70 + c.rank());
+      for (int step = 0; step < 15; ++step) {
+        Tensor g({6});
+        for (float& v : g.values())
+          v = static_cast<float>(rng.normal(0.5, 0.2));
+        opt->apply({&w}, {&g});
+      }
+      if (c.rank() == 0) out.assign(w.data(), w.data() + w.numel());
+    });
+  }
+  ASSERT_EQ(ps_w.size(), ring_w.size());
+  for (std::size_t i = 0; i < ps_w.size(); ++i)
+    EXPECT_NEAR(ps_w[i], ring_w[i], 1e-5f);
+}
+
+TEST(ParameterServer, AllRanksHoldServerWeights) {
+  const std::size_t ranks = 3;
+  std::vector<std::vector<float>> weights(ranks);
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    ParameterServerOptimizer opt(nn::make_optimizer("adam", 0.01), ctx);
+    Tensor w({4}, static_cast<float>(c.rank()));  // divergent start
+    Tensor g({4}, 1.0f);
+    opt.apply({&w}, {&g});
+    weights[c.rank()].assign(w.data(), w.data() + w.numel());
+  });
+  // The pull overwrote everyone with the server's (rank 0) weights.
+  for (std::size_t r = 1; r < ranks; ++r)
+    for (std::size_t i = 0; i < 4; ++i)
+      ASSERT_FLOAT_EQ(weights[0][i], weights[r][i]);
+}
+
+TEST(ParameterServer, TracksBytesThroughServer) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    ParameterServerOptimizer opt(nn::make_optimizer("sgd", 0.1), ctx);
+    Tensor w({100}, 1.0f);
+    Tensor g({100}, 0.1f);
+    opt.apply({&w}, {&g});
+    opt.apply({&w}, {&g});
+    // push + pull of 400 bytes, twice.
+    EXPECT_EQ(opt.bytes_through_server(), 2u * 2 * 100 * sizeof(float));
+  });
+}
+
+TEST(ParameterServer, StepCostGrowsLinearlyWithWorkers) {
+  const std::size_t payload = 62 * 1024 * 1024;
+  const double t48 = parameter_server_step_seconds(48, payload);
+  const double t384 = parameter_server_step_seconds(384, payload);
+  EXPECT_NEAR(t384 / t48, 383.0 / 47.0, 0.01);
+  EXPECT_EQ(parameter_server_step_seconds(1, payload), 0.0);
+}
+
+TEST(ParameterServer, InvalidServerRankThrows) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    auto make_bad = [&] {
+      return std::make_unique<ParameterServerOptimizer>(
+          nn::make_optimizer("sgd", 0.1), ctx, /*server_rank=*/5);
+    };
+    EXPECT_THROW((void)make_bad(), InvalidArgument);
+  });
+}
+
+// The equivalence the accuracy experiments rely on (DESIGN.md §2): when all
+// ranks hold the SAME dataset and batch order, P-rank Horovod training is
+// identical to 1-rank training, because averaging identical gradients is the
+// identity. Verified end-to-end through Model::fit.
+TEST(DistributedOptimizer, IdenticalDataEquivalenceAcrossRanks) {
+  io::ClassificationSpec spec;
+  spec.samples = 60;
+  spec.features = 6;
+  spec.classes = 2;
+  spec.informative = 6;
+  spec.class_sep = 1.5;
+  spec.noise = 1.0;
+  spec.seed = 77;
+  const nn::Dataset data = io::make_classification(spec);
+
+  auto train = [&](std::size_t ranks) {
+    std::vector<float> rank0;
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      Context ctx(c);
+      nn::Model m;
+      m.add<nn::Dense>(8, nn::Act::kTanh);
+      m.add<nn::Dense>(2, nn::Act::kSoftmax);
+      auto opt = std::make_unique<DistributedOptimizer>(
+          nn::make_optimizer("sgd", 0.05), ctx);
+      m.compile({6}, std::move(opt),
+                nn::make_loss("categorical_crossentropy"), /*seed=*/9);
+      nn::FitOptions fit;
+      fit.epochs = 5;
+      fit.batch_size = 20;
+      fit.shuffle = false;  // identical batch order on every rank
+      (void)m.fit(data, fit);
+      if (c.rank() == 0) {
+        for (Tensor* p : m.parameters())
+          rank0.insert(rank0.end(), p->data(), p->data() + p->numel());
+      }
+    });
+    return rank0;
+  };
+
+  const std::vector<float> w1 = train(1);
+  const std::vector<float> w4 = train(4);
+  ASSERT_EQ(w1.size(), w4.size());
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    ASSERT_NEAR(w1[i], w4[i], 1e-5f) << i;
+}
+
+}  // namespace
+}  // namespace candle::hvd

@@ -1,0 +1,296 @@
+// Integration tests: the full real-mode pipeline (CSV on disk -> parallel
+// loaders -> broadcast -> distributed training -> evaluation) across rank
+// threads, plus cross-checks against the simulator's phase structure.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "candle/runner.h"
+#include "common/error.h"
+#include "io/csv_reader.h"
+#include "sim/run_sim.h"
+
+namespace candle {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("candle_runner_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    config_.workdir = dir_.string();
+    config_.scale = 0.0012;
+    config_.total_epochs = 4;
+    config_.ranks = 2;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  RealRunConfig config_;
+};
+
+TEST_F(RunnerTest, PreparesCsvsWithExpectedGeometry) {
+  const auto [train_path, test_path] = prepare_benchmark_csvs(config_);
+  EXPECT_TRUE(std::filesystem::exists(train_path));
+  EXPECT_TRUE(std::filesystem::exists(test_path));
+  const io::DataFrame df =
+      io::read_csv_chunked(train_path);
+  const ScaledGeometry g = scaled_geometry(config_.benchmark, config_.scale);
+  EXPECT_EQ(df.rows, g.train_samples);
+  EXPECT_EQ(df.cols, g.features + 1);  // label column for NT3
+}
+
+TEST_F(RunnerTest, EndToEndNt3TwoRanks) {
+  const RealRunResult r = run_real(config_);
+  EXPECT_EQ(r.epochs_rank0, 2u);  // 4 epochs / 2 ranks
+  EXPECT_GT(r.data_load_s, 0.0);
+  EXPECT_GT(r.train_s, 0.0);
+  EXPECT_GT(r.total_s, r.train_s);
+  EXPECT_EQ(r.history.epochs.size(), 2u);
+  EXPECT_GT(r.final_accuracy, 0.4f);  // it trained on real data
+  EXPECT_EQ(r.comm_stats.size(), 2u);
+  // One allreduce per batch step per epoch, plus one for the test-metric
+  // aggregation at evaluation.
+  const std::size_t steps = r.history.epochs[0].batch_steps;
+  EXPECT_EQ(r.comm_stats[0].allreduce_calls, 2u * steps + 1);
+  // BroadcastGlobalVariables issued one broadcast per parameter tensor.
+  EXPECT_GT(r.comm_stats[0].broadcast_calls, 0u);
+}
+
+TEST_F(RunnerTest, AllLoadersProduceSameTrainingOutcome) {
+  // The optimization must not change results, only speed (paper §5).
+  config_.ranks = 1;
+  config_.total_epochs = 2;
+  float acc[3];
+  int i = 0;
+  for (auto loader : {io::LoaderKind::kOriginal, io::LoaderKind::kChunked,
+                      io::LoaderKind::kDask}) {
+    config_.loader = loader;
+    acc[i++] = run_real(config_).final_accuracy;
+  }
+  EXPECT_FLOAT_EQ(acc[0], acc[1]);
+  EXPECT_FLOAT_EQ(acc[0], acc[2]);
+}
+
+TEST_F(RunnerTest, WeakScalingRunsFullEpochsPerRank) {
+  config_.weak_scaling = true;
+  config_.total_epochs = 3;
+  const RealRunResult r = run_real(config_);
+  EXPECT_EQ(r.epochs_rank0, 3u);
+}
+
+TEST_F(RunnerTest, StrongScalingWithTooManyRanksThrows) {
+  config_.ranks = 8;
+  config_.total_epochs = 4;  // 0 epochs per rank
+  EXPECT_THROW(run_real(config_), InvalidArgument);
+}
+
+TEST_F(RunnerTest, TimelineRecordsPaperPhases) {
+  config_.record_timeline = true;
+  const RealRunResult r = run_real(config_);
+  ASSERT_NE(r.timeline, nullptr);
+  bool saw_load = false, saw_negotiate = false, saw_bcast = false,
+       saw_allreduce = false;
+  for (const auto& e : r.timeline->events()) {
+    if (e.name == trace::kDataLoading) saw_load = true;
+    if (e.name == trace::kNegotiateBroadcast) saw_negotiate = true;
+    if (e.name == trace::kMpiBroadcast) saw_bcast = true;
+    if (e.name == trace::kNcclAllreduce) saw_allreduce = true;
+  }
+  EXPECT_TRUE(saw_load);
+  EXPECT_TRUE(saw_negotiate);
+  EXPECT_TRUE(saw_bcast);
+  EXPECT_TRUE(saw_allreduce);
+}
+
+TEST_F(RunnerTest, P1b2RunsWithRmsprop) {
+  config_.benchmark = BenchmarkId::kP1B2;
+  config_.total_epochs = 2;
+  config_.ranks = 2;
+  const RealRunResult r = run_real(config_);
+  EXPECT_GT(r.final_accuracy, 0.0f);
+  EXPECT_EQ(r.epochs_rank0, 1u);
+}
+
+TEST_F(RunnerTest, P1b1AutoencoderReconstructs) {
+  config_.benchmark = BenchmarkId::kP1B1;
+  config_.total_epochs = 2;
+  config_.ranks = 1;
+  const RealRunResult r = run_real(config_);
+  EXPECT_LT(r.final_loss, 0.5f);  // MSE on [0,1] data after training
+}
+
+TEST_F(RunnerTest, P1b3RegressionWithBatchScaling) {
+  config_.benchmark = BenchmarkId::kP1B3;
+  config_.total_epochs = 1;
+  config_.weak_scaling = true;
+  config_.ranks = 2;
+  config_.batch_scaling = BatchScaling::kCbrt;
+  const RealRunResult r = run_real(config_);
+  EXPECT_GT(r.train_s, 0.0);
+}
+
+TEST_F(RunnerTest, LoaderChoiceIsVisibleInLoadStats) {
+  // The runner's scaled CSVs are narrow (few hundred columns), where the
+  // paper itself reports near-parity between loaders (P1B3 row of Table 3),
+  // so the check here is structural: the selected reader really ran.
+  config_.ranks = 1;
+  config_.total_epochs = 1;
+  config_.loader = io::LoaderKind::kOriginal;
+  const RealRunResult orig = run_real(config_);
+  EXPECT_GT(orig.load_stats.piece_allocs, 0u);  // low_memory piece churn
+  config_.loader = io::LoaderKind::kChunked;
+  const RealRunResult chunk = run_real(config_);
+  EXPECT_EQ(chunk.load_stats.piece_allocs, 0u);
+  EXPECT_EQ(orig.load_stats.rows, chunk.load_stats.rows);
+  EXPECT_EQ(orig.load_stats.cols, chunk.load_stats.cols);
+}
+
+TEST_F(RunnerTest, LrScalingToggleChangesOptimizerRate) {
+  // Covered indirectly: identical runs with and without lr scaling diverge
+  // in final loss for ranks > 1.
+  config_.ranks = 2;
+  config_.total_epochs = 4;
+  config_.scale_lr = true;
+  const float with_scaling = run_real(config_).final_loss;
+  config_.scale_lr = false;
+  const float without_scaling = run_real(config_).final_loss;
+  EXPECT_NE(with_scaling, without_scaling);
+}
+
+TEST_F(RunnerTest, P2b1ExtensionRunsEndToEnd) {
+  config_.benchmark = BenchmarkId::kP2B1;
+  config_.total_epochs = 2;
+  config_.ranks = 2;
+  const RealRunResult r = run_real(config_);
+  EXPECT_EQ(r.epochs_rank0, 1u);
+  EXPECT_LT(r.final_loss, 0.5f);  // autoencoder MSE on [0,1] data
+}
+
+TEST_F(RunnerTest, P3b1ExtensionRunsEndToEnd) {
+  config_.benchmark = BenchmarkId::kP3B1;
+  config_.weak_scaling = true;
+  config_.total_epochs = 4;
+  config_.ranks = 2;
+  const RealRunResult r = run_real(config_);
+  EXPECT_GT(r.final_accuracy, 0.2f);  // 10-way chance is 0.1
+  // The label column round-tripped through the CSV on every rank.
+  const ScaledGeometry g = scaled_geometry(config_.benchmark, config_.scale);
+  EXPECT_EQ(r.load_stats.cols, g.features + 1);
+}
+
+TEST_F(RunnerTest, BatchStepLevelShardsTheDataset) {
+  // Fig 3's batch-step-level parallelism: each epoch's steps divide by the
+  // rank count because every rank trains only on its shard.
+  config_.weak_scaling = true;
+  config_.total_epochs = 2;
+  config_.ranks = 1;
+  const RealRunResult full = run_real(config_);
+  config_.ranks = 4;
+  config_.level = sim::ParallelLevel::kBatchStep;
+  const RealRunResult sharded = run_real(config_);
+  const std::size_t full_steps = full.history.epochs[0].batch_steps;
+  const std::size_t shard_steps = sharded.history.epochs[0].batch_steps;
+  EXPECT_EQ(shard_steps, (full_steps + 3) / 4);
+  EXPECT_GT(sharded.final_accuracy, 0.4f);  // still learns on the shard
+}
+
+TEST_F(RunnerTest, ShardedRanksStayInLockstep) {
+  // All ranks must make identical allreduce counts despite distinct shards.
+  config_.weak_scaling = true;
+  config_.total_epochs = 3;
+  config_.ranks = 3;
+  config_.level = sim::ParallelLevel::kBatchStep;
+  const RealRunResult r = run_real(config_);
+  for (std::size_t rank = 1; rank < 3; ++rank)
+    EXPECT_EQ(r.comm_stats[0].allreduce_calls,
+              r.comm_stats[rank].allreduce_calls);
+}
+
+TEST_F(RunnerTest, CheckpointsAreWrittenAndResumable) {
+  // §7 future work: checkpoint/restart for fault tolerance.
+  config_.checkpoint_every = 1;
+  config_.total_epochs = 4;
+  config_.ranks = 2;
+  const RealRunResult first = run_real(config_);
+  EXPECT_EQ(first.checkpoints_written, 2u);  // 2 epochs per rank
+  EXPECT_FALSE(first.resumed_from_checkpoint);
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path(config_)));
+
+  // "Crash" happened; restart resumes from the checkpoint. The resumed run
+  // must start from trained weights: its first-epoch loss is below the
+  // cold run's first-epoch loss.
+  config_.resume = true;
+  const RealRunResult resumed = run_real(config_);
+  EXPECT_TRUE(resumed.resumed_from_checkpoint);
+  EXPECT_LT(resumed.history.epochs.front().loss,
+            first.history.epochs.front().loss);
+}
+
+TEST_F(RunnerTest, ResumeWithoutCheckpointIsColdStart) {
+  config_.resume = true;  // nothing saved yet for this seed
+  config_.seed = 991;
+  const RealRunResult r = run_real(config_);
+  EXPECT_FALSE(r.resumed_from_checkpoint);
+}
+
+// ---------------------------------------------------------------------------
+// Real-vs-simulated cross-check
+// ---------------------------------------------------------------------------
+
+TEST(RealVsSim, PhaseStructureMatches) {
+  // The simulator and the real runner expose the same phases; the real
+  // run's phase set must be a subset of the simulated schedule's.
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::nt3());
+  sim::RunPlan plan;
+  plan.ranks = 6;
+  plan.epochs_per_rank = 2;
+  plan.make_timeline = true;
+  const sim::SimResult s = simulator.simulate(plan);
+  ASSERT_NE(s.timeline, nullptr);
+
+  std::set<std::string> sim_names;
+  for (const auto& e : s.timeline->events()) sim_names.insert(e.name);
+  for (const char* required :
+       {trace::kDataLoading, trace::kPreprocessing,
+        trace::kNegotiateBroadcast, trace::kMpiBroadcast,
+        trace::kComputeGradients, trace::kNegotiateAllreduce,
+        trace::kNcclAllreduce, trace::kEvaluation})
+    EXPECT_TRUE(sim_names.count(required)) << required;
+}
+
+TEST(RealVsSim, StrongScalingShapeAgreesAtSmallScale) {
+  // Under strong scaling the per-rank epoch count shrinks with ranks. The
+  // real runner executes exactly comp_epochs worth of work per rank (on
+  // this single-core host wall-clock cannot shrink — the threads share one
+  // CPU — so the check is on work division), and the simulator's training
+  // time shrinks accordingly.
+  RealRunConfig config;
+  config.workdir = std::filesystem::temp_directory_path().string();
+  config.scale = 0.0012;
+  config.total_epochs = 4;
+  config.ranks = 1;
+  const RealRunResult real1 = run_real(config);
+  config.ranks = 4;
+  const RealRunResult real4 = run_real(config);
+  EXPECT_EQ(real1.epochs_rank0, 4u);
+  EXPECT_EQ(real4.epochs_rank0, 1u);
+  EXPECT_EQ(real1.history.epochs.size(), 4 * real4.history.epochs.size());
+
+  sim::RunSimulator simulator(sim::Machine::summit(),
+                              sim::BenchmarkProfile::nt3());
+  sim::RunPlan plan;
+  plan.ranks = 1;
+  plan.epochs_per_rank = 4;
+  const double sim1 = simulator.simulate(plan).phases.train();
+  plan.ranks = 4;
+  plan.epochs_per_rank = 1;
+  const double sim4 = simulator.simulate(plan).phases.train();
+  EXPECT_LT(sim4, sim1);
+}
+
+}  // namespace
+}  // namespace candle

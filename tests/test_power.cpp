@@ -1,0 +1,114 @@
+// Tests for src/power: curves, meters, energy integration.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "power/power.h"
+
+namespace candle::power {
+namespace {
+
+TEST(PiecewisePower, WattsAtSegments) {
+  PiecewisePower p;
+  p.append(10.0, 50.0);   // [0, 10): 50 W
+  p.append(5.0, 150.0);   // [10, 15): 150 W
+  EXPECT_DOUBLE_EQ(p.watts_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(p.watts_at(9.999), 50.0);
+  EXPECT_DOUBLE_EQ(p.watts_at(10.0), 150.0);
+  EXPECT_DOUBLE_EQ(p.watts_at(14.9), 150.0);
+  EXPECT_DOUBLE_EQ(p.watts_at(15.0), 0.0);  // past the end
+  EXPECT_DOUBLE_EQ(p.watts_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.duration(), 15.0);
+}
+
+TEST(PiecewisePower, ExactEnergy) {
+  PiecewisePower p;
+  p.append(10.0, 50.0);
+  p.append(5.0, 150.0);
+  EXPECT_DOUBLE_EQ(p.energy_joules(), 10 * 50 + 5 * 150);
+}
+
+TEST(PiecewisePower, ZeroDurationSegmentsIgnored) {
+  PiecewisePower p;
+  p.append(0.0, 500.0);
+  p.append(2.0, 100.0);
+  EXPECT_EQ(p.segments(), 1u);
+  EXPECT_DOUBLE_EQ(p.energy_joules(), 200.0);
+}
+
+TEST(PiecewisePower, RejectsNegatives) {
+  PiecewisePower p;
+  EXPECT_THROW(p.append(-1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(p.append(1.0, -10.0), InvalidArgument);
+}
+
+TEST(PowerMeter, SamplesAtRate) {
+  PiecewisePower p;
+  p.append(10.0, 100.0);
+  const PowerTrace t1 = PowerMeter(1.0).sample(p);
+  EXPECT_EQ(t1.samples.size(), 10u);
+  const PowerTrace t2 = PowerMeter(2.0).sample(p);
+  EXPECT_EQ(t2.samples.size(), 20u);
+  EXPECT_DOUBLE_EQ(t2.interval_s, 0.5);
+}
+
+TEST(PowerMeter, ConstantCurveEnergyExact) {
+  PiecewisePower p;
+  p.append(60.0, 150.0);
+  const PowerTrace t = nvidia_smi_meter().sample(p);
+  EXPECT_DOUBLE_EQ(t.energy_joules(), 9000.0);
+  EXPECT_DOUBLE_EQ(t.average_watts(), 150.0);
+  EXPECT_DOUBLE_EQ(t.peak_watts(), 150.0);
+}
+
+TEST(PowerMeter, SamplingErrorBoundedOnPhasedCurve) {
+  // A 1 Hz meter over multi-second phases lands within one sample interval
+  // of truth — the same property nvidia-smi integration has.
+  PiecewisePower p;
+  p.append(30.0, 55.0);    // loading
+  p.append(43.0, 42.0);    // broadcast wait
+  p.append(20.0, 150.0);   // compute
+  const PowerTrace t = nvidia_smi_meter().sample(p);
+  const double true_e = p.energy_joules();
+  EXPECT_NEAR(t.energy_joules(), true_e, 150.0);  // <= one sample * max W
+}
+
+TEST(PowerMeter, ShortPhaseCanBeMissedAtOneHz) {
+  // A 0.4 s spike between samples is invisible at 1 Hz but visible at 10 Hz
+  // — why the paper's 1 Hz traces show smooth phase plateaus.
+  PiecewisePower p;
+  p.append(0.3, 50.0);
+  p.append(0.4, 300.0);
+  p.append(2.3, 50.0);
+  const PowerTrace slow = PowerMeter(1.0).sample(p);
+  EXPECT_DOUBLE_EQ(slow.peak_watts(), 50.0);
+  const PowerTrace fast = PowerMeter(10.0).sample(p);
+  EXPECT_DOUBLE_EQ(fast.peak_watts(), 300.0);
+}
+
+TEST(PowerMeter, MeterPresets) {
+  EXPECT_DOUBLE_EQ(nvidia_smi_meter().sample_hz(), 1.0);   // Summit, §3
+  EXPECT_DOUBLE_EQ(polimer_meter().sample_hz(), 2.0);      // Theta, §3
+}
+
+TEST(PowerTrace, CsvDump) {
+  PowerTrace t;
+  t.interval_s = 1.0;
+  t.samples = {{0.0, 42.0}, {1.0, 150.0}};
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("t_s,watts"), std::string::npos);
+  EXPECT_NE(csv.find("1.000,150.00"), std::string::npos);
+}
+
+TEST(PowerTrace, EmptyTraceSafeDefaults) {
+  PowerTrace t;
+  EXPECT_DOUBLE_EQ(t.average_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(t.energy_joules(), 0.0);
+}
+
+TEST(PowerMeter, RejectsBadRate) {
+  EXPECT_THROW(PowerMeter(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace candle::power

@@ -1,0 +1,307 @@
+// Tests for nn/serialize (checkpointing) and nn/callbacks (early stopping,
+// model checkpoint, lr warmup) — the paper's §7 fault-tolerance future work.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "io/synthetic.h"
+#include "nn/callbacks.h"
+#include "nn/model.h"
+#include "nn/serialize.h"
+
+namespace candle::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("candle_ser_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+Model make_model(std::uint64_t seed) {
+  Model m;
+  m.add<Dense>(8, Act::kRelu);
+  m.add<Dense>(3, Act::kSoftmax);
+  m.compile({5}, make_optimizer("sgd", 0.01),
+            make_loss("categorical_crossentropy"), seed);
+  return m;
+}
+
+TEST_F(SerializeTest, RoundTripRestoresExactWeights) {
+  Model a = make_model(1);
+  save_weights(a, path("w.ckpt"));
+  Model b = make_model(2);  // different init
+  load_weights(b, path("w.ckpt"));
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t j = 0; j < pa[i]->numel(); ++j)
+      ASSERT_FLOAT_EQ((*pa[i])[j], (*pb[i])[j]);
+}
+
+TEST_F(SerializeTest, RestoredModelPredictsIdentically) {
+  Model a = make_model(3);
+  Tensor x({4, 5}, 0.3f);
+  const Tensor ya = a.predict(x);
+  save_weights(a, path("w.ckpt"));
+  Model b = make_model(4);
+  load_weights(b, path("w.ckpt"));
+  const Tensor yb = b.predict(x);
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    ASSERT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST_F(SerializeTest, IsCheckpointDetectsMagic) {
+  Model a = make_model(1);
+  save_weights(a, path("w.ckpt"));
+  EXPECT_TRUE(is_checkpoint(path("w.ckpt")));
+  std::ofstream(path("other.txt")) << "not a checkpoint at all";
+  EXPECT_FALSE(is_checkpoint(path("other.txt")));
+  EXPECT_FALSE(is_checkpoint(path("missing.ckpt")));
+}
+
+TEST_F(SerializeTest, ArchitectureMismatchRejected) {
+  Model a = make_model(1);
+  save_weights(a, path("w.ckpt"));
+  Model other;
+  other.add<Dense>(9, Act::kRelu);  // different width
+  other.add<Dense>(3, Act::kSoftmax);
+  other.compile({5}, make_optimizer("sgd", 0.01),
+                make_loss("categorical_crossentropy"), 5);
+  EXPECT_THROW(load_weights(other, path("w.ckpt")), IoError);
+}
+
+TEST_F(SerializeTest, TruncatedFileRejectedWithoutPartialUpdate) {
+  Model a = make_model(1);
+  save_weights(a, path("w.ckpt"));
+  // Truncate the file in the middle of the payload.
+  const auto full = std::filesystem::file_size(path("w.ckpt"));
+  std::filesystem::resize_file(path("w.ckpt"), full / 2);
+  Model b = make_model(6);
+  std::vector<float> before;
+  for (Tensor* p : b.parameters())
+    before.insert(before.end(), p->data(), p->data() + p->numel());
+  EXPECT_THROW(load_weights(b, path("w.ckpt")), IoError);
+  // b's weights must be untouched (staged load).
+  std::vector<float> after;
+  for (Tensor* p : b.parameters())
+    after.insert(after.end(), p->data(), p->data() + p->numel());
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(SerializeTest, CorruptPayloadFailsChecksum) {
+  Model a = make_model(1);
+  save_weights(a, path("w.ckpt"));
+  // Flip a byte inside the payload (past the header).
+  std::fstream f(path("w.ckpt"),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(64);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(64);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.write(&byte, 1);
+  f.close();
+  Model b = make_model(2);
+  EXPECT_THROW(load_weights(b, path("w.ckpt")), IoError);
+}
+
+TEST_F(SerializeTest, UncompiledModelRejected) {
+  Model m;
+  m.add<Dense>(2);
+  EXPECT_THROW(save_weights(m, path("x.ckpt")), InvalidArgument);
+  EXPECT_THROW(load_weights(m, path("x.ckpt")), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Callbacks
+// ---------------------------------------------------------------------------
+
+Dataset easy_data() {
+  io::ClassificationSpec spec;
+  spec.samples = 120;
+  spec.features = 6;
+  spec.classes = 2;
+  spec.informative = 6;
+  spec.class_sep = 2.5;
+  spec.noise = 0.5;
+  spec.seed = 3;
+  return io::make_classification(spec);
+}
+
+TEST(EarlyStoppingTest, StopsWhenLossPlateaus) {
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.2),
+            make_loss("categorical_crossentropy"), 1);
+  EarlyStopping stopper(/*patience=*/2, /*min_delta=*/1e-3);
+  FitOptions opt;
+  opt.epochs = 200;
+  opt.batch_size = 30;
+  const History h = m.fit(d, opt, {&stopper});
+  EXPECT_TRUE(stopper.should_stop());
+  EXPECT_LT(h.epochs.size(), 200u);  // stopped early
+  EXPECT_GT(h.epochs.size(), 3u);    // but not immediately
+}
+
+TEST(EarlyStoppingTest, DoesNotStopWhileImproving) {
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.005),
+            make_loss("categorical_crossentropy"), 1);
+  EarlyStopping stopper(/*patience=*/5, /*min_delta=*/0.0);
+  FitOptions opt;
+  opt.epochs = 10;
+  opt.batch_size = 30;
+  const History h = m.fit(d, opt, {&stopper});
+  EXPECT_EQ(h.epochs.size(), 10u);  // slow lr keeps improving slowly
+}
+
+TEST(ModelCheckpointTest, SavesEveryPeriod) {
+  const auto ckpt =
+      (std::filesystem::temp_directory_path() / "cb_test.ckpt").string();
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.05),
+            make_loss("categorical_crossentropy"), 1);
+  ModelCheckpoint checkpoint(ckpt, /*period=*/3);
+  FitOptions opt;
+  opt.epochs = 7;
+  opt.batch_size = 30;
+  (void)m.fit(d, opt, {&checkpoint});
+  EXPECT_EQ(checkpoint.saves(), 2u);  // epochs 3 and 6
+  EXPECT_TRUE(is_checkpoint(ckpt));
+  std::filesystem::remove(ckpt);
+}
+
+TEST(ModelCheckpointTest, SaveBestOnlySkipsWorseEpochs) {
+  const auto ckpt =
+      (std::filesystem::temp_directory_path() / "cb_best.ckpt").string();
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.05),
+            make_loss("categorical_crossentropy"), 1);
+  ModelCheckpoint checkpoint(ckpt, 1, /*save_best_only=*/true);
+  FitOptions opt;
+  opt.epochs = 12;
+  opt.batch_size = 30;
+  (void)m.fit(d, opt, {&checkpoint});
+  EXPECT_GE(checkpoint.saves(), 1u);
+  EXPECT_LE(checkpoint.saves(), 12u);
+  std::filesystem::remove(ckpt);
+}
+
+TEST(LearningRateWarmupTest, RampsLinearlyToTarget) {
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.5),
+            make_loss("categorical_crossentropy"), 1);
+  LearningRateWarmup warmup(0.01, 0.05, /*warmup_epochs=*/4);
+
+  /// Observes the lr at the end of each epoch (after warmup adjusted it).
+  class LrProbe : public Callback {
+   public:
+    std::vector<double> rates;
+    void on_epoch_end(Model& model, const EpochStats&) override {
+      rates.push_back(model.optimizer().learning_rate());
+    }
+  };
+  LrProbe probe;
+  FitOptions opt;
+  opt.epochs = 6;
+  opt.batch_size = 30;
+  (void)m.fit(d, opt, {&warmup, &probe});
+  ASSERT_EQ(probe.rates.size(), 6u);
+  EXPECT_NEAR(probe.rates[0], 0.02, 1e-9);  // 0.01 + (0.04)*1/4
+  EXPECT_NEAR(probe.rates[1], 0.03, 1e-9);
+  EXPECT_NEAR(probe.rates[3], 0.05, 1e-9);  // fully warmed
+  EXPECT_NEAR(probe.rates[5], 0.05, 1e-9);  // stays at target
+}
+
+TEST(LrSchedules, StepDecayHalvesOnSchedule) {
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.08),
+            make_loss("categorical_crossentropy"), 1);
+  StepLrDecay decay(0.08, 0.5, /*every=*/2);
+  class LrProbe : public Callback {
+   public:
+    std::vector<double> rates;
+    void on_epoch_end(Model& model, const EpochStats&) override {
+      rates.push_back(model.optimizer().learning_rate());
+    }
+  } probe;
+  FitOptions opt;
+  opt.epochs = 6;
+  opt.batch_size = 30;
+  (void)m.fit(d, opt, {&decay, &probe});
+  EXPECT_NEAR(probe.rates[0], 0.08, 1e-9);
+  EXPECT_NEAR(probe.rates[2], 0.04, 1e-9);
+  EXPECT_NEAR(probe.rates[4], 0.02, 1e-9);
+}
+
+TEST(LrSchedules, CosineDecayEndsAtFloor) {
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.1),
+            make_loss("categorical_crossentropy"), 1);
+  CosineLrDecay decay(0.1, 0.001, /*total=*/8);
+  class LrProbe : public Callback {
+   public:
+    std::vector<double> rates;
+    void on_epoch_end(Model& model, const EpochStats&) override {
+      rates.push_back(model.optimizer().learning_rate());
+    }
+  } probe;
+  FitOptions opt;
+  opt.epochs = 9;
+  opt.batch_size = 30;
+  (void)m.fit(d, opt, {&decay, &probe});
+  EXPECT_NEAR(probe.rates[0], 0.1, 1e-9);  // cos(0) = 1
+  for (std::size_t i = 1; i < probe.rates.size(); ++i)
+    EXPECT_LE(probe.rates[i], probe.rates[i - 1] + 1e-12);
+  EXPECT_NEAR(probe.rates[8], 0.001, 1e-9);
+}
+
+TEST(LrSchedules, InvalidConfigsThrow) {
+  EXPECT_THROW(StepLrDecay(0.1, 1.5, 2), InvalidArgument);
+  EXPECT_THROW(StepLrDecay(0.1, 0.5, 0), InvalidArgument);
+  EXPECT_THROW(CosineLrDecay(0.001, 0.1, 5), InvalidArgument);
+}
+
+TEST(HistoryRecorderTest, CapturesAllEpochs) {
+  Dataset d = easy_data();
+  Model m;
+  m.add<Dense>(2, Act::kSoftmax);
+  m.compile({6}, make_optimizer("sgd", 0.05),
+            make_loss("categorical_crossentropy"), 1);
+  HistoryRecorder recorder;
+  FitOptions opt;
+  opt.epochs = 5;
+  opt.batch_size = 30;
+  (void)m.fit(d, opt, {&recorder});
+  EXPECT_EQ(recorder.stats().size(), 5u);
+  EXPECT_EQ(recorder.stats()[4].epoch, 4u);
+}
+
+}  // namespace
+}  // namespace candle::nn

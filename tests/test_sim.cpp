@@ -1,0 +1,561 @@
+// Tests for src/sim: machine models, calibration profiles, and the run
+// simulator — asserting the qualitative shapes the paper reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/calibration.h"
+#include "sim/dvfs.h"
+#include "sim/event_sim.h"
+#include "sim/scaling_metrics.h"
+#include "sim/machine.h"
+#include "sim/run_sim.h"
+
+namespace candle::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Machine models
+// ---------------------------------------------------------------------------
+
+TEST(Machine, SummitTopology) {
+  const Machine& s = Machine::summit();
+  EXPECT_EQ(s.ranks_per_node, 6u);        // 6 V100 per node
+  EXPECT_EQ(s.nodes_for(384), 64u);       // the paper's strong-scaling max
+  EXPECT_EQ(s.nodes_for(3072), 512u);     // the weak-scaling max
+  EXPECT_EQ(s.nodes_for(1), 1u);
+  EXPECT_EQ(s.nodes_for(7), 2u);
+  EXPECT_DOUBLE_EQ(s.meter_hz, 1.0);      // nvidia-smi
+  EXPECT_TRUE(s.has_gpus);
+}
+
+TEST(Machine, ThetaTopology) {
+  const Machine& t = Machine::theta();
+  EXPECT_EQ(t.ranks_per_node, 1u);
+  EXPECT_EQ(t.nodes_for(384), 384u);
+  EXPECT_DOUBLE_EQ(t.meter_hz, 2.0);      // PoLiMEr
+  EXPECT_FALSE(t.has_gpus);
+}
+
+TEST(Machine, IoContentionGrowsWithNodes) {
+  const Machine& s = Machine::summit();
+  EXPECT_DOUBLE_EQ(s.io_contention(1, false), 1.0);
+  EXPECT_DOUBLE_EQ(s.io_contention(6, false), 1.0);  // still one node
+  const double c64 = s.io_contention(384, false);
+  const double c512 = s.io_contention(3072, false);
+  EXPECT_GT(c64, 1.2);
+  EXPECT_GT(c512, c64);
+}
+
+TEST(Machine, ChunkedLoaderSeesLessContention) {
+  for (const Machine* m : {&Machine::summit(), &Machine::theta()}) {
+    EXPECT_LT(m->io_contention(384, true), m->io_contention(384, false))
+        << m->name;
+  }
+}
+
+TEST(Machine, ThetaContentionFarExceedsSummit) {
+  // §5.1: at-scale loading on Theta is >4x Summit's.
+  const double theta = Machine::theta().io_contention(384, false);
+  const double summit = Machine::summit().io_contention(384, false);
+  EXPECT_GT(theta, 3.0 * summit);
+}
+
+TEST(Machine, SyncOverheadShape) {
+  const Machine& s = Machine::summit();
+  EXPECT_DOUBLE_EQ(s.sync_overhead(1), 0.0);
+  EXPECT_GT(s.sync_overhead(6), 0.0);
+  EXPECT_GT(s.sync_overhead(384), s.sync_overhead(6));
+  EXPECT_GT(s.sync_overhead(3072), s.sync_overhead(384));
+}
+
+// ---------------------------------------------------------------------------
+// Calibration profiles (Table 1 fidelity)
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, Table1Values) {
+  const auto& nt3 = BenchmarkProfile::nt3();
+  EXPECT_EQ(nt3.train_samples, 1120u);
+  EXPECT_EQ(nt3.default_batch, 20u);
+  EXPECT_EQ(nt3.default_epochs, 384u);
+  EXPECT_EQ(nt3.optimizer, "sgd");
+  EXPECT_EQ(nt3.features_per_sample, 60483u);
+  EXPECT_EQ(nt3.steps_per_epoch(20), 56u);  // 1120/20, as in §2.1.1
+
+  const auto& p1b1 = BenchmarkProfile::p1b1();
+  EXPECT_EQ(p1b1.optimizer, "adam");
+  EXPECT_EQ(p1b1.steps_per_epoch(100), 27u);  // 2700/100 (§4.2.2)
+
+  const auto& p1b2 = BenchmarkProfile::p1b2();
+  EXPECT_EQ(p1b2.default_epochs, 768u);
+  EXPECT_EQ(p1b2.optimizer, "rmsprop");
+  EXPECT_EQ(p1b2.steps_per_epoch(60), 45u);  // 2700/60 (§2.1.3)
+
+  const auto& p1b3 = BenchmarkProfile::p1b3();
+  EXPECT_EQ(p1b3.default_epochs, 1u);
+  EXPECT_EQ(p1b3.train_samples, 900100u);
+  EXPECT_EQ(p1b3.steps_per_epoch(100), 9001u);  // §2.1.4
+}
+
+TEST(Calibration, LoaderTimesMatchTable3) {
+  const auto& nt3 = BenchmarkProfile::nt3().summit;
+  EXPECT_DOUBLE_EQ(nt3.load_original.train_s, 81.72);
+  EXPECT_DOUBLE_EQ(nt3.load_chunked.train_s, 14.30);
+  const auto& p1b1 = BenchmarkProfile::p1b1().summit;
+  EXPECT_DOUBLE_EQ(p1b1.load_original.train_s, 235.68);
+  EXPECT_DOUBLE_EQ(p1b1.load_chunked.train_s, 30.99);
+}
+
+TEST(Calibration, DaskLandsBetweenOriginalAndChunked) {
+  for (const BenchmarkProfile* p : BenchmarkProfile::all()) {
+    for (MachineKind kind : {MachineKind::kSummit, MachineKind::kTheta}) {
+      const auto& mc = p->on(kind);
+      const LoaderSeconds dask = p->load_dask(kind);
+      EXPECT_GE(dask.total(), mc.load_chunked.total()) << p->name;
+      EXPECT_LE(dask.total(), mc.load_original.total()) << p->name;
+    }
+  }
+}
+
+TEST(Calibration, ByNameLookup) {
+  EXPECT_EQ(&BenchmarkProfile::by_name("NT3"), &BenchmarkProfile::nt3());
+  EXPECT_EQ(&BenchmarkProfile::by_name("p1b3"), &BenchmarkProfile::p1b3());
+  EXPECT_THROW(BenchmarkProfile::by_name("P9"), InvalidArgument);
+  EXPECT_EQ(BenchmarkProfile::all().size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// RunSimulator: calibration anchors
+// ---------------------------------------------------------------------------
+
+TEST(RunSimulator, Nt3TimePerEpochMatchesPaperAnchors) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  // ~10.3 s/epoch sequential (Table 6).
+  RunPlan seq;
+  seq.ranks = 1;
+  seq.epochs_per_rank = 1;
+  const SimResult r1 = sim.simulate(seq);
+  EXPECT_NEAR(r1.time_per_epoch, 10.3, 0.5);
+
+  // ~22 s/epoch on 384 GPUs (§4.2.1: "increases significantly from around
+  // 10 s on one GPU to around 22 s on 384 GPUs").
+  RunPlan p384 = seq;
+  p384.ranks = 384;
+  const SimResult r384 = sim.simulate(p384);
+  EXPECT_NEAR(r384.time_per_epoch, 22.0, 4.0);
+
+  // >3x sequential on 3,072 GPUs (§7).
+  RunPlan p3072 = seq;
+  p3072.ranks = 3072;
+  const SimResult r3072 = sim.simulate(p3072);
+  EXPECT_GT(r3072.time_per_epoch, 3.0 * r1.time_per_epoch);
+}
+
+TEST(RunSimulator, Nt3ThetaEpochAnchors) {
+  RunSimulator sim(Machine::theta(), BenchmarkProfile::nt3());
+  // 695 s on 24 nodes -> 965 s on 384 nodes (§5.1).
+  RunPlan p24;
+  p24.ranks = 24;
+  p24.epochs_per_rank = 1;
+  EXPECT_NEAR(sim.simulate(p24).time_per_epoch, 695.0, 40.0);
+  RunPlan p384 = p24;
+  p384.ranks = 384;
+  EXPECT_NEAR(sim.simulate(p384).time_per_epoch, 965.0, 60.0);
+}
+
+TEST(RunSimulator, LargerBatchReducesEpochTimeAndPower) {
+  // Table 2's two columns: bs 40 has lower time/epoch and lower power.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan bs20;
+  bs20.ranks = 6;
+  bs20.epochs_per_rank = 4;
+  bs20.batch_per_rank = 20;
+  RunPlan bs40 = bs20;
+  bs40.batch_per_rank = 40;
+  const SimResult r20 = sim.simulate(bs20);
+  const SimResult r40 = sim.simulate(bs40);
+  EXPECT_LT(r40.time_per_epoch, r20.time_per_epoch);
+  EXPECT_LT(sim.compute_power_watts(40), sim.compute_power_watts(20));
+}
+
+TEST(RunSimulator, Nt3OomAtBatch50) {
+  // §4.2.1: "using a batch size of 50 or larger causes running out of
+  // memory" on the 16 GB V100.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 6;
+  plan.epochs_per_rank = 1;
+  plan.batch_per_rank = 40;
+  EXPECT_NO_THROW(sim.simulate(plan));
+  plan.batch_per_rank = 50;
+  EXPECT_THROW(sim.simulate(plan), OutOfMemory);
+}
+
+TEST(RunSimulator, P1b3LinearScalingOomAt192Gpus) {
+  // §4.2.4: linear scaling fails at 19,200 / 38,400 per-rank batch.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::p1b3());
+  RunPlan plan;
+  plan.ranks = 96;
+  plan.epochs_per_rank = 1;
+  plan.batch_per_rank = 9600;
+  plan.level = ParallelLevel::kBatchStep;
+  EXPECT_NO_THROW(sim.simulate(plan));
+  plan.ranks = 192;
+  plan.batch_per_rank = 19200;
+  EXPECT_THROW(sim.simulate(plan), OutOfMemory);
+}
+
+TEST(RunSimulator, BroadcastOverheadAnchors) {
+  // Fig 7b vs Fig 12: negotiate_broadcast ~43.7 s with the original loader
+  // on 384 GPUs, ~4.65 s optimized.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  const double orig = sim.load_skew_seconds(io::LoaderKind::kOriginal, 384);
+  const double opt = sim.load_skew_seconds(io::LoaderKind::kChunked, 384);
+  EXPECT_NEAR(orig, 43.7, 6.0);
+  EXPECT_NEAR(opt, 4.65, 1.5);
+  EXPECT_GT(orig / opt, 5.0);  // paper: 89.36% reduction (~9.4x)
+}
+
+TEST(RunSimulator, DataLoadingDominatesNt3At48Gpus) {
+  // §4.2.1: "on 48 GPUs or more, the data-loading time dominates the total
+  // runtime" (original loader, strong scaling of 384 epochs).
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 48;
+  plan.epochs_per_rank = 384 / 48;
+  plan.loader = io::LoaderKind::kOriginal;
+  const SimResult r = sim.simulate(plan);
+  EXPECT_GT(r.phases.data_load, r.phases.train());
+}
+
+TEST(RunSimulator, OptimizedLoaderImprovesTotalRuntime) {
+  // The headline: chunked loading cuts NT3 total time by >50% at scale.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan orig;
+  orig.ranks = 384;
+  orig.epochs_per_rank = 1;
+  orig.loader = io::LoaderKind::kOriginal;
+  RunPlan opt = orig;
+  opt.loader = io::LoaderKind::kChunked;
+  const double t_orig = sim.simulate(orig).phases.total();
+  const double t_opt = sim.simulate(opt).phases.total();
+  const double improvement = (t_orig - t_opt) / t_orig;
+  EXPECT_GT(improvement, 0.5);
+  EXPECT_LT(improvement, 0.85);
+}
+
+TEST(RunSimulator, OptimizedLoaderRaisesAvgPowerButSavesEnergy) {
+  // Table 5: average GPU power increases (less low-power idle time) while
+  // energy decreases.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan orig;
+  orig.ranks = 384;
+  orig.epochs_per_rank = 1;
+  orig.loader = io::LoaderKind::kOriginal;
+  RunPlan opt = orig;
+  opt.loader = io::LoaderKind::kChunked;
+  const SimResult r_orig = sim.simulate(orig);
+  const SimResult r_opt = sim.simulate(opt);
+  EXPECT_GT(r_opt.avg_power_w, r_orig.avg_power_w);
+  EXPECT_LT(r_opt.energy_per_rank_j, r_orig.energy_per_rank_j);
+}
+
+TEST(RunSimulator, WeakScalingEpochsStayConstantButOverheadGrows) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.epochs_per_rank = 8;  // the paper's weak-scaling setting (§6)
+  plan.loader = io::LoaderKind::kChunked;
+  double prev_total = 0.0;
+  for (std::size_t ranks : {6u, 48u, 384u, 3072u}) {
+    plan.ranks = ranks;
+    const SimResult r = sim.simulate(plan);
+    EXPECT_GT(r.phases.total(), prev_total) << ranks;
+    prev_total = r.phases.total();
+  }
+}
+
+TEST(RunSimulator, HierarchicalAllreduceWinsInTheLatencyBoundRegime) {
+  // Two-level reduction runs its inter-node ring over 6x fewer
+  // participants; the advantage appears where per-stage latency dominates
+  // (thousands of ranks), while at moderate scale the extra NVLink passes
+  // roughly cancel it — which is why NCCL switches algorithms by size.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  EXPECT_LT(sim.allreduce_hierarchical_seconds(3072),
+            sim.allreduce_step_seconds(3072));
+  EXPECT_NEAR(sim.allreduce_hierarchical_seconds(48),
+              sim.allreduce_step_seconds(48),
+              0.1 * sim.allreduce_step_seconds(48));
+  EXPECT_DOUBLE_EQ(sim.allreduce_hierarchical_seconds(1), 0.0);
+  EXPECT_GT(sim.allreduce_hierarchical_seconds(384),
+            sim.allreduce_hierarchical_seconds(12));
+}
+
+TEST(RunSimulator, TimelineCarriesPowerCounters) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 6;
+  plan.epochs_per_rank = 2;
+  plan.make_timeline = true;
+  const SimResult r = sim.simulate(plan);
+  ASSERT_NE(r.timeline, nullptr);
+  EXPECT_GT(r.timeline->counter_count(), 10u);
+  const std::string json = r.timeline->to_chrome_json();
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("gpu_power_w"), std::string::npos);
+}
+
+TEST(RunSimulator, BatchStepShardingDividesSteps) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::p1b3());
+  RunPlan plan;
+  plan.ranks = 10;
+  plan.epochs_per_rank = 1;
+  plan.batch_per_rank = 100;
+  plan.level = ParallelLevel::kBatchStep;
+  const SimResult r = sim.simulate(plan);
+  EXPECT_EQ(r.steps_per_epoch, (9001u + 9) / 10);
+}
+
+TEST(RunSimulator, TimelineAndTraceOnDemand) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 12;
+  plan.epochs_per_rank = 2;
+  const SimResult bare = sim.simulate(plan);
+  EXPECT_EQ(bare.timeline, nullptr);
+  EXPECT_TRUE(bare.trace.samples.empty());
+
+  plan.make_timeline = true;
+  plan.make_power_trace = true;
+  const SimResult full = sim.simulate(plan);
+  ASSERT_NE(full.timeline, nullptr);
+  EXPECT_GT(full.timeline->size(), 0u);
+  EXPECT_GT(full.trace.samples.size(), 10u);
+  // Timeline lanes are capped at 6 (one node's GPUs), like the paper plots.
+  for (const auto& e : full.timeline->events()) EXPECT_LT(e.rank, 6u);
+  // Phase times and the sampled trace cover the same span.
+  EXPECT_NEAR(full.timeline->span_end(), full.phases.total(), 1.0);
+}
+
+TEST(RunSimulator, EnergyConsistentWithPowerTimesTime) {
+  RunSimulator sim(Machine::theta(), BenchmarkProfile::p1b2());
+  RunPlan plan;
+  plan.ranks = 24;
+  plan.epochs_per_rank = 4;
+  const SimResult r = sim.simulate(plan);
+  EXPECT_NEAR(r.energy_per_rank_j, r.avg_power_w * r.phases.total(),
+              0.02 * r.energy_per_rank_j);
+  EXPECT_NEAR(r.total_energy_j, r.energy_per_rank_j * 24, 1.0);
+}
+
+TEST(RunSimulator, InvalidPlansThrow) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 0;
+  EXPECT_THROW(sim.simulate(plan), InvalidArgument);
+  plan.ranks = 1;
+  plan.epochs_per_rank = 0;
+  EXPECT_THROW(sim.simulate(plan), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling metrics (speedup / efficiency / Karp-Flatt / Amdahl fit)
+// ---------------------------------------------------------------------------
+
+TEST(ScalingMetrics, SpeedupAndEfficiency) {
+  const ScalingPoint base{1, 100.0};
+  const ScalingPoint p4{4, 30.0};
+  EXPECT_NEAR(speedup(base, p4), 100.0 / 30.0, 1e-9);
+  EXPECT_NEAR(parallel_efficiency(base, p4), 100.0 / 30.0 / 4.0, 1e-9);
+}
+
+TEST(ScalingMetrics, KarpFlattOfPerfectScalingIsZero) {
+  const ScalingPoint base{1, 80.0};
+  EXPECT_NEAR(karp_flatt(base, {8, 10.0}), 0.0, 1e-9);
+}
+
+TEST(ScalingMetrics, KarpFlattRecoversKnownSerialFraction) {
+  // Construct times from Amdahl's law with f = 0.2; Karp-Flatt must
+  // recover 0.2 at every rank count.
+  const double t1 = 120.0;
+  const ScalingPoint base{1, t1};
+  for (std::size_t p : {2u, 8u, 64u}) {
+    const ScalingPoint point{p, amdahl_time(t1, 0.2, p)};
+    EXPECT_NEAR(karp_flatt(base, point), 0.2, 1e-9) << p;
+  }
+}
+
+TEST(ScalingMetrics, FitRecoversSerialFraction) {
+  const double t1 = 200.0;
+  std::vector<ScalingPoint> curve{{1, t1}};
+  for (std::size_t p : {2u, 4u, 16u, 64u, 256u})
+    curve.push_back({p, amdahl_time(t1, 0.07, p)});
+  EXPECT_NEAR(fit_serial_fraction(curve), 0.07, 1e-4);
+}
+
+TEST(ScalingMetrics, OptimizedLoaderShrinksSerialFraction) {
+  // The quantitative version of the paper's bottleneck claim.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  auto curve = [&](io::LoaderKind loader) {
+    std::vector<ScalingPoint> c;
+    for (std::size_t ranks : {1u, 6u, 24u, 96u, 384u}) {
+      RunPlan plan;
+      plan.ranks = ranks;
+      plan.epochs_per_rank = 384 / ranks;
+      plan.loader = loader;
+      c.push_back({ranks, sim.simulate(plan).phases.total()});
+    }
+    return c;
+  };
+  const double f_orig = fit_serial_fraction(curve(io::LoaderKind::kOriginal));
+  const double f_opt = fit_serial_fraction(curve(io::LoaderKind::kChunked));
+  EXPECT_GT(f_orig, 2.0 * f_opt);
+}
+
+TEST(ScalingMetrics, InvalidInputsThrow) {
+  EXPECT_THROW(speedup({2, 10.0}, {4, 5.0}), InvalidArgument);
+  EXPECT_THROW(karp_flatt({1, 10.0}, {1, 10.0}), InvalidArgument);
+  EXPECT_THROW(amdahl_time(10.0, 1.5, 2), InvalidArgument);
+  EXPECT_THROW(fit_serial_fraction({{1, 10.0}}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo straggler simulation (cross-validates the analytic skew)
+// ---------------------------------------------------------------------------
+
+TEST(EventSim, DeterministicInSeed) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  const auto a = simulate_startup(sim, io::LoaderKind::kOriginal, 48, 5);
+  const auto b = simulate_startup(sim, io::LoaderKind::kOriginal, 48, 5);
+  EXPECT_EQ(a.load_seconds, b.load_seconds);
+  const auto c = simulate_startup(sim, io::LoaderKind::kOriginal, 48, 6);
+  EXPECT_NE(a.load_seconds, c.load_seconds);
+}
+
+TEST(EventSim, WaitsAreMaxArrivalMinusOwn) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  const auto s = simulate_startup(sim, io::LoaderKind::kOriginal, 32, 1);
+  double min_wait = 1e30;
+  for (std::size_t r = 0; r < 32; ++r) {
+    EXPECT_NEAR(s.negotiate_wait[r] + s.load_seconds[r], s.max_arrival,
+                1e-9);
+    min_wait = std::min(min_wait, s.negotiate_wait[r]);
+  }
+  EXPECT_NEAR(min_wait, 0.0, 1e-9);  // the slowest rank never waits
+}
+
+TEST(EventSim, McAgreesWithAnalyticSkewAtScale) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  for (auto loader : {io::LoaderKind::kOriginal, io::LoaderKind::kChunked}) {
+    const double mc = mc_negotiate_overhead(sim, loader, 384, 25, 11);
+    const double analytic = sim.load_skew_seconds(loader, 384);
+    EXPECT_NEAR(mc, analytic, 0.25 * analytic)
+        << io::loader_name(loader) << " mc=" << mc << " an=" << analytic;
+  }
+}
+
+TEST(EventSim, OptimizedLoaderShrinksEmergentOverhead) {
+  // The paper's Fig 12 effect, emergent from per-rank draws.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  const double orig =
+      mc_negotiate_overhead(sim, io::LoaderKind::kOriginal, 384, 10, 3);
+  const double opt =
+      mc_negotiate_overhead(sim, io::LoaderKind::kChunked, 384, 10, 3);
+  EXPECT_GT(orig / opt, 4.0);
+}
+
+TEST(EventSim, SingleRankHasNoWait) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  const auto s = simulate_startup(sim, io::LoaderKind::kChunked, 1, 1);
+  EXPECT_DOUBLE_EQ(s.mean_wait, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DVFS performance-power model (§7 future-work extension)
+// ---------------------------------------------------------------------------
+
+TEST(Dvfs, NominalFrequencyReproducesBaseRun) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 6;
+  plan.epochs_per_rank = 8;
+  const SimResult base = sim.simulate(plan);
+  const DvfsPoint p = dvfs_evaluate(sim, plan, 1.0);
+  EXPECT_NEAR(p.total_s, base.phases.total(), 1e-6);
+  EXPECT_NEAR(p.energy_j, base.energy_per_rank_j,
+              0.02 * base.energy_per_rank_j);
+}
+
+TEST(Dvfs, LowerFrequencyIsSlower) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 6;
+  plan.epochs_per_rank = 8;
+  const DvfsPoint slow = dvfs_evaluate(sim, plan, 0.6);
+  const DvfsPoint fast = dvfs_evaluate(sim, plan, 1.0);
+  EXPECT_GT(slow.total_s, fast.total_s);
+}
+
+TEST(Dvfs, EnergyOptimumIsBelowNominal) {
+  // With cubic dynamic power, the energy-optimal frequency for a
+  // compute-heavy run sits below nominal.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 1;            // compute dominates at 1 GPU (384 epochs)
+  plan.epochs_per_rank = 64;
+  plan.loader = io::LoaderKind::kChunked;
+  const auto sweep = dvfs_sweep(sim, plan);
+  const DvfsPoint e_opt = dvfs_energy_optimal(sweep);
+  EXPECT_LT(e_opt.freq_ratio, 1.0);
+  // And ED²P favors a higher frequency than pure energy does.
+  const DvfsPoint p_opt = dvfs_ed2p_optimal(sweep);
+  EXPECT_GE(p_opt.freq_ratio, e_opt.freq_ratio);
+}
+
+TEST(Dvfs, SweepIsMonotoneInTime) {
+  RunSimulator sim(Machine::theta(), BenchmarkProfile::p1b2());
+  RunPlan plan;
+  plan.ranks = 24;
+  plan.epochs_per_rank = 4;
+  const auto sweep = dvfs_sweep(sim, plan);
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_LT(sweep[i].total_s, sweep[i - 1].total_s);
+}
+
+TEST(Dvfs, InvalidArgsThrow) {
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  RunPlan plan;
+  plan.ranks = 1;
+  plan.epochs_per_rank = 1;
+  EXPECT_THROW(dvfs_evaluate(sim, plan, 0.0), InvalidArgument);
+  DvfsModel bad;
+  bad.steps = 1;
+  EXPECT_THROW(dvfs_sweep(sim, plan, bad), InvalidArgument);
+  EXPECT_THROW(dvfs_energy_optimal({}), InvalidArgument);
+}
+
+// Parameterized sweep: strong-scaling total runtime decreases with GPU
+// count as long as compute dominates, for every benchmark.
+class StrongScalingSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrongScalingSweep, TensorFlowPhaseShrinksWithGpus) {
+  const BenchmarkProfile& p = BenchmarkProfile::by_name(GetParam());
+  RunSimulator sim(Machine::summit(), p);
+  double prev_train = 1e30;
+  for (std::size_t ranks : {1u, 6u, 24u, 96u}) {
+    const std::size_t epochs =
+        std::max<std::size_t>(1, p.default_epochs / ranks);
+    RunPlan plan;
+    plan.ranks = ranks;
+    plan.epochs_per_rank = epochs;
+    const SimResult r = sim.simulate(plan);
+    EXPECT_LT(r.phases.train(), prev_train) << GetParam() << "@" << ranks;
+    prev_train = r.phases.train();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, StrongScalingSweep,
+                         ::testing::Values("NT3", "P1B1", "P1B2"));
+
+}  // namespace
+}  // namespace candle::sim

@@ -1,0 +1,310 @@
+// Tests for src/supervisor: search spaces, the cluster scheduler, the
+// results database, and end-to-end campaigns.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/error.h"
+#include "supervisor/supervisor.h"
+
+namespace candle::supervisor {
+namespace {
+
+SearchSpace small_space() {
+  SearchSpace s;
+  s.epochs = {2, 4};
+  s.batches = {20, 40};
+  s.learning_rates = {0.001, 0.01};
+  s.optimizers = {"sgd", "adam"};
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Search space
+// ---------------------------------------------------------------------------
+
+TEST(SearchSpace, GridEnumeratesFullCartesianProduct) {
+  const auto trials = grid_search(small_space());
+  EXPECT_EQ(trials.size(), 16u);
+  std::set<std::string> keys;
+  for (const auto& t : trials) keys.insert(t.key());
+  EXPECT_EQ(keys.size(), 16u);  // all distinct
+  // Ids are sequential.
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    EXPECT_EQ(trials[i].id, i);
+}
+
+TEST(SearchSpace, EmptyAxisThrows) {
+  SearchSpace s = small_space();
+  s.optimizers.clear();
+  EXPECT_THROW(grid_search(s), InvalidArgument);
+  EXPECT_THROW(random_search(s, 5, 1), InvalidArgument);
+}
+
+TEST(SearchSpace, RandomSearchDeterministicInSeed) {
+  const auto a = random_search(small_space(), 10, 42);
+  const auto b = random_search(small_space(), 10, 42);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a[i].key(), b[i].key());
+  const auto c = random_search(small_space(), 10, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i) any_diff |= a[i].key() != c[i].key();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SearchSpace, RandomSearchDrawsFromAxes) {
+  const SearchSpace s = small_space();
+  for (const auto& t : random_search(s, 50, 7)) {
+    EXPECT_TRUE(t.epochs == 2 || t.epochs == 4);
+    EXPECT_TRUE(t.batch == 20 || t.batch == 40);
+    EXPECT_TRUE(t.optimizer == "sgd" || t.optimizer == "adam");
+  }
+}
+
+TEST(SearchSpace, StratifiedSearchCoversAxesEvenly) {
+  const auto trials = stratified_search(small_space(), 8, 3);
+  ASSERT_EQ(trials.size(), 8u);
+  // Each 2-value axis must appear exactly 4 times in 8 stratified draws.
+  std::size_t epochs2 = 0, batch20 = 0;
+  for (const auto& t : trials) {
+    epochs2 += t.epochs == 2;
+    batch20 += t.batch == 20;
+  }
+  EXPECT_EQ(epochs2, 4u);
+  EXPECT_EQ(batch20, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, SingleJobStartsImmediately) {
+  ClusterScheduler sched(4);
+  const Schedule s = sched.schedule({JobRequest{Trial{}, 2, 100.0}});
+  ASSERT_EQ(s.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.jobs[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.jobs[0].end_s, 100.0);
+  EXPECT_DOUBLE_EQ(s.makespan_s, 100.0);
+  EXPECT_EQ(s.jobs[0].rank_ids.size(), 2u);
+}
+
+TEST(Scheduler, ParallelJobsShareTheAllocation) {
+  // Two 2-rank jobs on 4 ranks run concurrently.
+  ClusterScheduler sched(4);
+  const Schedule s = sched.schedule(
+      {JobRequest{Trial{}, 2, 50.0}, JobRequest{Trial{}, 2, 50.0}});
+  EXPECT_DOUBLE_EQ(s.makespan_s, 50.0);
+  EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+}
+
+TEST(Scheduler, SerializesWhenAllocationIsFull) {
+  ClusterScheduler sched(2);
+  const Schedule s = sched.schedule(
+      {JobRequest{Trial{}, 2, 30.0}, JobRequest{Trial{}, 2, 20.0}});
+  EXPECT_DOUBLE_EQ(s.jobs[1].start_s, 30.0);
+  EXPECT_DOUBLE_EQ(s.makespan_s, 50.0);
+}
+
+TEST(Scheduler, OversizedJobThrows) {
+  ClusterScheduler sched(2);
+  EXPECT_THROW(sched.schedule({JobRequest{Trial{}, 3, 1.0}}),
+               InvalidArgument);
+}
+
+TEST(Scheduler, MakespanNeverBelowCriticalPathOrTotalWork) {
+  // Property: makespan >= max job duration and >= busy/ranks.
+  ClusterScheduler sched(3);
+  std::vector<JobRequest> jobs;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i)
+    jobs.push_back(JobRequest{Trial{}, 1 + rng.uniform_index(3),
+                              rng.uniform(1.0, 40.0)});
+  const Schedule s = sched.schedule(jobs);
+  double max_dur = 0.0;
+  for (const auto& j : jobs) max_dur = std::max(max_dur, j.seconds);
+  EXPECT_GE(s.makespan_s, max_dur - 1e-9);
+  EXPECT_GE(s.makespan_s, s.busy_rank_seconds / 3.0 - 1e-9);
+  EXPECT_LE(s.utilization(), 1.0);
+}
+
+TEST(Scheduler, NoRankRunsTwoJobsAtOnce) {
+  ClusterScheduler sched(4);
+  std::vector<JobRequest> jobs;
+  Rng rng(9);
+  for (int i = 0; i < 15; ++i)
+    jobs.push_back(JobRequest{Trial{}, 1 + rng.uniform_index(4),
+                              rng.uniform(1.0, 10.0)});
+  const Schedule s = sched.schedule(jobs);
+  for (std::size_t a = 0; a < s.jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < s.jobs.size(); ++b) {
+      const bool overlap_time = s.jobs[a].start_s < s.jobs[b].end_s - 1e-9 &&
+                                s.jobs[b].start_s < s.jobs[a].end_s - 1e-9;
+      if (!overlap_time) continue;
+      for (std::size_t r : s.jobs[a].rank_ids)
+        for (std::size_t r2 : s.jobs[b].rank_ids)
+          ASSERT_NE(r, r2) << "rank double-booked";
+    }
+  }
+}
+
+TEST(Scheduler, LptNotWorseThanFifoOnSkewedLoad) {
+  ClusterScheduler sched(2);
+  std::vector<JobRequest> jobs{
+      JobRequest{Trial{}, 1, 1.0}, JobRequest{Trial{}, 1, 1.0},
+      JobRequest{Trial{}, 1, 1.0}, JobRequest{Trial{}, 1, 10.0}};
+  const double fifo = sched.schedule(jobs).makespan_s;
+  const double lpt = sched.schedule_lpt(jobs).makespan_s;
+  EXPECT_LE(lpt, fifo + 1e-9);
+  EXPECT_DOUBLE_EQ(lpt, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// ResultsDb
+// ---------------------------------------------------------------------------
+
+TEST(ResultsDb, BestAndRankedRespectFailures) {
+  ResultsDb db;
+  db.record({Trial{0}, 0.8f, 0.2f, 10.0, 1000.0, false, ""});
+  db.record({Trial{1}, 0.95f, 0.1f, 20.0, 4000.0, false, ""});
+  db.record({Trial{2}, 0.0f, 0.0f, 0.0, 0.0, true, "OOM"});
+  ASSERT_TRUE(db.best().has_value());
+  EXPECT_EQ(db.best()->trial.id, 1u);
+  const auto ranked = db.ranked();
+  EXPECT_EQ(ranked.front().trial.id, 1u);
+  EXPECT_TRUE(ranked.back().failed);
+}
+
+TEST(ResultsDb, BestPerEnergyPrefersEfficientTrials) {
+  ResultsDb db;
+  db.record({Trial{0}, 0.90f, 0.1f, 10.0, 1000.0, false, ""});   // 0.9/kJ
+  db.record({Trial{1}, 0.95f, 0.1f, 20.0, 10000.0, false, ""});  // 0.095/kJ
+  ASSERT_TRUE(db.best_per_energy().has_value());
+  EXPECT_EQ(db.best_per_energy()->trial.id, 0u);
+}
+
+TEST(ResultsDb, EmptyDbHasNoBest) {
+  ResultsDb db;
+  EXPECT_FALSE(db.best().has_value());
+  EXPECT_FALSE(db.best_per_energy().has_value());
+}
+
+TEST(ResultsDb, CsvRoundTripShape) {
+  ResultsDb db;
+  db.record({Trial{0, 8, 20, 0.001, "sgd"}, 0.9f, 0.3f, 12.5, 900.0,
+             false, ""});
+  const std::string csv = db.to_csv();
+  EXPECT_NE(csv.find("trial_id,epochs,batch"), std::string::npos);
+  EXPECT_NE(csv.find("0,8,20,0.001,sgd"), std::string::npos);
+  const auto path = std::filesystem::temp_directory_path() / "resdb.csv";
+  db.save_csv(path.string());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, RealTrainingCampaignFindsWorkingConfig) {
+  CampaignConfig config;
+  config.benchmark = BenchmarkId::kP1B2;
+  config.mode = EvalMode::kRealTraining;
+  config.scale = 0.0013;
+  SearchSpace space;
+  space.epochs = {1, 4};
+  space.batches = {60};
+  space.learning_rates = {0.001, 0.02};
+  space.optimizers = {"rmsprop"};
+  const ResultsDb db = run_campaign(config, grid_search(space));
+  EXPECT_EQ(db.size(), 4u);
+  ASSERT_TRUE(db.best().has_value());
+  EXPECT_GT(db.best()->metric, 0.1f);
+  // More epochs can't be worse than the 1-epoch trial at the same lr.
+  float acc_e1 = 0, acc_e4 = 0;
+  for (const auto& r : db.all()) {
+    if (r.trial.learning_rate == 0.02 && r.trial.epochs == 1)
+      acc_e1 = r.metric;
+    if (r.trial.learning_rate == 0.02 && r.trial.epochs == 4)
+      acc_e4 = r.metric;
+  }
+  EXPECT_GE(acc_e4, acc_e1 - 0.05f);
+}
+
+TEST(Campaign, SuccessiveHalvingFindsTheGoodLrCheaply) {
+  CampaignConfig config;
+  config.benchmark = BenchmarkId::kP1B2;
+  config.mode = EvalMode::kRealTraining;
+  config.scale = 0.0013;
+  // Four lr candidates; only moderate rates can learn the 20-way problem.
+  std::vector<Trial> candidates;
+  std::size_t id = 0;
+  for (double lr : {1e-6, 1e-4, 0.02, 5.0})
+    candidates.push_back(Trial{id++, 1, 60, lr, "rmsprop"});
+  const HalvingResult result =
+      successive_halving(config, candidates, /*initial=*/1, /*max=*/8, 2);
+  EXPECT_GE(result.rungs, 2u);
+  EXPECT_FALSE(result.winner.failed);
+  // The winner must be one of the sane learning rates.
+  EXPECT_GT(result.winner.trial.learning_rate, 1e-6);
+  EXPECT_LT(result.winner.trial.learning_rate, 5.0);
+  EXPECT_GT(result.winner.metric, 0.3f);
+  // The DB holds every rung evaluation (4 at rung 1, then fewer).
+  EXPECT_GE(result.db.size(), 6u);
+}
+
+TEST(Campaign, SuccessiveHalvingValidatesArguments) {
+  CampaignConfig config;
+  config.mode = EvalMode::kSimulated;
+  std::vector<Trial> one{Trial{}};
+  EXPECT_THROW(successive_halving(config, one, 1, 8), InvalidArgument);
+  config.mode = EvalMode::kRealTraining;
+  EXPECT_THROW(successive_halving(config, {}, 1, 8), InvalidArgument);
+  EXPECT_THROW(successive_halving(config, one, 0, 8), InvalidArgument);
+  EXPECT_THROW(successive_halving(config, one, 4, 2), InvalidArgument);
+  EXPECT_THROW(successive_halving(config, one, 1, 8, 1), InvalidArgument);
+}
+
+TEST(Campaign, SimulatedCampaignRecordsOomAsFailure) {
+  CampaignConfig config;
+  config.benchmark = BenchmarkId::kNT3;
+  config.mode = EvalMode::kSimulated;
+  config.ranks_per_trial = 6;
+  SearchSpace space;
+  space.epochs = {2};
+  space.batches = {20, 50};  // 50 OOMs on the 16 GB V100 (paper §4.2.1)
+  space.learning_rates = {0.001};
+  space.optimizers = {"sgd"};
+  const ResultsDb db = run_campaign(config, grid_search(space));
+  ASSERT_EQ(db.size(), 2u);
+  std::size_t failures = 0;
+  for (const auto& r : db.all())
+    if (r.failed) {
+      ++failures;
+      EXPECT_EQ(r.trial.batch, 50u);
+      EXPECT_NE(r.failure_reason.find("16.0 GB"), std::string::npos);
+    } else {
+      EXPECT_GT(r.train_seconds, 0.0);
+      EXPECT_GT(r.energy_joules, 0.0);
+    }
+  EXPECT_EQ(failures, 1u);
+}
+
+TEST(Campaign, PlanSkipsOomAndUsesAllocation) {
+  CampaignConfig config;
+  config.benchmark = BenchmarkId::kNT3;
+  config.mode = EvalMode::kSimulated;
+  config.ranks_per_trial = 6;
+  SearchSpace space;
+  space.epochs = {2, 4};
+  space.batches = {20, 50};  // the 50s are dropped from the plan
+  space.learning_rates = {0.001};
+  space.optimizers = {"sgd"};
+  const Schedule plan = plan_campaign(config, grid_search(space), 12);
+  EXPECT_EQ(plan.jobs.size(), 2u);  // 4 grid points, 2 feasible
+  EXPECT_GT(plan.makespan_s, 0.0);
+  EXPECT_EQ(plan.total_ranks, 12u);
+}
+
+}  // namespace
+}  // namespace candle::supervisor

@@ -1,0 +1,90 @@
+// Tests for src/trace: the Horovod-style chrome://tracing timeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/error.h"
+#include "trace/timeline.h"
+
+namespace candle::trace {
+namespace {
+
+TEST(Timeline, RecordsAndCounts) {
+  Timeline tl;
+  tl.record(kDataLoading, "io", 0, 0.0, 10.0);
+  tl.record(kMpiBroadcast, "broadcast", 1, 10.0, 2.0);
+  EXPECT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl.events()[0].name, kDataLoading);
+}
+
+TEST(Timeline, TotalDurationFiltersByNameAndRank) {
+  Timeline tl;
+  tl.record(kNegotiateBroadcast, "broadcast", 0, 0.0, 43.72);
+  tl.record(kNegotiateBroadcast, "broadcast", 0, 50.0, 1.0);
+  tl.record(kNegotiateBroadcast, "broadcast", 1, 0.0, 99.0);
+  tl.record(kNcclAllreduce, "allreduce", 0, 60.0, 5.0);
+  EXPECT_NEAR(tl.total_duration(kNegotiateBroadcast, 0), 44.72, 1e-9);
+  EXPECT_NEAR(tl.total_duration(kNegotiateBroadcast, 1), 99.0, 1e-9);
+  EXPECT_NEAR(tl.total_duration(kNcclAllreduce, 0), 5.0, 1e-9);
+  EXPECT_EQ(tl.total_duration("MISSING", 0), 0.0);
+}
+
+TEST(Timeline, SpanEnd) {
+  Timeline tl;
+  tl.record("a", "x", 0, 1.0, 2.0);
+  tl.record("b", "x", 0, 0.5, 10.0);
+  EXPECT_NEAR(tl.span_end(), 10.5, 1e-9);
+}
+
+TEST(Timeline, ChromeJsonIsWellFormed) {
+  Timeline tl;
+  tl.record(kNcclAllreduce, "allreduce", 3, 1.5, 0.25);
+  const std::string json = tl.to_chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1500000.0"), std::string::npos);   // µs
+  EXPECT_NE(json.find("\"dur\": 250000.0"), std::string::npos);
+  EXPECT_NE(json.find(kNcclAllreduce), std::string::npos);
+}
+
+TEST(Timeline, WriteChromeJsonRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "tl_test.json";
+  Timeline tl;
+  tl.record(kMpiBroadcast, "broadcast", 0, 0.0, 4.65);
+  tl.write_chrome_json(path.string());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), {});
+  EXPECT_EQ(content, tl.to_chrome_json());
+  std::filesystem::remove(path);
+}
+
+TEST(Timeline, WriteToBadPathThrows) {
+  Timeline tl;
+  tl.record("a", "x", 0, 0, 1);
+  EXPECT_THROW(tl.write_chrome_json("/nonexistent_zz/t.json"), IoError);
+}
+
+TEST(Timeline, ConcurrentRecordingIsSafe) {
+  Timeline tl;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&tl, t] {
+      for (int i = 0; i < 100; ++i)
+        tl.record("ev", "cat", static_cast<std::size_t>(t), i, 0.5);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tl.size(), 800u);
+}
+
+TEST(Timeline, EmptyTimelineJson) {
+  Timeline tl;
+  EXPECT_EQ(tl.to_chrome_json(), "[\n]\n");
+  EXPECT_EQ(tl.span_end(), 0.0);
+}
+
+}  // namespace
+}  // namespace candle::trace
