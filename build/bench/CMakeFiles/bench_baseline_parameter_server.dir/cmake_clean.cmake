@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_parameter_server.dir/bench_baseline_parameter_server.cpp.o"
+  "CMakeFiles/bench_baseline_parameter_server.dir/bench_baseline_parameter_server.cpp.o.d"
+  "bench_baseline_parameter_server"
+  "bench_baseline_parameter_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_parameter_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_binary_cache.dir/bench_ext_binary_cache.cpp.o"
+  "CMakeFiles/bench_ext_binary_cache.dir/bench_ext_binary_cache.cpp.o.d"
+  "bench_ext_binary_cache"
+  "bench_ext_binary_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_binary_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_profiler.dir/bench_ext_profiler.cpp.o"
+  "CMakeFiles/bench_ext_profiler.dir/bench_ext_profiler.cpp.o.d"
+  "bench_ext_profiler"
+  "bench_ext_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

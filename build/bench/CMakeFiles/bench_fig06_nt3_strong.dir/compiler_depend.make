@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig06_nt3_strong.
+# This may be replaced when dependencies are built.

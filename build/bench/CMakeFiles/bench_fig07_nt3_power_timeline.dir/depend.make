@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_nt3_power_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_p1b1_strong.dir/bench_fig08_p1b1_strong.cpp.o"
+  "CMakeFiles/bench_fig08_p1b1_strong.dir/bench_fig08_p1b1_strong.cpp.o.d"
+  "bench_fig08_p1b1_strong"
+  "bench_fig08_p1b1_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_p1b1_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

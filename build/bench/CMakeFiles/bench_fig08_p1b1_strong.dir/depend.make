@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_p1b1_strong.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_nt3_optimized_summit.dir/bench_fig11_nt3_optimized_summit.cpp.o"
+  "CMakeFiles/bench_fig11_nt3_optimized_summit.dir/bench_fig11_nt3_optimized_summit.cpp.o.d"
+  "bench_fig11_nt3_optimized_summit"
+  "bench_fig11_nt3_optimized_summit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_nt3_optimized_summit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

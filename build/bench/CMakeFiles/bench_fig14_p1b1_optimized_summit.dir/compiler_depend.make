@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig14_p1b1_optimized_summit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_p1b1_theta.dir/bench_fig15_p1b1_theta.cpp.o"
+  "CMakeFiles/bench_fig15_p1b1_theta.dir/bench_fig15_p1b1_theta.cpp.o.d"
+  "bench_fig15_p1b1_theta"
+  "bench_fig15_p1b1_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_p1b1_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

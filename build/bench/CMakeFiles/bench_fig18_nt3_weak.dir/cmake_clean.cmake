@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_nt3_weak.dir/bench_fig18_nt3_weak.cpp.o"
+  "CMakeFiles/bench_fig18_nt3_weak.dir/bench_fig18_nt3_weak.cpp.o.d"
+  "bench_fig18_nt3_weak"
+  "bench_fig18_nt3_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_nt3_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_csv.dir/bench_micro_csv.cpp.o"
+  "CMakeFiles/bench_micro_csv.dir/bench_micro_csv.cpp.o.d"
+  "bench_micro_csv"
+  "bench_micro_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1b3_optimized.dir/bench_p1b3_optimized.cpp.o"
+  "CMakeFiles/bench_p1b3_optimized.dir/bench_p1b3_optimized.cpp.o.d"
+  "bench_p1b3_optimized"
+  "bench_p1b3_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1b3_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

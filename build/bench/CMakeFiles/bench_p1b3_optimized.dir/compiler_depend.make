@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_p1b3_optimized.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_nt3_epoch_power.
+# This may be replaced when dependencies are built.

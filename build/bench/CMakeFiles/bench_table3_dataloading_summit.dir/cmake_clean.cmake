@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dataloading_summit.dir/bench_table3_dataloading_summit.cpp.o"
+  "CMakeFiles/bench_table3_dataloading_summit.dir/bench_table3_dataloading_summit.cpp.o.d"
+  "bench_table3_dataloading_summit"
+  "bench_table3_dataloading_summit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dataloading_summit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

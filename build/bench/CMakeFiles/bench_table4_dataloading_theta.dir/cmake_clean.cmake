@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dataloading_theta.dir/bench_table4_dataloading_theta.cpp.o"
+  "CMakeFiles/bench_table4_dataloading_theta.dir/bench_table4_dataloading_theta.cpp.o.d"
+  "bench_table4_dataloading_theta"
+  "bench_table4_dataloading_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dataloading_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_nt3_weak_detail.dir/bench_table6_nt3_weak_detail.cpp.o"
+  "CMakeFiles/bench_table6_nt3_weak_detail.dir/bench_table6_nt3_weak_detail.cpp.o.d"
+  "bench_table6_nt3_weak_detail"
+  "bench_table6_nt3_weak_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_nt3_weak_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_response_pipeline.dir/drug_response_pipeline.cpp.o"
+  "CMakeFiles/drug_response_pipeline.dir/drug_response_pipeline.cpp.o.d"
+  "drug_response_pipeline"
+  "drug_response_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_response_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_autoencoder.dir/expression_autoencoder.cpp.o"
+  "CMakeFiles/expression_autoencoder.dir/expression_autoencoder.cpp.o.d"
+  "expression_autoencoder"
+  "expression_autoencoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_inspector.dir/timeline_inspector.cpp.o"
+  "CMakeFiles/timeline_inspector.dir/timeline_inspector.cpp.o.d"
+  "timeline_inspector"
+  "timeline_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_core.dir/models.cpp.o"
+  "CMakeFiles/candle_core.dir/models.cpp.o.d"
+  "CMakeFiles/candle_core.dir/profiler.cpp.o"
+  "CMakeFiles/candle_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/candle_core.dir/runner.cpp.o"
+  "CMakeFiles/candle_core.dir/runner.cpp.o.d"
+  "CMakeFiles/candle_core.dir/scaling.cpp.o"
+  "CMakeFiles/candle_core.dir/scaling.cpp.o.d"
+  "libcandle_core.a"
+  "libcandle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_comm.dir/communicator.cpp.o"
+  "CMakeFiles/candle_comm.dir/communicator.cpp.o.d"
+  "libcandle_comm.a"
+  "libcandle_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_common.dir/cli.cpp.o"
+  "CMakeFiles/candle_common.dir/cli.cpp.o.d"
+  "CMakeFiles/candle_common.dir/log.cpp.o"
+  "CMakeFiles/candle_common.dir/log.cpp.o.d"
+  "CMakeFiles/candle_common.dir/rng.cpp.o"
+  "CMakeFiles/candle_common.dir/rng.cpp.o.d"
+  "CMakeFiles/candle_common.dir/stats.cpp.o"
+  "CMakeFiles/candle_common.dir/stats.cpp.o.d"
+  "CMakeFiles/candle_common.dir/string_util.cpp.o"
+  "CMakeFiles/candle_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/candle_common.dir/table.cpp.o"
+  "CMakeFiles/candle_common.dir/table.cpp.o.d"
+  "libcandle_common.a"
+  "libcandle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hvd/broadcast.cpp" "src/hvd/CMakeFiles/candle_hvd.dir/broadcast.cpp.o" "gcc" "src/hvd/CMakeFiles/candle_hvd.dir/broadcast.cpp.o.d"
+  "/root/repo/src/hvd/context.cpp" "src/hvd/CMakeFiles/candle_hvd.dir/context.cpp.o" "gcc" "src/hvd/CMakeFiles/candle_hvd.dir/context.cpp.o.d"
+  "/root/repo/src/hvd/distributed_optimizer.cpp" "src/hvd/CMakeFiles/candle_hvd.dir/distributed_optimizer.cpp.o" "gcc" "src/hvd/CMakeFiles/candle_hvd.dir/distributed_optimizer.cpp.o.d"
+  "/root/repo/src/hvd/fusion.cpp" "src/hvd/CMakeFiles/candle_hvd.dir/fusion.cpp.o" "gcc" "src/hvd/CMakeFiles/candle_hvd.dir/fusion.cpp.o.d"
+  "/root/repo/src/hvd/parameter_server.cpp" "src/hvd/CMakeFiles/candle_hvd.dir/parameter_server.cpp.o" "gcc" "src/hvd/CMakeFiles/candle_hvd.dir/parameter_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/candle_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/candle_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/candle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/candle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_hvd.dir/broadcast.cpp.o"
+  "CMakeFiles/candle_hvd.dir/broadcast.cpp.o.d"
+  "CMakeFiles/candle_hvd.dir/context.cpp.o"
+  "CMakeFiles/candle_hvd.dir/context.cpp.o.d"
+  "CMakeFiles/candle_hvd.dir/distributed_optimizer.cpp.o"
+  "CMakeFiles/candle_hvd.dir/distributed_optimizer.cpp.o.d"
+  "CMakeFiles/candle_hvd.dir/fusion.cpp.o"
+  "CMakeFiles/candle_hvd.dir/fusion.cpp.o.d"
+  "CMakeFiles/candle_hvd.dir/parameter_server.cpp.o"
+  "CMakeFiles/candle_hvd.dir/parameter_server.cpp.o.d"
+  "libcandle_hvd.a"
+  "libcandle_hvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_hvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

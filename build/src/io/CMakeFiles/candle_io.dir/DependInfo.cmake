@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/binary_cache.cpp" "src/io/CMakeFiles/candle_io.dir/binary_cache.cpp.o" "gcc" "src/io/CMakeFiles/candle_io.dir/binary_cache.cpp.o.d"
+  "/root/repo/src/io/csv_reader.cpp" "src/io/CMakeFiles/candle_io.dir/csv_reader.cpp.o" "gcc" "src/io/CMakeFiles/candle_io.dir/csv_reader.cpp.o.d"
+  "/root/repo/src/io/csv_writer.cpp" "src/io/CMakeFiles/candle_io.dir/csv_writer.cpp.o" "gcc" "src/io/CMakeFiles/candle_io.dir/csv_writer.cpp.o.d"
+  "/root/repo/src/io/synthetic.cpp" "src/io/CMakeFiles/candle_io.dir/synthetic.cpp.o" "gcc" "src/io/CMakeFiles/candle_io.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/candle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/candle_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

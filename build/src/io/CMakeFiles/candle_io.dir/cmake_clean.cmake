@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_io.dir/binary_cache.cpp.o"
+  "CMakeFiles/candle_io.dir/binary_cache.cpp.o.d"
+  "CMakeFiles/candle_io.dir/csv_reader.cpp.o"
+  "CMakeFiles/candle_io.dir/csv_reader.cpp.o.d"
+  "CMakeFiles/candle_io.dir/csv_writer.cpp.o"
+  "CMakeFiles/candle_io.dir/csv_writer.cpp.o.d"
+  "CMakeFiles/candle_io.dir/synthetic.cpp.o"
+  "CMakeFiles/candle_io.dir/synthetic.cpp.o.d"
+  "libcandle_io.a"
+  "libcandle_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_nn.dir/callbacks.cpp.o"
+  "CMakeFiles/candle_nn.dir/callbacks.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/dataset.cpp.o"
+  "CMakeFiles/candle_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/initializers.cpp.o"
+  "CMakeFiles/candle_nn.dir/initializers.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/layers.cpp.o"
+  "CMakeFiles/candle_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/loss.cpp.o"
+  "CMakeFiles/candle_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/metrics.cpp.o"
+  "CMakeFiles/candle_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/model.cpp.o"
+  "CMakeFiles/candle_nn.dir/model.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/candle_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/serialize.cpp.o"
+  "CMakeFiles/candle_nn.dir/serialize.cpp.o.d"
+  "libcandle_nn.a"
+  "libcandle_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

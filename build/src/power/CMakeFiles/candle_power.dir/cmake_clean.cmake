@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_power.dir/power.cpp.o"
+  "CMakeFiles/candle_power.dir/power.cpp.o.d"
+  "libcandle_power.a"
+  "libcandle_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/calibration.cpp" "src/sim/CMakeFiles/candle_sim.dir/calibration.cpp.o" "gcc" "src/sim/CMakeFiles/candle_sim.dir/calibration.cpp.o.d"
+  "/root/repo/src/sim/dvfs.cpp" "src/sim/CMakeFiles/candle_sim.dir/dvfs.cpp.o" "gcc" "src/sim/CMakeFiles/candle_sim.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/candle_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/candle_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/candle_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/candle_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/run_sim.cpp" "src/sim/CMakeFiles/candle_sim.dir/run_sim.cpp.o" "gcc" "src/sim/CMakeFiles/candle_sim.dir/run_sim.cpp.o.d"
+  "/root/repo/src/sim/scaling_metrics.cpp" "src/sim/CMakeFiles/candle_sim.dir/scaling_metrics.cpp.o" "gcc" "src/sim/CMakeFiles/candle_sim.dir/scaling_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/candle_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/candle_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/candle_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/candle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/candle_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

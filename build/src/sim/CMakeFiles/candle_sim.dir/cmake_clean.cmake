@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_sim.dir/calibration.cpp.o"
+  "CMakeFiles/candle_sim.dir/calibration.cpp.o.d"
+  "CMakeFiles/candle_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/candle_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/candle_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/candle_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/candle_sim.dir/machine.cpp.o"
+  "CMakeFiles/candle_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/candle_sim.dir/run_sim.cpp.o"
+  "CMakeFiles/candle_sim.dir/run_sim.cpp.o.d"
+  "CMakeFiles/candle_sim.dir/scaling_metrics.cpp.o"
+  "CMakeFiles/candle_sim.dir/scaling_metrics.cpp.o.d"
+  "libcandle_sim.a"
+  "libcandle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_supervisor.dir/results_db.cpp.o"
+  "CMakeFiles/candle_supervisor.dir/results_db.cpp.o.d"
+  "CMakeFiles/candle_supervisor.dir/scheduler.cpp.o"
+  "CMakeFiles/candle_supervisor.dir/scheduler.cpp.o.d"
+  "CMakeFiles/candle_supervisor.dir/search_space.cpp.o"
+  "CMakeFiles/candle_supervisor.dir/search_space.cpp.o.d"
+  "CMakeFiles/candle_supervisor.dir/supervisor.cpp.o"
+  "CMakeFiles/candle_supervisor.dir/supervisor.cpp.o.d"
+  "libcandle_supervisor.a"
+  "libcandle_supervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_tensor.dir/conv.cpp.o"
+  "CMakeFiles/candle_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/candle_tensor.dir/ops.cpp.o"
+  "CMakeFiles/candle_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/candle_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/candle_tensor.dir/tensor.cpp.o.d"
+  "libcandle_tensor.a"
+  "libcandle_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_trace.dir/timeline.cpp.o"
+  "CMakeFiles/candle_trace.dir/timeline.cpp.o.d"
+  "libcandle_trace.a"
+  "libcandle_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candle.dir/test_candle.cpp.o"
+  "CMakeFiles/test_candle.dir/test_candle.cpp.o.d"
+  "test_candle"
+  "test_candle.pdb"
+  "test_candle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

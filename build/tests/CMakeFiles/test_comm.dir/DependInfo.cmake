@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/supervisor/CMakeFiles/candle_supervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/candle/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/candle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvd/CMakeFiles/candle_hvd.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/candle_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/candle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/candle_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/candle_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/candle_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/candle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
