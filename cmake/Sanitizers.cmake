@@ -1,0 +1,54 @@
+# Sanitizer configuration for the CANDLE reproduction.
+#
+# Usage: configure with -DCANDLE_SANITIZER=<mode> where <mode> is one of
+#
+#   ""        no sanitizer (default)
+#   address   AddressSanitizer + UndefinedBehaviorSanitizer (memory errors,
+#             leaks, UB in the NN kernels and IO substrate)
+#   thread    ThreadSanitizer (races in the rank-per-thread collectives and
+#             the Horovod-layer rendezvous state)
+#   undefined UndefinedBehaviorSanitizer alone (cheap; usable with anything)
+#
+# The flags are applied globally (compile + link) so every library, test,
+# bench, and example target is instrumented consistently — mixing
+# instrumented and uninstrumented TUs produces false negatives (ASan) or
+# false positives (TSan).
+#
+# The `asan-ubsan` / `tsan` presets in CMakePresets.json select these modes;
+# see README "Sanitizer & lint builds".
+
+set(CANDLE_SANITIZER "" CACHE STRING
+    "Sanitizer mode: '', 'address', 'thread', or 'undefined'")
+set_property(CACHE CANDLE_SANITIZER PROPERTY STRINGS
+             "" "address" "thread" "undefined")
+
+set(CANDLE_SANITIZER_FLAGS "")
+
+if(CANDLE_SANITIZER STREQUAL "address")
+  list(APPEND CANDLE_SANITIZER_FLAGS
+       -fsanitize=address,undefined -fno-sanitize-recover=all)
+elseif(CANDLE_SANITIZER STREQUAL "thread")
+  list(APPEND CANDLE_SANITIZER_FLAGS
+       -fsanitize=thread -fno-sanitize-recover=all)
+elseif(CANDLE_SANITIZER STREQUAL "undefined")
+  list(APPEND CANDLE_SANITIZER_FLAGS
+       -fsanitize=undefined -fno-sanitize-recover=all)
+elseif(NOT CANDLE_SANITIZER STREQUAL "")
+  message(FATAL_ERROR
+          "CANDLE_SANITIZER must be '', 'address', 'thread', or 'undefined' "
+          "(got '${CANDLE_SANITIZER}')")
+endif()
+
+if(CANDLE_SANITIZER_FLAGS)
+  # Keep frames honest so sanitizer reports carry usable stacks.
+  list(APPEND CANDLE_SANITIZER_FLAGS
+       -fno-omit-frame-pointer -g)
+  message(STATUS
+          "CANDLE_SANITIZER=${CANDLE_SANITIZER}: ${CANDLE_SANITIZER_FLAGS}")
+  add_compile_options(${CANDLE_SANITIZER_FLAGS})
+  add_link_options(${CANDLE_SANITIZER_FLAGS})
+  # Sanitized builds also turn on the library's own logical bounds checks
+  # (CANDLE_CHECK_BOUNDS in common/check.h): ASan cannot see an in-range but
+  # logically wrong index into a tensor's backing vector.
+  add_compile_definitions(CANDLE_ENABLE_BOUNDS_CHECKS=1)
+endif()

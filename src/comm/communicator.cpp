@@ -72,7 +72,37 @@ World::~World() = default;
 
 void World::do_barrier() { barrier_.arrive_and_wait(); }
 
-void World::check_uniform_count(std::size_t count, const char* op) {
+void World::register_buffer(std::size_t rank, float* data,
+                            std::size_t count) {
+  MutexLock lock(reg_mutex_);
+  bufs_[rank] = data;
+  counts_[rank] = count;
+}
+
+void World::register_const_buffer(std::size_t rank, const float* data,
+                                  std::size_t count) {
+  MutexLock lock(reg_mutex_);
+  const_bufs_[rank] = data;
+  counts_[rank] = count;
+}
+
+float* World::peer_buffer(std::size_t rank) const {
+  MutexLock lock(reg_mutex_);
+  return bufs_[rank];
+}
+
+const float* World::peer_const_buffer(std::size_t rank) const {
+  MutexLock lock(reg_mutex_);
+  return const_bufs_[rank];
+}
+
+std::size_t World::peer_count(std::size_t rank) const {
+  MutexLock lock(reg_mutex_);
+  return counts_[rank];
+}
+
+void World::check_uniform_count(std::size_t count, const char* op) const {
+  MutexLock lock(reg_mutex_);
   for (std::size_t r = 0; r < size_; ++r)
     if (counts_[r] != count)
       throw CommError(std::string(op) +
@@ -81,8 +111,7 @@ void World::check_uniform_count(std::size_t count, const char* op) {
 
 void World::allreduce(Communicator& self, std::span<float> data,
                       bool average) {
-  bufs_[self.rank_] = data.data();
-  counts_[self.rank_] = data.size();
+  register_buffer(self.rank_, data.data(), data.size());
   do_barrier();
   check_uniform_count(data.size(), "allreduce");
   if (size_ > 1) {
@@ -120,7 +149,7 @@ void World::allreduce_ring(Communicator& self, std::span<float> data) {
   for (std::size_t s = 0; s + 1 < P; ++s) {
     const std::size_t recv_seg = mod(r + 2 * P - 1 - s);
     const auto [b, e] = seg(recv_seg);
-    const float* src = bufs_[mod(r + P - 1)];
+    const float* src = peer_buffer(mod(r + P - 1));
     for (std::size_t i = b; i < e; ++i) data[i] += src[i];
     self.stats_.bytes_sent += (e - b) * sizeof(float);
     do_barrier();
@@ -131,7 +160,7 @@ void World::allreduce_ring(Communicator& self, std::span<float> data) {
   for (std::size_t s = 0; s + 1 < P; ++s) {
     const std::size_t copy_seg = mod(r + 2 * P - s);
     const auto [b, e] = seg(copy_seg);
-    const float* src = bufs_[mod(r + P - 1)];
+    const float* src = peer_buffer(mod(r + P - 1));
     if (e > b)
       std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
     self.stats_.bytes_sent += (e - b) * sizeof(float);
@@ -143,14 +172,14 @@ void World::allreduce_naive(Communicator& self, std::span<float> data) {
   // Rank 0 accumulates everyone, then everyone copies rank 0.
   if (self.rank_ == 0) {
     for (std::size_t peer = 1; peer < size_; ++peer) {
-      const float* src = bufs_[peer];
+      const float* src = peer_buffer(peer);
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
       self.stats_.bytes_sent += data.size() * sizeof(float);
     }
   }
   do_barrier();
   if (self.rank_ != 0 && !data.empty()) {
-    std::memcpy(data.data(), bufs_[0], data.size() * sizeof(float));
+    std::memcpy(data.data(), peer_buffer(0), data.size() * sizeof(float));
     self.stats_.bytes_sent += data.size() * sizeof(float);
   }
   do_barrier();
@@ -171,7 +200,7 @@ void World::allreduce_hierarchical(Communicator& self,
   // Phase 1: intra-node reduce onto the node leader.
   if (local == 0) {
     for (std::size_t m = leader + 1; m < node_end; ++m) {
-      const float* src = bufs_[m];
+      const float* src = peer_buffer(m);
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
       self.stats_.bytes_sent += data.size() * sizeof(float);
     }
@@ -190,7 +219,7 @@ void World::allreduce_hierarchical(Communicator& self,
       if (local == 0) {
         const std::size_t recv_seg = (node + 2 * P - 1 - s) % P;
         const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
-        const float* src = bufs_[pred_leader];
+        const float* src = peer_buffer(pred_leader);
         for (std::size_t i = b; i < e; ++i) data[i] += src[i];
         self.stats_.bytes_sent += (e - b) * sizeof(float);
       }
@@ -200,7 +229,7 @@ void World::allreduce_hierarchical(Communicator& self,
       if (local == 0) {
         const std::size_t copy_seg = (node + 2 * P - s) % P;
         const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
-        const float* src = bufs_[pred_leader];
+        const float* src = peer_buffer(pred_leader);
         if (e > b)
           std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
         self.stats_.bytes_sent += (e - b) * sizeof(float);
@@ -211,7 +240,7 @@ void World::allreduce_hierarchical(Communicator& self,
 
   // Phase 3: intra-node broadcast from the leader.
   if (local != 0 && !data.empty()) {
-    std::memcpy(data.data(), bufs_[leader], data.size() * sizeof(float));
+    std::memcpy(data.data(), peer_buffer(leader), data.size() * sizeof(float));
     self.stats_.bytes_sent += data.size() * sizeof(float);
   }
   do_barrier();
@@ -219,8 +248,7 @@ void World::allreduce_hierarchical(Communicator& self,
 
 void World::do_broadcast(Communicator& self, std::span<float> data,
                          std::size_t root) {
-  bufs_[self.rank_] = data.data();
-  counts_[self.rank_] = data.size();
+  register_buffer(self.rank_, data.data(), data.size());
   do_barrier();
   check_uniform_count(data.size(), "broadcast");
   const std::size_t P = size_;
@@ -230,7 +258,7 @@ void World::do_broadcast(Communicator& self, std::span<float> data,
   for (std::size_t span = 1; span < P; span <<= 1) {
     if (rel >= span && rel < 2 * span && !data.empty()) {
       const std::size_t src_rank = (rel - span + root) % P;
-      std::memcpy(data.data(), bufs_[src_rank],
+      std::memcpy(data.data(), peer_buffer(src_rank),
                   data.size() * sizeof(float));
       self.stats_.bytes_sent += data.size() * sizeof(float);
     }
@@ -241,14 +269,13 @@ void World::do_broadcast(Communicator& self, std::span<float> data,
 
 void World::do_reduce_to(Communicator& self, std::span<float> data,
                          std::size_t root) {
-  bufs_[self.rank_] = data.data();
-  counts_[self.rank_] = data.size();
+  register_buffer(self.rank_, data.data(), data.size());
   do_barrier();
   check_uniform_count(data.size(), "reduce_sum_to");
   if (self.rank_ == root) {
     for (std::size_t peer = 0; peer < size_; ++peer) {
       if (peer == root) continue;
-      const float* src = bufs_[peer];
+      const float* src = peer_buffer(peer);
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
       self.stats_.bytes_sent += data.size() * sizeof(float);
     }
@@ -259,15 +286,15 @@ void World::do_reduce_to(Communicator& self, std::span<float> data,
 void World::do_allgather(Communicator& self,
                          std::span<const float> contribution,
                          std::vector<float>& gathered) {
-  const_bufs_[self.rank_] = contribution.data();
-  counts_[self.rank_] = contribution.size();
+  register_const_buffer(self.rank_, contribution.data(),
+                        contribution.size());
   do_barrier();
   check_uniform_count(contribution.size(), "allgather");
   gathered.resize(size_ * contribution.size());
   for (std::size_t peer = 0; peer < size_; ++peer) {
-    if (counts_[peer] == 0) continue;
+    if (peer_count(peer) == 0) continue;
     std::memcpy(gathered.data() + peer * contribution.size(),
-                const_bufs_[peer], contribution.size() * sizeof(float));
+                peer_const_buffer(peer), contribution.size() * sizeof(float));
     if (peer != self.rank_)
       self.stats_.bytes_sent += contribution.size() * sizeof(float);
   }

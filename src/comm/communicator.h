@@ -23,6 +23,8 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace candle::comm {
 
 /// Reduction algorithm selection.
@@ -100,6 +102,13 @@ struct WorldOptions {
 };
 
 /// Owns the shared rendezvous state for `size` rank threads.
+///
+/// Thread model: the collective *payload* is synchronized by the phase
+/// barrier (every rank writes only its own buffer between barriers), while
+/// the rendezvous *metadata* — which buffer each rank registered and with
+/// how many elements — is guarded by `reg_mutex_` and only touched through
+/// the annotated helpers below, so clang -Wthread-safety proves the lock
+/// discipline at compile time.
 class World {
  public:
   explicit World(std::size_t size, WorldOptions options = {});
@@ -131,14 +140,35 @@ class World {
                     std::size_t root);
   void do_allgather(Communicator& self, std::span<const float> contribution,
                     std::vector<float>& gathered);
-  void check_uniform_count(std::size_t count, const char* op);
+
+  /// Registers `rank`'s buffer for the collective that is about to start.
+  /// Must be followed by a barrier before any peer reads it.
+  void register_buffer(std::size_t rank, float* data, std::size_t count)
+      CANDLE_EXCLUDES(reg_mutex_);
+  void register_const_buffer(std::size_t rank, const float* data,
+                             std::size_t count) CANDLE_EXCLUDES(reg_mutex_);
+
+  /// Pointer `rank` registered for the current collective. The returned
+  /// payload may only be dereferenced in barrier phases where `rank` is not
+  /// writing the same segment.
+  [[nodiscard]] float* peer_buffer(std::size_t rank) const
+      CANDLE_EXCLUDES(reg_mutex_);
+  [[nodiscard]] const float* peer_const_buffer(std::size_t rank) const
+      CANDLE_EXCLUDES(reg_mutex_);
+  [[nodiscard]] std::size_t peer_count(std::size_t rank) const
+      CANDLE_EXCLUDES(reg_mutex_);
+
+  /// Throws CommError unless every rank registered `count` elements.
+  void check_uniform_count(std::size_t count, const char* op) const
+      CANDLE_EXCLUDES(reg_mutex_);
 
   std::size_t size_;
   WorldOptions options_;
   std::barrier<> barrier_;
-  std::vector<float*> bufs_;
-  std::vector<const float*> const_bufs_;
-  std::vector<std::size_t> counts_;
+  mutable AnnotatedMutex reg_mutex_;
+  std::vector<float*> bufs_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<const float*> const_bufs_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<std::size_t> counts_ CANDLE_GUARDED_BY(reg_mutex_);
 };
 
 }  // namespace candle::comm

@@ -1,0 +1,57 @@
+// Debug-build logical assertion macros.
+//
+// ASan catches out-of-bounds reads of the *allocation*, but an in-range yet
+// logically wrong index (row/col swapped, off-by-one inside a big backing
+// vector) is invisible to it. CANDLE_CHECK_BOUNDS closes that gap: it is
+// compiled in when CANDLE_ENABLE_BOUNDS_CHECKS is defined (Debug builds,
+// -DCANDLE_BOUNDS_CHECKS=ON, and every sanitizer preset) and compiles to
+// nothing otherwise, keeping the NN kernels' hot loops clean in release.
+//
+// Failures abort via std::abort after printing the site, rather than
+// throwing: an index bug is a programming error, and aborting gives the
+// sanitizers a precise stack instead of an unwound one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace candle::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "CANDLE_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+[[noreturn]] inline void bounds_check_failed(unsigned long long index,
+                                             unsigned long long size,
+                                             const char* file, int line) {
+  std::fprintf(stderr,
+               "CANDLE_CHECK_BOUNDS failed: index %llu >= size %llu "
+               "at %s:%d\n",
+               index, size, file, line);
+  std::abort();
+}
+
+}  // namespace candle::detail
+
+#if defined(CANDLE_ENABLE_BOUNDS_CHECKS)
+
+#define CANDLE_CHECK(expr)                                         \
+  ((expr) ? static_cast<void>(0)                                   \
+          : ::candle::detail::check_failed(#expr, __FILE__, __LINE__))
+
+#define CANDLE_CHECK_BOUNDS(index, size)                                     \
+  ((static_cast<unsigned long long>(index) <                                 \
+    static_cast<unsigned long long>(size))                                   \
+       ? static_cast<void>(0)                                                \
+       : ::candle::detail::bounds_check_failed(                              \
+             static_cast<unsigned long long>(index),                         \
+             static_cast<unsigned long long>(size), __FILE__, __LINE__))
+
+#else
+
+#define CANDLE_CHECK(expr) static_cast<void>(0)
+#define CANDLE_CHECK_BOUNDS(index, size) static_cast<void>(0)
+
+#endif

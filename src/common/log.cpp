@@ -3,13 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace candle {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+
+// Serializes sink writes so concurrent rank threads do not interleave lines.
+AnnotatedMutex g_mutex;
+std::FILE* g_sink CANDLE_GUARDED_BY(g_mutex) = nullptr;  // nullptr => stderr
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -26,14 +30,20 @@ const char* tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(std::FILE* sink) {
+  MutexLock lock(g_mutex);
+  g_sink = sink;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
   using namespace std::chrono;
   const auto now = duration_cast<milliseconds>(
                        steady_clock::now().time_since_epoch())
                        .count();
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%10lld.%03lld] [%s] %s\n",
+  MutexLock lock(g_mutex);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[%10lld.%03lld] [%s] %s\n",
                static_cast<long long>(now / 1000),
                static_cast<long long>(now % 1000), tag(level), msg.c_str());
 }

@@ -4,6 +4,7 @@
 // output of real-mode multi-rank runs stays readable.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -15,7 +16,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line (timestamp, level tag, message) to stderr.
+/// Redirects log output (default stderr). Passing nullptr restores stderr.
+/// Thread-safe; the sink must stay open until replaced.
+void set_log_sink(std::FILE* sink);
+
+/// Emits one line (timestamp, level tag, message) to the sink.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

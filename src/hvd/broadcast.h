@@ -20,8 +20,14 @@
 namespace candle::hvd {
 
 /// Broadcasts every tensor in `tensors` from `root` to all ranks, recording
-/// NEGOTIATE_BROADCAST (barrier wait) and MPI_BCAST (data movement) events.
+/// NEGOTIATE_BROADCAST (barrier wait) and MPI_BCAST (data movement) events
+/// to the context's timeline and the negotiate duration to its PhaseLedger
+/// (both shared across ranks and internally synchronized).
 /// Returns the seconds this rank spent in the negotiate phase.
+///
+/// Thread contract: called concurrently from every rank thread; `tensors`
+/// must be the rank's own (thread-local) parameter list — the collective
+/// synchronizes the payload with barriers, not locks.
 double broadcast_parameters(Context& ctx, const std::vector<Tensor*>& tensors,
                             std::size_t root = 0);
 

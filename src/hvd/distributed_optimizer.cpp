@@ -31,6 +31,8 @@ void DistributedOptimizer::apply(const std::vector<Tensor*>& params,
   const double reduce_start = ctx_->now();
   ctx_->record(trace::kNegotiateAllreduce, "allreduce", negotiate_start,
                reduce_start - negotiate_start);
+  ctx_->record_phase(trace::kNegotiateAllreduce,
+                     reduce_start - negotiate_start);
 
   const FusionStats step = allreduce_average_fused(*ctx_, grads, fusion_);
   stats_.collectives += step.collectives;

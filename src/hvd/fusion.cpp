@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace candle::hvd {
@@ -34,6 +35,9 @@ FusionStats allreduce_average_fused(Context& ctx,
     stats.fused_bytes += buffer.size() * sizeof(float);
     std::size_t offset = 0;
     for (std::size_t i = group_begin; i < group_end; ++i) {
+      // In-range for the backing allocation even when the grouping is
+      // wrong, so ASan stays silent — the logical check catches it.
+      CANDLE_CHECK(offset + tensors[i]->numel() <= buffer.size());
       std::memcpy(tensors[i]->data(), buffer.data() + offset,
                   tensors[i]->numel() * sizeof(float));
       offset += tensors[i]->numel();

@@ -33,6 +33,11 @@ struct FusionStats {
 /// Allreduce-averages every tensor in `tensors` across ranks, packing
 /// consecutive tensors into fusion-buffer-sized groups. All ranks must call
 /// with identically-shaped tensor lists.
+///
+/// Thread contract: called concurrently from every rank thread with the
+/// rank's own tensors and fusion buffer; cross-rank synchronization happens
+/// inside the communicator's collectives. The unpack path is guarded by
+/// CANDLE_CHECK (logical bounds, sanitizer/debug builds).
 FusionStats allreduce_average_fused(Context& ctx,
                                     const std::vector<Tensor*>& tensors,
                                     const FusionOptions& options = {});

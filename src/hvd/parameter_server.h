@@ -27,6 +27,11 @@ namespace candle::hvd {
 /// After every apply(), all ranks hold identical parameters, the same
 /// invariant DistributedOptimizer maintains — only the traffic pattern
 /// (and therefore scaling behaviour) differs.
+///
+/// Thread contract: each rank thread owns its instance (optimizer state is
+/// rank-local); apply() participates in collectives, so every rank must
+/// call it the same number of times. Push/apply durations are recorded to
+/// the context's shared PhaseLedger when one is attached.
 class ParameterServerOptimizer final : public nn::Optimizer {
  public:
   ParameterServerOptimizer(std::unique_ptr<nn::Optimizer> inner, Context& ctx,

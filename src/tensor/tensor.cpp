@@ -45,6 +45,17 @@ std::size_t Tensor::dim(std::size_t i) const {
   return shape_[i];
 }
 
+float& Tensor::at(std::size_t i) {
+  require(i < data_.size(),
+          "Tensor::at: index " + std::to_string(i) + " out of range for " +
+              std::to_string(data_.size()) + " elements");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
 float& Tensor::at(std::size_t r, std::size_t c) {
   require(rank() == 2, "Tensor::at: rank must be 2");
   require(r < shape_[0] && c < shape_[1], "Tensor::at: index out of range");

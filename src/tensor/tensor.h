@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+
 namespace candle {
 
 /// Shape of a tensor; empty shape denotes a scalar with one element.
@@ -53,8 +55,21 @@ class Tensor {
   [[nodiscard]] std::span<float> values() { return data_; }
   [[nodiscard]] std::span<const float> values() const { return data_; }
 
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  /// Unchecked in release; bounds-checked (CANDLE_CHECK_BOUNDS) in Debug
+  /// and sanitizer builds. ASan cannot catch an in-range but logically
+  /// wrong flat index into the backing vector — this can.
+  float& operator[](std::size_t i) {
+    CANDLE_CHECK_BOUNDS(i, data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    CANDLE_CHECK_BOUNDS(i, data_.size());
+    return data_[i];
+  }
+
+  /// Always-checked flat accessors; throw InvalidArgument when out of range.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
 
   /// Checked 2-D accessors (row, col); requires rank() == 2.
   float& at(std::size_t r, std::size_t c);

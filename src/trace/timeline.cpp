@@ -10,7 +10,7 @@
 namespace candle::trace {
 
 void Timeline::record(Event event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -21,28 +21,28 @@ void Timeline::record(const std::string& name, const std::string& category,
 
 void Timeline::record_counter(const std::string& name, double t_s,
                               double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.push_back(CounterSample{name, t_s, value});
 }
 
 std::size_t Timeline::counter_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_.size();
 }
 
 std::size_t Timeline::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<Event> Timeline::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 double Timeline::total_duration(const std::string& name,
                                 std::size_t rank) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double total = 0.0;
   for (const auto& e : events_)
     if (e.rank == rank && e.name == name) total += e.duration_s;
@@ -50,7 +50,7 @@ double Timeline::total_duration(const std::string& name,
 }
 
 double Timeline::span_end() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double end = 0.0;
   for (const auto& e : events_)
     end = std::max(end, e.start_s + e.duration_s);
@@ -58,7 +58,7 @@ double Timeline::span_end() const {
 }
 
 std::string Timeline::to_chrome_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream os;
   os << "[\n";
   const std::size_t total = events_.size() + counters_.size();

