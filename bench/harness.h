@@ -42,6 +42,31 @@ inline double improvement_pct(double original, double optimized) {
   return 100.0 * (original - optimized) / original;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel FLOP accounting (bench_micro_kernels): reporting GFLOP/s next to
+// wall time is what makes kernel results comparable across shapes.
+// ---------------------------------------------------------------------------
+
+/// FLOPs of C(m,n) = A(m,k) * B(k,n): one multiply + one add per MAC.
+inline double gemm_flop_count(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+/// FLOPs of a valid Conv1D forward: one GEMM of (b*Lout, K*Cin) x
+/// (K*Cin, Cout).
+inline double conv1d_flop_count(std::size_t b, std::size_t lout,
+                                std::size_t cout, std::size_t kernel,
+                                std::size_t cin) {
+  return gemm_flop_count(b * lout, cout, kernel * cin);
+}
+
+/// FLOPs -> GFLOP/s for a measured wall time.
+inline double gflops(double flops, double seconds) {
+  require(seconds > 0.0, "gflops: seconds must be > 0");
+  return flops / seconds / 1e9;
+}
+
 /// One row of an original-vs-optimized comparison.
 struct ComparisonRow {
   std::size_t ranks = 0;

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "nn/initializers.h"
 #include "tensor/conv.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace candle::nn {
@@ -31,19 +32,20 @@ std::string act_name(Act a) {
 }
 
 Tensor apply_activation(Act act, const Tensor& x) {
+  if (act == Act::kNone) return x;
+  Tensor out = x;
+  apply_activation_inplace(act, out);
+  return out;
+}
+
+void apply_activation_inplace(Act act, Tensor& x) {
   switch (act) {
-    case Act::kNone: return x;
-    case Act::kRelu: return relu(x);
-    case Act::kSigmoid: return sigmoid(x);
-    case Act::kTanh: return tanh_act(x);
-    case Act::kSoftmax: {
-      // Softmax over the trailing axis; flatten leading axes into rows.
-      require(x.rank() >= 1, "softmax: rank must be >= 1");
-      const std::size_t n = x.shape().back();
-      const std::size_t m = x.numel() / n;
-      Tensor rows = x.reshaped({m, n});
-      return softmax_rows(rows).reshaped(x.shape());
-    }
+    case Act::kNone: return;
+    case Act::kRelu: relu_inplace(x); return;
+    case Act::kSigmoid: sigmoid_inplace(x); return;
+    case Act::kTanh: tanh_inplace(x); return;
+    // Softmax over the trailing axis; leading axes flatten into rows.
+    case Act::kSoftmax: softmax_rows_inplace(x); return;
   }
   throw InvalidArgument("apply_activation: bad enum");
 }
@@ -117,18 +119,24 @@ Shape Dense::build(const Shape& input_shape, Rng& rng) {
 
 Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   x_ = x;
-  Tensor z = matmul(x, w_);
-  add_bias_rows(z, b_);
-  y_ = apply_activation(act_, z);
+  // Bias (and ReLU, when it is the layer's activation) ride the GEMM
+  // epilogue, so no pre-activation tensor is materialized separately.
+  Epilogue ep;
+  ep.bias = b_.data();
+  if (act_ == Act::kRelu) ep.op = EpilogueOp::kRelu;
+  Tensor z({x.dim(0), units_});
+  gemm(false, false, x, w_, z, ep);
+  if (act_ != Act::kRelu) apply_activation_inplace(act_, z);
+  y_ = std::move(z);
   return y_;
 }
 
 Tensor Dense::backward(const Tensor& dy) {
   const Tensor dz = activation_backward(act_, dy, y_);
-  dw_ = matmul_tn(x_, dz);
+  gemm(true, false, x_, dz, dw_);  // dW = X^T dZ
   if (l2_ > 0.0) axpy(static_cast<float>(2.0 * l2_), w_, dw_);
   db_ = sum_rows(dz);
-  return matmul_nt(dz, w_);
+  return gemm(false, true, dz, w_);  // dX = dZ W^T
 }
 
 // ---------------------------------------------------------------------------
@@ -163,15 +171,19 @@ Shape Conv1D::build(const Shape& input_shape, Rng& rng) {
 
 Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
   x_ = x;
-  const Tensor z = conv1d_forward(x, w_, b_, stride_);
-  y_ = apply_activation(act_, z);
+  const bool fused_relu = act_ == Act::kRelu;
+  // Writing into y_ reuses the activation buffer across steps: the GEMM
+  // overwrites every element, so no per-step zero-fill is paid.
+  conv1d_forward(x, w_, b_, stride_, y_, &ws_,
+                 fused_relu ? EpilogueOp::kRelu : EpilogueOp::kIdentity);
+  if (!fused_relu) apply_activation_inplace(act_, y_);
   return y_;
 }
 
 Tensor Conv1D::backward(const Tensor& dy) {
   const Tensor dz = activation_backward(act_, dy, y_);
   Tensor dx(x_.shape());
-  conv1d_backward(x_, w_, dz, stride_, dx, dw_, db_);
+  conv1d_backward(x_, w_, dz, stride_, dx, dw_, db_, &ws_);
   return dx;
 }
 
@@ -228,7 +240,6 @@ Tensor LocallyConnected1D::forward(const Tensor& x, bool /*training*/) {
       for (std::size_t k = 0; k < kernel_; ++k) {
         for (std::size_t ic = 0; ic < cin_; ++ic) {
           const float xv = xwin[k * cin_ + ic];
-          if (xv == 0.0f) continue;
           const float* wvec = wt + (k * cin_ + ic) * filters_;
           for (std::size_t oc = 0; oc < filters_; ++oc)
             zrow[oc] += xv * wvec[oc];
@@ -236,7 +247,8 @@ Tensor LocallyConnected1D::forward(const Tensor& x, bool /*training*/) {
       }
     }
   }
-  y_ = apply_activation(act_, z);
+  apply_activation_inplace(act_, z);
+  y_ = std::move(z);
   return y_;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/conv.h"
 #include "tensor/tensor.h"
 
 namespace candle::nn {
@@ -99,6 +100,7 @@ class Conv1D : public Layer {
   Act act_;
   Tensor w_, b_, dw_, db_;
   Tensor x_, y_;
+  Conv1dWorkspace ws_;  // im2col buffers reused across steps
 };
 
 /// Locally connected 1-D layer: convolution-like but with untied weights —
@@ -243,6 +245,9 @@ class Activation : public Layer {
 
 /// Applies an activation forward; helper shared by fused layers.
 Tensor apply_activation(Act act, const Tensor& x);
+/// In-place activation over a freshly produced pre-activation tensor —
+/// avoids the full-tensor copy of the copying form.
+void apply_activation_inplace(Act act, Tensor& x);
 /// Backward through an activation given the saved output.
 Tensor activation_backward(Act act, const Tensor& dy, const Tensor& y);
 

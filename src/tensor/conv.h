@@ -5,8 +5,15 @@
 //   activations: (batch, length, channels)
 //   conv weights: (kernel, in_channels, out_channels)
 // Padding is 'valid' and dilation is 1, which is what NT3 uses.
+//
+// Conv1D forward and backward lower onto the blocked GEMM core (gemm.h)
+// via an im2col buffer: with channels-last layout each sliding window is a
+// contiguous K*Cin slice of the input, so im2col is a strided copy and the
+// convolution becomes one (b*Lout, K*Cin) x (K*Cin, Cout) product with the
+// bias fused into the GEMM epilogue.
 #pragma once
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace candle {
@@ -16,17 +23,53 @@ namespace candle {
 std::size_t conv1d_out_length(std::size_t length, std::size_t window,
                               std::size_t stride);
 
+/// Scratch buffers for the im2col-lowered convolution. Owned by the caller
+/// (e.g. the Conv1D layer) so repeated forward/backward steps reuse the
+/// allocation instead of paying a (b*Lout, K*Cin) allocation per batch.
+struct Conv1dWorkspace {
+  Tensor cols;   // im2col expansion of the input
+  Tensor dcols;  // backward: dL/d(cols) before the col2im scatter
+};
+
+/// Expands x (b, L, Cin) into `cols` (b*Lout, K*Cin): row (bi*Lout + t) is
+/// the window x[bi, t*stride .. t*stride+K-1, :] flattened in (k, ic)
+/// order. `cols` is (re)allocated only when its shape is wrong.
+void im2col(const Tensor& x, std::size_t kernel, std::size_t stride,
+            Tensor& cols);
+
+/// Adjoint of im2col: zeroes dx (pre-shaped (b, L, Cin)) and scatter-adds
+/// every `cols` row back into its input window.
+void col2im(const Tensor& cols, std::size_t kernel, std::size_t stride,
+            Tensor& dx);
+
 /// Forward convolution: x (b, L, Cin), w (K, Cin, Cout), bias (Cout)
-/// -> y (b, Lout, Cout).
+/// -> y (b, Lout, Cout). Bias and `act` are fused into the GEMM epilogue.
+/// Pass a workspace to reuse the im2col buffer across steps. `y` is
+/// (re)allocated only when its shape is wrong — the GEMM overwrites every
+/// element, so a reused buffer skips the zero-fill of a fresh activation
+/// tensor (124 MB/step for NT3's first layer).
+void conv1d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    std::size_t stride, Tensor& y,
+                    Conv1dWorkspace* ws = nullptr,
+                    EpilogueOp act = EpilogueOp::kIdentity);
+
+/// Allocating convenience overload.
 Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
-                      std::size_t stride);
+                      std::size_t stride, Conv1dWorkspace* ws = nullptr,
+                      EpilogueOp act = EpilogueOp::kIdentity);
 
 /// Gradients of the valid conv. `dy` is (b, Lout, Cout).
 /// Outputs are written to dx/dw/dbias which must be pre-shaped like
 /// x/w/bias (they are zeroed first).
 void conv1d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                      std::size_t stride, Tensor& dx, Tensor& dw,
-                     Tensor& dbias);
+                     Tensor& dbias, Conv1dWorkspace* ws = nullptr);
+
+/// Reference direct convolution (the seed kernel, minus its data-dependent
+/// zero-skip branch). Golden baseline for tests/test_gemm.cpp and the
+/// bench_micro_kernels speedup comparison — never call it from layer code.
+Tensor conv1d_forward_naive(const Tensor& x, const Tensor& w,
+                            const Tensor& bias, std::size_t stride);
 
 /// Max-pool forward: x (b, L, C) -> y (b, Lout, C); `argmax` records, for
 /// every output element, the flat input index that won (for backward).

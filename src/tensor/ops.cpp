@@ -15,78 +15,6 @@ void check_rank2(const Tensor& t, const char* op) {
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul");
-  check_rank2(b, "matmul");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  require(b.dim(0) == k, "matmul: inner dims differ: " +
-                             shape_to_string(a.shape()) + " x " +
-                             shape_to_string(b.shape()));
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order: unit-stride access on B and C rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-  return c;
-}
-
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_tn");
-  check_rank2(b, "matmul_tn");
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  require(b.dim(0) == k, "matmul_tn: leading dims differ: " +
-                             shape_to_string(a.shape()) + " x " +
-                             shape_to_string(b.shape()));
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-  return c;
-}
-
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_nt");
-  check_rank2(b, "matmul_nt");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  require(b.dim(1) == k, "matmul_nt: inner dims differ: " +
-                             shape_to_string(a.shape()) + " x " +
-                             shape_to_string(b.shape()) + "^T");
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk)
-        acc += static_cast<double>(arow[kk]) * brow[kk];
-      pc[i * n + j] = static_cast<float>(acc);
-    }
-  }
-  return c;
-}
-
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
   Tensor out = a;
@@ -145,9 +73,13 @@ void axpy(float alpha, const Tensor& x, Tensor& y) {
   for (std::size_t i = 0; i < y.numel(); ++i) py[i] += alpha * px[i];
 }
 
+void relu_inplace(Tensor& x) {
+  for (float& v : x.values()) v = v > 0.0f ? v : 0.0f;
+}
+
 Tensor relu(const Tensor& x) {
   Tensor out = x;
-  for (float& v : out.values()) v = v > 0.0f ? v : 0.0f;
+  relu_inplace(out);
   return out;
 }
 
@@ -161,9 +93,13 @@ Tensor relu_backward(const Tensor& dy, const Tensor& y) {
   return dx;
 }
 
+void sigmoid_inplace(Tensor& x) {
+  for (float& v : x.values()) v = 1.0f / (1.0f + std::exp(-v));
+}
+
 Tensor sigmoid(const Tensor& x) {
   Tensor out = x;
-  for (float& v : out.values()) v = 1.0f / (1.0f + std::exp(-v));
+  sigmoid_inplace(out);
   return out;
 }
 
@@ -177,9 +113,13 @@ Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
   return dx;
 }
 
+void tanh_inplace(Tensor& x) {
+  for (float& v : x.values()) v = std::tanh(v);
+}
+
 Tensor tanh_act(const Tensor& x) {
   Tensor out = x;
-  for (float& v : out.values()) v = std::tanh(v);
+  tanh_inplace(out);
   return out;
 }
 
@@ -192,12 +132,12 @@ Tensor tanh_backward(const Tensor& dy, const Tensor& y) {
   return dx;
 }
 
-Tensor softmax_rows(const Tensor& x) {
-  check_rank2(x, "softmax_rows");
-  const std::size_t m = x.dim(0), n = x.dim(1);
+void softmax_rows_inplace(Tensor& x) {
+  require(x.rank() >= 1, "softmax_rows: rank must be >= 1");
+  const std::size_t n = x.shape().back();
   require(n > 0, "softmax_rows: zero-width rows");
-  Tensor out = x;
-  float* p = out.data();
+  const std::size_t m = x.numel() / n;
+  float* p = x.data();
   for (std::size_t i = 0; i < m; ++i) {
     float* row = p + i * n;
     const float mx = *std::max_element(row, row + n);
@@ -209,6 +149,12 @@ Tensor softmax_rows(const Tensor& x) {
     const float inv = static_cast<float>(1.0 / sum);
     for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
   }
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  check_rank2(x, "softmax_rows");
+  Tensor out = x;
+  softmax_rows_inplace(out);
   return out;
 }
 

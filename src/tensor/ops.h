@@ -1,25 +1,14 @@
-// Dense linear algebra and elementwise kernels over Tensor.
+// Elementwise and reduction kernels over Tensor.
 //
-// Matmul variants cover exactly the products needed by dense-layer
-// forward/backward passes; conv/pool kernels live in conv.h.
+// Matrix products live in gemm.h (the unified blocked-GEMM entry point);
+// conv/pool kernels in conv.h. This header keeps the elementwise math,
+// activations (copying and in-place forms) and row reductions used by the
+// layers.
 #pragma once
 
 #include "tensor/tensor.h"
 
 namespace candle {
-
-// ---------------------------------------------------------------------------
-// Matrix products (all operands rank-2).
-// ---------------------------------------------------------------------------
-
-/// C = A(m,k) * B(k,n).
-Tensor matmul(const Tensor& a, const Tensor& b);
-
-/// C = A^T(k,m)^T... i.e. C(m,n) = A(k,m)^T * B(k,n). Used for dW = X^T dY.
-Tensor matmul_tn(const Tensor& a, const Tensor& b);
-
-/// C(m,n) = A(m,k) * B(n,k)^T. Used for dX = dY W^T.
-Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 // ---------------------------------------------------------------------------
 // Elementwise math.
@@ -48,20 +37,30 @@ void axpy(float alpha, const Tensor& x, Tensor& y);
 
 // ---------------------------------------------------------------------------
 // Activations (forward value + backward via saved output).
+//
+// The *_inplace forms mutate their argument and are what the layers use on
+// freshly produced pre-activation tensors — the copying forms exist for
+// callers that need to keep the input.
 // ---------------------------------------------------------------------------
 
+void relu_inplace(Tensor& x);
 Tensor relu(const Tensor& x);
 /// dx = dy ⊙ 1[y > 0]; `y` is the saved forward output.
 Tensor relu_backward(const Tensor& dy, const Tensor& y);
 
+void sigmoid_inplace(Tensor& x);
 Tensor sigmoid(const Tensor& x);
 /// dx = dy ⊙ y(1-y).
 Tensor sigmoid_backward(const Tensor& dy, const Tensor& y);
 
+void tanh_inplace(Tensor& x);
 Tensor tanh_act(const Tensor& x);
 /// dx = dy ⊙ (1-y²).
 Tensor tanh_backward(const Tensor& dy, const Tensor& y);
 
+/// Row-wise softmax over the trailing axis (leading axes flattened into
+/// rows), numerically stabilized, in place.
+void softmax_rows_inplace(Tensor& x);
 /// Row-wise softmax over a (m,n) tensor (numerically stabilized).
 Tensor softmax_rows(const Tensor& x);
 

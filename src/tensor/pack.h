@@ -1,0 +1,64 @@
+// Panel packing for the blocked GEMM core (gemm.cpp).
+//
+// The macro-kernel copies cache-sized blocks of A and B into contiguous,
+// microkernel-ordered panels before any arithmetic happens: the MR×NR
+// microkernel then reads both operands with unit stride regardless of the
+// original storage order (transposed or not). Rows/columns past the block
+// edge are zero-padded so the microkernel never needs a remainder path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CANDLE_RESTRICT __restrict__
+#else
+#define CANDLE_RESTRICT
+#endif
+
+namespace candle::detail {
+
+/// Packs an mc×kc block of A (element (i, p) at a[i*rs + p*cs]) into
+/// row-panels of `mr` rows: dst[(ir/mr)*mr*kc + p*mr + i] = A(ir+i, p).
+/// Rows past mc are zero-padded to a full panel.
+inline void pack_a(const float* CANDLE_RESTRICT a, std::size_t rs,
+                   std::size_t cs, std::size_t mc, std::size_t kc,
+                   std::size_t mr, float* CANDLE_RESTRICT dst) {
+  for (std::size_t ir = 0; ir < mc; ir += mr) {
+    const std::size_t rows = std::min(mr, mc - ir);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t i = 0; i < rows; ++i)
+        dst[p * mr + i] = a[(ir + i) * rs + p * cs];
+      for (std::size_t i = rows; i < mr; ++i) dst[p * mr + i] = 0.0f;
+    }
+    dst += mr * kc;
+  }
+}
+
+/// Packs a kc×nc block of B (element (p, j) at b[p*rs + j*cs]) into
+/// column-panels of `nr` columns: dst[(jr/nr)*nr*kc + p*nr + j] = B(p, jr+j).
+/// Columns past nc are zero-padded to a full panel.
+inline void pack_b(const float* CANDLE_RESTRICT b, std::size_t rs,
+                   std::size_t cs, std::size_t kc, std::size_t nc,
+                   std::size_t nr, float* CANDLE_RESTRICT dst) {
+  for (std::size_t jr = 0; jr < nc; jr += nr) {
+    const std::size_t cols = std::min(nr, nc - jr);
+    if (cols == nr && cs == 1) {
+      // Common fast path: B not transposed, full panel — contiguous copy.
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b + p * rs + jr;
+        float* out = dst + p * nr;
+        for (std::size_t j = 0; j < nr; ++j) out[j] = src[j];
+      }
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) {
+        for (std::size_t j = 0; j < cols; ++j)
+          dst[p * nr + j] = b[p * rs + (jr + j) * cs];
+        for (std::size_t j = cols; j < nr; ++j) dst[p * nr + j] = 0.0f;
+      }
+    }
+    dst += nr * kc;
+  }
+}
+
+}  // namespace candle::detail

@@ -1,0 +1,309 @@
+// Golden/property tests for the blocked GEMM core (src/tensor/gemm.*):
+// the packed, register-tiled kernel is checked against the preserved naive
+// reference (gemm_naive) across all transpose combinations, odd and
+// edge-tile shapes straddling the MR/NR/KC blocking boundaries, and every
+// epilogue mode (bias, ReLU, accumulate). The im2col/col2im lowering of
+// Conv1D is validated against the direct reference convolution and a
+// multiplicity round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace candle {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, double stddev = 1.0) {
+  Tensor t(std::move(shape));
+  for (float& v : t.values()) v = static_cast<float>(rng.normal(0, stddev));
+  return t;
+}
+
+// Relative tolerance per the kernel contract: |got - ref| <= 1e-4 * scale.
+void expect_all_near(const Tensor& got, const Tensor& ref,
+                     const char* what) {
+  ASSERT_EQ(got.shape(), ref.shape()) << what;
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    const float tol = 1e-4f * std::max(1.0f, std::fabs(ref[i]));
+    ASSERT_NEAR(got[i], ref[i], tol) << what << " at flat index " << i;
+  }
+}
+
+// Stores A as (trans ? k×m : m×k) row-major so the same logical operand
+// can be fed to every transpose combination.
+Tensor make_operand(std::size_t rows, std::size_t cols, bool trans,
+                    Rng& rng) {
+  return trans ? random_tensor({cols, rows}, rng)
+               : random_tensor({rows, cols}, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM vs. the naive reference
+// ---------------------------------------------------------------------------
+
+TEST(Gemm, KnownProduct) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = gemm(false, false, a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Gemm, NaiveReferenceKnownProduct) {
+  // Anchors the reference kernel itself before everything is tested
+  // against it.
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = gemm_naive(false, false, a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 3});
+  EXPECT_THROW((void)gemm(false, false, a, b), InvalidArgument);
+  EXPECT_NO_THROW((void)gemm(false, true, a, b));
+  Tensor c({3, 3});
+  EXPECT_THROW(gemm(false, true, a, b, c), InvalidArgument);  // c is (2,2)
+}
+
+TEST(Gemm, AllTransposeCombosAcrossEdgeTileShapes) {
+  // m spans the MR=6 tile edges, n the NR=8 edges, and larger values cross
+  // the MC=96 block boundary; k=300 crosses the KC=256 panel boundary so
+  // the multi-panel first/last writeback logic is exercised too.
+  const std::size_t ms[] = {1, kGemmMR - 1, kGemmMR, kGemmMR + 1, 2 * kGemmMR + 3, kGemmMC + 5};
+  const std::size_t ns[] = {1, kGemmNR - 1, kGemmNR, kGemmNR + 1, 3 * kGemmNR + 1};
+  const std::size_t ks[] = {1, 7, 64, kGemmKC + 44};
+  Rng rng(11);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (std::size_t m : ms) {
+        for (std::size_t n : ns) {
+          for (std::size_t k : ks) {
+            const Tensor a = make_operand(m, k, ta, rng);
+            const Tensor b = make_operand(k, n, tb, rng);
+            const Tensor ref = gemm_naive(ta, tb, a, b);
+            const Tensor got = gemm(ta, tb, a, b);
+            ASSERT_EQ(got.shape(), ref.shape());
+            for (std::size_t i = 0; i < got.numel(); ++i) {
+              const float tol = 1e-4f * std::max(1.0f, std::fabs(ref[i]));
+              ASSERT_NEAR(got[i], ref[i], tol)
+                  << "ta=" << ta << " tb=" << tb << " m=" << m << " n=" << n
+                  << " k=" << k << " i=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epilogue modes
+// ---------------------------------------------------------------------------
+
+TEST(GemmEpilogue, BiasAddsRowVector) {
+  Rng rng(21);
+  const std::size_t m = 13, n = 19, k = 40;
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  const Tensor bias = random_tensor({n}, rng);
+  Epilogue ep;
+  ep.bias = bias.data();
+  const Tensor got = gemm(false, false, a, b, ep);
+  Tensor ref = gemm_naive(false, false, a, b);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) ref.at(i, j) += bias[j];
+  expect_all_near(got, ref, "bias epilogue");
+}
+
+TEST(GemmEpilogue, ReluClampsNegatives) {
+  Rng rng(22);
+  const std::size_t m = 9, n = 17, k = 33;
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  Epilogue ep;
+  ep.op = EpilogueOp::kRelu;
+  const Tensor got = gemm(false, false, a, b, ep);
+  Tensor ref = gemm_naive(false, false, a, b);
+  for (float& v : ref.values()) v = v > 0.0f ? v : 0.0f;
+  expect_all_near(got, ref, "relu epilogue");
+  for (float v : got.values()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(GemmEpilogue, BiasReluComposesAcrossKPanels) {
+  // k > KC: the epilogue must fire exactly once, after the last k-panel.
+  Rng rng(23);
+  const std::size_t m = 7, n = 11, k = 2 * kGemmKC + 17;
+  const Tensor a = random_tensor({m, k}, rng, 0.2);
+  const Tensor b = random_tensor({k, n}, rng, 0.2);
+  const Tensor bias = random_tensor({n}, rng);
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.op = EpilogueOp::kRelu;
+  const Tensor got = gemm(false, false, a, b, ep);
+  Tensor ref = gemm_naive(false, false, a, b);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = ref.at(i, j) + bias[j];
+      ref.at(i, j) = v > 0.0f ? v : 0.0f;
+    }
+  expect_all_near(got, ref, "bias+relu epilogue");
+}
+
+TEST(GemmEpilogue, AccumulateKeepsPriorContents) {
+  Rng rng(24);
+  const std::size_t m = 10, n = 14, k = kGemmKC + 5;
+  const Tensor a = random_tensor({m, k}, rng, 0.3);
+  const Tensor b = random_tensor({k, n}, rng, 0.3);
+  const Tensor c0 = random_tensor({m, n}, rng);
+  Tensor got = c0;
+  Epilogue ep;
+  ep.accumulate = true;
+  gemm(false, false, a, b, got, ep);
+  Tensor ref = gemm_naive(false, false, a, b);
+  ref += c0;
+  expect_all_near(got, ref, "accumulate epilogue");
+}
+
+TEST(GemmEpilogue, OverwriteIgnoresPriorContents) {
+  Rng rng(25);
+  const std::size_t m = 6, n = 8, k = 12;
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  Tensor got({m, n}, 123.0f);  // stale garbage that must be overwritten
+  gemm(false, false, a, b, got);
+  const Tensor ref = gemm_naive(false, false, a, b);
+  expect_all_near(got, ref, "overwrite");
+}
+
+// ---------------------------------------------------------------------------
+// im2col / col2im and the lowered Conv1D
+// ---------------------------------------------------------------------------
+
+TEST(Im2col, LaysOutWindows) {
+  // x: batch 1, L=4, Cin=2; K=2, stride 1 -> 3 rows of 4 values.
+  const Tensor x({1, 4, 2}, {0, 1, 10, 11, 20, 21, 30, 31});
+  Tensor cols;
+  im2col(x, 2, 1, cols);
+  ASSERT_EQ(cols.shape(), (Shape{3, 4}));
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 11.0f);
+  EXPECT_FLOAT_EQ(cols.at(1, 0), 10.0f);
+  EXPECT_FLOAT_EQ(cols.at(2, 3), 31.0f);
+}
+
+TEST(Im2col, Col2imRoundTripMatchesWindowMultiplicity) {
+  // col2im(im2col(x)) multiplies every input element by the number of
+  // windows covering it; compute that multiplicity directly and compare.
+  Rng rng(31);
+  const std::size_t b = 2, L = 13, cin = 3, K = 4, stride = 2;
+  const Tensor x = random_tensor({b, L, cin}, rng);
+  Tensor cols;
+  im2col(x, K, stride, cols);
+  Tensor back({b, L, cin});
+  col2im(cols, K, stride, back);
+  const std::size_t lout = conv1d_out_length(L, K, stride);
+  for (std::size_t bi = 0; bi < b; ++bi)
+    for (std::size_t t = 0; t < L; ++t) {
+      std::size_t mult = 0;
+      for (std::size_t o = 0; o < lout; ++o)
+        if (o * stride <= t && t < o * stride + K) ++mult;
+      for (std::size_t c = 0; c < cin; ++c) {
+        const std::size_t i = (bi * L + t) * cin + c;
+        ASSERT_NEAR(back[i], static_cast<float>(mult) * x[i], 1e-5f)
+            << "t=" << t << " mult=" << mult;
+      }
+    }
+}
+
+TEST(Im2col, NonOverlappingStrideRoundTripsExactly) {
+  // stride == K: every covered element appears in exactly one window.
+  Rng rng(32);
+  const Tensor x = random_tensor({1, 12, 2}, rng);
+  Tensor cols;
+  im2col(x, 3, 3, cols);
+  Tensor back(x.shape());
+  col2im(cols, 3, 3, back);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(back[i], x[i]);
+}
+
+TEST(Conv1dGemm, MatchesNaiveReference) {
+  Rng rng(33);
+  struct Case {
+    std::size_t b, L, cin, K, cout, stride;
+  };
+  const Case cases[] = {
+      {1, 8, 1, 3, 4, 1},   {2, 16, 3, 5, 7, 2},  {1, 9, 2, 9, 3, 1},
+      {3, 21, 4, 1, 5, 1},  {2, 30, 2, 4, 16, 3},
+  };
+  for (const Case& tc : cases) {
+    const Tensor x = random_tensor({tc.b, tc.L, tc.cin}, rng);
+    const Tensor w = random_tensor({tc.K, tc.cin, tc.cout}, rng);
+    const Tensor bias = random_tensor({tc.cout}, rng);
+    const Tensor ref = conv1d_forward_naive(x, w, bias, tc.stride);
+    const Tensor got = conv1d_forward(x, w, bias, tc.stride);
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+      const float tol = 1e-4f * std::max(1.0f, std::fabs(ref[i]));
+      ASSERT_NEAR(got[i], ref[i], tol)
+          << "b=" << tc.b << " L=" << tc.L << " K=" << tc.K << " i=" << i;
+    }
+  }
+}
+
+TEST(Conv1dGemm, FusedReluEpilogueMatchesPostRelu) {
+  Rng rng(34);
+  const Tensor x = random_tensor({2, 12, 3}, rng);
+  const Tensor w = random_tensor({3, 3, 5}, rng);
+  const Tensor bias = random_tensor({5}, rng);
+  const Tensor got =
+      conv1d_forward(x, w, bias, 1, nullptr, EpilogueOp::kRelu);
+  Tensor ref = conv1d_forward_naive(x, w, bias, 1);
+  for (float& v : ref.values()) v = v > 0.0f ? v : 0.0f;
+  expect_all_near(got, ref, "conv relu epilogue");
+}
+
+TEST(Conv1dGemm, WorkspaceReuseSurvivesShapeChanges) {
+  Rng rng(35);
+  Conv1dWorkspace ws;
+  const Tensor w = random_tensor({3, 2, 4}, rng);
+  const Tensor bias = random_tensor({4}, rng);
+  for (std::size_t L : {10u, 24u, 10u}) {
+    const Tensor x = random_tensor({2, L, 2}, rng);
+    const Tensor ref = conv1d_forward_naive(x, w, bias, 1);
+    const Tensor got = conv1d_forward(x, w, bias, 1, &ws);
+    expect_all_near(got, ref, "workspace reuse");
+  }
+}
+
+TEST(Conv1dGemm, BackwardAgreesWithWorkspaceAndWithout) {
+  Rng rng(36);
+  const Tensor x = random_tensor({2, 14, 3}, rng);
+  const Tensor w = random_tensor({4, 3, 6}, rng);
+  const Tensor bias = random_tensor({6}, rng);
+  const Tensor y = conv1d_forward(x, w, bias, 2);
+  const Tensor dy(y.shape(), 1.0f);
+  Tensor dx1(x.shape()), dw1(w.shape()), db1(bias.shape());
+  conv1d_backward(x, w, dy, 2, dx1, dw1, db1);
+  Conv1dWorkspace ws;
+  Tensor dx2(x.shape()), dw2(w.shape()), db2(bias.shape());
+  conv1d_backward(x, w, dy, 2, dx2, dw2, db2, &ws);
+  expect_all_near(dx2, dx1, "dx ws");
+  expect_all_near(dw2, dw1, "dw ws");
+  expect_all_near(db2, db1, "db ws");
+}
+
+}  // namespace
+}  // namespace candle

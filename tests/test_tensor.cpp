@@ -1,5 +1,6 @@
-// Tests for src/tensor: Tensor, matmul variants, conv1d/pool kernels.
-// Gradient kernels are validated against finite differences.
+// Tests for src/tensor: Tensor, elementwise ops, conv1d/pool kernels.
+// Gradient kernels are validated against finite differences; the blocked
+// GEMM core has its own golden suite in test_gemm.cpp.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -90,54 +91,6 @@ TEST(Tensor, Reductions) {
   EXPECT_FLOAT_EQ(t.min(), -1.0f);
   EXPECT_FLOAT_EQ(t.max(), 3.0f);
   EXPECT_FLOAT_EQ(t.sq_norm(), 14.0f);
-}
-
-// ---------------------------------------------------------------------------
-// Matmul
-// ---------------------------------------------------------------------------
-
-TEST(Matmul, KnownProduct) {
-  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
-  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
-  const Tensor c = matmul(a, b);
-  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
-  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
-  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
-  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
-}
-
-TEST(Matmul, InnerDimMismatchThrows) {
-  const Tensor a({2, 3});
-  const Tensor b({2, 3});
-  EXPECT_THROW((void)matmul(a, b), InvalidArgument);
-}
-
-TEST(Matmul, TnAgreesWithExplicitTranspose) {
-  Rng rng(1);
-  const Tensor a = random_tensor({4, 5}, rng);
-  const Tensor b = random_tensor({4, 6}, rng);
-  Tensor at({5, 4});
-  for (std::size_t i = 0; i < 4; ++i)
-    for (std::size_t j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
-  const Tensor expected = matmul(at, b);
-  const Tensor got = matmul_tn(a, b);
-  ASSERT_EQ(got.shape(), expected.shape());
-  for (std::size_t i = 0; i < got.numel(); ++i)
-    EXPECT_NEAR(got[i], expected[i], 1e-4f);
-}
-
-TEST(Matmul, NtAgreesWithExplicitTranspose) {
-  Rng rng(2);
-  const Tensor a = random_tensor({3, 5}, rng);
-  const Tensor b = random_tensor({7, 5}, rng);
-  Tensor bt({5, 7});
-  for (std::size_t i = 0; i < 7; ++i)
-    for (std::size_t j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
-  const Tensor expected = matmul(a, bt);
-  const Tensor got = matmul_nt(a, b);
-  ASSERT_EQ(got.shape(), expected.shape());
-  for (std::size_t i = 0; i < got.numel(); ++i)
-    EXPECT_NEAR(got[i], expected[i], 1e-4f);
 }
 
 // ---------------------------------------------------------------------------
