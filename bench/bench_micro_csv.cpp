@@ -1,9 +1,15 @@
-// Micro-benchmarks (google-benchmark) of the three CSV readers across file
-// geometries — the kernel-level view of Tables 3/4.
+// Micro-benchmarks (google-benchmark) of the four CSV readers across file
+// geometries — the kernel-level view of Tables 3/4. BM_ReadParallel sweeps
+// the candle::parallel pool width (third arg: 1/2/4 threads, 0 = default)
+// and feeds the committed BENCH_parallel.json:
+//   CANDLE_NUM_THREADS=4 build/bench/bench_micro_csv
+//     --benchmark_filter=Parallel --benchmark_out=BENCH_parallel_csv.json
+//     --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
+#include "common/parallel.h"
 #include "io/csv_reader.h"
 #include "io/synthetic.h"
 
@@ -65,6 +71,27 @@ void BM_ReadDask(benchmark::State& state) {
                           static_cast<int64_t>(state.iterations()));
 }
 
+void BM_ReadParallel(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  // Pool width for this run; 0 keeps the CANDLE_NUM_THREADS / hardware
+  // default. Restored below so later benchmarks see the default again.
+  const std::size_t default_width = candle::parallel::num_threads();
+  if (state.range(2) != 0)
+    candle::parallel::set_num_threads(
+        static_cast<std::size_t>(state.range(2)));
+  const std::string path = make_file(rows, cols);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    candle::io::CsvReadStats stats;
+    benchmark::DoNotOptimize(candle::io::read_csv_parallel(path, &stats));
+    bytes = stats.bytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+  candle::parallel::set_num_threads(default_width);
+}
+
 // Wide (NT3-like) and narrow (P1B3-like) geometries of ~2 MB each.
 #define CSV_GEOMETRIES()                 \
   Args({24, 10000})->Args({2400, 100})  \
@@ -73,6 +100,13 @@ void BM_ReadDask(benchmark::State& state) {
 BENCHMARK(BM_ReadOriginal)->CSV_GEOMETRIES();
 BENCHMARK(BM_ReadChunked)->CSV_GEOMETRIES();
 BENCHMARK(BM_ReadDask)->CSV_GEOMETRIES();
+// Thread sweep on the wide NT3-like geometry plus the default width on the
+// narrow one.
+// Wall time, not main-thread CPU time: the parsing runs on pool workers.
+BENCHMARK(BM_ReadParallel)
+    ->Args({24, 10000, 1})->Args({24, 10000, 2})->Args({24, 10000, 4})
+    ->Args({24, 10000, 0})->Args({2400, 100, 0})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4)->UseRealTime();
 
 }  // namespace
 

@@ -13,8 +13,16 @@
 // Regenerate the committed BENCH_kernels.json with:
 //   build/bench/bench_micro_kernels
 //     --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+//
+// The *Threads benchmarks sweep the candle::parallel pool width (arg = 1,
+// 2, 4 threads; 0 = the CANDLE_NUM_THREADS / hardware default) and feed
+// the committed BENCH_parallel.json:
+//   CANDLE_NUM_THREADS=4 build/bench/bench_micro_kernels
+//     --benchmark_filter='Threads' --benchmark_out=BENCH_parallel.json
+//     --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "harness.h"
 #include "tensor/conv.h"
@@ -26,6 +34,34 @@ namespace {
 using namespace candle;
 using bench::conv1d_flop_count;
 using bench::gemm_flop_count;
+
+/// Pool width for the duration of one benchmark run: `arg` threads, or the
+/// process-startup default when arg == 0. Restored on destruction so later
+/// benchmarks (registration order) see the default width again.
+class BenchThreads {
+ public:
+  explicit BenchThreads(std::int64_t arg) {
+    parallel::set_num_threads(arg == 0 ? default_width()
+                                       : static_cast<std::size_t>(arg));
+  }
+  ~BenchThreads() { parallel::set_num_threads(default_width()); }
+  BenchThreads(const BenchThreads&) = delete;
+  BenchThreads& operator=(const BenchThreads&) = delete;
+
+ private:
+  static std::size_t default_width() {
+    // Captured before any sweep mutates the pool.
+    static const std::size_t width = parallel::num_threads();
+    return width;
+  }
+};
+
+/// Registers the 1/2/4/default sweep on a *Threads benchmark. Wall time
+/// (UseRealTime) is the honest metric when work runs on pool workers: the
+/// main thread blocks while they compute, so its CPU time would overstate
+/// the speedup on oversubscribed hosts.
+#define THREAD_SWEEP() \
+  ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(0)->UseRealTime()
 
 Tensor random_tensor(Shape shape, std::uint64_t seed) {
   Rng rng(seed);
@@ -130,6 +166,24 @@ void BM_DenseP1B1Naive(benchmark::State& state) {
   set_gflops(state, gemm_flop_count(kP1B1Batch, kP1B1Units, kP1B1In));
 }
 
+// Pool-width sweep on the P1B1 Dense GEMM — the headline shape for the
+// intra-node speedup target (BENCH_parallel.json).
+void BM_DenseP1B1Threads(benchmark::State& state) {
+  const BenchThreads threads(state.range(0));
+  const Tensor x = random_tensor({kP1B1Batch, kP1B1In}, 3);
+  const Tensor w = random_tensor({kP1B1In, kP1B1Units}, 4);
+  const Tensor bias = random_tensor({kP1B1Units}, 5);
+  Tensor y({kP1B1Batch, kP1B1Units});
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.op = EpilogueOp::kRelu;
+  for (auto _ : state) {
+    gemm(false, false, x, w, y, ep);
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_gflops(state, gemm_flop_count(kP1B1Batch, kP1B1Units, kP1B1In));
+}
+
 // NT3's first Conv1D layer: 128 filters, kernel 20, stride 1 over the
 // 60,483-long expression vector with one input channel (§2.1.1).
 constexpr std::size_t kNT3Batch = 4;
@@ -162,6 +216,23 @@ void BM_Conv1dNT3Naive(benchmark::State& state) {
   for (auto _ : state) {
     Tensor y = conv1d_forward_naive(x, w, b, 1);
     relu_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const std::size_t lout = conv1d_out_length(kNT3Len, kNT3Kernel, 1);
+  set_gflops(state, conv1d_flop_count(kNT3Batch, lout, kNT3Filters,
+                                      kNT3Kernel, kNT3Cin));
+}
+
+// Pool-width sweep on the NT3 Conv1D forward (im2col + GEMM both thread).
+void BM_Conv1dNT3Threads(benchmark::State& state) {
+  const BenchThreads threads(state.range(0));
+  const Tensor x = random_tensor({kNT3Batch, kNT3Len, kNT3Cin}, 6);
+  const Tensor w = random_tensor({kNT3Kernel, kNT3Cin, kNT3Filters}, 7);
+  const Tensor b = random_tensor({kNT3Filters}, 8);
+  Conv1dWorkspace ws;
+  Tensor y;
+  for (auto _ : state) {
+    conv1d_forward(x, w, b, 1, y, &ws, EpilogueOp::kRelu);
     benchmark::DoNotOptimize(y.data());
   }
   const std::size_t lout = conv1d_out_length(kNT3Len, kNT3Kernel, 1);
@@ -237,6 +308,20 @@ void BM_SmokeConv1dNaive(benchmark::State& state) {
 // Non-GEMM kernels (unchanged paths, kept for trend tracking).
 // ---------------------------------------------------------------------------
 
+// Pool-width sweep on a square GEMM big enough to fill several MC blocks.
+void BM_GemmThreads(benchmark::State& state) {
+  const BenchThreads threads(state.range(0));
+  const std::size_t n = 512;
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(false, false, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, gemm_flop_count(n, n, n));
+}
+
 void BM_MaxPool(benchmark::State& state) {
   const auto length = static_cast<std::size_t>(state.range(0));
   const Tensor x = random_tensor({8, length, 16}, 14);
@@ -257,9 +342,14 @@ BENCHMARK(BM_GemmTn)->Arg(256)->MinTime(0.4);
 BENCHMARK(BM_GemmNt)->Arg(256)->MinTime(0.4);
 BENCHMARK(BM_DenseP1B1)->MinTime(1.0)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DenseP1B1Naive)->MinTime(1.0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseP1B1Threads)
+    ->THREAD_SWEEP()->MinTime(1.0)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv1dNT3)->MinTime(1.0)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv1dNT3Naive)->MinTime(1.0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv1dNT3Threads)
+    ->THREAD_SWEEP()->MinTime(1.0)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv1dNT3Backward)->MinTime(1.0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmThreads)->THREAD_SWEEP()->MinTime(0.4);
 BENCHMARK(BM_SmokeGemm)->MinTime(0.2);
 BENCHMARK(BM_SmokeGemmNaive)->MinTime(0.2);
 BENCHMARK(BM_SmokeConv1d)->MinTime(0.2)->Unit(benchmark::kMillisecond);

@@ -7,9 +7,14 @@
 // large speedups for the wide files (NT3/P1B1/P1B2), almost none for the
 // narrow P1B3.
 //
-//   bench_table3_dataloading_summit [--scale 0.03] [--dask]
+// Beyond the paper, the threaded reader (read_csv_parallel) is measured in
+// the same table; --threads pins the candle::parallel pool width (0 keeps
+// the CANDLE_NUM_THREADS / hardware default).
+//
+//   bench_table3_dataloading_summit [--scale 0.03] [--dask] [--threads N]
 #include <filesystem>
 
+#include "common/parallel.h"
 #include "harness.h"
 #include "io/synthetic.h"
 
@@ -29,11 +34,15 @@ int main(int argc, char** argv) {
   Cli cli;
   cli.flag("scale", "file size scale vs the paper (1.0 = full size)", "0.03")
       .bool_flag("dask", "also measure the dask-style reader")
+      .flag("threads", "pool width for the parallel reader (0 = default)",
+            "0")
       .flag("workdir", "scratch directory", "/tmp");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
   const double scale = cli.get_double("scale");
   const bool with_dask = cli.get_bool("dask");
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (threads != 0) parallel::set_num_threads(threads);
 
   // Geometry from Table 1: bytes and column counts; row counts follow from
   // the ~9.2 bytes/cell CSV density (a documented substitution — the
@@ -56,6 +65,8 @@ int main(int argc, char** argv) {
                                    "original (s)", "chunked 16MB (s)",
                                    "speedup"};
   if (with_dask) headers.push_back("dask (s)");
+  headers.push_back(strprintf("parallel x%zu (s)", parallel::num_threads()));
+  headers.push_back("thread speedup");
   Table t(headers);
 
   const std::string dir = cli.get("workdir") + "/candle_table3";
@@ -84,6 +95,10 @@ int main(int argc, char** argv) {
       (void)io::read_csv_dask(path, &dask);
       cells.push_back(strprintf("%.2f", dask.seconds));
     }
+    io::CsvReadStats par;
+    (void)io::read_csv_parallel(path, &par);
+    cells.push_back(strprintf("%.2f", par.seconds));
+    cells.push_back(strprintf("%.2fx", chunk.seconds / par.seconds));
     t.add_row(std::move(cells));
     std::filesystem::remove(path);
   }

@@ -1,0 +1,253 @@
+#include "common/parallel.h"
+
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/thread_annotations.h"
+
+namespace candle::parallel {
+namespace {
+
+// Set while the current thread is inside a parallel region — on a pool
+// worker for the whole dispatch, on the calling thread while it executes
+// its own chunk. Any parallel_for seen with this flag runs inline, which
+// makes nested regions (gemm inside a parallelized layer loop) safe.
+thread_local bool tl_in_parallel = false;
+
+/// Process-wide worker pool. Thread 0 is always the calling thread; the
+/// pool owns threads 1..width-1. Regions are serialized by region_mutex_:
+/// concurrent top-level callers (rank-per-thread tests) queue rather than
+/// interleave, so chunk indices always map to one region at a time.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t width() {
+    MutexLock region(region_mutex_);
+    return width_locked();
+  }
+
+  void resize(std::size_t n) {
+    require(n >= 1, "parallel::set_num_threads: thread count must be >= 1");
+    MutexLock region(region_mutex_);
+    if (started_ && n == width_locked()) return;
+    stop_workers();
+    spawn_workers(n);
+  }
+
+  /// Runs fn(chunk) once for every chunk in [0, chunks); chunk i is
+  /// statically owned by thread (i % width). The caller participates as
+  /// thread 0 and the call returns after every chunk completed, rethrowing
+  /// the exception of the lowest-indexed failing chunk.
+  void run(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
+    MutexLock region(region_mutex_);
+    if (!started_) spawn_workers(default_width());
+    errors_.assign(chunks, nullptr);
+    {
+      MutexLock lock(mutex_);
+      chunk_fn_ = &fn;
+      chunks_ = chunks;
+      pending_ = workers_.size();
+      ++generation_;
+    }
+    wake_.notify_all();
+    run_chunks(0, chunks, fn);
+    {
+      MutexLock lock(mutex_);
+      done_.wait(mutex_, [this]() CANDLE_REQUIRES(mutex_) {
+        return pending_ == 0;
+      });
+      chunk_fn_ = nullptr;
+    }
+    for (std::exception_ptr& err : errors_)
+      if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    MutexLock region(region_mutex_);
+    stop_workers();
+  }
+
+  std::size_t width_locked() CANDLE_REQUIRES(region_mutex_) {
+    if (!started_) spawn_workers(default_width());
+    return workers_.size() + 1;
+  }
+
+  static std::size_t default_width() {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return detail::parse_thread_count(std::getenv("CANDLE_NUM_THREADS"),
+                                      hw > 0 ? hw : 1);
+  }
+
+  void spawn_workers(std::size_t n) CANDLE_REQUIRES(region_mutex_) {
+    started_ = true;
+    // Written only while no worker exists (before the spawns below, after
+    // the joins in stop_workers), so workers can read it lock-free.
+    stride_ = n;
+    // Workers must start at the *current* generation: it keeps counting
+    // across resizes, and a fresh worker that compared against 0 would
+    // treat the previous region's bump as a dispatch and run a null fn.
+    std::uint64_t gen0 = 0;
+    {
+      MutexLock lock(mutex_);
+      gen0 = generation_;
+    }
+    workers_.reserve(n - 1);
+    for (std::size_t id = 1; id < n; ++id)
+      workers_.emplace_back([this, id, gen0] { worker_main(id, gen0); });
+  }
+
+  void stop_workers() CANDLE_REQUIRES(region_mutex_) {
+    {
+      MutexLock lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    MutexLock lock(mutex_);
+    stopping_ = false;
+  }
+
+  /// Executes the chunks this thread owns: id, id + width, id + 2*width...
+  /// The static stride assignment keeps ownership deterministic, though
+  /// determinism of results only needs the chunk *boundaries* fixed.
+  void run_chunks(std::size_t id, std::size_t chunks,
+                  const std::function<void(std::size_t)>& fn) {
+    const std::size_t stride = stride_;
+    tl_in_parallel = true;
+    for (std::size_t c = id; c < chunks; c += stride) {
+      try {
+        fn(c);
+      } catch (...) {
+        errors_[c] = std::current_exception();
+      }
+    }
+    tl_in_parallel = false;
+  }
+
+  void worker_main(std::size_t id, std::uint64_t seen) {
+    while (true) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t chunks = 0;
+      {
+        MutexLock lock(mutex_);
+        wake_.wait(mutex_, [&]() CANDLE_REQUIRES(mutex_) {
+          return stopping_ || generation_ != seen;
+        });
+        if (stopping_) return;
+        seen = generation_;
+        fn = chunk_fn_;
+        chunks = chunks_;
+      }
+      run_chunks(id, chunks, *fn);
+      {
+        MutexLock lock(mutex_);
+        --pending_;
+        if (pending_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  /// Serializes whole regions (and resize) against each other.
+  AnnotatedMutex region_mutex_;
+  bool started_ CANDLE_GUARDED_BY(region_mutex_) = false;
+  std::vector<std::thread> workers_ CANDLE_GUARDED_BY(region_mutex_);
+  /// Per-chunk exceptions; distinct chunks write distinct slots, and the
+  /// vector is only reshaped between regions. Not lock-protected by design.
+  std::vector<std::exception_ptr> errors_;
+  /// Total thread count (workers + caller); see spawn_workers for why this
+  /// is safe to read without a lock.
+  std::size_t stride_ = 1;
+
+  /// Dispatch state for the region in flight.
+  AnnotatedMutex mutex_;
+  AnnotatedCondVar wake_;
+  AnnotatedCondVar done_;
+  const std::function<void(std::size_t)>* chunk_fn_
+      CANDLE_GUARDED_BY(mutex_) = nullptr;
+  std::size_t chunks_ CANDLE_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ CANDLE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ CANDLE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CANDLE_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::vector<std::pair<std::size_t, std::size_t>> partition(
+    std::size_t n, std::size_t grain, std::size_t threads) {
+  require(grain >= 1, "parallel_for: grain must be >= 1");
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (n == 0) return chunks;
+  // Floor division: with count <= n / grain every chunk holds at least
+  // `grain` indices (the single-chunk n < grain case is the only exception),
+  // so dispatch overhead is always amortized over at least one grain.
+  const std::size_t max_by_grain = n / grain;
+  const std::size_t count =
+      std::max<std::size_t>(1, std::min(threads, max_by_grain));
+  chunks.reserve(count);
+  // Sizes differ by at most one: the first (n % count) chunks get the
+  // extra index, so the table is a pure function of (n, grain, threads).
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    chunks.emplace_back(at, at + len);
+    at += len;
+  }
+  return chunks;
+}
+
+std::size_t parse_thread_count(const char* text, std::size_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace detail
+
+std::size_t num_threads() { return Pool::instance().width(); }
+
+void set_num_threads(std::size_t n) { Pool::instance().resize(n); }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ChunkFn& fn) {
+  require(grain >= 1, "parallel_for: grain must be >= 1");
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Inline paths: nested region, single-thread pool, or a range too small
+  // to split. Running fn over the whole range reproduces serial behavior.
+  if (tl_in_parallel || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t width = num_threads();
+  if (width == 1) {
+    fn(begin, end);
+    return;
+  }
+  const auto chunks = detail::partition(n, grain, width);
+  if (chunks.size() == 1) {
+    fn(begin, end);
+    return;
+  }
+  Pool::instance().run(chunks.size(), [&](std::size_t c) {
+    fn(begin + chunks[c].first, begin + chunks[c].second);
+  });
+}
+
+}  // namespace candle::parallel

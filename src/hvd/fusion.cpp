@@ -1,9 +1,11 @@
 #include "hvd/fusion.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/check.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace candle::hvd {
 
@@ -27,41 +29,59 @@ FusionStats allreduce_average_fused(Context& ctx,
   std::vector<float> buffer;
   buffer.reserve(capacity);
 
-  std::size_t group_begin = 0;
-  auto flush = [&](std::size_t group_end) {
-    if (buffer.empty()) return;
+  // Tensors of the pending group with their fusion-buffer offsets; the
+  // pack and unpack memcpys cover disjoint spans per tensor, so both
+  // phases parallelize over the group (the collective itself stays on the
+  // calling rank thread — pool workers never touch the communicator).
+  std::vector<std::pair<Tensor*, std::size_t>> group;
+  std::size_t group_elems = 0;
+
+  auto flush = [&]() {
+    if (group.empty()) return;
+    buffer.resize(group_elems);
+    parallel::parallel_for(0, group.size(), 1,
+                           [&](std::size_t g0, std::size_t g1) {
+                             for (std::size_t g = g0; g < g1; ++g) {
+                               const auto& [t, offset] = group[g];
+                               std::memcpy(buffer.data() + offset, t->data(),
+                                           t->numel() * sizeof(float));
+                             }
+                           });
     ctx.comm().allreduce_average(buffer);
     ++stats.collectives;
     stats.fused_bytes += buffer.size() * sizeof(float);
-    std::size_t offset = 0;
-    for (std::size_t i = group_begin; i < group_end; ++i) {
-      // In-range for the backing allocation even when the grouping is
-      // wrong, so ASan stays silent — the logical check catches it.
-      CANDLE_CHECK(offset + tensors[i]->numel() <= buffer.size());
-      std::memcpy(tensors[i]->data(), buffer.data() + offset,
-                  tensors[i]->numel() * sizeof(float));
-      offset += tensors[i]->numel();
-    }
+    parallel::parallel_for(
+        0, group.size(), 1, [&](std::size_t g0, std::size_t g1) {
+          for (std::size_t g = g0; g < g1; ++g) {
+            const auto& [t, offset] = group[g];
+            // In-range for the backing allocation even when the grouping
+            // is wrong, so ASan stays silent — the logical check catches
+            // it.
+            CANDLE_CHECK(offset + t->numel() <= buffer.size());
+            std::memcpy(t->data(), buffer.data() + offset,
+                        t->numel() * sizeof(float));
+          }
+        });
+    group.clear();
+    group_elems = 0;
     buffer.clear();
-    group_begin = group_end;
   };
 
-  for (std::size_t i = 0; i < tensors.size(); ++i) {
-    Tensor* t = tensors[i];
+  for (Tensor* t : tensors) {
     require(t != nullptr, "allreduce_average_fused: null tensor");
     if (t->numel() > capacity) {
       // Oversized tensor: flush the pending group, reduce it in place.
-      flush(i);
+      flush();
       ctx.comm().allreduce_average(t->values());
       ++stats.collectives;
       stats.fused_bytes += t->numel() * sizeof(float);
-      group_begin = i + 1;
       continue;
     }
-    if (buffer.size() + t->numel() > capacity) flush(i);
-    buffer.insert(buffer.end(), t->data(), t->data() + t->numel());
+    if (group_elems + t->numel() > capacity) flush();
+    group.emplace_back(t, group_elems);
+    group_elems += t->numel();
   }
-  flush(tensors.size());
+  flush();
   return stats;
 }
 

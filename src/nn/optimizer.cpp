@@ -3,9 +3,16 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace candle::nn {
 namespace {
+
+// Weight updates are elementwise over each parameter tensor; the big
+// CANDLE layers (P1B1's 60483x2000 Dense) dominate, so splitting within a
+// tensor is what matters. Order within an element is unchanged, so the
+// threaded update is bit-identical to serial.
+constexpr std::size_t kUpdateGrain = 8192;
 
 void check_lists(const std::vector<Tensor*>& params,
                  const std::vector<Tensor*>& grads) {
@@ -40,7 +47,11 @@ void Sgd::apply(const std::vector<Tensor*>& params,
       float* w = params[i]->data();
       const float* g = grads[i]->data();
       const float lr = static_cast<float>(lr_);
-      for (std::size_t j = 0; j < params[i]->numel(); ++j) w[j] -= lr * g[j];
+      parallel::parallel_for(0, params[i]->numel(), kUpdateGrain,
+                             [&](std::size_t j0, std::size_t j1) {
+                               for (std::size_t j = j0; j < j1; ++j)
+                                 w[j] -= lr * g[j];
+                             });
     }
     return;
   }
@@ -51,11 +62,17 @@ void Sgd::apply(const std::vector<Tensor*>& params,
     float* v = velocity_[i].data();
     const float lr = static_cast<float>(lr_);
     const float mu = static_cast<float>(momentum_);
-    for (std::size_t j = 0; j < params[i]->numel(); ++j) {
-      v[j] = mu * v[j] - lr * g[j];
-      // Nesterov: look ahead along the updated velocity (Keras semantics).
-      w[j] += nesterov_ ? mu * v[j] - lr * g[j] : v[j];
-    }
+    const bool nesterov = nesterov_;
+    parallel::parallel_for(
+        0, params[i]->numel(), kUpdateGrain,
+        [&](std::size_t j0, std::size_t j1) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            v[j] = mu * v[j] - lr * g[j];
+            // Nesterov: look ahead along the updated velocity (Keras
+            // semantics).
+            w[j] += nesterov ? mu * v[j] - lr * g[j] : v[j];
+          }
+        });
   }
 }
 
@@ -108,10 +125,14 @@ void RmsProp::apply(const std::vector<Tensor*>& params,
     float* w = params[i]->data();
     const float* g = grads[i]->data();
     float* s = mean_sq_[i].data();
-    for (std::size_t j = 0; j < params[i]->numel(); ++j) {
-      s[j] = rho * s[j] + (1.0f - rho) * g[j] * g[j];
-      w[j] -= lr * g[j] / (std::sqrt(s[j]) + eps);
-    }
+    parallel::parallel_for(
+        0, params[i]->numel(), kUpdateGrain,
+        [&](std::size_t j0, std::size_t j1) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            s[j] = rho * s[j] + (1.0f - rho) * g[j] * g[j];
+            w[j] -= lr * g[j] / (std::sqrt(s[j]) + eps);
+          }
+        });
   }
 }
 
@@ -139,11 +160,15 @@ void Adam::apply(const std::vector<Tensor*>& params,
     const float* g = grads[i]->data();
     float* m = m_[i].data();
     float* v = v_[i].data();
-    for (std::size_t j = 0; j < params[i]->numel(); ++j) {
-      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
-      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
-      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps);
-    }
+    parallel::parallel_for(
+        0, params[i]->numel(), kUpdateGrain,
+        [&](std::size_t j0, std::size_t j1) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+            v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+            w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps);
+          }
+        });
   }
 }
 

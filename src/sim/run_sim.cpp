@@ -35,6 +35,13 @@ double RunSimulator::data_load_seconds(io::LoaderKind loader,
     case io::LoaderKind::kDask:
       base = profile_->load_dask(machine_->kind).total();
       break;
+    case io::LoaderKind::kParallel:
+      // The machine model was calibrated on the paper's three loaders;
+      // the threaded reader shares the chunked reader's I/O pattern, so
+      // the sim treats it as chunked (intra-node threading is below the
+      // model's per-rank resolution).
+      base = mc.load_chunked.total();
+      break;
   }
   const bool chunked_like = loader != io::LoaderKind::kOriginal;
   return base * machine_->io_contention(ranks, chunked_like);

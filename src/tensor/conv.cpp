@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace candle {
 namespace {
@@ -48,15 +49,17 @@ void im2col(const Tensor& x, std::size_t kernel, std::size_t stride,
   const float* px = x.data();
   float* pc = cols.data();
   // Channels-last makes each window a contiguous K*Cin slice of the input,
-  // so the expansion is a strided copy.
-  for (std::size_t bi = 0; bi < b; ++bi) {
-    const float* xb = px + bi * L * cin;
-    float* cb = pc + bi * lout * row_w;
-    for (std::size_t t = 0; t < lout; ++t) {
-      const float* src = xb + t * stride * cin;
-      std::copy(src, src + row_w, cb + t * row_w);
+  // so the expansion is a strided copy. Output rows are disjoint, so the
+  // flattened (batch, step) axis parallelizes directly.
+  parallel::parallel_for(0, b * lout, 64, [&](std::size_t r0,
+                                              std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t bi = r / lout;
+      const std::size_t t = r % lout;
+      const float* src = px + bi * L * cin + t * stride * cin;
+      std::copy(src, src + row_w, pc + r * row_w);
     }
-  }
+  });
 }
 
 void col2im(const Tensor& cols, std::size_t kernel, std::size_t stride,
@@ -71,15 +74,21 @@ void col2im(const Tensor& cols, std::size_t kernel, std::size_t stride,
   dx.zero();
   const float* pc = cols.data();
   float* pdx = dx.data();
-  for (std::size_t bi = 0; bi < b; ++bi) {
-    const float* cb = pc + bi * lout * row_w;
-    float* dxb = pdx + bi * L * cin;
-    for (std::size_t t = 0; t < lout; ++t) {
-      const float* src = cb + t * row_w;
-      float* dst = dxb + t * stride * cin;
-      for (std::size_t i = 0; i < row_w; ++i) dst[i] += src[i];
+  // Overlapping windows scatter-add into the same dx elements within one
+  // batch element, so the batch axis is the only safely disjoint split;
+  // the serial in-order t loop per element keeps the fp sums identical to
+  // the serial schedule.
+  parallel::parallel_for(0, b, 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t bi = b0; bi < b1; ++bi) {
+      const float* cb = pc + bi * lout * row_w;
+      float* dxb = pdx + bi * L * cin;
+      for (std::size_t t = 0; t < lout; ++t) {
+        const float* src = cb + t * row_w;
+        float* dst = dxb + t * stride * cin;
+        for (std::size_t i = 0; i < row_w; ++i) dst[i] += src[i];
+      }
     }
-  }
+  });
 }
 
 void conv1d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,

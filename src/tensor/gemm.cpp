@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "tensor/pack.h"
 
 namespace candle {
 namespace {
+
+// An NR-wide packed B panel spans kGemmNR * kc floats, so with NR*4 bytes
+// an exact multiple of the cache line every panel a worker consumes starts
+// on its own line (no false sharing between adjacent tile columns).
+static_assert(kGemmNR * sizeof(float) % kCacheLineBytes == 0,
+              "packed B panels must start cache-line aligned");
 
 // MR×NR register-tile microkernel over packed panels. `a` holds kc steps
 // of MR values (panel-major), `b` holds kc steps of NR values; `acc` is
@@ -156,36 +164,63 @@ void gemm_raw(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
 
   // Packing buffers persist across calls (training loops call gemm once per
   // layer per step); thread_local keeps concurrent rank threads independent.
-  thread_local std::vector<float> pack_buf_a;
-  thread_local std::vector<float> pack_buf_b;
+  // Aligned so panel starts sit on cache-line boundaries for the pool
+  // workers that share them read-only.
+  thread_local AlignedVector pack_buf_a;
+  thread_local AlignedVector pack_buf_b;
   pack_buf_a.resize(kGemmMC * kGemmKC);
   pack_buf_b.resize(kGemmKC * kGemmNC);
+  // Raw pointers for the parallel regions below: the lambdas run on pool
+  // workers, whose own thread_local buffers are distinct (and empty) — they
+  // must address the calling thread's packing storage.
+  float* const pack_a_buf = pack_buf_a.data();
+  float* const pack_b_buf = pack_buf_b.data();
 
   for (std::size_t jc = 0; jc < n; jc += kGemmNC) {
     const std::size_t nc = std::min(kGemmNC, n - jc);
+    // NR-wide tile columns of this NC panel; both the B pack and the
+    // macro-kernel are parallelized over this axis, so every worker packs
+    // exactly the sub-panels it later consumes and all workers share the
+    // one packed block (GotoBLAS-style shared-B parallelization). Results
+    // are bit-identical to the serial schedule for any thread count: tile
+    // boundaries, per-tile accumulation order, and the store are unchanged
+    // — only which thread owns a tile column varies.
+    const std::size_t jr_tiles = (nc + kGemmNR - 1) / kGemmNR;
     for (std::size_t pc = 0; pc < k; pc += kGemmKC) {
       const std::size_t kc = std::min(kGemmKC, k - pc);
       const bool first = pc == 0;
       const bool last = pc + kc == k;
-      detail::pack_b(b + pc * rs_b + jc * cs_b, rs_b, cs_b, kc, nc, kGemmNR,
-                     pack_buf_b.data());
+      const float* bblock = b + pc * rs_b + jc * cs_b;
+      parallel::parallel_for(0, jr_tiles, 1, [&](std::size_t t0,
+                                                 std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t jr = t * kGemmNR;
+          detail::pack_b(bblock + jr * cs_b, rs_b, cs_b, kc,
+                         std::min(kGemmNR, nc - jr), kGemmNR,
+                         pack_b_buf + jr * kc);
+        }
+      });
       for (std::size_t ic = 0; ic < m; ic += kGemmMC) {
         const std::size_t mc = std::min(kGemmMC, m - ic);
         detail::pack_a(a + ic * rs_a + pc * cs_a, rs_a, cs_a, mc, kc,
-                       kGemmMR, pack_buf_a.data());
-        for (std::size_t jr = 0; jr < nc; jr += kGemmNR) {
-          const std::size_t nr = std::min(kGemmNR, nc - jr);
-          const float* bpanel = pack_buf_b.data() + jr * kc;
-          const float* bias =
-              ep.bias != nullptr ? ep.bias + jc + jr : nullptr;
-          for (std::size_t ir = 0; ir < mc; ir += kGemmMR) {
-            const std::size_t mr = std::min(kGemmMR, mc - ir);
-            float acc[kGemmMR * kGemmNR]{};
-            micro_kernel(kc, pack_buf_a.data() + ir * kc, bpanel, acc);
-            store_tile(c + (ic + ir) * n + jc + jr, n, mr, nr, acc,
-                       first && !ep.accumulate, last, ep.op, bias);
+                       kGemmMR, pack_a_buf);
+        parallel::parallel_for(0, jr_tiles, 1, [&](std::size_t t0,
+                                                   std::size_t t1) {
+          for (std::size_t t = t0; t < t1; ++t) {
+            const std::size_t jr = t * kGemmNR;
+            const std::size_t nr = std::min(kGemmNR, nc - jr);
+            const float* bpanel = pack_b_buf + jr * kc;
+            const float* bias =
+                ep.bias != nullptr ? ep.bias + jc + jr : nullptr;
+            for (std::size_t ir = 0; ir < mc; ir += kGemmMR) {
+              const std::size_t mr = std::min(kGemmMR, mc - ir);
+              alignas(kCacheLineBytes) float acc[kGemmMR * kGemmNR]{};
+              micro_kernel(kc, pack_a_buf + ir * kc, bpanel, acc);
+              store_tile(c + (ic + ir) * n + jc + jr, n, mr, nr, acc,
+                         first && !ep.accumulate, last, ep.op, bias);
+            }
           }
-        }
+        });
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace candle {
 namespace {
@@ -12,6 +13,10 @@ void check_rank2(const Tensor& t, const char* op) {
   require(t.rank() == 2, std::string(op) + ": operand must be rank-2, got " +
                              shape_to_string(t.shape()));
 }
+
+// Elementwise kernels are memory-bound; small splits cost more in pool
+// dispatch than they save, so chunks carry at least this many elements.
+constexpr std::size_t kElemwiseGrain = 8192;
 
 }  // namespace
 
@@ -74,7 +79,12 @@ void axpy(float alpha, const Tensor& x, Tensor& y) {
 }
 
 void relu_inplace(Tensor& x) {
-  for (float& v : x.values()) v = v > 0.0f ? v : 0.0f;
+  float* p = x.data();
+  parallel::parallel_for(0, x.numel(), kElemwiseGrain,
+                         [p](std::size_t i0, std::size_t i1) {
+                           for (std::size_t i = i0; i < i1; ++i)
+                             p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+                         });
 }
 
 Tensor relu(const Tensor& x) {
@@ -94,7 +104,12 @@ Tensor relu_backward(const Tensor& dy, const Tensor& y) {
 }
 
 void sigmoid_inplace(Tensor& x) {
-  for (float& v : x.values()) v = 1.0f / (1.0f + std::exp(-v));
+  float* p = x.data();
+  parallel::parallel_for(0, x.numel(), kElemwiseGrain,
+                         [p](std::size_t i0, std::size_t i1) {
+                           for (std::size_t i = i0; i < i1; ++i)
+                             p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+                         });
 }
 
 Tensor sigmoid(const Tensor& x) {
@@ -114,7 +129,12 @@ Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
 }
 
 void tanh_inplace(Tensor& x) {
-  for (float& v : x.values()) v = std::tanh(v);
+  float* p = x.data();
+  parallel::parallel_for(0, x.numel(), kElemwiseGrain,
+                         [p](std::size_t i0, std::size_t i1) {
+                           for (std::size_t i = i0; i < i1; ++i)
+                             p[i] = std::tanh(p[i]);
+                         });
 }
 
 Tensor tanh_act(const Tensor& x) {
@@ -138,17 +158,21 @@ void softmax_rows_inplace(Tensor& x) {
   require(n > 0, "softmax_rows: zero-width rows");
   const std::size_t m = x.numel() / n;
   float* p = x.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* row = p + i * n;
-    const float mx = *std::max_element(row, row + n);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      sum += row[j];
+  // Rows are independent and each row's max/sum runs in serial index
+  // order, so the threaded result is bit-identical to the serial one.
+  parallel::parallel_for(0, m, 1, [p, n](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* row = p + i * n;
+      const float mx = *std::max_element(row, row + n);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
-  }
+  });
 }
 
 Tensor softmax_rows(const Tensor& x) {

@@ -29,8 +29,8 @@ Tensor::Tensor(Shape shape)
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+Tensor::Tensor(Shape shape, const std::vector<float>& values)
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   require(data_.size() == shape_numel(shape_),
           "Tensor: value count " + std::to_string(data_.size()) +
               " does not match shape " + shape_to_string(shape_));

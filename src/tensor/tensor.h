@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 
 namespace candle {
@@ -36,8 +37,10 @@ class Tensor {
   /// Tensor of the given shape with every element set to `fill`.
   Tensor(Shape shape, float fill);
 
-  /// Tensor adopting `values` (size must match the shape).
-  Tensor(Shape shape, std::vector<float> values);
+  /// Tensor copying `values` into aligned storage (size must match the
+  /// shape). The copy is deliberate: element data always lives in the
+  /// 64-byte aligned backing buffer (see common/aligned.h).
+  Tensor(Shape shape, const std::vector<float>& values);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -96,8 +99,10 @@ class Tensor {
   [[nodiscard]] float sq_norm() const;
 
  private:
+  // Cache-line aligned so the AVX2 microkernel gets aligned loads and
+  // per-tensor pool workers never share a line across allocations.
   Shape shape_{0};
-  std::vector<float> data_;
+  AlignedVector data_;
 };
 
 /// Throws InvalidArgument unless both shapes are identical.

@@ -10,6 +10,10 @@ Enforces the conventions clang-tidy does not cover:
   * include hygiene: in-repo headers are included with quotes and a
     src/-relative path, system headers with angle brackets; a .cpp's first
     include is its own header (self-contained-header check)
+  * no raw std::thread / std::jthread outside the sanctioned spawn sites
+    (common/parallel.cpp owns intra-node workers; comm/ and hvd/ own the
+    rank-per-thread harness; tests may spawn threads to exercise them) —
+    everything else must go through candle::parallel
   * no tabs, no trailing whitespace, LF line endings, newline at EOF
 
 Usage:
@@ -84,6 +88,17 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 # Deleted special members: `MutexLock(const MutexLock&) = delete;` must not
 # trip the naked-delete check.
 DELETED_MEMBER_RE = re.compile(r"=\s*delete")
+# Raw thread spawns: all intra-node parallelism goes through the shared
+# candle::parallel pool. `std::thread::hardware_concurrency()` is a static
+# query, not a spawn, and stays allowed everywhere.
+RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)")
+# Relative path prefixes where constructing std::thread is sanctioned.
+THREAD_SPAWN_ALLOWED = (
+    "src/common/parallel.cpp",  # the pool itself
+    "src/comm/",                # rank-per-thread communicator harness
+    "src/hvd/",                 # distributed-training harness
+    "tests/",                   # concurrency stress tests
+)
 
 
 class Linter:
@@ -129,9 +144,19 @@ class Linter:
             if (NAKED_DELETE_RE.search(code)
                     and not DELETED_MEMBER_RE.search(code)):
                 self.report(path, i, "naked-delete", "naked `delete`")
+            if RAW_THREAD_RE.search(code) and not self.thread_allowed(path):
+                self.report(path, i, "raw-thread",
+                            "raw std::thread spawn (use candle::parallel)")
             # The include check reads the raw line: the stripper blanks
             # string-literal contents, which is exactly the include target.
             self.lint_include(path, i, line)
+
+    def thread_allowed(self, path: Path) -> bool:
+        try:
+            rel = path.relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            return True  # out-of-repo file lists (CI changed-files mode)
+        return rel.startswith(THREAD_SPAWN_ALLOWED)
 
     def lint_header(self, path: Path, lines: list[str]) -> None:
         if not any(line.strip() == "#pragma once" for line in lines):
