@@ -6,6 +6,7 @@
 // runs with ring-allreduce gradient averaging and linear lr scaling.
 //
 //   ./quickstart [--ranks N] [--epochs E] [--loader original|chunked|dask]
+//                [--overlap 0|1]
 #include <cstdio>
 
 #include "candle/runner.h"
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   cli.flag("ranks", "number of Horovod ranks (simulated GPUs)", "4")
       .flag("epochs", "total epochs split across ranks", "96")
       .flag("loader", "original | chunked | dask", "chunked")
-      .flag("scale", "dataset scale factor", "0.002");
+      .flag("scale", "dataset scale factor", "0.002")
+      .flag("overlap", "overlap allreduce with backward (bit-identical)",
+            "0");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -31,10 +34,12 @@ int main(int argc, char** argv) {
   config.loader = loader == "original" ? io::LoaderKind::kOriginal
                   : loader == "dask"   ? io::LoaderKind::kDask
                                        : io::LoaderKind::kChunked;
+  config.fusion.overlap = cli.get_int("overlap") != 0;
 
-  std::printf("NT3 quickstart: %zu ranks, %zu total epochs, loader=%s\n",
+  std::printf("NT3 quickstart: %zu ranks, %zu total epochs, loader=%s%s\n",
               config.ranks, config.total_epochs,
-              io::loader_name(config.loader).c_str());
+              io::loader_name(config.loader).c_str(),
+              config.fusion.overlap ? ", overlapped allreduce" : "");
 
   const RealRunResult result = run_real(config);
 

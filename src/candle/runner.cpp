@@ -179,9 +179,14 @@ RealRunResult run_real(const RealRunConfig& config) {
             nn::make_optimizer(benchmark_optimizer(config.benchmark), lr);
         auto distributed = std::make_unique<hvd::DistributedOptimizer>(
             std::move(inner), ctx, config.fusion);
+        hvd::DistributedOptimizer* dist = distributed.get();
         model.compile({geometry.features}, std::move(distributed),
                       nn::make_loss(benchmark_loss(config.benchmark)),
                       config.seed + ctx.rank());
+        // Overlap knob: reduce gradient buckets on a per-rank comm thread
+        // during backward instead of a synchronous sweep after it.
+        // Bit-identical either way (see hvd/bucket_scheduler.h).
+        if (config.fusion.overlap) dist->enable_overlap(model);
 
         // Restart support: rank 0 restores the checkpoint; the broadcast
         // below distributes the restored weights to every rank.

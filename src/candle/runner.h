@@ -42,6 +42,9 @@ struct RealRunConfig {
   std::string workdir = "/tmp";     // where the synthetic CSVs are written
   bool scale_lr = true;             // linear lr scaling (§2.3.2)
   bool record_timeline = false;
+  // fusion.overlap = true reduces gradient buckets on a per-rank comm
+  // thread during backward (PyTorch-DDP/Horovod-style overlap) instead of
+  // a synchronous sweep after it; results are bit-identical either way.
   hvd::FusionOptions fusion;
   std::uint64_t seed = 7;
 

@@ -63,7 +63,9 @@ World::World(std::size_t size, WorldOptions options)
       barrier_(static_cast<std::ptrdiff_t>(size)),
       bufs_(size, nullptr),
       const_bufs_(size, nullptr),
-      counts_(size, 0) {
+      counts_(size, 0),
+      seqs_(size, 0),
+      ops_(size, nullptr) {
   require(size > 0, "World: size must be > 0");
   require(options.ranks_per_node > 0, "World: ranks_per_node must be > 0");
 }
@@ -72,18 +74,23 @@ World::~World() = default;
 
 void World::do_barrier() { barrier_.arrive_and_wait(); }
 
-void World::register_buffer(std::size_t rank, float* data,
-                            std::size_t count) {
+void World::register_buffer(std::size_t rank, float* data, std::size_t count,
+                            std::uint64_t seq, const char* op) {
   MutexLock lock(reg_mutex_);
   bufs_[rank] = data;
   counts_[rank] = count;
+  seqs_[rank] = seq;
+  ops_[rank] = op;
 }
 
 void World::register_const_buffer(std::size_t rank, const float* data,
-                                  std::size_t count) {
+                                  std::size_t count, std::uint64_t seq,
+                                  const char* op) {
   MutexLock lock(reg_mutex_);
   const_bufs_[rank] = data;
   counts_[rank] = count;
+  seqs_[rank] = seq;
+  ops_[rank] = op;
 }
 
 float* World::peer_buffer(std::size_t rank) const {
@@ -101,19 +108,30 @@ std::size_t World::peer_count(std::size_t rank) const {
   return counts_[rank];
 }
 
-void World::check_uniform_count(std::size_t count, const char* op) const {
+void World::check_rendezvous(std::size_t count, std::uint64_t seq,
+                             const char* op) const {
   MutexLock lock(reg_mutex_);
-  for (std::size_t r = 0; r < size_; ++r)
+  for (std::size_t r = 0; r < size_; ++r) {
+    if (seqs_[r] != seq || ops_[r] == nullptr ||
+        std::strcmp(ops_[r], op) != 0)
+      throw CommError(std::string(op) +
+                      ": ranks issued different collective sequences "
+                      "(rank registered " +
+                      (ops_[r] != nullptr ? ops_[r] : "<none>") + " #" +
+                      std::to_string(seqs_[r]) + ", expected " + op + " #" +
+                      std::to_string(seq) + ")");
     if (counts_[r] != count)
       throw CommError(std::string(op) +
                       ": ranks passed different element counts");
+  }
 }
 
 void World::allreduce(Communicator& self, std::span<float> data,
                       bool average) {
-  register_buffer(self.rank_, data.data(), data.size());
+  const std::uint64_t seq = ++self.seq_;
+  register_buffer(self.rank_, data.data(), data.size(), seq, "allreduce");
   do_barrier();
-  check_uniform_count(data.size(), "allreduce");
+  check_rendezvous(data.size(), seq, "allreduce");
   if (size_ > 1) {
     switch (options_.allreduce_algo) {
       case AllreduceAlgo::kRing: allreduce_ring(self, data); break;
@@ -248,9 +266,10 @@ void World::allreduce_hierarchical(Communicator& self,
 
 void World::do_broadcast(Communicator& self, std::span<float> data,
                          std::size_t root) {
-  register_buffer(self.rank_, data.data(), data.size());
+  const std::uint64_t seq = ++self.seq_;
+  register_buffer(self.rank_, data.data(), data.size(), seq, "broadcast");
   do_barrier();
-  check_uniform_count(data.size(), "broadcast");
+  check_rendezvous(data.size(), seq, "broadcast");
   const std::size_t P = size_;
   const std::size_t rel = (self.rank_ + P - root % P) % P;
   // Binomial tree: in round k, ranks [2^k, 2^(k+1)) (relative to root) pull
@@ -269,9 +288,10 @@ void World::do_broadcast(Communicator& self, std::span<float> data,
 
 void World::do_reduce_to(Communicator& self, std::span<float> data,
                          std::size_t root) {
-  register_buffer(self.rank_, data.data(), data.size());
+  const std::uint64_t seq = ++self.seq_;
+  register_buffer(self.rank_, data.data(), data.size(), seq, "reduce_sum_to");
   do_barrier();
-  check_uniform_count(data.size(), "reduce_sum_to");
+  check_rendezvous(data.size(), seq, "reduce_sum_to");
   if (self.rank_ == root) {
     for (std::size_t peer = 0; peer < size_; ++peer) {
       if (peer == root) continue;
@@ -286,10 +306,11 @@ void World::do_reduce_to(Communicator& self, std::span<float> data,
 void World::do_allgather(Communicator& self,
                          std::span<const float> contribution,
                          std::vector<float>& gathered) {
-  register_const_buffer(self.rank_, contribution.data(),
-                        contribution.size());
+  const std::uint64_t seq = ++self.seq_;
+  register_const_buffer(self.rank_, contribution.data(), contribution.size(),
+                        seq, "allgather");
   do_barrier();
-  check_uniform_count(contribution.size(), "allgather");
+  check_rendezvous(contribution.size(), seq, "allgather");
   gathered.resize(size_ * contribution.size());
   for (std::size_t peer = 0; peer < size_; ++peer) {
     if (peer_count(peer) == 0) continue;

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <barrier>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -85,6 +86,13 @@ class Communicator {
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
+  /// Number of collectives this rank has issued. The rendezvous cross-checks
+  /// it (together with the op name) across ranks at registration, so a rank
+  /// that skips, reorders, or interleaves collectives — e.g. an overlap
+  /// scheduler letting a bucket leak across a step boundary — fails fast
+  /// with CommError instead of silently reducing mismatched buffers.
+  [[nodiscard]] std::uint64_t collective_seq() const { return seq_; }
+
  private:
   friend class World;
   Communicator(World& world, std::size_t rank)
@@ -93,6 +101,10 @@ class Communicator {
   World* world_;
   std::size_t rank_;
   CommStats stats_;
+  /// Bumped at the start of every collective. Per-rank collectives are
+  /// serialized (one issuing thread at a time — the rank thread, or its
+  /// overlap comm thread while the rank thread is quiesced), so no atomics.
+  std::uint64_t seq_ = 0;
 };
 
 /// World configuration.
@@ -141,12 +153,15 @@ class World {
   void do_allgather(Communicator& self, std::span<const float> contribution,
                     std::vector<float>& gathered);
 
-  /// Registers `rank`'s buffer for the collective that is about to start.
+  /// Registers `rank`'s buffer for the collective that is about to start,
+  /// tagged with the rank's collective sequence number and the op name.
   /// Must be followed by a barrier before any peer reads it.
-  void register_buffer(std::size_t rank, float* data, std::size_t count)
+  void register_buffer(std::size_t rank, float* data, std::size_t count,
+                       std::uint64_t seq, const char* op)
       CANDLE_EXCLUDES(reg_mutex_);
   void register_const_buffer(std::size_t rank, const float* data,
-                             std::size_t count) CANDLE_EXCLUDES(reg_mutex_);
+                             std::size_t count, std::uint64_t seq,
+                             const char* op) CANDLE_EXCLUDES(reg_mutex_);
 
   /// Pointer `rank` registered for the current collective. The returned
   /// payload may only be dereferenced in barrier phases where `rank` is not
@@ -158,9 +173,14 @@ class World {
   [[nodiscard]] std::size_t peer_count(std::size_t rank) const
       CANDLE_EXCLUDES(reg_mutex_);
 
-  /// Throws CommError unless every rank registered `count` elements.
-  void check_uniform_count(std::size_t count, const char* op) const
-      CANDLE_EXCLUDES(reg_mutex_);
+  /// Throws CommError unless every rank registered `count` elements for
+  /// the same op at the same collective sequence number. The sequence/op
+  /// check is what makes per-bucket collectives from an overlap comm thread
+  /// safe to reason about: any divergence in the global collective order
+  /// across ranks (or a bucket interleaving across steps) is reported as an
+  /// error at the rendezvous instead of corrupting a reduction.
+  void check_rendezvous(std::size_t count, std::uint64_t seq,
+                        const char* op) const CANDLE_EXCLUDES(reg_mutex_);
 
   std::size_t size_;
   WorldOptions options_;
@@ -169,6 +189,8 @@ class World {
   std::vector<float*> bufs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<const float*> const_bufs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<std::size_t> counts_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<std::uint64_t> seqs_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<const char*> ops_ CANDLE_GUARDED_BY(reg_mutex_);
 };
 
 }  // namespace candle::comm

@@ -1,0 +1,152 @@
+#include "hvd/bucket_scheduler.h"
+
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace candle::hvd {
+
+BucketScheduler::BucketScheduler(Context& ctx, const FusionOptions& options,
+                                 FusionBuffer& buffer)
+    : ctx_(&ctx),
+      options_(options),
+      buffer_(&buffer),
+      thread_([this] { comm_main(); }) {}
+
+BucketScheduler::~BucketScheduler() {
+  {
+    MutexLock lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BucketScheduler::bind(const std::vector<Tensor*>& grads) {
+  {
+    MutexLock lock(mutex_);
+    require(!armed_, "BucketScheduler::bind: a step is in flight");
+  }
+  std::vector<std::size_t> numels;
+  numels.reserve(grads.size());
+  for (const Tensor* t : grads) {
+    require(t != nullptr, "BucketScheduler::bind: null gradient tensor");
+    numels.push_back(t->numel());
+  }
+  grads_ = grads;
+  buckets_ = assign_buckets(numels, options_.threshold_bytes);
+  bucket_of_.assign(grads_.size(), 0);
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    for (std::size_t t : buckets_[b].tensors) bucket_of_[t] = b;
+}
+
+void BucketScheduler::mark_ready(std::size_t first, std::size_t count) {
+  if (count == 0) return;
+  require(first + count <= grads_.size(),
+          "BucketScheduler::mark_ready: gradient span out of range");
+  MutexLock lock(mutex_);
+  if (!armed_) {
+    require(!buckets_.empty(),
+            "BucketScheduler::mark_ready: no gradients bound");
+    armed_ = true;
+    armed_at_ = ctx_->now();
+    processed_ = 0;
+    step_stats_ = {};
+    error_ = nullptr;
+    remaining_.resize(buckets_.size());
+    for (std::size_t b = 0; b < buckets_.size(); ++b)
+      remaining_[b] = buckets_[b].tensors.size();
+    complete_.assign(buckets_.size(), 0);
+  }
+  bool notify = false;
+  for (std::size_t t = first; t < first + count; ++t) {
+    const std::size_t b = bucket_of_[t];
+    require(remaining_[b] > 0,
+            "BucketScheduler::mark_ready: gradient marked ready twice");
+    if (--remaining_[b] == 0) {
+      complete_[b] = 1;
+      notify = true;
+    }
+  }
+  if (notify) ready_cv_.notify_all();
+}
+
+bool BucketScheduler::armed() const {
+  MutexLock lock(mutex_);
+  return armed_;
+}
+
+FusionStats BucketScheduler::drain() {
+  MutexLock lock(mutex_);
+  if (!armed_) return {};
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    if (remaining_[b] != 0)
+      throw InvalidArgument(
+          "BucketScheduler::drain: bucket " + std::to_string(b) +
+          " still waits for " + std::to_string(remaining_[b]) +
+          " gradient(s) — drain called before backward finished");
+  done_cv_.wait(mutex_, [this]() CANDLE_REQUIRES(mutex_) {
+    return processed_ == buckets_.size() || error_ != nullptr;
+  });
+  armed_ = false;
+  if (error_ != nullptr) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
+  }
+  return std::exchange(step_stats_, {});
+}
+
+void BucketScheduler::comm_main() {
+  while (true) {
+    // Wait for the next bucket in descending index order (the order
+    // readiness arrives in: backward runs the layers in reverse).
+    const double idle_from = ctx_->now();
+    std::size_t next = 0;
+    double negotiate_from = idle_from;
+    {
+      MutexLock lock(mutex_);
+      ready_cv_.wait(mutex_, [this]() CANDLE_REQUIRES(mutex_) {
+        if (shutdown_) return true;
+        if (!armed_ || error_ != nullptr) return false;
+        if (processed_ >= buckets_.size()) return false;
+        return complete_[buckets_.size() - 1 - processed_] != 0;
+      });
+      if (shutdown_) return;
+      next = buckets_.size() - 1 - processed_;
+      // NEGOTIATE = waiting for the bucket's gradients: from the step's
+      // first mark_ready for the first bucket, else from the previous
+      // bucket's completion (idle between steps is not negotiation).
+      if (armed_at_ > negotiate_from) negotiate_from = armed_at_;
+    }
+    const double negotiated = ctx_->now();
+    ctx_->record(trace::kNegotiateAllreduce, "allreduce", negotiate_from,
+                 negotiated - negotiate_from);
+    ctx_->record_phase(trace::kNegotiateAllreduce,
+                       negotiated - negotiate_from);
+
+    FusionStats stats;
+    std::exception_ptr err;
+    try {
+      allreduce_bucket(*ctx_, grads_, buckets_[next], *buffer_, options_,
+                       stats);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    MutexLock lock(mutex_);
+    if (err != nullptr) {
+      error_ = err;
+      done_cv_.notify_all();
+      continue;
+    }
+    step_stats_.collectives += stats.collectives;
+    step_stats_.tensors += stats.tensors;
+    step_stats_.fused_bytes += stats.fused_bytes;
+    ++step_stats_.buckets_overlapped;
+    ++processed_;
+    if (processed_ == buckets_.size()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace candle::hvd

@@ -1,0 +1,116 @@
+// Backward-overlapped gradient communication.
+//
+// Horovod overlaps allreduce with backprop: tensors are reduced "at a given
+// moment" during the backward pass instead of in one sweep after it (paper
+// §2.2), which is what hides communication time behind compute. This module
+// reproduces that: a BucketScheduler assigns the model's gradients to fixed
+// fusion buckets (assign_buckets — a pure function of the param list, so all
+// ranks agree on the plan) and runs a per-rank background comm thread that
+// allreduce-averages each bucket as soon as its last gradient is produced by
+// Model::backward's gradient-ready hook, while backprop continues on earlier
+// layers.
+//
+// Determinism contract: the overlapped path is bit-identical to the
+// synchronous sweep. Both funnel every bucket through allreduce_bucket
+// (identical buffer layout and collective payloads), and buckets are
+// independent reductions, so *when* a bucket is reduced cannot change any
+// result — only whether its cost is hidden behind compute.
+//
+// Collective-ordering contract: backward finalizes layers in reverse order,
+// so forward-order buckets complete readiness in strictly descending index
+// order; the comm thread reduces them in exactly that order on every rank.
+// The main thread must not issue collectives on this rank's Communicator
+// between the first mark_ready() of a step and drain() returning — drain
+// before touching the communicator. Violations trip the communicator's
+// sequence/op rendezvous check (CommError) rather than corrupting data.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "hvd/fusion.h"
+
+namespace candle::hvd {
+
+/// Per-rank overlap scheduler: owns the comm thread for one rank.
+///
+/// Thread model (TSan/-Wthread-safety clean): all step state is guarded by
+/// `mutex_`; the bucket plan and gradient pointers are written by bind()
+/// only while no step is armed (comm thread parked) and read by the comm
+/// thread only between arming and drain, ordered by the mutex hand-off.
+class BucketScheduler {
+ public:
+  /// Spawns the comm thread. `ctx` and `buffer` must outlive the scheduler;
+  /// `buffer` is the rank's persistent fusion scratch (shared with the
+  /// synchronous path so overlap on/off reuses one allocation).
+  BucketScheduler(Context& ctx, const FusionOptions& options,
+                  FusionBuffer& buffer);
+
+  /// Signals shutdown and joins the comm thread. In-flight buckets of an
+  /// abandoned step (backward threw) are dropped, not reduced.
+  ~BucketScheduler();
+
+  BucketScheduler(const BucketScheduler&) = delete;
+  BucketScheduler& operator=(const BucketScheduler&) = delete;
+
+  /// Computes the bucket plan for `grads` (the model's gradient tensors in
+  /// flat parameter order) and retains the pointers. Must be called while no
+  /// step is in flight; call again after a recompile. Every rank must bind
+  /// an identically-shaped list — the plan is a pure function of the shapes.
+  void bind(const std::vector<Tensor*>& grads) CANDLE_EXCLUDES(mutex_);
+
+  /// Gradient-ready notification from Model::backward: gradients
+  /// [first, first + count) in flat order are final for this step. The first
+  /// call of a step arms it; when a bucket's last tensor arrives the comm
+  /// thread is woken to reduce it. Cheap (counter updates under the mutex).
+  void mark_ready(std::size_t first, std::size_t count)
+      CANDLE_EXCLUDES(mutex_);
+
+  /// True between the first mark_ready() of a step and drain().
+  [[nodiscard]] bool armed() const CANDLE_EXCLUDES(mutex_);
+
+  /// Waits until every bucket of the armed step has been reduced and
+  /// returns the step's FusionStats (buckets_overlapped == bucket count).
+  /// Returns zero stats when no step is armed. Throws InvalidArgument if
+  /// called before every gradient was marked ready (the step can never
+  /// complete — a deadlock turned into an error), and rethrows any
+  /// exception the comm thread hit (e.g. CommError).
+  FusionStats drain() CANDLE_EXCLUDES(mutex_);
+
+  /// Buckets in the bound plan.
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  void comm_main();
+
+  Context* ctx_;
+  FusionOptions options_;
+  FusionBuffer* buffer_;
+
+  /// Bound plan. Not lock-protected by design (cf. parallel.cpp's Pool
+  /// errors_): written by bind() only while the comm thread is parked
+  /// (nothing armed), read by the comm thread only while a step is armed;
+  /// the arm/wake mutex hand-off orders the accesses.
+  std::vector<Tensor*> grads_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::size_t> bucket_of_;  // tensor index -> bucket index
+
+  mutable AnnotatedMutex mutex_;
+  AnnotatedCondVar ready_cv_;  // main -> comm: bucket completed / shutdown
+  AnnotatedCondVar done_cv_;   // comm -> main: step finished / error
+  bool shutdown_ CANDLE_GUARDED_BY(mutex_) = false;
+  bool armed_ CANDLE_GUARDED_BY(mutex_) = false;
+  double armed_at_ CANDLE_GUARDED_BY(mutex_) = 0.0;
+  std::vector<std::size_t> remaining_ CANDLE_GUARDED_BY(mutex_);
+  std::vector<char> complete_ CANDLE_GUARDED_BY(mutex_);
+  std::size_t processed_ CANDLE_GUARDED_BY(mutex_) = 0;
+  FusionStats step_stats_ CANDLE_GUARDED_BY(mutex_);
+  std::exception_ptr error_ CANDLE_GUARDED_BY(mutex_);
+
+  std::thread thread_;  // last member: comm_main sees a fully-built object
+};
+
+}  // namespace candle::hvd

@@ -1,6 +1,8 @@
 #include "hvd/distributed_optimizer.h"
 
 #include "common/error.h"
+#include "hvd/bucket_scheduler.h"
+#include "nn/model.h"
 
 namespace candle::hvd {
 
@@ -9,6 +11,8 @@ DistributedOptimizer::DistributedOptimizer(
     : inner_(std::move(inner)), ctx_(&ctx), fusion_(fusion) {
   require(inner_ != nullptr, "DistributedOptimizer: null inner optimizer");
 }
+
+DistributedOptimizer::~DistributedOptimizer() = default;
 
 std::string DistributedOptimizer::name() const {
   return "distributed(" + inner_->name() + ")";
@@ -22,8 +26,33 @@ void DistributedOptimizer::set_learning_rate(double lr) {
   inner_->set_learning_rate(lr);
 }
 
+void DistributedOptimizer::enable_overlap(nn::Model& model) {
+  require(model.compiled(),
+          "DistributedOptimizer::enable_overlap: compile the model first");
+  if (scheduler_ == nullptr)
+    scheduler_ = std::make_unique<BucketScheduler>(*ctx_, fusion_, buffer_);
+  scheduler_->bind(model.gradients());
+  BucketScheduler* scheduler = scheduler_.get();
+  model.set_grad_ready_hook(
+      [scheduler](std::size_t first, std::size_t count) {
+        scheduler->mark_ready(first, count);
+      });
+}
+
 void DistributedOptimizer::apply(const std::vector<Tensor*>& params,
                                  const std::vector<Tensor*>& grads) {
+  if (scheduler_ != nullptr && scheduler_->armed()) {
+    // Overlapped path: the comm thread reduced the buckets during backward
+    // (per-bucket NEGOTIATE/NCCL events recorded there); wait for the tail.
+    const FusionStats step = scheduler_->drain();
+    stats_.collectives += step.collectives;
+    stats_.tensors += step.tensors;
+    stats_.fused_bytes += step.fused_bytes;
+    stats_.buckets_overlapped += step.buckets_overlapped;
+    inner_->apply(params, grads);
+    return;
+  }
+
   // Negotiation: Horovod's coordinator waits until every rank has announced
   // the tensor is ready; with synchronous batch steps this is a barrier.
   const double negotiate_start = ctx_->now();
@@ -34,12 +63,12 @@ void DistributedOptimizer::apply(const std::vector<Tensor*>& params,
   ctx_->record_phase(trace::kNegotiateAllreduce,
                      reduce_start - negotiate_start);
 
-  const FusionStats step = allreduce_average_fused(*ctx_, grads, fusion_);
+  // Per-bucket NCCL_ALLREDUCE events are recorded inside allreduce_bucket.
+  const FusionStats step =
+      allreduce_average_fused(*ctx_, grads, fusion_, &buffer_);
   stats_.collectives += step.collectives;
   stats_.tensors += step.tensors;
   stats_.fused_bytes += step.fused_bytes;
-  ctx_->record(trace::kNcclAllreduce, "allreduce", reduce_start,
-               ctx_->now() - reduce_start);
 
   inner_->apply(params, grads);
 }

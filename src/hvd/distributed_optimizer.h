@@ -12,33 +12,64 @@
 #include "hvd/fusion.h"
 #include "nn/optimizer.h"
 
+namespace candle::nn {
+class Model;
+}  // namespace candle::nn
+
 namespace candle::hvd {
 
+class BucketScheduler;
+
 /// Wraps any nn::Optimizer with gradient allreduce-averaging.
+///
+/// Two reduction paths, bit-identical by construction (both funnel through
+/// assign_buckets + allreduce_bucket on the same persistent FusionBuffer):
+///  - synchronous (default): apply() barriers, then reduces every bucket in
+///    one sweep before the inner update;
+///  - overlapped (enable_overlap): a BucketScheduler reduces each bucket on
+///    a background comm thread while backward is still running, and apply()
+///    merely drains the in-flight buckets before the inner update.
 class DistributedOptimizer final : public nn::Optimizer {
  public:
   /// `ctx` must outlive the optimizer (it is owned by the rank's run body).
   DistributedOptimizer(std::unique_ptr<nn::Optimizer> inner, Context& ctx,
                        FusionOptions fusion = {});
+  ~DistributedOptimizer() override;
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double learning_rate() const override;
   void set_learning_rate(double lr) override;
 
-  /// Negotiates, allreduce-averages `grads` in place, then applies the
-  /// wrapped optimizer. Records NEGOTIATE_ALLREDUCE / NCCL_ALLREDUCE events
-  /// when the context has a timeline.
+  /// Averages `grads` across ranks, then applies the wrapped optimizer.
+  /// Synchronous path: negotiate barrier + fused sweep (one
+  /// NEGOTIATE_ALLREDUCE event per step, one NCCL_ALLREDUCE per bucket).
+  /// Overlapped path: drains the buckets already reduced during backward
+  /// (per-bucket NEGOTIATE/NCCL events recorded by the comm thread).
   void apply(const std::vector<Tensor*>& params,
              const std::vector<Tensor*>& grads) override;
 
+  /// Switches to the overlapped path: binds `model`'s gradients to a
+  /// BucketScheduler and installs the model's gradient-ready hook. Call
+  /// after Model::compile. The model must outlive this optimizer's use, and
+  /// apply() must be called (draining the step) before any other collective
+  /// is issued on this rank — Model::train_on_batch does exactly that.
+  void enable_overlap(nn::Model& model);
+
+  [[nodiscard]] bool overlap_enabled() const { return scheduler_ != nullptr; }
+
   /// Cumulative fusion statistics over all apply() calls.
   [[nodiscard]] const FusionStats& fusion_stats() const { return stats_; }
+
+  /// The rank's persistent fusion scratch (shared by both paths).
+  [[nodiscard]] const FusionBuffer& fusion_buffer() const { return buffer_; }
 
  private:
   std::unique_ptr<nn::Optimizer> inner_;
   Context* ctx_;
   FusionOptions fusion_;
   FusionStats stats_;
+  FusionBuffer buffer_;
+  std::unique_ptr<BucketScheduler> scheduler_;
 };
 
 }  // namespace candle::hvd

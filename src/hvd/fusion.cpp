@@ -1,87 +1,133 @@
 #include "hvd/fusion.h"
 
+#include <chrono>
 #include <cstring>
-#include <utility>
+#include <thread>
 
 #include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 
 namespace candle::hvd {
+namespace {
+
+/// Benchmark-only interconnect emulation (FusionOptions::sim_net_*).
+void simulate_network(const FusionOptions& options, std::size_t bytes) {
+  double seconds = options.sim_net_latency_s;
+  if (options.sim_net_bytes_per_s > 0.0)
+    seconds += static_cast<double>(bytes) / options.sim_net_bytes_per_s;
+  if (seconds > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+std::vector<Bucket> assign_buckets(const std::vector<std::size_t>& numels,
+                                   std::size_t threshold_bytes) {
+  std::vector<Bucket> buckets;
+  if (threshold_bytes == 0) {
+    // Fusion disabled: one in-place collective per tensor.
+    buckets.reserve(numels.size());
+    for (std::size_t i = 0; i < numels.size(); ++i)
+      buckets.push_back(Bucket{{i}, numels[i], /*in_place=*/true});
+    return buckets;
+  }
+  const std::size_t capacity = threshold_bytes / sizeof(float);
+  Bucket pending;
+  auto flush = [&] {
+    if (pending.tensors.empty()) return;
+    buckets.push_back(std::move(pending));
+    pending = Bucket{};
+  };
+  for (std::size_t i = 0; i < numels.size(); ++i) {
+    if (numels[i] > capacity) {
+      // Oversized tensor: flush the pending group, reduce it in place.
+      flush();
+      buckets.push_back(Bucket{{i}, numels[i], /*in_place=*/true});
+      continue;
+    }
+    if (pending.elems + numels[i] > capacity) flush();
+    pending.tensors.push_back(i);
+    pending.elems += numels[i];
+  }
+  flush();
+  return buckets;
+}
+
+void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
+                      const Bucket& bucket, FusionBuffer& buffer,
+                      const FusionOptions& options, FusionStats& stats) {
+  const double start = ctx.now();
+  simulate_network(options, bucket.elems * sizeof(float));
+
+  if (bucket.in_place) {
+    CANDLE_CHECK(bucket.tensors.size() == 1);
+    Tensor* t = tensors[bucket.tensors.front()];
+    ctx.comm().allreduce_average(t->values());
+    ++stats.collectives;
+    ++stats.tensors;
+    stats.fused_bytes += t->numel() * sizeof(float);
+    ctx.record(trace::kNcclAllreduce, "allreduce", start, ctx.now() - start);
+    return;
+  }
+
+  // Fusion-buffer offsets of the bucket's tensors; the pack and unpack
+  // memcpys cover disjoint spans per tensor, so both phases parallelize
+  // over the bucket (the collective itself stays on the calling thread —
+  // pool workers never touch the communicator).
+  std::vector<std::size_t> offsets(bucket.tensors.size());
+  std::size_t at = 0;
+  for (std::size_t g = 0; g < bucket.tensors.size(); ++g) {
+    offsets[g] = at;
+    at += tensors[bucket.tensors[g]]->numel();
+  }
+  CANDLE_CHECK(at == bucket.elems);
+
+  const std::span<float> payload = buffer.acquire(bucket.elems);
+  parallel::parallel_for(0, bucket.tensors.size(), 1,
+                         [&](std::size_t g0, std::size_t g1) {
+                           for (std::size_t g = g0; g < g1; ++g) {
+                             const Tensor* t = tensors[bucket.tensors[g]];
+                             std::memcpy(payload.data() + offsets[g],
+                                         t->data(),
+                                         t->numel() * sizeof(float));
+                           }
+                         });
+  ctx.comm().allreduce_average(payload);
+  ++stats.collectives;
+  stats.tensors += bucket.tensors.size();
+  stats.fused_bytes += payload.size() * sizeof(float);
+  parallel::parallel_for(
+      0, bucket.tensors.size(), 1, [&](std::size_t g0, std::size_t g1) {
+        for (std::size_t g = g0; g < g1; ++g) {
+          Tensor* t = tensors[bucket.tensors[g]];
+          // In-range for the backing allocation even when the grouping is
+          // wrong, so ASan stays silent — the logical check catches it.
+          CANDLE_CHECK(offsets[g] + t->numel() <= payload.size());
+          std::memcpy(t->data(), payload.data() + offsets[g],
+                      t->numel() * sizeof(float));
+        }
+      });
+  ctx.record(trace::kNcclAllreduce, "allreduce", start, ctx.now() - start);
+}
 
 FusionStats allreduce_average_fused(Context& ctx,
                                     const std::vector<Tensor*>& tensors,
-                                    const FusionOptions& options) {
-  FusionStats stats;
-  stats.tensors = tensors.size();
-
-  if (options.threshold_bytes == 0) {
-    // Fusion disabled: one collective per tensor.
-    for (Tensor* t : tensors) {
-      ctx.comm().allreduce_average(t->values());
-      ++stats.collectives;
-      stats.fused_bytes += t->numel() * sizeof(float);
-    }
-    return stats;
-  }
-
-  const std::size_t capacity = options.threshold_bytes / sizeof(float);
-  std::vector<float> buffer;
-  buffer.reserve(capacity);
-
-  // Tensors of the pending group with their fusion-buffer offsets; the
-  // pack and unpack memcpys cover disjoint spans per tensor, so both
-  // phases parallelize over the group (the collective itself stays on the
-  // calling rank thread — pool workers never touch the communicator).
-  std::vector<std::pair<Tensor*, std::size_t>> group;
-  std::size_t group_elems = 0;
-
-  auto flush = [&]() {
-    if (group.empty()) return;
-    buffer.resize(group_elems);
-    parallel::parallel_for(0, group.size(), 1,
-                           [&](std::size_t g0, std::size_t g1) {
-                             for (std::size_t g = g0; g < g1; ++g) {
-                               const auto& [t, offset] = group[g];
-                               std::memcpy(buffer.data() + offset, t->data(),
-                                           t->numel() * sizeof(float));
-                             }
-                           });
-    ctx.comm().allreduce_average(buffer);
-    ++stats.collectives;
-    stats.fused_bytes += buffer.size() * sizeof(float);
-    parallel::parallel_for(
-        0, group.size(), 1, [&](std::size_t g0, std::size_t g1) {
-          for (std::size_t g = g0; g < g1; ++g) {
-            const auto& [t, offset] = group[g];
-            // In-range for the backing allocation even when the grouping
-            // is wrong, so ASan stays silent — the logical check catches
-            // it.
-            CANDLE_CHECK(offset + t->numel() <= buffer.size());
-            std::memcpy(t->data(), buffer.data() + offset,
-                        t->numel() * sizeof(float));
-          }
-        });
-    group.clear();
-    group_elems = 0;
-    buffer.clear();
-  };
-
-  for (Tensor* t : tensors) {
+                                    const FusionOptions& options,
+                                    FusionBuffer* buffer) {
+  std::vector<std::size_t> numels;
+  numels.reserve(tensors.size());
+  for (const Tensor* t : tensors) {
     require(t != nullptr, "allreduce_average_fused: null tensor");
-    if (t->numel() > capacity) {
-      // Oversized tensor: flush the pending group, reduce it in place.
-      flush();
-      ctx.comm().allreduce_average(t->values());
-      ++stats.collectives;
-      stats.fused_bytes += t->numel() * sizeof(float);
-      continue;
-    }
-    if (group_elems + t->numel() > capacity) flush();
-    group.emplace_back(t, group_elems);
-    group_elems += t->numel();
+    numels.push_back(t->numel());
   }
-  flush();
+  FusionBuffer local;
+  FusionBuffer& scratch = buffer != nullptr ? *buffer : local;
+
+  FusionStats stats;
+  for (const Bucket& bucket :
+       assign_buckets(numels, options.threshold_bytes))
+    allreduce_bucket(ctx, tensors, bucket, scratch, options, stats);
   return stats;
 }
 

@@ -6,11 +6,21 @@
 // packed into a fusion buffer (64 MB by default, Horovod's
 // HOROVOD_FUSION_THRESHOLD) and reduced with one collective per buffer-full
 // instead of one per tensor.
+//
+// Bucket assignment is factored out as a pure function (assign_buckets) and
+// single-bucket reduction as a shared primitive (allreduce_bucket): both the
+// synchronous sweep below and the backward-overlapped BucketScheduler
+// (hvd/bucket_scheduler.h) are built on them, so the buffer layout, the
+// collective payloads, and the per-bucket reduction order are identical on
+// the two paths — which is what makes overlapped training bit-identical to
+// synchronous training.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "hvd/context.h"
 #include "tensor/tensor.h"
 
@@ -21,18 +31,81 @@ struct FusionOptions {
   /// Maximum fused buffer size in bytes; 0 disables fusion (one allreduce
   /// per tensor, the ablation baseline).
   std::size_t threshold_bytes = 64ull * 1024 * 1024;
+
+  /// Overlap gradient communication with backward compute: the
+  /// DistributedOptimizer schedules per-bucket allreduces on a background
+  /// comm thread as each bucket's last gradient is produced, instead of one
+  /// synchronous sweep after backward (runner/sim `--overlap` knob).
+  bool overlap = false;
+
+  /// Benchmark-only simulated network: sleeps latency + bytes/bandwidth
+  /// around every bucket collective, emulating a real interconnect on a
+  /// shared-memory host. Applied identically on the synchronous and
+  /// overlapped paths (sleeps never change FP results), so the overlap
+  /// benches compare like against like. Zero disables.
+  double sim_net_latency_s = 0.0;
+  double sim_net_bytes_per_s = 0.0;
 };
 
-/// Statistics from one fused reduction sweep.
+/// Statistics from one fused reduction sweep (or one overlapped step).
 struct FusionStats {
-  std::size_t collectives = 0;   // allreduce operations issued
-  std::size_t tensors = 0;       // tensors reduced
-  std::size_t fused_bytes = 0;   // total payload
+  std::size_t collectives = 0;         // allreduce operations issued
+  std::size_t tensors = 0;             // tensors reduced
+  std::size_t fused_bytes = 0;         // total payload
+  std::size_t buckets_overlapped = 0;  // buckets reduced on the comm thread
 };
+
+/// One fusion bucket: the tensors (indices into the caller's tensor list,
+/// ascending) reduced by a single collective.
+struct Bucket {
+  std::vector<std::size_t> tensors;
+  std::size_t elems = 0;    // total element count
+  bool in_place = false;    // single tensor reduced without packing
+                            // (oversized, or fusion disabled)
+};
+
+/// Deterministic bucket assignment: greedily packs consecutive tensors into
+/// threshold-capped buckets, giving oversized tensors (and, with threshold
+/// 0, every tensor) an in-place bucket of their own. A pure function of
+/// (numels, threshold_bytes) — no rank, world size, or timing input — so
+/// every rank of a world computes the identical plan, which the
+/// barrier-sequenced collectives require.
+std::vector<Bucket> assign_buckets(const std::vector<std::size_t>& numels,
+                                   std::size_t threshold_bytes);
+
+/// Per-rank fusion scratch buffer, persistent across steps: grows
+/// monotonically to the largest bucket ever packed and is reused for every
+/// subsequent collective instead of reallocating per call. Storage is
+/// kCacheLineBytes-aligned (AlignedVector) like all numeric buffers.
+class FusionBuffer {
+ public:
+  /// Span of `elems` floats over the persistent storage (grown if needed).
+  std::span<float> acquire(std::size_t elems) {
+    if (storage_.size() < elems) storage_.resize(elems);
+    return {storage_.data(), elems};
+  }
+
+  [[nodiscard]] std::size_t capacity_elems() const { return storage_.size(); }
+  [[nodiscard]] const float* data() const { return storage_.data(); }
+
+ private:
+  AlignedVector storage_;
+};
+
+/// Reduces one bucket: packs its tensors into `buffer` (in-place buckets
+/// skip the pack), allreduce-averages the payload, unpacks, and accumulates
+/// `stats`. Records one NCCL_ALLREDUCE timeline event per bucket when the
+/// context has a timeline. The caller provides the bucket plan; both the
+/// synchronous sweep and the overlapped comm thread funnel through here.
+void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
+                      const Bucket& bucket, FusionBuffer& buffer,
+                      const FusionOptions& options, FusionStats& stats);
 
 /// Allreduce-averages every tensor in `tensors` across ranks, packing
 /// consecutive tensors into fusion-buffer-sized groups. All ranks must call
-/// with identically-shaped tensor lists.
+/// with identically-shaped tensor lists. `buffer` is the persistent per-rank
+/// fusion scratch; when null a call-local buffer is used (tests, one-shot
+/// ablations).
 ///
 /// Thread contract: called concurrently from every rank thread with the
 /// rank's own tensors and fusion buffer; cross-rank synchronization happens
@@ -40,6 +113,7 @@ struct FusionStats {
 /// CANDLE_CHECK (logical bounds, sanitizer/debug builds).
 FusionStats allreduce_average_fused(Context& ctx,
                                     const std::vector<Tensor*>& tensors,
-                                    const FusionOptions& options = {});
+                                    const FusionOptions& options = {},
+                                    FusionBuffer* buffer = nullptr);
 
 }  // namespace candle::hvd

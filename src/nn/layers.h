@@ -42,9 +42,15 @@ class Layer {
   virtual Tensor forward(const Tensor& x, bool training) = 0;
 
   /// Backward pass; must be called after forward on the same batch.
+  /// Contract: every grads() tensor is fully finalized before backward()
+  /// returns — Model::backward fires the gradient-ready hook for this
+  /// layer right after, and the overlap scheduler may immediately start
+  /// reducing those tensors on the comm thread.
   virtual Tensor backward(const Tensor& dy) = 0;
 
-  /// Trainable parameters / matching gradient tensors (same order).
+  /// Trainable parameters / matching gradient tensors (same order). The
+  /// tensor list and shapes are fixed after build(); Model::compile caches
+  /// per-layer spans over the flattened order for gradient-ready signaling.
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }
 

@@ -35,7 +35,21 @@ void Model::compile(const Shape& input_shape,
   fit_rng_ = rng.fork(0xF17);
   Shape shape = input_shape;
   for (auto& layer : layers_) shape = layer->build(shape, rng);
+  grad_spans_.clear();
+  grad_spans_.reserve(layers_.size());
+  std::size_t grad_at = 0;
+  for (auto& layer : layers_) {
+    const std::size_t count = layer->grads().size();
+    grad_spans_.emplace_back(grad_at, count);
+    grad_at += count;
+  }
   compiled_ = true;
+}
+
+void Model::set_grad_ready_hook(GradReadyHook hook) {
+  require(compiled_ || !hook,
+          "Model::set_grad_ready_hook: compile() first");
+  grad_ready_hook_ = std::move(hook);
 }
 
 Tensor Model::forward(const Tensor& x, bool training) {
@@ -46,8 +60,14 @@ Tensor Model::forward(const Tensor& x, bool training) {
 
 void Model::backward(const Tensor& dloss) {
   Tensor g = dloss;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    g = layers_[li]->backward(g);
+    // Fire gradient-ready as soon as this layer's grads are final: with
+    // layers visited in reverse, an overlap scheduler can reduce the
+    // tail-of-model buckets while earlier layers are still backpropagating.
+    if (grad_ready_hook_ && grad_spans_[li].second > 0)
+      grad_ready_hook_(grad_spans_[li].first, grad_spans_[li].second);
+  }
 }
 
 Tensor Model::predict(const Tensor& x) {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/dataset.h"
@@ -120,6 +121,16 @@ class Model {
   [[nodiscard]] std::vector<Tensor*> parameters();
   [[nodiscard]] std::vector<Tensor*> gradients();
 
+  /// Gradient-ready notification, fired by backward() once per layer in
+  /// reverse layer order as that layer's gradients are finalized:
+  /// hook(first, count) covers gradients() indices [first, first + count).
+  /// Layers without parameters fire nothing. This is the signal the
+  /// hvd::BucketScheduler uses to overlap allreduce with backprop; the hook
+  /// must be cheap and must not throw. Pass {} to remove.
+  using GradReadyHook =
+      std::function<void(std::size_t first, std::size_t count)>;
+  void set_grad_ready_hook(GradReadyHook hook);
+
   /// Non-owning views of the layers, in forward order (used by the
   /// per-layer profiler).
   [[nodiscard]] std::vector<Layer*> layers();
@@ -142,6 +153,10 @@ class Model {
   Shape input_shape_;
   bool compiled_ = false;
   Rng fit_rng_{0xF17};
+  GradReadyHook grad_ready_hook_;
+  /// Per-layer (first, count) spans into the flat gradients() order,
+  /// computed at compile() time.
+  std::vector<std::pair<std::size_t, std::size_t>> grad_spans_;
 };
 
 }  // namespace candle::nn

@@ -144,6 +144,13 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
 
   const double step_c = step_compute_seconds(batch);
   const double step_ar = allreduce_step_seconds(plan.ranks);
+  // Overlap credit: with backward-overlapped communication, up to the
+  // backward window of each step's compute hides allreduce time; only the
+  // remainder is exposed on the critical path.
+  const double hidden =
+      plan.overlap_comm ? std::min(step_ar, kOverlapWindowFrac * step_c)
+                        : 0.0;
+  const double step_ar_exposed = step_ar - hidden;
   const double epochs = static_cast<double>(plan.epochs_per_rank);
   const double steps_d = static_cast<double>(steps);
 
@@ -156,9 +163,10 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
   ph.negotiate_broadcast = load_skew_seconds(plan.loader, plan.ranks);
   ph.broadcast_xfer = broadcast_tree_seconds(plan.ranks);
   ph.train_compute = epochs * steps_d * step_c;
-  ph.train_comm = epochs * steps_d * step_ar;
+  ph.train_comm = epochs * steps_d * step_ar_exposed;
+  ph.train_comm_hidden = epochs * steps_d * hidden;
   ph.evaluate = mc.eval_s;
-  result.time_per_epoch = steps_d * (step_c + step_ar);
+  result.time_per_epoch = steps_d * (step_c + step_ar_exposed);
 
   // --- power curve ----------------------------------------------------------
   const double p_compute = compute_power_watts(batch);
@@ -170,7 +178,7 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
   curve.append(ph.broadcast_xfer, machine_->p_comm);
   for (std::size_t e = 0; e < plan.epochs_per_rank; ++e) {
     curve.append(steps_d * step_c, p_compute);
-    curve.append(steps_d * step_ar, machine_->p_comm);
+    curve.append(steps_d * step_ar_exposed, machine_->p_comm);
   }
   curve.append(ph.evaluate, machine_->p_eval);
 
@@ -207,12 +215,18 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
       for (std::size_t e = 0; e < plan.epochs_per_rank; ++e) {
         tl->record(trace::kComputeGradients, "compute", r, t,
                    steps_d * step_c);
+        if (plan.overlap_comm && steps_d * hidden > 0.0) {
+          // Hidden comm runs concurrently with the backward tail of the
+          // compute block (the comm thread's lane in a real timeline).
+          tl->record(trace::kNcclAllreduce, "allreduce", r,
+                     t + steps_d * (step_c - hidden), steps_d * hidden);
+        }
         t += steps_d * step_c;
-        const double negotiate = 0.3 * steps_d * step_ar;
+        const double negotiate = 0.3 * steps_d * step_ar_exposed;
         tl->record(trace::kNegotiateAllreduce, "allreduce", r, t, negotiate);
         tl->record(trace::kNcclAllreduce, "allreduce", r, t + negotiate,
-                   steps_d * step_ar - negotiate);
-        t += steps_d * step_ar;
+                   steps_d * step_ar_exposed - negotiate);
+        t += steps_d * step_ar_exposed;
       }
       tl->record(trace::kEvaluation, "compute", r, t, ph.evaluate);
     }

@@ -29,6 +29,14 @@ namespace candle::sim {
 /// across ranks.
 enum class ParallelLevel { kEpoch, kBatchStep };
 
+/// Fraction of a step's compute time during which gradient communication
+/// can run concurrently when overlap is enabled (the backward-pass window:
+/// buckets become ready layer by layer, so roughly the backward half of the
+/// step can hide allreduce time behind compute). Mirrors the real runner's
+/// BucketScheduler, which reduces buckets on a comm thread while backward
+/// runs.
+inline constexpr double kOverlapWindowFrac = 0.5;
+
 /// One simulated configuration.
 struct RunPlan {
   std::size_t ranks = 1;
@@ -36,6 +44,8 @@ struct RunPlan {
   std::size_t batch_per_rank = 0;  // 0 -> benchmark default
   io::LoaderKind loader = io::LoaderKind::kOriginal;
   ParallelLevel level = ParallelLevel::kEpoch;
+  bool overlap_comm = false;       // credit comm hidden behind backward
+                                   // (the runner's fusion.overlap knob)
   bool make_timeline = false;      // emit Horovod-style events (<= 6 lanes)
   bool make_power_trace = false;   // keep the rank-0 sampled power series
 };
@@ -48,7 +58,11 @@ struct PhaseTimes {
   double negotiate_broadcast = 0.0;  // straggler wait (the paper's overhead)
   double broadcast_xfer = 0.0;       // binomial-tree data movement
   double train_compute = 0.0;
-  double train_comm = 0.0;           // allreduce (incl. per-step sync)
+  double train_comm = 0.0;           // *exposed* allreduce time (incl.
+                                     // per-step sync); with overlap the
+                                     // hidden part moves to the field below
+  double train_comm_hidden = 0.0;    // allreduce time overlapped behind
+                                     // backward compute (not in total())
   double evaluate = 0.0;
 
   [[nodiscard]] double total() const {

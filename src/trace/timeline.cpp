@@ -49,6 +49,15 @@ double Timeline::total_duration(const std::string& name,
   return total;
 }
 
+std::size_t Timeline::count_events(const std::string& name,
+                                   std::size_t rank) const {
+  MutexLock lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& e : events_)
+    if (e.rank == rank && e.name == name) ++count;
+  return count;
+}
+
 double Timeline::span_end() const {
   MutexLock lock(mutex_);
   double end = 0.0;

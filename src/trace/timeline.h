@@ -75,6 +75,13 @@ class Timeline {
                                       std::size_t rank = 0) const
       CANDLE_EXCLUDES(mutex_);
 
+  /// Number of events with the given name on one rank's lane. Tests use
+  /// this to assert per-bucket event granularity (one NEGOTIATE/NCCL
+  /// event per fusion bucket, not one blob per step).
+  [[nodiscard]] std::size_t count_events(const std::string& name,
+                                         std::size_t rank = 0) const
+      CANDLE_EXCLUDES(mutex_);
+
   /// End time of the latest event.
   [[nodiscard]] double span_end() const CANDLE_EXCLUDES(mutex_);
 

@@ -134,8 +134,12 @@ TEST(CommStress, FusedGradientExchangeWithSharedTimeline) {
       ASSERT_NEAR(r, static_cast<double>(w1[0]) * ranks, 1e-5);
     }
   });
-  // Every rank logged one negotiate event and one ledger entry per step.
-  EXPECT_EQ(timeline.size(), ranks * kRounds * 2);
+  // Every rank logged one negotiate event per step plus one NCCL event per
+  // fusion bucket (24+40 floats fill the 64-float buffer, 8 spill into a
+  // second bucket), and one ledger entry per step.
+  EXPECT_EQ(timeline.size(), ranks * kRounds * 3);
+  EXPECT_EQ(timeline.count_events(trace::kNcclAllreduce, 0),
+            static_cast<std::size_t>(kRounds) * 2);
   const auto skew = ledger.summarize(trace::kNegotiateAllreduce);
   EXPECT_EQ(skew.count, ranks * kRounds);
   EXPECT_GE(skew.skew_s(), 0.0);

@@ -1,0 +1,487 @@
+// Tests for backward-overlapped gradient communication (hvd/bucket_scheduler
+// + the Model gradient-ready hook + the DistributedOptimizer drain path):
+// deterministic bucket assignment, bit-exact overlapped-vs-synchronous
+// training on NT3/P1B1 mini-configs across rank and thread counts, drain
+// semantics, per-bucket timeline granularity, and a TSan-targeted stress
+// case in the spirit of tests/test_comm_stress.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "candle/models.h"
+#include "comm/communicator.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "hvd/broadcast.h"
+#include "hvd/bucket_scheduler.h"
+#include "hvd/context.h"
+#include "hvd/distributed_optimizer.h"
+#include "hvd/fusion.h"
+#include "nn/callbacks.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "sim/calibration.h"
+#include "sim/machine.h"
+#include "sim/run_sim.h"
+#include "trace/timeline.h"
+
+namespace candle {
+namespace {
+
+using hvd::assign_buckets;
+using hvd::Bucket;
+using hvd::BucketScheduler;
+using hvd::Context;
+using hvd::FusionBuffer;
+using hvd::FusionOptions;
+using hvd::FusionStats;
+
+/// Restores the ambient pool width when a test scope ends (the bit-exact
+/// sweep runs at several CANDLE_NUM_THREADS settings).
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n)
+      : saved_(parallel::num_threads()) {
+    parallel::set_num_threads(n);
+  }
+  ~ThreadCountGuard() { parallel::set_num_threads(saved_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Bucket assignment: pure, deterministic, identical on every rank
+// ---------------------------------------------------------------------------
+
+TEST(BucketAssign, DeterministicAcrossWorldSizes) {
+  // The plan is a pure function of (numels, threshold): every rank of any
+  // world must compute the identical plan, or the barrier-sequenced
+  // collectives would deadlock/mismatch.
+  const std::vector<std::size_t> numels{60, 60, 60, 5, 200, 1, 1, 30};
+  const std::size_t threshold = 130 * sizeof(float);
+  const std::vector<Bucket> reference = assign_buckets(numels, threshold);
+  for (std::size_t ranks : {1u, 2u, 4u}) {
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      (void)c;
+      const std::vector<Bucket> mine = assign_buckets(numels, threshold);
+      ASSERT_EQ(mine.size(), reference.size());
+      for (std::size_t b = 0; b < mine.size(); ++b) {
+        EXPECT_EQ(mine[b].tensors, reference[b].tensors);
+        EXPECT_EQ(mine[b].elems, reference[b].elems);
+        EXPECT_EQ(mine[b].in_place, reference[b].in_place);
+      }
+    });
+  }
+}
+
+TEST(BucketAssign, ReproducesSynchronousGrouping) {
+  // The exact groupings the synchronous fusion tests pin down
+  // (tests/test_hvd.cpp), now as explicit plans.
+  {
+    // Threshold 130 floats, 3 x 60 floats: {0,1} fuse, {2} spills.
+    const auto plan = assign_buckets({60, 60, 60}, 130 * sizeof(float));
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].tensors, (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(plan[0].elems, 120u);
+    EXPECT_FALSE(plan[0].in_place);
+    EXPECT_EQ(plan[1].tensors, (std::vector<std::size_t>{2}));
+  }
+  {
+    // Oversized tensor gets an in-place bucket of its own.
+    const auto plan = assign_buckets({2, 100}, 16);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_FALSE(plan[0].in_place);
+    EXPECT_TRUE(plan[1].in_place);
+    EXPECT_EQ(plan[1].tensors, (std::vector<std::size_t>{1}));
+  }
+  {
+    // Threshold 0 disables fusion: one in-place bucket per tensor.
+    const auto plan = assign_buckets({5, 5, 5}, 0);
+    ASSERT_EQ(plan.size(), 3u);
+    for (std::size_t b = 0; b < plan.size(); ++b) {
+      EXPECT_TRUE(plan[b].in_place);
+      EXPECT_EQ(plan[b].tensors, (std::vector<std::size_t>{b}));
+    }
+  }
+  {
+    // Everything fits: one bucket.
+    const auto plan = assign_buckets({100, 100, 100}, 64ull << 20);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].elems, 300u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FusionBuffer: persistent per-rank scratch
+// ---------------------------------------------------------------------------
+
+TEST(FusionBufferTest, GrowsMonotonicallyAndReusesStorage) {
+  FusionBuffer buf;
+  EXPECT_EQ(buf.capacity_elems(), 0u);
+  const float* p = buf.acquire(100).data();
+  EXPECT_EQ(buf.capacity_elems(), 100u);
+  // Smaller acquires reuse the same allocation.
+  EXPECT_EQ(buf.acquire(40).data(), p);
+  EXPECT_EQ(buf.capacity_elems(), 100u);
+  EXPECT_EQ(buf.acquire(100).data(), p);
+  buf.acquire(250);
+  EXPECT_EQ(buf.capacity_elems(), 250u);
+}
+
+TEST(FusionBufferTest, DistributedOptimizerReusesOneBufferAcrossSteps) {
+  comm::World::run(2, [](comm::Communicator& c) {
+    Context ctx(c);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 64 * sizeof(float);
+    hvd::DistributedOptimizer opt(nn::make_optimizer("sgd", 0.1), ctx,
+                                  fusion);
+    Tensor w1({40}, 1.0f), w2({24}, 1.0f), w3({10}, 1.0f);
+    Tensor g1({40}, 0.1f), g2({24}, 0.1f), g3({10}, 0.1f);
+    opt.apply({&w1, &w2, &w3}, {&g1, &g2, &g3});
+    // Largest packed bucket is {g1, g2} = 64 elems.
+    EXPECT_EQ(opt.fusion_buffer().capacity_elems(), 64u);
+    const float* p = opt.fusion_buffer().data();
+    for (int step = 0; step < 5; ++step)
+      opt.apply({&w1, &w2, &w3}, {&g1, &g2, &g3});
+    // Steps after the first reuse the same allocation — no per-call growth.
+    EXPECT_EQ(opt.fusion_buffer().capacity_elems(), 64u);
+    EXPECT_EQ(opt.fusion_buffer().data(), p);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// BucketScheduler semantics
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, ReducesBucketsMarkedInReverseOrder) {
+  const std::size_t ranks = 4;
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 16 * sizeof(float);  // one 16-float bucket each
+    FusionBuffer buffer;
+    BucketScheduler scheduler(ctx, fusion, buffer);
+
+    std::vector<Tensor> grads;
+    for (int t = 0; t < 8; ++t) grads.emplace_back(Shape{16});
+    std::vector<Tensor*> ptrs;
+    for (auto& g : grads) ptrs.push_back(&g);
+    scheduler.bind(ptrs);
+    ASSERT_EQ(scheduler.bucket_count(), 8u);
+
+    for (int step = 0; step < 3; ++step) {
+      for (std::size_t t = 0; t < grads.size(); ++t)
+        for (float& v : grads[t].values())
+          v = static_cast<float>(c.rank() + step + t);
+      EXPECT_FALSE(scheduler.armed());
+      for (std::size_t t = grads.size(); t-- > 0;)
+        scheduler.mark_ready(t, 1);
+      EXPECT_TRUE(scheduler.armed());
+      const FusionStats stats = scheduler.drain();
+      EXPECT_FALSE(scheduler.armed());
+      EXPECT_EQ(stats.collectives, 8u);
+      EXPECT_EQ(stats.tensors, 8u);
+      EXPECT_EQ(stats.buckets_overlapped, 8u);
+      // Small integers: sums and the /4 average are exact in fp32.
+      for (std::size_t t = 0; t < grads.size(); ++t) {
+        float expected = 0.0f;
+        for (std::size_t r = 0; r < ranks; ++r)
+          expected += static_cast<float>(r + static_cast<std::size_t>(step) +
+                                         t);
+        expected /= static_cast<float>(ranks);
+        for (float v : grads[t].values()) ASSERT_FLOAT_EQ(v, expected);
+      }
+    }
+  });
+}
+
+TEST(Scheduler, DrainBeforeAllGradientsReadyThrows) {
+  comm::World::run(1, [](comm::Communicator& c) {
+    Context ctx(c);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 0;  // one bucket per tensor
+    FusionBuffer buffer;
+    BucketScheduler scheduler(ctx, fusion, buffer);
+    Tensor g0({4}, 1.0f), g1({4}, 2.0f);
+    scheduler.bind({&g0, &g1});
+    // Only bucket 0 ever completes; bucket 1 (processed first in
+    // descending order) never would — drain turns the deadlock into an
+    // error instead of hanging.
+    scheduler.mark_ready(0, 1);
+    EXPECT_THROW((void)scheduler.drain(), InvalidArgument);
+  });
+}
+
+TEST(Scheduler, MarkReadyTwiceOrOutOfRangeThrows) {
+  comm::World::run(1, [](comm::Communicator& c) {
+    Context ctx(c);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 0;
+    FusionBuffer buffer;
+    BucketScheduler scheduler(ctx, fusion, buffer);
+    Tensor g({4}, 1.0f);
+    scheduler.bind({&g});
+    EXPECT_THROW(scheduler.mark_ready(1, 1), InvalidArgument);
+    scheduler.mark_ready(0, 1);
+    EXPECT_THROW(scheduler.mark_ready(0, 1), InvalidArgument);
+    (void)scheduler.drain();
+  });
+}
+
+TEST(Scheduler, TsanStressManySmallBucketsManySteps) {
+  // TSan-targeted: 4 comm threads + 4 rank threads hammer mark_ready /
+  // drain hand-offs and interleaved per-bucket collectives for 25 steps.
+  // Exact averaged values double as a lost/duplicated-bucket detector.
+  const std::size_t ranks = 4;
+  const std::size_t tensors = 32;
+  const int steps = 25;
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 16 * sizeof(float);
+    FusionBuffer buffer;
+    BucketScheduler scheduler(ctx, fusion, buffer);
+
+    std::vector<Tensor> grads;
+    for (std::size_t t = 0; t < tensors; ++t) grads.emplace_back(Shape{16});
+    std::vector<Tensor*> ptrs;
+    for (auto& g : grads) ptrs.push_back(&g);
+    scheduler.bind(ptrs);
+    ASSERT_EQ(scheduler.bucket_count(), tensors);
+
+    for (int step = 0; step < steps; ++step) {
+      for (std::size_t t = 0; t < tensors; ++t)
+        for (float& v : grads[t].values())
+          v = static_cast<float>(c.rank() * 2 + (step % 3) + t);
+      for (std::size_t t = tensors; t-- > 0;) scheduler.mark_ready(t, 1);
+      const FusionStats stats = scheduler.drain();
+      ASSERT_EQ(stats.buckets_overlapped, tensors);
+      for (std::size_t t = 0; t < tensors; ++t) {
+        float expected = 0.0f;
+        for (std::size_t r = 0; r < ranks; ++r)
+          expected += static_cast<float>(
+              r * 2 + (static_cast<std::size_t>(step) % 3) + t);
+        expected /= static_cast<float>(ranks);
+        for (float v : grads[t].values()) ASSERT_FLOAT_EQ(v, expected);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Per-bucket timeline granularity
+// ---------------------------------------------------------------------------
+
+TEST(OverlapTimeline, OneNegotiateAndNcclEventPerBucket) {
+  trace::Timeline timeline;
+  Stopwatch clock;
+  comm::World::run(2, [&](comm::Communicator& c) {
+    Context ctx(c, &timeline, &clock);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 16 * sizeof(float);
+    FusionBuffer buffer;
+    BucketScheduler scheduler(ctx, fusion, buffer);
+    std::vector<Tensor> grads;
+    for (int t = 0; t < 5; ++t) grads.emplace_back(Shape{16}, 1.0f);
+    std::vector<Tensor*> ptrs;
+    for (auto& g : grads) ptrs.push_back(&g);
+    scheduler.bind(ptrs);
+    for (std::size_t t = grads.size(); t-- > 0;) scheduler.mark_ready(t, 1);
+    (void)scheduler.drain();
+  });
+  for (std::size_t rank = 0; rank < 2; ++rank) {
+    EXPECT_EQ(timeline.count_events(trace::kNegotiateAllreduce, rank), 5u);
+    EXPECT_EQ(timeline.count_events(trace::kNcclAllreduce, rank), 5u);
+  }
+}
+
+TEST(OverlapTimeline, SynchronousPathRecordsPerBucketNcclEvents) {
+  trace::Timeline timeline;
+  Stopwatch clock;
+  comm::World::run(2, [&](comm::Communicator& c) {
+    Context ctx(c, &timeline, &clock);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 130 * sizeof(float);
+    hvd::DistributedOptimizer opt(nn::make_optimizer("sgd", 0.1), ctx,
+                                  fusion);
+    Tensor w1({60}, 1.0f), w2({60}, 1.0f), w3({60}, 1.0f);
+    Tensor g1({60}, 0.1f), g2({60}, 0.1f), g3({60}, 0.1f);
+    opt.apply({&w1, &w2, &w3}, {&g1, &g2, &g3});  // {g1,g2} + {g3}
+  });
+  for (std::size_t rank = 0; rank < 2; ++rank) {
+    // One negotiate barrier per step, one NCCL event per fusion bucket.
+    EXPECT_EQ(timeline.count_events(trace::kNegotiateAllreduce, rank), 1u);
+    EXPECT_EQ(timeline.count_events(trace::kNcclAllreduce, rank), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact overlapped vs synchronous training (the correctness bar)
+// ---------------------------------------------------------------------------
+
+struct FitOutcome {
+  std::vector<std::vector<float>> weights;  // per-rank flattened params
+  std::vector<float> losses;                // rank-0 per-epoch losses
+  FusionStats stats;                        // rank-0 optimizer stats
+  std::size_t epochs_run = 0;
+};
+
+FitOutcome run_benchmark_fit(BenchmarkId id, std::size_t ranks, bool overlap,
+                             std::size_t epochs = 2,
+                             bool early_stop = false) {
+  const ScaledGeometry geometry = scaled_geometry(id, 0.002);
+  const BenchmarkData data = make_benchmark_data(id, geometry, /*seed=*/11);
+  const std::size_t n = std::min<std::size_t>(64, data.train.size());
+  const nn::Dataset train{nn::take_rows(data.train.x, 0, n),
+                          nn::take_rows(data.train.y, 0, n)};
+  FitOutcome out;
+  out.weights.resize(ranks);
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    Context ctx(c);
+    nn::Model model = build_model(id, geometry);
+    FusionOptions fusion;
+    fusion.threshold_bytes = 4 * 1024;  // several buckets per step
+    fusion.overlap = overlap;
+    auto opt = std::make_unique<hvd::DistributedOptimizer>(
+        nn::make_optimizer(benchmark_optimizer(id), 0.01), ctx, fusion);
+    hvd::DistributedOptimizer* dist = opt.get();
+    model.compile({geometry.features}, std::move(opt),
+                  nn::make_loss(benchmark_loss(id)),
+                  /*seed=*/5 + c.rank());  // rank-distinct init
+    if (overlap) dist->enable_overlap(model);
+
+    hvd::BroadcastGlobalVariablesHook broadcast(ctx, 0);
+    nn::EarlyStopping stopping(/*patience=*/0, /*min_delta=*/1e9);
+    std::vector<nn::Callback*> callbacks{&broadcast};
+    if (early_stop) callbacks.push_back(&stopping);
+
+    nn::FitOptions fit;
+    fit.epochs = epochs;
+    fit.batch_size = 16;
+    fit.shuffle = false;  // identical batch order on every rank
+    fit.classification = benchmark_is_classification(id);
+    const nn::History history = model.fit(train, fit, callbacks);
+
+    std::vector<float> flat;
+    for (Tensor* p : model.parameters())
+      flat.insert(flat.end(), p->data(), p->data() + p->numel());
+    out.weights[c.rank()] = std::move(flat);
+    if (c.rank() == 0) {
+      for (const auto& e : history.epochs) out.losses.push_back(e.loss);
+      out.stats = dist->fusion_stats();
+      out.epochs_run = history.epochs.size();
+    }
+  });
+  return out;
+}
+
+void expect_bit_identical(const FitOutcome& a, const FitOutcome& b) {
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t r = 0; r < a.weights.size(); ++r) {
+    ASSERT_EQ(a.weights[r].size(), b.weights[r].size());
+    ASSERT_EQ(0, std::memcmp(a.weights[r].data(), b.weights[r].data(),
+                             a.weights[r].size() * sizeof(float)))
+        << "rank " << r << ": overlapped weights differ from synchronous";
+  }
+  ASSERT_EQ(a.losses.size(), b.losses.size());
+  for (std::size_t e = 0; e < a.losses.size(); ++e)
+    ASSERT_EQ(a.losses[e], b.losses[e]) << "epoch " << e;
+}
+
+TEST(OverlapEquivalence, BitExactOnMiniBenchmarksAcrossRanksAndThreads) {
+  for (BenchmarkId id : {BenchmarkId::kNT3, BenchmarkId::kP1B1}) {
+    for (std::size_t ranks : {1u, 2u, 4u}) {
+      for (std::size_t threads : {1u, 4u}) {
+        SCOPED_TRACE(std::string(benchmark_name(id)) + " ranks=" +
+                     std::to_string(ranks) + " threads=" +
+                     std::to_string(threads));
+        ThreadCountGuard guard(threads);
+        const FitOutcome sync = run_benchmark_fit(id, ranks, false);
+        const FitOutcome ovl = run_benchmark_fit(id, ranks, true);
+        expect_bit_identical(sync, ovl);
+        // FusionStats agree between the paths except for the overlap
+        // counter: every overlapped collective was a bucket reduced on
+        // the comm thread; the synchronous path overlaps none.
+        EXPECT_EQ(sync.stats.collectives, ovl.stats.collectives);
+        EXPECT_EQ(sync.stats.tensors, ovl.stats.tensors);
+        EXPECT_EQ(sync.stats.fused_bytes, ovl.stats.fused_bytes);
+        EXPECT_EQ(sync.stats.buckets_overlapped, 0u);
+        EXPECT_EQ(ovl.stats.buckets_overlapped, ovl.stats.collectives);
+        EXPECT_GT(ovl.stats.buckets_overlapped, 0u);
+      }
+    }
+  }
+}
+
+TEST(OverlapEquivalence, EarlyStopDrainsInFlightBucketsAndStaysBitExact) {
+  // EarlyStopping ends fit() between epochs; every step's in-flight buckets
+  // must have been drained by apply() before the stop decision, so the
+  // overlapped run stops at the same epoch with identical weights.
+  const FitOutcome sync = run_benchmark_fit(BenchmarkId::kP1B1, 2, false,
+                                            /*epochs=*/6,
+                                            /*early_stop=*/true);
+  const FitOutcome ovl = run_benchmark_fit(BenchmarkId::kP1B1, 2, true,
+                                           /*epochs=*/6,
+                                           /*early_stop=*/true);
+  EXPECT_LT(sync.epochs_run, 6u);  // the stop actually triggered
+  EXPECT_EQ(sync.epochs_run, ovl.epochs_run);
+  expect_bit_identical(sync, ovl);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator overlap credit
+// ---------------------------------------------------------------------------
+
+TEST(SimOverlap, CreditsHiddenCommAgainstStepTime) {
+  const sim::RunSimulator simulator(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::nt3());
+  sim::RunPlan off;
+  off.ranks = 48;
+  off.epochs_per_rank = 2;
+  sim::RunPlan on = off;
+  on.overlap_comm = true;
+  const sim::SimResult a = simulator.simulate(off);
+  const sim::SimResult b = simulator.simulate(on);
+
+  EXPECT_DOUBLE_EQ(a.phases.train_comm_hidden, 0.0);
+  EXPECT_GT(b.phases.train_comm_hidden, 0.0);
+  // Hidden + exposed == the un-overlapped comm time; compute unchanged.
+  EXPECT_NEAR(b.phases.train_comm + b.phases.train_comm_hidden,
+              a.phases.train_comm, 1e-9);
+  EXPECT_DOUBLE_EQ(a.phases.train_compute, b.phases.train_compute);
+  EXPECT_LT(b.phases.total(), a.phases.total());
+  EXPECT_LT(b.time_per_epoch, a.time_per_epoch);
+  // The credit is capped by the backward window of each step's compute.
+  const double step_c = simulator.step_compute_seconds(
+      simulator.profile().default_batch);
+  const double step_ar = simulator.allreduce_step_seconds(on.ranks);
+  const double per_step_hidden =
+      std::min(step_ar, sim::kOverlapWindowFrac * step_c);
+  const double steps =
+      static_cast<double>(a.steps_per_epoch) *
+      static_cast<double>(off.epochs_per_rank);
+  EXPECT_NEAR(b.phases.train_comm_hidden, steps * per_step_hidden, 1e-9);
+}
+
+TEST(SimOverlap, NoCreditAtOneRank) {
+  // step_ar == 0 at one rank: overlap must be a no-op.
+  const sim::RunSimulator simulator(sim::Machine::summit(),
+                                    sim::BenchmarkProfile::nt3());
+  sim::RunPlan plan;
+  plan.ranks = 1;
+  plan.overlap_comm = true;
+  const sim::SimResult r = simulator.simulate(plan);
+  EXPECT_DOUBLE_EQ(r.phases.train_comm_hidden, 0.0);
+  EXPECT_DOUBLE_EQ(r.phases.train_comm, 0.0);
+}
+
+}  // namespace
+}  // namespace candle

@@ -21,6 +21,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "hvd/fusion.h"
 #include "io/csv_reader.h"
 #include "io/synthetic.h"
 #include "nn/optimizer.h"
@@ -257,6 +258,18 @@ TEST(Alignment, TensorStorageIsCacheLineAligned) {
   EXPECT_TRUE(is_cacheline_aligned(reshaped.data()));
   static_assert(kCacheLineBytes % (4 * sizeof(float)) == 0,
                 "cache line must hold whole 128-bit vectors");
+}
+
+TEST(Alignment, FusionBufferStorageIsCacheLineAligned) {
+  // The persistent fusion scratch packs gradient buckets for the allreduce
+  // pack/unpack memcpy loops; it must share the numeric buffers' 64-byte
+  // alignment, including across monotonic growth steps.
+  hvd::FusionBuffer buffer;
+  for (std::size_t elems : {1u, 17u, 1024u, 4099u}) {
+    EXPECT_TRUE(is_cacheline_aligned(buffer.acquire(elems).data()))
+        << "elems=" << elems;
+  }
+  EXPECT_TRUE(is_cacheline_aligned(buffer.data()));
 }
 
 // ---------------------------------------------------------------------------

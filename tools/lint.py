@@ -11,9 +11,11 @@ Enforces the conventions clang-tidy does not cover:
     src/-relative path, system headers with angle brackets; a .cpp's first
     include is its own header (self-contained-header check)
   * no raw std::thread / std::jthread outside the sanctioned spawn sites
-    (common/parallel.cpp owns intra-node workers; comm/ and hvd/ own the
-    rank-per-thread harness; tests may spawn threads to exercise them) —
-    everything else must go through candle::parallel
+    (common/parallel.cpp owns intra-node workers; comm/ owns the
+    rank-per-thread harness; hvd/ owns that harness's distributed layer and
+    the per-rank BucketScheduler comm thread that overlaps allreduce with
+    backward; tests may spawn threads to exercise them) — everything else
+    must go through candle::parallel
   * no tabs, no trailing whitespace, LF line endings, newline at EOF
 
 Usage:
@@ -96,7 +98,11 @@ RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)")
 THREAD_SPAWN_ALLOWED = (
     "src/common/parallel.cpp",  # the pool itself
     "src/comm/",                # rank-per-thread communicator harness
-    "src/hvd/",                 # distributed-training harness
+    "src/hvd/",                 # distributed-training harness, incl. the
+                                # BucketScheduler's per-rank comm thread
+                                # (bucket_scheduler.cpp) — a long-lived
+                                # collective-issuing thread, deliberately
+                                # not a candle::parallel worker
     "tests/",                   # concurrency stress tests
 )
 
