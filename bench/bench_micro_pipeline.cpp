@@ -1,0 +1,82 @@
+// Micro-benchmarks (google-benchmark) of the input pipeline: one fit epoch
+// with batch staging inline on the compute thread (prefetch off) vs staged
+// on the BatchPipeline producer thread (prefetch on), across batch sizes.
+// A synthetic per-batch input latency models slow input I/O (the paper's
+// Table 3 pathology at step granularity); the producer thread hides it
+// behind compute, so the prefetched rows must come out at or below the
+// synchronous ones. Feeds the committed BENCH_pipeline.json:
+//   build/bench/bench_micro_pipeline --benchmark_filter=Pipeline
+//     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "io/synthetic.h"
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace {
+
+using namespace candle;
+
+constexpr std::size_t kRows = 1024;
+constexpr std::size_t kFeatures = 64;
+constexpr std::size_t kClasses = 4;
+/// Synthetic per-batch input latency: large against this tiny model's step
+/// compute, so exposed staging dominates the synchronous rows and the
+/// prefetched rows show the hiding.
+constexpr double kInputLatencyS = 2e-3;
+
+nn::Dataset make_data() {
+  io::ClassificationSpec spec;
+  spec.samples = kRows;
+  spec.features = kFeatures;
+  spec.classes = kClasses;
+  spec.seed = 17;
+  return io::make_classification(spec);
+}
+
+nn::Model make_model() {
+  nn::Model model;
+  model.add<nn::Dense>(32, nn::Act::kRelu);
+  model.add<nn::Dense>(kClasses, nn::Act::kSoftmax);
+  model.compile({kFeatures}, nn::make_optimizer("sgd", 0.01),
+                nn::make_loss("categorical_crossentropy"), /*seed=*/3);
+  return model;
+}
+
+/// One fit epoch per iteration; range(0) is the batch size, range(1)
+/// toggles prefetch. Wall time, not main-thread CPU time: the prefetched
+/// staging (and its simulated latency) runs on the producer thread.
+void BM_PipelineFitEpoch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const bool prefetch = state.range(1) != 0;
+  const nn::Dataset data = make_data();
+  nn::Model model = make_model();
+  nn::FitOptions fit;
+  fit.epochs = 1;
+  fit.batch_size = batch;
+  fit.prefetch = prefetch;
+  fit.sim_input_latency_s = kInputLatencyS;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.fit(data, fit));
+  }
+  const auto steps = static_cast<int64_t>(kRows / batch);
+  state.SetItemsProcessed(steps * static_cast<int64_t>(state.iterations()));
+  state.counters["steps_per_epoch"] =
+      benchmark::Counter(static_cast<double>(steps));
+}
+
+BENCHMARK(BM_PipelineFitEpoch)
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({256, 0})->Args({256, 1})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,13 +9,17 @@
 //
 // Beyond the paper, the threaded reader (read_csv_parallel) is measured in
 // the same table; --threads pins the candle::parallel pool width (0 keeps
-// the CANDLE_NUM_THREADS / hardware default).
+// the CANDLE_NUM_THREADS / hardware default). Two further columns measure
+// the binary-cache follow-on: a warm mmap cache load of the full frame, and
+// rank 0's sharded load at world size 4 — whose touched bytes are ~1/4 of
+// the payload (the per-rank I/O cut the cache enables at scale).
 //
 //   bench_table3_dataloading_summit [--scale 0.03] [--dask] [--threads N]
 #include <filesystem>
 
 #include "common/parallel.h"
 #include "harness.h"
+#include "io/binary_cache.h"
 #include "io/synthetic.h"
 
 namespace {
@@ -67,6 +71,9 @@ int main(int argc, char** argv) {
   if (with_dask) headers.push_back("dask (s)");
   headers.push_back(strprintf("parallel x%zu (s)", parallel::num_threads()));
   headers.push_back("thread speedup");
+  headers.push_back("cache (s)");
+  headers.push_back("shard 1/4 (s)");
+  headers.push_back("shard bytes/rank");
   Table t(headers);
 
   const std::string dir = cli.get("workdir") + "/candle_table3";
@@ -99,8 +106,20 @@ int main(int argc, char** argv) {
     (void)io::read_csv_parallel(path, &par);
     cells.push_back(strprintf("%.2f", par.seconds));
     cells.push_back(strprintf("%.2fx", chunk.seconds / par.seconds));
+    // Binary cache: the first cached read parses + publishes the cache
+    // (cold, not tabulated — its parse is the chunked column); then a warm
+    // full load and rank 0's 1-of-4 sharded load, both from the mmap image.
+    io::CsvReadStats cold, warm, shard;
+    (void)io::read_csv_cached(path, io::LoaderKind::kChunked, &cold);
+    (void)io::read_csv_cached(path, io::LoaderKind::kChunked, &warm);
+    (void)io::read_csv_cached_sharded(path, /*rank=*/0, /*world=*/4,
+                                      io::LoaderKind::kChunked, &shard);
+    cells.push_back(strprintf("%.3f", warm.seconds));
+    cells.push_back(strprintf("%.3f", shard.seconds));
+    cells.push_back(format_bytes(static_cast<double>(shard.bytes)));
     t.add_row(std::move(cells));
     std::filesystem::remove(path);
+    std::filesystem::remove(io::cache_path_for(path));
   }
   t.print();
   std::filesystem::remove_all(dir);

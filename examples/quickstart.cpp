@@ -6,7 +6,8 @@
 // runs with ring-allreduce gradient averaging and linear lr scaling.
 //
 //   ./quickstart [--ranks N] [--epochs E] [--loader original|chunked|dask]
-//                [--overlap 0|1]
+//                [--overlap 0|1] [--level epoch|batch] [--cache 0|1]
+//                [--prefetch 0|1]
 #include <cstdio>
 
 #include "candle/runner.h"
@@ -21,6 +22,12 @@ int main(int argc, char** argv) {
       .flag("loader", "original | chunked | dask", "chunked")
       .flag("scale", "dataset scale factor", "0.002")
       .flag("overlap", "overlap allreduce with backward (bit-identical)",
+            "0")
+      .flag("level", "parallelism level: epoch | batch (shard per rank)",
+            "epoch")
+      .flag("cache", "load CSVs through the mmap binary cache (sharded "
+            "reads under --level batch)", "0")
+      .flag("prefetch", "stage batches on a producer thread (bit-identical)",
             "0");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
@@ -35,11 +42,17 @@ int main(int argc, char** argv) {
                   : loader == "dask"   ? io::LoaderKind::kDask
                                        : io::LoaderKind::kChunked;
   config.fusion.overlap = cli.get_int("overlap") != 0;
+  config.level = cli.get("level") == "batch" ? sim::ParallelLevel::kBatchStep
+                                             : sim::ParallelLevel::kEpoch;
+  config.cached_loads = cli.get_int("cache") != 0;
+  config.prefetch = cli.get_int("prefetch") != 0;
 
-  std::printf("NT3 quickstart: %zu ranks, %zu total epochs, loader=%s%s\n",
+  std::printf("NT3 quickstart: %zu ranks, %zu total epochs, loader=%s%s%s%s\n",
               config.ranks, config.total_epochs,
               io::loader_name(config.loader).c_str(),
-              config.fusion.overlap ? ", overlapped allreduce" : "");
+              config.fusion.overlap ? ", overlapped allreduce" : "",
+              config.cached_loads ? ", cached loads" : "",
+              config.prefetch ? ", prefetched batches" : "");
 
   const RealRunResult result = run_real(config);
 

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "hvd/broadcast.h"
 #include "hvd/distributed_optimizer.h"
+#include "io/binary_cache.h"
 #include "io/csv_writer.h"
 #include "nn/callbacks.h"
 #include "nn/serialize.h"
@@ -138,13 +139,26 @@ RealRunResult run_real(const RealRunConfig& config) {
         hvd::Context ctx(communicator, timeline.get(), &clock);
 
         // --- Phase 1: data loading (real CSV parse, per rank). -----------
+        // With cached_loads the parse happens once and later ranks/runs
+        // map the binary cache; under batch-step sharding the cache read
+        // touches only this rank's rows (pre-sharded at the I/O layer).
+        const bool preshard = config.cached_loads &&
+                              config.level == sim::ParallelLevel::kBatchStep &&
+                              config.ranks > 1;
         const double load_begin = ctx.now();
         io::CsvReadStats load_stats;
         io::DataFrame train_frame =
-            io::read_csv(train_path, config.loader, &load_stats);
+            preshard ? io::read_csv_cached_sharded(train_path, ctx.rank(),
+                                                   config.ranks, config.loader,
+                                                   &load_stats)
+            : config.cached_loads
+                ? io::read_csv_cached(train_path, config.loader, &load_stats)
+                : io::read_csv(train_path, config.loader, &load_stats);
         io::CsvReadStats test_stats;
         io::DataFrame test_frame =
-            io::read_csv(test_path, config.loader, &test_stats);
+            config.cached_loads
+                ? io::read_csv_cached(test_path, config.loader, &test_stats)
+                : io::read_csv(test_path, config.loader, &test_stats);
         const double load_s = ctx.now() - load_begin;
         ctx.record(trace::kDataLoading, "io", load_begin, load_s);
 
@@ -156,7 +170,7 @@ RealRunResult run_real(const RealRunConfig& config) {
         nn::Dataset test = frame_to_dataset(std::move(test_frame),
                                             config.benchmark,
                                             geometry.classes);
-        if (config.level == sim::ParallelLevel::kBatchStep &&
+        if (!preshard && config.level == sim::ParallelLevel::kBatchStep &&
             config.ranks > 1) {
           // Batch-step-level parallelism (Fig 3): rank r trains on rows
           // r, r+P, 2P+r, ... Equal shard sizes (floor(S/P)) keep every
@@ -212,6 +226,10 @@ RealRunResult run_real(const RealRunConfig& config) {
         fit.epochs = epochs_per_rank;
         fit.batch_size = batch;
         fit.classification = benchmark_is_classification(config.benchmark);
+        fit.prefetch = config.prefetch;
+        fit.timeline = timeline.get();
+        fit.timeline_clock = &clock;
+        fit.timeline_rank = ctx.rank();
         const nn::History history = model.fit(train, fit, callbacks);
         const double train_s = ctx.now() - train_begin;
 

@@ -38,6 +38,18 @@ struct RealRunConfig {
   std::size_t batch = 0;            // 0 -> benchmark default
   BatchScaling batch_scaling = BatchScaling::kConstant;
   io::LoaderKind loader = io::LoaderKind::kChunked;
+
+  // Input pipeline (paper §4 data-loading improvements):
+  // cached_loads reads the CSVs through the mmap-able binary frame cache
+  // (first run parses and publishes the cache; later runs map it). Under
+  // batch-step sharding each rank then loads only rows r, r+P, ... of the
+  // cache — ~1/P of the payload bytes per rank — instead of parsing the
+  // full file and gathering its shard in memory.
+  bool cached_loads = false;
+  // prefetch stages each rank's batches on a background producer thread
+  // (double-buffered; bit-identical to the synchronous path — see
+  // nn/batch_pipeline.h).
+  bool prefetch = false;
   double scale = 0.002;             // dataset scale (see scaled_geometry)
   std::string workdir = "/tmp";     // where the synthetic CSVs are written
   bool scale_lr = true;             // linear lr scaling (§2.3.2)

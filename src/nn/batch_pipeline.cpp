@@ -1,0 +1,153 @@
+#include "nn/batch_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "trace/timeline.h"
+
+namespace candle::nn {
+namespace {
+
+/// Destination shape for `count` rows of `t` (dim(0) replaced).
+Shape batch_shape(const Tensor& t, std::size_t count) {
+  Shape s = t.shape();
+  s[0] = count;
+  return s;
+}
+
+}  // namespace
+
+BatchPipeline::BatchPipeline(const Dataset& data, PipelineOptions options)
+    : data_(&data), options_(options) {
+  require(options_.batch_size > 0,
+          "BatchPipeline: batch_size must be > 0");
+  require(data_->size() > 0, "BatchPipeline: empty dataset");
+  if (options_.clock == nullptr) options_.clock = &own_clock_;
+  thread_ = std::thread([this] { produce_main(); });
+}
+
+BatchPipeline::~BatchPipeline() {
+  {
+    MutexLock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  ready_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t BatchPipeline::batches_per_epoch(std::size_t n,
+                                             std::size_t batch_size,
+                                             bool drop_remainder) {
+  require(batch_size > 0, "batches_per_epoch: batch_size must be > 0");
+  const std::size_t full = n / batch_size;
+  const std::size_t tail = n % batch_size;
+  return full + ((tail > 0 && !drop_remainder) ? 1 : 0);
+}
+
+void BatchPipeline::start_epoch(std::vector<std::size_t> order) {
+  {
+    MutexLock lock(mutex_);
+    require(!epoch_active_,
+            "BatchPipeline::start_epoch: previous epoch not fully consumed");
+    // The producer is parked (it only runs inside an active epoch), so the
+    // unguarded epoch inputs are safe to replace here.
+    order_ = std::move(order);
+    require(order_.empty() || order_.size() == data_->size(),
+            "BatchPipeline::start_epoch: order must permute the dataset");
+    epoch_rows_ = data_->size();
+    total_batches_ = batches_per_epoch(epoch_rows_, options_.batch_size,
+                                       options_.drop_remainder);
+    staged_ = 0;
+    consumed_ = 0;
+    epoch_active_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+const StagedBatch* BatchPipeline::acquire() {
+  std::size_t index = 0;
+  double wait_from = 0.0;
+  {
+    MutexLock lock(mutex_);
+    require(epoch_active_, "BatchPipeline::acquire: no active epoch");
+    if (consumed_ > 0) {
+      // Recycle the slot returned by the previous acquire().
+      state_[(consumed_ - 1) % 2] = SlotState::kFree;
+      work_cv_.notify_all();
+    }
+    if (consumed_ == total_batches_) {
+      epoch_active_ = false;
+      return nullptr;
+    }
+    index = consumed_;
+    if (options_.timeline != nullptr) wait_from = options_.clock->seconds();
+    ready_cv_.wait(mutex_, [this, index]() CANDLE_REQUIRES(mutex_) {
+      return shutdown_ || state_[index % 2] == SlotState::kReady;
+    });
+    if (shutdown_) return nullptr;
+    ++consumed_;
+  }
+  if (options_.timeline != nullptr) {
+    const double now = options_.clock->seconds();
+    options_.timeline->record(trace::kPipelineStall, "io", options_.rank,
+                              wait_from, now - wait_from);
+  }
+  return &slots_[index % 2];
+}
+
+void BatchPipeline::produce_main() {
+  while (true) {
+    std::size_t index = 0;
+    {
+      MutexLock lock(mutex_);
+      work_cv_.wait(mutex_, [this]() CANDLE_REQUIRES(mutex_) {
+        return shutdown_ ||
+               (epoch_active_ && staged_ < total_batches_ &&
+                state_[staged_ % 2] == SlotState::kFree);
+      });
+      if (shutdown_) return;
+      index = staged_++;
+    }
+    const double from = options_.clock->seconds();
+    stage_batch(index);
+    if (options_.sim_input_latency_s > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.sim_input_latency_s));
+    if (options_.timeline != nullptr)
+      options_.timeline->record(trace::kPipelineProduce, "io", options_.rank,
+                                from, options_.clock->seconds() - from);
+    {
+      MutexLock lock(mutex_);
+      state_[index % 2] = SlotState::kReady;
+    }
+    ready_cv_.notify_all();
+  }
+}
+
+void BatchPipeline::stage_batch(std::size_t index) {
+  const std::size_t start = index * options_.batch_size;
+  const std::size_t count =
+      std::min(options_.batch_size, epoch_rows_ - start);
+  StagedBatch& slot = slots_[index % 2];
+  // Resize only when the batch extent changes (first batch and the partial
+  // tail) — steady-state staging reuses the slot storage, zero allocations.
+  const Shape xs = batch_shape(data_->x, count);
+  const Shape ys = batch_shape(data_->y, count);
+  if (slot.x.shape() != xs) slot.x = Tensor(xs);
+  if (slot.y.shape() != ys) slot.y = Tensor(ys);
+  if (order_.empty()) {
+    take_rows(data_->x, start, count, slot.x);
+    take_rows(data_->y, start, count, slot.y);
+  } else {
+    const std::span<const std::size_t> idx(order_.data() + start, count);
+    gather_rows(data_->x, idx, slot.x);
+    gather_rows(data_->y, idx, slot.y);
+  }
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,132 @@
+// Async double-buffered batch staging.
+//
+// The CANDLE benchmarks feed Keras from NumPy arrays, so every training step
+// pays the batch gather (shuffle indexing + row copies) on the compute
+// thread before the math starts. The paper's data-loading analysis (§4,
+// Table 3) shows input handling is a first-order cost at scale; the standard
+// fix — tf.data-style prefetching — stages batch t+1 on a background thread
+// while batch t trains. This module reproduces that: a BatchPipeline owns
+// one producer thread and two reusable batch slots; while the consumer
+// trains on one slot the producer gathers into the other, so steady-state
+// staging performs zero allocations and its cost hides behind compute.
+//
+// Determinism contract: the prefetched path is bit-identical to the
+// synchronous loop. The *consumer* draws the epoch's shuffle order (so
+// Model::fit_rng_ advances exactly as before, early stop included) and
+// hands it to start_epoch(); the producer only memcpy-gathers rows in that
+// order with the same batch boundaries. Copies carry no floating-point
+// arithmetic, so thread count and timing cannot change any trained weight.
+//
+// Thread model (TSan/-Wthread-safety clean): slot states and epoch counters
+// are guarded by `mutex_`; the slot tensors and the epoch's row order are
+// written only while the peer thread cannot touch them (a slot is staged
+// while kFree, consumed while kReady; the order is written between epochs
+// with the producer parked), ordered by the mutex hand-off — the same
+// discipline as hvd::BucketScheduler's bound plan.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
+#include "nn/dataset.h"
+
+namespace candle::trace {
+class Timeline;
+}  // namespace candle::trace
+
+namespace candle::nn {
+
+/// Options for a BatchPipeline (a subset of FitOptions plus trace wiring).
+struct PipelineOptions {
+  std::size_t batch_size = 32;
+  bool drop_remainder = false;
+  /// Synthetic per-batch input latency (benchmark knob, like
+  /// hvd::FusionOptions::sim_net_latency_s): the producer sleeps this long
+  /// while staging each batch, emulating slow input I/O that prefetching
+  /// should hide. The synchronous fit path pays the same sleep inline.
+  double sim_input_latency_s = 0.0;
+  /// When set, the producer records PIPELINE_PRODUCE per staged batch and
+  /// acquire() records PIPELINE_STALL per consumer wait, timestamped on
+  /// `clock` (the pipeline's own epoch clock when null).
+  trace::Timeline* timeline = nullptr;
+  const Stopwatch* clock = nullptr;
+  std::size_t rank = 0;  // timeline lane
+};
+
+/// One staged batch; storage is owned by the pipeline and reused.
+struct StagedBatch {
+  Tensor x;
+  Tensor y;
+};
+
+/// Producer side of the input pipeline for one Model::fit call.
+class BatchPipeline {
+ public:
+  /// Spawns the producer thread. `data` must outlive the pipeline and must
+  /// not be mutated while any epoch is active.
+  BatchPipeline(const Dataset& data, PipelineOptions options);
+
+  /// Signals shutdown and joins the producer. Safe mid-epoch: an abandoned
+  /// epoch's unstaged batches are dropped, not gathered.
+  ~BatchPipeline();
+
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  /// Batches a fit epoch visits for `n` rows (partial tail included unless
+  /// dropped) — the number of acquire() calls start_epoch() arms.
+  [[nodiscard]] static std::size_t batches_per_epoch(std::size_t n,
+                                                     std::size_t batch_size,
+                                                     bool drop_remainder);
+
+  /// Begins staging one epoch. `order` is the row visit order (the
+  /// consumer's own fit_rng_ draw); pass an empty vector for sequential
+  /// order (shuffle off). Requires the previous epoch fully consumed.
+  void start_epoch(std::vector<std::size_t> order) CANDLE_EXCLUDES(mutex_);
+
+  /// Blocks until the next batch is staged and returns it, or nullptr when
+  /// the epoch is exhausted. The pointer stays valid until the next
+  /// acquire()/start_epoch() call, which recycles the slot.
+  [[nodiscard]] const StagedBatch* acquire() CANDLE_EXCLUDES(mutex_);
+
+ private:
+  /// Slot lifecycle: kFree (producer may stage) -> kReady (consumer may
+  /// train) -> kFree again on the consumer's next acquire().
+  enum class SlotState { kFree, kReady };
+
+  void produce_main();
+  void stage_batch(std::size_t index);
+
+  const Dataset* data_;
+  PipelineOptions options_;
+  Stopwatch own_clock_;  // timeline timebase when options_.clock is null
+
+  /// Epoch inputs. Not lock-protected by design (cf. BucketScheduler's
+  /// bound plan): written by start_epoch() only while the producer is
+  /// parked, read by the producer only while the epoch is active; the
+  /// start/wake mutex hand-off orders the accesses.
+  std::vector<std::size_t> order_;
+  std::size_t epoch_rows_ = 0;
+
+  /// Double buffer. Slot i is written by the producer only while
+  /// state_[i] == kFree and read by the consumer only while kReady.
+  StagedBatch slots_[2];
+
+  mutable AnnotatedMutex mutex_;
+  AnnotatedCondVar work_cv_;   // consumer -> producer: slot freed / epoch
+  AnnotatedCondVar ready_cv_;  // producer -> consumer: slot published
+  bool shutdown_ CANDLE_GUARDED_BY(mutex_) = false;
+  bool epoch_active_ CANDLE_GUARDED_BY(mutex_) = false;
+  std::size_t total_batches_ CANDLE_GUARDED_BY(mutex_) = 0;
+  std::size_t staged_ CANDLE_GUARDED_BY(mutex_) = 0;    // claimed by producer
+  std::size_t consumed_ CANDLE_GUARDED_BY(mutex_) = 0;  // returned to consumer
+  SlotState state_[2] CANDLE_GUARDED_BY(mutex_) = {SlotState::kFree,
+                                                   SlotState::kFree};
+
+  std::thread thread_;  // last member: produce_main sees a fully-built object
+};
+
+}  // namespace candle::nn

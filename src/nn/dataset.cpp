@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace candle::nn {
 namespace {
@@ -20,25 +21,56 @@ Shape row_shape(const Tensor& t, std::size_t rows) {
   return s;
 }
 
+/// parallel_for grain so each chunk copies at least ~16 KiB of row data
+/// (tiny rows are not worth a pool dispatch per handful of memcpys).
+std::size_t copy_grain(std::size_t width) {
+  return std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, width));
+}
+
 }  // namespace
 
 Tensor take_rows(const Tensor& t, std::size_t start, std::size_t count) {
-  const std::size_t w = row_width(t);
-  require(start + count <= t.dim(0), "take_rows: range out of bounds");
   Tensor out(row_shape(t, count));
-  std::memcpy(out.data(), t.data() + start * w, count * w * sizeof(float));
+  take_rows(t, start, count, out);
   return out;
 }
 
-Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index) {
+void take_rows(const Tensor& t, std::size_t start, std::size_t count,
+               Tensor& out) {
   const std::size_t w = row_width(t);
+  require(start + count <= t.dim(0), "take_rows: range out of bounds");
+  require(out.shape() == row_shape(t, count),
+          "take_rows: destination shape mismatch");
+  const float* src = t.data() + start * w;
+  float* dst = out.data();
+  parallel::parallel_for(0, count, copy_grain(w),
+                         [&](std::size_t r0, std::size_t r1) {
+                           std::memcpy(dst + r0 * w, src + r0 * w,
+                                       (r1 - r0) * w * sizeof(float));
+                         });
+}
+
+Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index) {
   Tensor out(row_shape(t, index.size()));
-  for (std::size_t i = 0; i < index.size(); ++i) {
-    require(index[i] < t.dim(0), "gather_rows: index out of bounds");
-    std::memcpy(out.data() + i * w, t.data() + index[i] * w,
-                w * sizeof(float));
-  }
+  gather_rows(t, std::span<const std::size_t>(index), out);
   return out;
+}
+
+void gather_rows(const Tensor& t, std::span<const std::size_t> index,
+                 Tensor& out) {
+  const std::size_t w = row_width(t);
+  require(out.shape() == row_shape(t, index.size()),
+          "gather_rows: destination shape mismatch");
+  const std::size_t n = t.dim(0);
+  const float* src = t.data();
+  float* dst = out.data();
+  parallel::parallel_for(
+      0, index.size(), copy_grain(w), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          require(index[i] < n, "gather_rows: index out of bounds");
+          std::memcpy(dst + i * w, src + index[i] * w, w * sizeof(float));
+        }
+      });
 }
 
 Tensor one_hot(const std::vector<std::size_t>& labels,

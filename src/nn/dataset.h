@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +25,16 @@ Tensor take_rows(const Tensor& t, std::size_t start, std::size_t count);
 
 /// Copies the rows listed in `index` (gathers, any order, repeats allowed).
 Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index);
+
+/// Non-allocating forms: copy into the caller-provided destination, whose
+/// shape must be t's shape with dim(0) replaced by the row count. The copy
+/// is split across the candle::parallel pool (bit-identical at any width);
+/// Model::fit and the BatchPipeline reuse two such destinations across
+/// steps so steady-state batch staging performs zero allocations.
+void take_rows(const Tensor& t, std::size_t start, std::size_t count,
+               Tensor& out);
+void gather_rows(const Tensor& t, std::span<const std::size_t> index,
+                 Tensor& out);
 
 /// One-hot encodes integer labels into (n, num_classes).
 Tensor one_hot(const std::vector<std::size_t>& labels,

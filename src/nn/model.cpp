@@ -1,10 +1,15 @@
 #include "nn/model.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <thread>
 
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "nn/batch_pipeline.h"
 #include "nn/metrics.h"
 
 namespace candle::nn {
@@ -114,31 +119,66 @@ History Model::fit(const Dataset& data, const FitOptions& options,
   History history;
   for (Callback* cb : callbacks) cb->on_train_begin(*this);
 
+  // Prefetching stages batches on a producer thread; the synchronous path
+  // gathers inline into the same kind of reusable destinations. Both paths
+  // visit identical rows in identical batches, and the gathers are pure
+  // copies, so the trained weights are bit-identical either way.
+  std::unique_ptr<BatchPipeline> pipeline;
+  if (options.prefetch) {
+    PipelineOptions popts;
+    popts.batch_size = options.batch_size;
+    popts.drop_remainder = options.drop_remainder;
+    popts.sim_input_latency_s = options.sim_input_latency_s;
+    popts.timeline = options.timeline;
+    popts.clock = options.timeline_clock;
+    popts.rank = options.timeline_rank;
+    pipeline = std::make_unique<BatchPipeline>(train, popts);
+  }
+  Tensor bx, by;  // synchronous-path batch staging, reused across steps
+
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     Stopwatch watch;
     for (Callback* cb : callbacks) cb->on_epoch_begin(*this, epoch);
 
+    // The shuffle order is always drawn here, on this thread, so fit_rng_
+    // advances identically with prefetching on or off.
     std::vector<std::size_t> order;
     if (options.shuffle) order = shuffled_index(n, fit_rng_);
 
     double loss_sum = 0.0;
     std::size_t steps = 0;
-    for (std::size_t start = 0; start < n; start += options.batch_size) {
-      const std::size_t count = std::min(options.batch_size, n - start);
-      if (count < options.batch_size && options.drop_remainder) break;
-      Tensor bx, by;
-      if (options.shuffle) {
-        const std::vector<std::size_t> idx(order.begin() + start,
-                                           order.begin() + start + count);
-        bx = gather_rows(train.x, idx);
-        by = gather_rows(train.y, idx);
-      } else {
-        bx = take_rows(train.x, start, count);
-        by = take_rows(train.y, start, count);
+    if (pipeline != nullptr) {
+      pipeline->start_epoch(std::move(order));
+      while (const StagedBatch* batch = pipeline->acquire()) {
+        loss_sum += train_on_batch(batch->x, batch->y);
+        ++steps;
+        for (Callback* cb : callbacks) cb->on_batch_end(*this, steps - 1);
       }
-      loss_sum += train_on_batch(bx, by);
-      ++steps;
-      for (Callback* cb : callbacks) cb->on_batch_end(*this, steps - 1);
+    } else {
+      for (std::size_t start = 0; start < n; start += options.batch_size) {
+        const std::size_t count = std::min(options.batch_size, n - start);
+        if (count < options.batch_size && options.drop_remainder) break;
+        Shape xs = train.x.shape();
+        xs[0] = count;
+        Shape ys = train.y.shape();
+        ys[0] = count;
+        if (bx.shape() != xs) bx = Tensor(xs);
+        if (by.shape() != ys) by = Tensor(ys);
+        if (options.shuffle) {
+          const std::span<const std::size_t> idx(order.data() + start, count);
+          gather_rows(train.x, idx, bx);
+          gather_rows(train.y, idx, by);
+        } else {
+          take_rows(train.x, start, count, bx);
+          take_rows(train.y, start, count, by);
+        }
+        if (options.sim_input_latency_s > 0.0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(options.sim_input_latency_s));
+        loss_sum += train_on_batch(bx, by);
+        ++steps;
+        for (Callback* cb : callbacks) cb->on_batch_end(*this, steps - 1);
+      }
     }
 
     EpochStats stats;

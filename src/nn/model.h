@@ -7,10 +7,15 @@
 #include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "nn/dataset.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+
+namespace candle::trace {
+class Timeline;
+}  // namespace candle::trace
 
 namespace candle::nn {
 
@@ -63,6 +68,21 @@ struct FitOptions {
   double validation_fraction = 0.0; // tail split evaluated per epoch
   bool classification = true;       // accuracy vs R² for the metric column
   bool drop_remainder = false;      // drop the final partial batch
+
+  /// Stage batches on a background producer thread (double-buffered; see
+  /// nn/batch_pipeline.h). Bit-identical to the synchronous path: same
+  /// fit_rng_ draws, same batch boundaries, copies only.
+  bool prefetch = false;
+  /// Synthetic per-batch input latency (benchmark knob, cf.
+  /// hvd::FusionOptions::sim_net_latency_s): paid inline by the synchronous
+  /// path and on the producer thread — hidden — when prefetching.
+  double sim_input_latency_s = 0.0;
+  /// When set, the prefetch pipeline records PIPELINE_PRODUCE /
+  /// PIPELINE_STALL events here, timestamped on `timeline_clock` (the
+  /// pipeline's own clock when null) in lane `timeline_rank`.
+  trace::Timeline* timeline = nullptr;
+  const Stopwatch* timeline_clock = nullptr;
+  std::size_t timeline_rank = 0;
 };
 
 /// Sequential neural network.

@@ -151,6 +151,15 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
       plan.overlap_comm ? std::min(step_ar, kOverlapWindowFrac * step_c)
                         : 0.0;
   const double step_ar_exposed = step_ar - hidden;
+  // Input-pipeline credit (mirrors the real runner's fit prefetch): the
+  // producer stages batch t+1 during batch t's compute, so up to a full
+  // step of staging hides behind compute; the remainder stalls the step.
+  require(plan.input_stage_frac >= 0.0,
+          "simulate: input_stage_frac must be >= 0");
+  const double step_in = plan.input_stage_frac * step_c;
+  const double hidden_in =
+      plan.pipeline_input ? std::min(step_in, step_c) : 0.0;
+  const double step_in_exposed = step_in - hidden_in;
   const double epochs = static_cast<double>(plan.epochs_per_rank);
   const double steps_d = static_cast<double>(steps);
 
@@ -163,10 +172,13 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
   ph.negotiate_broadcast = load_skew_seconds(plan.loader, plan.ranks);
   ph.broadcast_xfer = broadcast_tree_seconds(plan.ranks);
   ph.train_compute = epochs * steps_d * step_c;
+  ph.train_input = epochs * steps_d * step_in_exposed;
+  ph.train_input_hidden = epochs * steps_d * hidden_in;
   ph.train_comm = epochs * steps_d * step_ar_exposed;
   ph.train_comm_hidden = epochs * steps_d * hidden;
   ph.evaluate = mc.eval_s;
-  result.time_per_epoch = steps_d * (step_c + step_ar_exposed);
+  result.time_per_epoch =
+      steps_d * (step_c + step_in_exposed + step_ar_exposed);
 
   // --- power curve ----------------------------------------------------------
   const double p_compute = compute_power_watts(batch);
@@ -177,6 +189,10 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
   curve.append(ph.negotiate_broadcast, machine_->p_idle);
   curve.append(ph.broadcast_xfer, machine_->p_comm);
   for (std::size_t e = 0; e < plan.epochs_per_rank; ++e) {
+    // Exposed input staging stalls the device at I/O power before compute;
+    // pipelined staging is concurrent with compute and adds no segment.
+    if (steps_d * step_in_exposed > 0.0)
+      curve.append(steps_d * step_in_exposed, machine_->p_io);
     curve.append(steps_d * step_c, p_compute);
     curve.append(steps_d * step_ar_exposed, machine_->p_comm);
   }
@@ -213,8 +229,21 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
       tl->record(trace::kMpiBroadcast, "broadcast", r, t, ph.broadcast_xfer);
       t += ph.broadcast_xfer;
       for (std::size_t e = 0; e < plan.epochs_per_rank; ++e) {
+        if (steps_d * step_in_exposed > 0.0) {
+          // Exposed staging stalls the consumer ahead of the epoch's
+          // compute block.
+          tl->record(trace::kPipelineStall, "io", r, t,
+                     steps_d * step_in_exposed);
+          t += steps_d * step_in_exposed;
+        }
         tl->record(trace::kComputeGradients, "compute", r, t,
                    steps_d * step_c);
+        if (plan.pipeline_input && steps_d * hidden_in > 0.0) {
+          // Pipelined staging runs on the producer thread concurrently
+          // with the compute block (hidden from the critical path).
+          tl->record(trace::kPipelineProduce, "io", r, t,
+                     steps_d * hidden_in);
+        }
         if (plan.overlap_comm && steps_d * hidden > 0.0) {
           // Hidden comm runs concurrently with the backward tail of the
           // compute block (the comm thread's lane in a real timeline).

@@ -46,6 +46,12 @@ struct RunPlan {
   ParallelLevel level = ParallelLevel::kEpoch;
   bool overlap_comm = false;       // credit comm hidden behind backward
                                    // (the runner's fusion.overlap knob)
+  /// Per-step batch-staging (input) cost as a fraction of step compute.
+  /// The calibrated anchors subsume staging in compute, so 0 keeps every
+  /// existing plan bit-identical; ablations set it to model slow input.
+  double input_stage_frac = 0.0;
+  bool pipeline_input = false;     // credit staging hidden behind compute
+                                   // (the runner's fit prefetch knob)
   bool make_timeline = false;      // emit Horovod-style events (<= 6 lanes)
   bool make_power_trace = false;   // keep the rank-0 sampled power series
 };
@@ -58,6 +64,11 @@ struct PhaseTimes {
   double negotiate_broadcast = 0.0;  // straggler wait (the paper's overhead)
   double broadcast_xfer = 0.0;       // binomial-tree data movement
   double train_compute = 0.0;
+  double train_input = 0.0;          // *exposed* batch-staging time; with
+                                     // a pipelined input stage the hidden
+                                     // part moves to the field below
+  double train_input_hidden = 0.0;   // staging overlapped behind compute
+                                     // (not in total())
   double train_comm = 0.0;           // *exposed* allreduce time (incl.
                                      // per-step sync); with overlap the
                                      // hidden part moves to the field below
@@ -67,9 +78,12 @@ struct PhaseTimes {
 
   [[nodiscard]] double total() const {
     return startup + data_load + preprocess + negotiate_broadcast +
-           broadcast_xfer + train_compute + train_comm + evaluate;
+           broadcast_xfer + train_compute + train_input + train_comm +
+           evaluate;
   }
-  [[nodiscard]] double train() const { return train_compute + train_comm; }
+  [[nodiscard]] double train() const {
+    return train_compute + train_input + train_comm;
+  }
 };
 
 /// Simulation output.

@@ -26,6 +26,8 @@ inline constexpr const char* kNcclAllreduce = "NCCL_ALLREDUCE";
 inline constexpr const char* kMpiAllreduce = "MPI_ALLREDUCE";
 inline constexpr const char* kDataLoading = "DATA_LOADING";
 inline constexpr const char* kPreprocessing = "PREPROCESSING";
+inline constexpr const char* kPipelineProduce = "PIPELINE_PRODUCE";
+inline constexpr const char* kPipelineStall = "PIPELINE_STALL";
 inline constexpr const char* kComputeGradients = "COMPUTE_GRADIENTS";
 inline constexpr const char* kEvaluation = "EVALUATION";
 

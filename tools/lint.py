@@ -103,6 +103,10 @@ THREAD_SPAWN_ALLOWED = (
                                 # (bucket_scheduler.cpp) — a long-lived
                                 # collective-issuing thread, deliberately
                                 # not a candle::parallel worker
+    "src/nn/batch_pipeline.",   # the input pipeline's batch producer — a
+                                # long-lived staging thread that blocks on
+                                # slot hand-offs, deliberately not a
+                                # candle::parallel worker
     "tests/",                   # concurrency stress tests
 )
 
