@@ -51,4 +51,8 @@ if(CANDLE_SANITIZER_FLAGS)
   # (CANDLE_CHECK_BOUNDS in common/check.h): ASan cannot see an in-range but
   # logically wrong index into a tensor's backing vector.
   add_compile_definitions(CANDLE_ENABLE_BOUNDS_CHECKS=1)
+  # ... and the runtime lock-hierarchy validator (common/lock_order.h): TSan
+  # proves data-race freedom, the validator proves the CANDLE_LOCK_LEVEL
+  # ordering declared in the source; together a TSan ctest run checks both.
+  add_compile_definitions(CANDLE_ENABLE_LOCK_ORDER_CHECKS=1)
 endif()

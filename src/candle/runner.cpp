@@ -1,10 +1,9 @@
 #include "candle/runner.h"
 
-#include <mutex>
-
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 #include "hvd/broadcast.h"
 #include "hvd/distributed_optimizer.h"
 #include "io/binary_cache.h"
@@ -128,7 +127,8 @@ RealRunResult run_real(const RealRunConfig& config) {
                       : std::shared_ptr<trace::Timeline>{};
   Stopwatch clock;
   RealRunResult result;
-  std::mutex result_mutex;
+  AnnotatedMutex result_mutex{CANDLE_LOCK_LEVEL(lock_order::level::kRunnerResult),
+                              "runner::result_mutex"};
 
   comm::WorldOptions world_options;
   world_options.ranks_per_node = 6;  // Summit layout (Fig 5b)
@@ -248,7 +248,7 @@ RealRunResult run_real(const RealRunConfig& config) {
         ctx.record(trace::kEvaluation, "compute", eval_begin, eval_s);
 
         if (ctx.rank() == 0) {
-          std::lock_guard<std::mutex> lock(result_mutex);
+          MutexLock lock(result_mutex);
           result.data_load_s = load_s;
           result.preprocess_s = pre_s;
           result.broadcast_negotiate_s = broadcast_hook.negotiate_seconds();

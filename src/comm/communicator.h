@@ -185,7 +185,9 @@ class World {
   std::size_t size_;
   WorldOptions options_;
   std::barrier<> barrier_;
-  mutable AnnotatedMutex reg_mutex_;
+  mutable AnnotatedMutex reg_mutex_{
+      CANDLE_LOCK_LEVEL(lock_order::level::kCommRendezvous),
+      "comm::World::reg_mutex_"};
   std::vector<float*> bufs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<const float*> const_bufs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<std::size_t> counts_ CANDLE_GUARDED_BY(reg_mutex_);

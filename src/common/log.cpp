@@ -12,7 +12,10 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 // Serializes sink writes so concurrent rank threads do not interleave lines.
-AnnotatedMutex g_mutex;
+// Innermost lock of the hierarchy: any subsystem may log while holding its
+// own lock, so nothing may be acquired under g_mutex.
+AnnotatedMutex g_mutex{CANDLE_LOCK_LEVEL(lock_order::level::kLog),
+                       "log::g_mutex"};
 std::FILE* g_sink CANDLE_GUARDED_BY(g_mutex) = nullptr;  // nullptr => stderr
 
 const char* tag(LogLevel level) {

@@ -158,8 +158,13 @@ class Pool {
     }
   }
 
-  /// Serializes whole regions (and resize) against each other.
-  AnnotatedMutex region_mutex_;
+  /// Serializes whole regions (and resize) against each other. Held across
+  /// the caller's own chunk execution, so chunk bodies may acquire any lock
+  /// below kParallelRegion (dispatch, rendezvous, timeline, log) but never a
+  /// scheduler-level lock — the lock-hierarchy analyzer enforces this.
+  AnnotatedMutex region_mutex_{
+      CANDLE_LOCK_LEVEL(lock_order::level::kParallelRegion),
+      "parallel::Pool::region_mutex_"};
   bool started_ CANDLE_GUARDED_BY(region_mutex_) = false;
   std::vector<std::thread> workers_ CANDLE_GUARDED_BY(region_mutex_);
   /// Per-chunk exceptions; distinct chunks write distinct slots, and the
@@ -169,8 +174,10 @@ class Pool {
   /// is safe to read without a lock.
   std::size_t stride_ = 1;
 
-  /// Dispatch state for the region in flight.
-  AnnotatedMutex mutex_;
+  /// Dispatch state for the region in flight. Acquired while holding
+  /// region_mutex_ (the repo's one intentionally nested pair).
+  AnnotatedMutex mutex_{CANDLE_LOCK_LEVEL(lock_order::level::kParallelDispatch),
+                        "parallel::Pool::mutex_"};
   AnnotatedCondVar wake_;
   AnnotatedCondVar done_;
   const std::function<void(std::size_t)>* chunk_fn_

@@ -16,6 +16,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_order.h"
+
 #if defined(__clang__)
 #define CANDLE_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -42,20 +44,52 @@
 
 namespace candle {
 
+/// Declares the hierarchy level of an AnnotatedMutex. Every AnnotatedMutex
+/// in src/ must be constructed with a level (use the constants in
+/// candle::lock_order::level) and a diagnostic name; tools/analyze/run.py
+/// rejects undeclared mutexes and statically checks that locks are only
+/// acquired in strictly descending-level order, and common/lock_order.h
+/// validates the same property dynamically in debug/sanitizer builds.
+#define CANDLE_LOCK_LEVEL(n) (n)
+
 /// std::mutex wrapper declared as a capability so -Wthread-safety can track
 /// acquisition. Satisfies BasicLockable (AnnotatedCondVar waits on it).
+/// Carries its CANDLE_LOCK_LEVEL and a diagnostic name for the lock-order
+/// validator; a condvar wait's unlock/relock goes through the same hooks,
+/// so the held-lock stack stays accurate across waits.
 class CANDLE_CAPABILITY("mutex") AnnotatedMutex {
  public:
-  AnnotatedMutex() = default;
+  constexpr AnnotatedMutex(int level, const char* name)
+      : level_(level), name_(name) {}
   AnnotatedMutex(const AnnotatedMutex&) = delete;
   AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
 
-  void lock() CANDLE_ACQUIRE() { mutex_.lock(); }
-  void unlock() CANDLE_RELEASE() { mutex_.unlock(); }
-  bool try_lock() CANDLE_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() CANDLE_ACQUIRE() {
+    lock_order::note_acquire(level_, name_);
+    mutex_.lock();
+  }
+  void unlock() CANDLE_RELEASE() {
+    mutex_.unlock();
+    lock_order::note_release(level_);
+  }
+  bool try_lock() CANDLE_TRY_ACQUIRE(true) {
+    // try_lock cannot deadlock, so out-of-order try-acquisition is legal;
+    // on success the lock still joins the held stack so later blocking
+    // acquisitions are checked against it.
+    if (!mutex_.try_lock()) return false;
+    lock_order::note_try_acquired(level_, name_);
+    return true;
+  }
+
+  [[nodiscard]] constexpr int level() const { return level_; }
+  [[nodiscard]] constexpr const char* name() const { return name_; }
 
  private:
+  // The wrapped lock itself — the one raw std::mutex allowed in src/.
+  // candle-analyze: allow(lock-level)
   std::mutex mutex_;
+  int level_;
+  const char* name_;
 };
 
 /// RAII lock over AnnotatedMutex (std::lock_guard is not annotated, so

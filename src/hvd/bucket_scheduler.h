@@ -98,7 +98,9 @@ class BucketScheduler {
   std::vector<Bucket> buckets_;
   std::vector<std::size_t> bucket_of_;  // tensor index -> bucket index
 
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{
+      CANDLE_LOCK_LEVEL(lock_order::level::kBucketScheduler),
+      "hvd::BucketScheduler::mutex_"};
   AnnotatedCondVar ready_cv_;  // main -> comm: bucket completed / shutdown
   AnnotatedCondVar done_cv_;   // comm -> main: step finished / error
   bool shutdown_ CANDLE_GUARDED_BY(mutex_) = false;

@@ -51,7 +51,9 @@ class PhaseLedger {
   [[nodiscard]] std::vector<Entry> entries() const CANDLE_EXCLUDES(mutex_);
 
  private:
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{
+      CANDLE_LOCK_LEVEL(lock_order::level::kPhaseLedger),
+      "hvd::PhaseLedger::mutex_"};
   std::vector<Entry> entries_ CANDLE_GUARDED_BY(mutex_);
 };
 

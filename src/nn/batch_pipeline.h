@@ -115,7 +115,9 @@ class BatchPipeline {
   /// state_[i] == kFree and read by the consumer only while kReady.
   StagedBatch slots_[2];
 
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{
+      CANDLE_LOCK_LEVEL(lock_order::level::kBatchPipeline),
+      "nn::BatchPipeline::mutex_"};
   AnnotatedCondVar work_cv_;   // consumer -> producer: slot freed / epoch
   AnnotatedCondVar ready_cv_;  // producer -> consumer: slot published
   bool shutdown_ CANDLE_GUARDED_BY(mutex_) = false;

@@ -95,7 +95,8 @@ class Timeline {
       CANDLE_EXCLUDES(mutex_);
 
  private:
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{CANDLE_LOCK_LEVEL(lock_order::level::kTimeline),
+                                "trace::Timeline::mutex_"};
   std::vector<Event> events_ CANDLE_GUARDED_BY(mutex_);
   std::vector<CounterSample> counters_ CANDLE_GUARDED_BY(mutex_);
 };

@@ -1,0 +1,227 @@
+// Tests for the runtime lock-hierarchy validator (common/lock_order.* +
+// the AnnotatedMutex hooks in common/thread_annotations.h): ordered
+// acquisition passes silently; an inversion produces a diagnostic naming
+// both mutexes and both levels; equal levels are rejected (the order is
+// *strictly* descending); try_lock joins the stack without an order check;
+// the default handler aborts; and the two real producer/consumer
+// subsystems (hvd::BucketScheduler, nn::BatchPipeline) run clean under the
+// validator — which is the TSan-preset cross-check of the static model in
+// tools/analyze.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "common/lock_order.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "hvd/bucket_scheduler.h"
+#include "hvd/context.h"
+#include "hvd/fusion.h"
+#include "nn/batch_pipeline.h"
+#include "nn/dataset.h"
+#include "tensor/tensor.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define CANDLE_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CANDLE_TEST_TSAN 1
+#endif
+#endif
+
+namespace candle {
+namespace {
+
+/// Enables validation for the test scope, captures diagnostics instead of
+/// aborting, and restores the ambient state on exit. Capture is mutex-
+/// guarded: a violation may be reported from a comm or producer thread.
+class ValidatorScope {
+ public:
+  ValidatorScope() : saved_(lock_order::enabled()) {
+    lock_order::set_enabled(true);
+    lock_order::set_violation_handler([this](const std::string& diag) {
+      std::lock_guard<std::mutex> lock(mu_);
+      diagnostics_.push_back(diag);
+    });
+  }
+  ~ValidatorScope() {
+    lock_order::set_violation_handler(nullptr);
+    lock_order::set_enabled(saved_);
+  }
+  ValidatorScope(const ValidatorScope&) = delete;
+  ValidatorScope& operator=(const ValidatorScope&) = delete;
+
+  std::vector<std::string> diagnostics() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return diagnostics_;
+  }
+
+ private:
+  bool saved_;
+  mutable std::mutex mu_;
+  std::vector<std::string> diagnostics_;
+};
+
+TEST(LockOrderValidator, OrderedAcquisitionPassesAndTracksDepth) {
+  ValidatorScope scope;
+  AnnotatedMutex high{CANDLE_LOCK_LEVEL(90), "test::high"};
+  AnnotatedMutex low{CANDLE_LOCK_LEVEL(5), "test::low"};
+  EXPECT_EQ(0u, lock_order::held_count());
+  {
+    MutexLock outer(high);
+    EXPECT_EQ(1u, lock_order::held_count());
+    MutexLock inner(low);  // 90 -> 5: strictly descending
+    EXPECT_EQ(2u, lock_order::held_count());
+  }
+  EXPECT_EQ(0u, lock_order::held_count());
+  EXPECT_TRUE(scope.diagnostics().empty());
+}
+
+TEST(LockOrderValidator, InversionNamesBothMutexesAndLevels) {
+  ValidatorScope scope;
+  AnnotatedMutex low{CANDLE_LOCK_LEVEL(5), "test::low"};
+  AnnotatedMutex high{CANDLE_LOCK_LEVEL(90), "test::high"};
+  const std::size_t before = lock_order::violation_count();
+  {
+    MutexLock outer(low);
+    MutexLock inner(high);  // 5 -> 90: inversion
+  }
+  EXPECT_EQ(before + 1, lock_order::violation_count());
+  const auto diags = scope.diagnostics();
+  ASSERT_EQ(1u, diags.size());
+  // The diagnostic must name both mutexes and both levels — that is what
+  // makes a one-shot report actionable without a debugger.
+  EXPECT_NE(std::string::npos, diags[0].find("test::high"));
+  EXPECT_NE(std::string::npos, diags[0].find("test::low"));
+  EXPECT_NE(std::string::npos, diags[0].find("level 90"));
+  EXPECT_NE(std::string::npos, diags[0].find("level 5"));
+  EXPECT_NE(std::string::npos, diags[0].find("strictly descending"));
+  // The stack stays balanced after a reported violation.
+  EXPECT_EQ(0u, lock_order::held_count());
+}
+
+TEST(LockOrderValidator, EqualLevelsAreRejected) {
+  // Two locks on the same level may not nest in either order — "descending"
+  // is strict, so sibling locks can never deadlock against each other.
+  ValidatorScope scope;
+  AnnotatedMutex a{CANDLE_LOCK_LEVEL(42), "test::a"};
+  AnnotatedMutex b{CANDLE_LOCK_LEVEL(42), "test::b"};
+  {
+    MutexLock outer(a);
+    MutexLock inner(b);
+  }
+  ASSERT_EQ(1u, scope.diagnostics().size());
+  EXPECT_NE(std::string::npos, scope.diagnostics()[0].find("level 42"));
+}
+
+TEST(LockOrderValidator, TryLockJoinsStackWithoutOrderCheck) {
+  // A successful try_lock cannot deadlock, so it joins the held stack
+  // without validation — but later blocking acquisitions are checked
+  // against it.
+  ValidatorScope scope;
+  AnnotatedMutex low{CANDLE_LOCK_LEVEL(5), "test::low"};
+  AnnotatedMutex high{CANDLE_LOCK_LEVEL(90), "test::high"};
+  {
+    MutexLock outer(low);
+    ASSERT_TRUE(high.try_lock());  // ascending, but non-blocking: allowed
+    EXPECT_EQ(2u, lock_order::held_count());
+    high.unlock();
+  }
+  EXPECT_TRUE(scope.diagnostics().empty());
+  EXPECT_EQ(0u, lock_order::held_count());
+}
+
+TEST(LockOrderValidator, DisabledGateTracksNothing) {
+  ValidatorScope scope;
+  lock_order::set_enabled(false);
+  AnnotatedMutex low{CANDLE_LOCK_LEVEL(5), "test::low"};
+  AnnotatedMutex high{CANDLE_LOCK_LEVEL(90), "test::high"};
+  {
+    MutexLock outer(low);
+    MutexLock inner(high);  // inversion, but the validator is off
+    EXPECT_EQ(0u, lock_order::held_count());
+  }
+  EXPECT_TRUE(scope.diagnostics().empty());
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && !defined(CANDLE_TEST_TSAN)
+void DieOnInversion() {
+  lock_order::set_enabled(true);
+  AnnotatedMutex low{CANDLE_LOCK_LEVEL(5), "death::low"};
+  AnnotatedMutex high{CANDLE_LOCK_LEVEL(90), "death::high"};
+  MutexLock outer(low);
+  MutexLock inner(high);
+}
+
+TEST(LockOrderValidatorDeathTest, DefaultHandlerPrintsAndAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(DieOnInversion(), "lock levels must be strictly descending");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Integration: the two producer/consumer subsystems with background
+// threads run clean under the validator. Under the tsan preset this is the
+// dynamic cross-check of the static hierarchy: TSan proves race-freedom,
+// the validator proves the CANDLE_LOCK_LEVEL order on the same execution.
+// ---------------------------------------------------------------------------
+
+nn::Dataset make_toy_data(std::size_t n, std::size_t features,
+                          std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({n, features});
+  for (float& v : x.values()) v = static_cast<float>(rng.normal());
+  std::vector<std::size_t> labels(n);
+  for (auto& l : labels) l = rng.uniform_index(classes);
+  return nn::Dataset{std::move(x), nn::one_hot(labels, classes)};
+}
+
+TEST(LockOrderIntegration, SchedulerAndPipelineRunCleanUnderValidator) {
+  ValidatorScope scope;
+  const std::size_t before = lock_order::violation_count();
+
+  // Overlapped gradient exchange: rank threads, per-rank comm threads, the
+  // rendezvous lock, timelines, and the pool — the deepest real nesting.
+  comm::World::run(2, [&](comm::Communicator& c) {
+    hvd::Context ctx(c);
+    hvd::FusionOptions fusion;
+    fusion.threshold_bytes = 16 * sizeof(float);
+    hvd::FusionBuffer buffer;
+    hvd::BucketScheduler scheduler(ctx, fusion, buffer);
+
+    std::vector<Tensor> grads;
+    for (int t = 0; t < 4; ++t) grads.emplace_back(Shape{16});
+    std::vector<Tensor*> ptrs;
+    for (auto& g : grads) ptrs.push_back(&g);
+    scheduler.bind(ptrs);
+    for (int step = 0; step < 3; ++step) {
+      for (auto& g : grads)
+        for (float& v : g.values()) v = static_cast<float>(c.rank() + step);
+      for (std::size_t t = grads.size(); t-- > 0;)
+        scheduler.mark_ready(t, 1);
+      (void)scheduler.drain();
+    }
+  });
+
+  // Double-buffered input staging: producer thread vs consuming loop.
+  const nn::Dataset data = make_toy_data(24, 6, 3, 77);
+  nn::PipelineOptions options;
+  options.batch_size = 5;
+  nn::BatchPipeline pipeline(data, options);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    pipeline.start_epoch({});
+    while (pipeline.acquire() != nullptr) {
+    }
+  }
+
+  EXPECT_EQ(before, lock_order::violation_count());
+  EXPECT_TRUE(scope.diagnostics().empty());
+}
+
+}  // namespace
+}  // namespace candle

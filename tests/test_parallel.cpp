@@ -136,6 +136,32 @@ TEST(ParallelFor, PartitionIsDeterministicAndGrainBounded) {
   }
 }
 
+TEST(ParallelFor, NeverExceedsConfiguredConcurrency) {
+  // Deflake guard: the pool must never run more than CANDLE_NUM_THREADS
+  // chunk bodies at once — an over-wide pool shows up elsewhere only as
+  // rare nondeterministic oversubscription flakes, so pin it down here
+  // with a high-water mark over many short overlapping chunks.
+  constexpr std::size_t kThreads = 4;
+  ThreadCountGuard guard(kThreads);
+  std::atomic<int> live{0};
+  std::atomic<int> high_water{0};
+  for (int round = 0; round < 8; ++round) {
+    parallel_for(0, 4096, 1, [&](std::size_t b, std::size_t e) {
+      const int now = live.fetch_add(1) + 1;
+      int hw = high_water.load();
+      while (now > hw && !high_water.compare_exchange_weak(hw, now)) {
+      }
+      volatile float sink = 0.0f;  // keep chunks alive long enough to overlap
+      for (std::size_t i = b; i < e; ++i)
+        sink = sink + static_cast<float>(i);
+      live.fetch_sub(1);
+    });
+    ASSERT_EQ(0, live.load()) << "round " << round;
+  }
+  EXPECT_GE(high_water.load(), 1);
+  EXPECT_LE(high_water.load(), static_cast<int>(kThreads));
+}
+
 TEST(ParallelFor, SingleThreadRunsInline) {
   ThreadCountGuard guard(1);
   const auto caller = std::this_thread::get_id();

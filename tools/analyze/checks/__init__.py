@@ -1,0 +1,41 @@
+"""Check registry for candle-analyze.
+
+Each check is a callable Project -> list[Finding]. Check ids (used in
+findings and `// candle-analyze: allow(<id>)` suppressions):
+
+  lock-level               mutex without a CANDLE_LOCK_LEVEL / raw std::mutex
+  lock-hierarchy           out-of-order acquisition (direct or via calls)
+  determinism-unordered    iteration over an unordered container
+  determinism-rng          std::rand / random_device / time-seeded RNG
+  determinism-fp-reduction FP accumulation into captured state in parallel_for
+  determinism-thread-local thread_local read inside a parallel_for body
+  thread-site              unsanctioned std::thread/async/detach
+  condvar-wait             condition-variable wait without a predicate
+  tensor-subscript         Tensor operator[] outside hot paths (use at())
+  span-lifetime            span outliving its MappedFrame
+"""
+
+from checks.api_policy import check_api_policy
+from checks.determinism import check_determinism
+from checks.lock_hierarchy import check_lock_hierarchy
+from checks.thread_sites import check_thread_sites
+
+ALL_CHECKS = (
+    check_lock_hierarchy,
+    check_determinism,
+    check_thread_sites,
+    check_api_policy,
+)
+
+CHECK_IDS = (
+    "lock-level",
+    "lock-hierarchy",
+    "determinism-unordered",
+    "determinism-rng",
+    "determinism-fp-reduction",
+    "determinism-thread-local",
+    "thread-site",
+    "condvar-wait",
+    "tensor-subscript",
+    "span-lifetime",
+)

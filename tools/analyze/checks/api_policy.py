@@ -1,0 +1,38 @@
+"""API-policy checks.
+
+`tensor-subscript`: Tensor::operator[] is unchecked by design (the hot
+kernels in src/tensor, src/nn, src/hvd and the benches live on it); all
+other code must use the bounds-checked at() so indexing bugs surface as
+diagnostics rather than silent reads.
+
+`span-lifetime`: MappedFrame::row()/payload() return spans into the mmap
+owned by the frame; a span taken from a temporary frame or returned from
+the function that owns the frame dangles as soon as the frame unmaps.
+"""
+
+from __future__ import annotations
+
+from model import Finding, Project
+
+#: Hot paths where unchecked operator[] is the point.
+_HOT = ("src/tensor/", "src/nn/", "src/hvd/", "bench/")
+
+
+def check_api_policy(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for fm in project.files:
+        hot = any(fm.path.startswith(p) for p in _HOT)
+        if not hot:
+            for sub in fm.subscripts:
+                if sub.base in fm.tensors:
+                    findings.append(Finding(
+                        "tensor-subscript", fm.path, sub.line,
+                        f"Tensor '{sub.base}' indexed with operator[] "
+                        f"outside the hot paths — use at() for "
+                        f"bounds-checked access"))
+        for esc in fm.span_escapes:
+            findings.append(Finding(
+                "span-lifetime", fm.path, esc.line,
+                f"{esc.detail}: the span dangles once the MappedFrame "
+                f"unmaps — copy the row or pass the frame down"))
+    return findings

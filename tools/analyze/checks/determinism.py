@@ -1,0 +1,134 @@
+"""Determinism checks for the numeric core (src/tensor, src/nn, src/hvd).
+
+The paper's benchmarks are validated by comparing losses across runs and
+thread counts, so the numeric core must be bitwise deterministic for a
+fixed CANDLE_NUM_THREADS:
+
+  determinism-unordered    iterating an unordered container yields a
+                           platform/seed-dependent order;
+  determinism-rng          std::rand / std::random_device / time-seeded
+                           engines break run-to-run reproducibility
+                           (candle threads seeds deterministically);
+  determinism-fp-reduction floating-point accumulation into captured state
+                           inside a parallel_for body makes the result
+                           depend on chunk interleaving — use
+                           parallel_reduce (fixed chunk tree) or the gemm
+                           kernels;
+  determinism-thread-local reading a thread_local inside a parallel_for
+                           body observes per-worker state — hoist a
+                           pointer before entering the region (the
+                           pack-buffer idiom in tensor/gemm.cpp).
+"""
+
+from __future__ import annotations
+
+from model import FileModel, Finding, Project
+
+_SCOPE = ("src/tensor/", "src/nn/", "src/hvd/")
+
+#: gemm owns its FP-reduction order by construction (fixed blocking);
+#: exempt from the reduction rule only.
+_FP_EXEMPT = ("src/tensor/gemm.cpp", "src/tensor/gemm.h")
+
+_SEEDY_ENGINES = {"mt19937", "mt19937_64", "default_random_engine",
+                  "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48"}
+_SEED_SOURCES = {"time", "now", "clock", "random_device", "rdtsc"}
+
+
+def _in_scope(path: str) -> bool:
+    return any(path.startswith(p) for p in _SCOPE)
+
+
+def check_determinism(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for fm in project.files:
+        if not _in_scope(fm.path):
+            continue
+        _unordered_iteration(fm, findings)
+        _rng(fm, findings)
+        if fm.path not in _FP_EXEMPT:
+            _fp_reduction(fm, findings)
+        _thread_local_reads(fm, findings)
+    return findings
+
+
+def _unordered_iteration(fm: FileModel, out: list[Finding]) -> None:
+    for rf in fm.range_fors:
+        if rf.base in fm.unordered:
+            out.append(Finding(
+                "determinism-unordered", fm.path, rf.line,
+                f"iterating unordered container '{rf.base}': element order "
+                f"is unspecified — iterate a sorted key list or use "
+                f"std::map"))
+    for fn in fm.functions:
+        for call in fn.calls:
+            if call.name == "begin" and call.receiver in fm.unordered:
+                out.append(Finding(
+                    "determinism-unordered", fm.path, call.line,
+                    f"iterator over unordered container '{call.receiver}': "
+                    f"element order is unspecified"))
+
+
+def _rng(fm: FileModel, out: list[Finding]) -> None:
+    toks = [t for t in fm.lexed.tokens if t.kind != "pp"]
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        prev_std = (i >= 2 and toks[i - 1].text == "::"
+                    and toks[i - 2].text == "std")
+        if t.text in ("rand", "srand") and prev_std:
+            out.append(Finding(
+                "determinism-rng", fm.path, t.line,
+                f"std::{t.text} is not reproducible across platforms — use "
+                f"a std::mt19937 seeded from the run config"))
+        elif t.text == "random_device":
+            out.append(Finding(
+                "determinism-rng", fm.path, t.line,
+                "std::random_device produces a different stream every run — "
+                "seed deterministically from the run config"))
+        elif t.text in _SEEDY_ENGINES:
+            # Engine construction whose seed expression draws on wall-clock
+            # time: mt19937 rng(<...time/now/clock...>).
+            j = i + 1
+            if j < len(toks) and toks[j].kind == "id":
+                j += 1
+            if j < len(toks) and toks[j].text in ("(", "{"):
+                depth = 0
+                for k in range(j, len(toks)):
+                    text = toks[k].text
+                    if text in ("(", "{"):
+                        depth += 1
+                    elif text in (")", "}"):
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif toks[k].kind == "id" and text in _SEED_SOURCES:
+                        out.append(Finding(
+                            "determinism-rng", fm.path, t.line,
+                            f"std::{t.text} seeded from '{text}' — seed "
+                            f"deterministically from the run config"))
+                        break
+
+
+def _fp_reduction(fm: FileModel, out: list[Finding]) -> None:
+    for lam in fm.parallel_lambdas:
+        for var, line in lam.compound_assigns:
+            if var in lam.locals_ or var in lam.params:
+                continue
+            out.append(Finding(
+                "determinism-fp-reduction", fm.path, line,
+                f"accumulation into captured '{var}' inside a parallel_for "
+                f"body: result depends on chunk interleaving (and races) — "
+                f"use parallel_reduce or per-chunk partial sums"))
+
+
+def _thread_local_reads(fm: FileModel, out: list[Finding]) -> None:
+    for lam in fm.parallel_lambdas:
+        for var in sorted(lam.used_ids & fm.thread_locals):
+            if var in lam.locals_ or var in lam.params:
+                continue
+            out.append(Finding(
+                "determinism-thread-local", fm.path, lam.line,
+                f"parallel_for body reads thread_local '{var}': each worker "
+                f"observes different state — hoist a pointer outside the "
+                f"parallel region (see the pack-buffer idiom in gemm.cpp)"))

@@ -1,0 +1,210 @@
+"""Lock-level declaration and lock-hierarchy ordering checks.
+
+Every AnnotatedMutex in src/ must declare a level via CANDLE_LOCK_LEVEL(n)
+(`lock-level`), and every execution path must acquire locks in strictly
+descending level order (`lock-hierarchy`) — the static mirror of the
+runtime validator in common/lock_order.{h,cpp}.
+
+Ordering is checked two ways:
+  * directly: nested acquisitions inside one function body;
+  * transitively: a call made while holding a lock, where the (uniquely
+    named) callee's summary — its own acquisitions plus those of its
+    callees, to a fixpoint — contains a level >= the innermost held level.
+
+Mutex names resolve through: function locals -> the owning class's members
+-> file-scope globals -> a project-unique global. Calls propagate only
+through bare names that are unique across the project and not on the
+ambiguous-STL-name stoplist; everything else is skipped rather than
+guessed, keeping the check false-positive-free on real code (the runtime
+validator covers what static resolution skips).
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import Acquire, Call, Finding, Function, MutexDecl, Project
+
+_ID_RE = re.compile(r"[A-Za-z_]\w*")
+
+#: Callee names never followed across functions: common STL/idiom method
+#: names whose project-level uniqueness would be coincidental.
+_STOPLIST = {
+    "size", "empty", "begin", "end", "data", "clear", "at", "count",
+    "reserve", "resize", "assign", "push_back", "emplace_back", "pop_back",
+    "front", "back", "insert", "erase", "find", "str", "c_str", "get",
+    "reset", "load", "store", "fetch_add", "exchange", "notify_one",
+    "notify_all", "join", "joinable", "swap", "lock", "unlock", "try_lock",
+    "wait", "wait_for", "wait_until",
+}
+
+
+def _last_id(expr: str) -> str:
+    ids = _ID_RE.findall(expr)
+    return ids[-1] if ids else ""
+
+
+class _Registry:
+    def __init__(self, project: Project) -> None:
+        self.class_map: dict[str, dict[str, MutexDecl]] = {}
+        self.file_map: dict[str, dict[str, MutexDecl]] = {}
+        self.global_names: dict[str, list[MutexDecl]] = {}
+        for fm in project.files:
+            for decl in fm.mutexes:
+                self._resolve_level(decl, project)
+                if decl.cls:
+                    self.class_map.setdefault(decl.cls, {})[decl.var] = decl
+                else:
+                    self.file_map.setdefault(fm.path, {})[decl.var] = decl
+                self.global_names.setdefault(decl.var, []).append(decl)
+            for fn in fm.functions:
+                for decl in fn.local_mutexes:
+                    self._resolve_level(decl, project)
+
+    @staticmethod
+    def _resolve_level(decl: MutexDecl, project: Project) -> None:
+        text = decl.level_text
+        if not text:
+            return
+        try:
+            decl.level = int(text, 0)
+            return
+        except ValueError:
+            pass
+        decl.level = project.level_constants.get(_last_id(text))
+
+    def resolve(self, fn: Function, expr: str) -> MutexDecl | None:
+        name = _last_id(expr)
+        if not name:
+            return None
+        for decl in fn.local_mutexes:
+            if decl.var == name:
+                return decl
+        by_class = self.class_map.get(fn.cls)
+        if by_class and name in by_class:
+            return by_class[name]
+        by_file = self.file_map.get(fn.path)
+        if by_file and name in by_file:
+            return by_file[name]
+        decls = self.global_names.get(name)
+        if decls and len(decls) == 1:
+            return decls[0]
+        return None
+
+
+def check_lock_hierarchy(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    reg = _Registry(project)
+
+    # --- lock-level: declaration hygiene in src/ ---
+    for fm in project.files:
+        if not fm.path.startswith("src/"):
+            continue
+        decls = list(fm.mutexes)
+        for fn in fm.functions:
+            decls.extend(fn.local_mutexes)
+        for decl in decls:
+            where = f"'{decl.cls}::{decl.var}'" if decl.cls \
+                else f"'{decl.var}'"
+            if not decl.annotated:
+                findings.append(Finding(
+                    "lock-level", fm.path, decl.line,
+                    f"raw std::mutex {where} — use AnnotatedMutex with "
+                    f"CANDLE_LOCK_LEVEL (common/thread_annotations.h)"))
+            elif not decl.level_text:
+                findings.append(Finding(
+                    "lock-level", fm.path, decl.line,
+                    f"AnnotatedMutex {where} does not declare a lock level "
+                    f"via CANDLE_LOCK_LEVEL(n)"))
+            elif decl.level is None:
+                findings.append(Finding(
+                    "lock-level", fm.path, decl.line,
+                    f"AnnotatedMutex {where}: cannot resolve lock level "
+                    f"'{decl.level_text}' (not an integer literal or a "
+                    f"known lock_order::level constant)"))
+
+    # --- function summaries: levels each function may acquire ---
+    all_functions: list[Function] = []
+    by_name: dict[str, list[Function]] = {}
+    for fm in project.files:
+        for fn in fm.functions:
+            all_functions.append(fn)
+            by_name.setdefault(fn.name, []).append(fn)
+
+    summaries: dict[int, set[tuple[int, str]]] = {}
+    for fn in all_functions:
+        summary = set()
+        for acq in fn.acquires:
+            decl = reg.resolve(fn, acq.mutex)
+            if decl is not None and decl.level is not None:
+                acq.level = decl.level
+                summary.add((decl.level, decl.name_str or decl.var))
+        summaries[id(fn)] = summary
+
+    def resolve_callee(call: Call) -> Function | None:
+        if call.name in _STOPLIST:
+            return None
+        cands = by_name.get(call.name)
+        if cands and len(cands) == 1:
+            return cands[0]
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for fn in all_functions:
+            summary = summaries[id(fn)]
+            for call in fn.calls:
+                callee = resolve_callee(call)
+                if callee is None or callee is fn:
+                    continue
+                extra = summaries[id(callee)] - summary
+                if extra:
+                    summary.update(extra)
+                    changed = True
+
+    # --- lock-hierarchy: direct nesting ---
+    for fn in all_functions:
+        for outer, inner in fn.nested_pairs:
+            douter = reg.resolve(fn, outer.mutex)
+            dinner = reg.resolve(fn, inner.mutex)
+            if douter is None or dinner is None:
+                continue
+            if douter.level is None or dinner.level is None:
+                continue
+            if dinner.level >= douter.level:
+                findings.append(Finding(
+                    "lock-hierarchy", fn.path, inner.line,
+                    f"acquiring '{dinner.name_str or dinner.var}' (level "
+                    f"{dinner.level}) while holding "
+                    f"'{douter.name_str or douter.var}' (level "
+                    f"{douter.level}) in {fn.qualname}: lock levels must "
+                    f"be strictly descending"))
+
+    # --- lock-hierarchy: transitive, via calls made under a lock ---
+    for fn in all_functions:
+        for call in fn.calls:
+            if not call.held:
+                continue
+            callee = resolve_callee(call)
+            if callee is None or callee is fn:
+                continue
+            held_levels = []
+            for expr in call.held:
+                decl = reg.resolve(fn, expr)
+                if decl is not None and decl.level is not None:
+                    held_levels.append((decl.level,
+                                        decl.name_str or decl.var))
+            if not held_levels:
+                continue
+            bound, bound_name = min(held_levels)
+            for lvl, name in sorted(summaries[id(callee)]):
+                if lvl >= bound:
+                    findings.append(Finding(
+                        "lock-hierarchy", fn.path, call.line,
+                        f"{fn.qualname} calls {callee.name}() while "
+                        f"holding '{bound_name}' (level {bound}), and the "
+                        f"callee may acquire '{name}' (level {lvl}): lock "
+                        f"levels must be strictly descending"))
+                    break  # one finding per call site
+    return findings

@@ -1,0 +1,80 @@
+"""Optional libclang frontend for candle-analyze.
+
+When the `clang.cindex` Python bindings and a loadable libclang are
+available, this frontend parses each file as a real translation unit and
+overlays type-accurate declaration sets (mutexes, condvars, Tensors,
+unordered containers, MappedFrames) on top of the lexical model. Function
+bodies are still lowered through the shared lexical walk, so both
+frontends emit the same IR shape and the checks stay frontend-agnostic.
+
+The import of this module raises when libclang is unusable in the
+environment (no bindings, no shared library); engine.build_models catches
+that and falls back to the lexical frontend. The container this repo is
+developed in has no libclang — CI's gating analyze job pins
+`--frontend lexical` for reproducibility and runs this frontend only in a
+non-gating step where the bindings are installed.
+"""
+
+from __future__ import annotations
+
+from clang import cindex  # raises ImportError when bindings are absent
+
+from lexical_frontend import build_file_model
+from model import FileModel, MutexDecl
+
+# Fail at import time (not per-file) when no libclang.so can be loaded, so
+# the engine falls back exactly once.
+_INDEX = cindex.Index.create()
+
+_ARGS = ["-std=c++20", "-xc++", "-Isrc"]
+
+
+def build_file_model_clang(path: str, text: str) -> FileModel:
+    model = build_file_model(path, text)
+    try:
+        tu = _INDEX.parse(path, args=_ARGS,
+                          unsaved_files=[(path, text)],
+                          options=cindex.TranslationUnit
+                          .PARSE_SKIP_FUNCTION_BODIES)
+    except cindex.TranslationUnitLoadError:
+        return model  # lexical model is still valid
+    _overlay_decls(tu.cursor, path, model)
+    return model
+
+
+def _overlay_decls(cursor, path: str, model: FileModel) -> None:
+    for c in cursor.walk_preorder():
+        if c.location.file is None or str(c.location.file) != path:
+            continue
+        if c.kind not in (cindex.CursorKind.FIELD_DECL,
+                          cindex.CursorKind.VAR_DECL,
+                          cindex.CursorKind.PARM_DECL):
+            continue
+        ty = c.type.spelling
+        name = c.spelling
+        if not name:
+            continue
+        if "AnnotatedMutex" in ty:
+            if not any(d.var == name for d in model.mutexes):
+                cls = ""
+                parent = c.semantic_parent
+                if parent is not None and parent.kind in (
+                        cindex.CursorKind.CLASS_DECL,
+                        cindex.CursorKind.STRUCT_DECL):
+                    cls = parent.spelling
+                model.mutexes.append(MutexDecl(
+                    var=name, cls=cls, line=c.location.line, annotated=True))
+        elif ty in ("std::mutex", "mutex"):
+            if not any(d.var == name for d in model.mutexes):
+                model.mutexes.append(MutexDecl(
+                    var=name, cls="", line=c.location.line, annotated=False))
+        elif "condition_variable" in ty or "AnnotatedCondVar" in ty:
+            model.condvars.add(name)
+        elif "Tensor" in ty and "vector" not in ty:
+            model.tensors.add(name)
+        elif "unordered_map" in ty or "unordered_set" in ty:
+            model.unordered.add(name)
+        elif "MappedFrame" in ty:
+            model.mapped_frames.add(name)
+        elif "vector<std::thread>" in ty.replace(" ", ""):
+            model.thread_vectors.add(name)

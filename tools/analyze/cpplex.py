@@ -1,0 +1,215 @@
+"""C++ tokenizer for candle-analyze.
+
+Lexes a translation unit into a flat token stream with line numbers,
+stripping comments (collected separately for suppression parsing) and
+folding preprocessor logical lines into single `pp` tokens so directive
+bodies never confuse brace tracking. This is not a full C++ lexer — it is
+exactly accurate for the constructs the project checks need: identifiers,
+qualified names, string/char literals (including raw strings), punctuation,
+and `// candle-analyze: allow(...)` suppression comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Multi-character punctuators that matter for the checks; longest first.
+_PUNCTS = (
+    "->*", "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",
+)
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_CONT = re.compile(r"[A-Za-z0-9_]")
+_SUPPRESS_RE = re.compile(
+    r"candle-analyze:\s*allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'char' | 'punct' | 'pp'
+    text: str
+    line: int
+
+
+class LexedFile:
+    """Token stream plus the per-line suppression sets."""
+
+    def __init__(self, tokens: list[Token],
+                 suppressions: dict[int, set[str]]) -> None:
+        self.tokens = tokens
+        self.suppressions = suppressions
+
+    def suppressed(self, line: int, check: str) -> bool:
+        """True when `check` is allowed on `line` (same line or the
+        immediately preceding line carries the suppression comment)."""
+        for ln in (line, line - 1):
+            allowed = self.suppressions.get(ln)
+            if allowed and (check in allowed or "all" in allowed):
+                return True
+        return False
+
+
+def _record_suppression(comment: str, line: int,
+                        out: dict[int, set[str]]) -> None:
+    m = _SUPPRESS_RE.search(comment)
+    if m:
+        checks = {c.strip() for c in m.group(1).split(",") if c.strip()}
+        out.setdefault(line, set()).update(checks)
+
+
+def lex(text: str) -> LexedFile:
+    tokens: list[Token] = []
+    suppressions: dict[int, set[str]] = {}
+    i, n = 0, len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            at_line_start = True
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor logical line (with \-continuations).
+        if c == "#" and at_line_start:
+            start = i
+            start_line = line
+            while i < n:
+                if text[i] == "\n":
+                    if i > 0 and text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            tokens.append(Token("pp", text[start:i], start_line))
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            _record_suppression(text[i:j], line, suppressions)
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            _record_suppression(text[i:j], line, suppressions)
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+            continue
+
+        # Raw string literal R"delim(...)delim".
+        if c == "R" and text[i:i + 2] == 'R"':
+            m = re.match(r'R"([^()\\ ]{0,16})\(', text[i:])
+            if m:
+                delim = m.group(1)
+                close = ")" + delim + '"'
+                j = text.find(close, i + m.end())
+                j = n - len(close) if j < 0 else j
+                lit = text[i:j + len(close)]
+                tokens.append(Token("str", lit, line))
+                line += lit.count("\n")
+                i = j + len(close)
+                continue
+
+        # String / char literals.
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("str" if quote == '"' else "char",
+                                text[i:j + 1], line))
+            i = j + 1
+            continue
+
+        # Identifiers / keywords.
+        if _ID_START.match(c):
+            j = i + 1
+            while j < n and _ID_CONT.match(text[j]):
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+
+        # Numbers (good enough: digits, dots, exponents, suffixes, hex).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+
+        # Punctuation.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+
+    return LexedFile(tokens, suppressions)
+
+
+def match_paren(tokens: list[Token], open_idx: int) -> int:
+    """Index of the token closing the bracket at open_idx ('(' '[' '{').
+    Returns len(tokens) - 1 when unbalanced."""
+    pairs = {"(": ")", "[": "]", "{": "}"}
+    close = pairs[tokens[open_idx].text]
+    opener = tokens[open_idx].text
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j].text
+        if tokens[j].kind != "punct":
+            continue
+        if t == opener:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens) - 1
+
+
+def split_args(tokens: list[Token], open_idx: int,
+               close_idx: int) -> list[tuple[int, int]]:
+    """Top-level comma-separated argument ranges inside a call's parens:
+    list of (start, end) token index ranges (end exclusive). Empty list for
+    an empty argument list. Depth tracks () [] {} only — a comma inside
+    template arguments of an argument expression may over-split, which is
+    acceptable for the arity checks this feeds."""
+    args: list[tuple[int, int]] = []
+    start = open_idx + 1
+    if start >= close_idx:
+        return args
+    depth = 0
+    for j in range(open_idx + 1, close_idx):
+        if tokens[j].kind != "punct":
+            continue
+        t = tokens[j].text
+        if t in "([{":
+            depth += 1
+        elif t in ")]}":
+            depth -= 1
+        elif t == "," and depth == 0:
+            args.append((start, j))
+            start = j + 1
+    args.append((start, close_idx))
+    return args

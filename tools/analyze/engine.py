@@ -1,0 +1,144 @@
+"""candle-analyze engine: file collection, frontend dispatch, check
+running, and suppression filtering."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from model import FileModel, Finding, Project
+
+#: Directories analyzed, relative to the repo root. tests/ and tools/ are
+#: deliberately out of scope: tests exercise forbidden constructs on
+#: purpose (EXPECT_DEATH, raw threads for stress harnesses).
+ANALYZED_DIRS = ("src", "bench", "examples")
+
+_SOURCE_SUFFIXES = (".cpp", ".cc", ".cxx", ".h", ".hpp")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]
+
+
+def collect_files(repo: Path, build: Path | None) -> list[Path]:
+    """Files to analyze: every source/header under the analyzed dirs. A
+    compile_commands.json (from --build) contributes any additional TUs it
+    references under those dirs — the same set in this repo, but it keeps
+    generated sources covered if one ever appears."""
+    files: set[Path] = set()
+    for d in ANALYZED_DIRS:
+        base = repo / d
+        if not base.is_dir():
+            continue
+        for p in base.rglob("*"):
+            if p.suffix in _SOURCE_SUFFIXES and p.is_file():
+                files.add(p.resolve())
+    if build is not None:
+        cc = build / "compile_commands.json"
+        if cc.is_file():
+            for entry in json.loads(cc.read_text()):
+                p = Path(entry["file"])
+                if not p.is_absolute():
+                    p = Path(entry["directory"]) / p
+                p = p.resolve()
+                try:
+                    rel = p.relative_to(repo.resolve())
+                except ValueError:
+                    continue
+                if rel.parts and rel.parts[0] in ANALYZED_DIRS \
+                        and p.suffix in _SOURCE_SUFFIXES and p.is_file():
+                    files.add(p)
+        else:
+            print(f"candle-analyze: note: no compile_commands.json in "
+                  f"{build} (configure with CMAKE_EXPORT_COMPILE_COMMANDS); "
+                  f"falling back to directory globs", file=sys.stderr)
+    return sorted(files)
+
+
+_FRONTEND_CACHE: dict[str, object] = {}
+
+
+def _resolve_frontend(frontend: str):
+    if frontend in _FRONTEND_CACHE:
+        return _FRONTEND_CACHE[frontend]
+    build_fn = None
+    if frontend in ("auto", "libclang"):
+        try:
+            from clang_frontend import build_file_model_clang
+            build_fn = build_file_model_clang
+        except Exception as exc:  # ImportError, missing libclang.so, ...
+            if frontend == "libclang":
+                raise SystemExit(
+                    f"candle-analyze: libclang frontend unavailable: {exc}")
+            print(f"candle-analyze: note: libclang unavailable "
+                  f"({type(exc).__name__}); using the lexical frontend",
+                  file=sys.stderr)
+    if build_fn is None:
+        from lexical_frontend import build_file_model
+        build_fn = build_file_model
+    _FRONTEND_CACHE[frontend] = build_fn
+    return build_fn
+
+
+def build_models(paths: list[tuple[str, str]],
+                 frontend: str = "auto") -> Project:
+    """paths: (repo-relative display path, file text) pairs. frontend:
+    'auto' | 'lexical' | 'libclang'."""
+    build_fn = _resolve_frontend(frontend)
+
+    project = Project(files=[])
+    for rel, text in paths:
+        project.files.append(build_fn(rel, text))
+    project.finish()
+    return project
+
+
+def run_checks(project: Project) -> list[Finding]:
+    from checks import ALL_CHECKS
+    findings: list[Finding] = []
+    for check in ALL_CHECKS:
+        findings.extend(check(project))
+    findings = _filter_suppressed(project, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    return findings
+
+
+def _filter_suppressed(project: Project,
+                       findings: list[Finding]) -> list[Finding]:
+    by_path: dict[str, FileModel] = {fm.path: fm for fm in project.files}
+    kept = []
+    for f in findings:
+        fm = by_path.get(f.path)
+        if fm is not None and fm.lexed.suppressed(f.line, f.check):
+            continue
+        kept.append(f)
+    return kept
+
+
+def analyze_paths(file_paths: list[Path], repo: Path,
+                  frontend: str = "auto") -> list[Finding]:
+    pairs = []
+    repo = repo.resolve()
+    for p in file_paths:
+        try:
+            rel = str(p.resolve().relative_to(repo))
+        except ValueError:
+            rel = str(p)
+        pairs.append((rel, p.read_text(encoding="utf-8", errors="replace")))
+    return run_checks(build_models(pairs, frontend))
+
+
+def analyze_fixture(path: Path, frontend: str = "auto") -> list[Finding]:
+    """Analyzes a single fixture file under its declared virtual path (the
+    `// candle-analyze-fixture: virtual-path=...` header), so path-scoped
+    checks see it as repo code."""
+    text = path.read_text(encoding="utf-8")
+    virtual = str(path)
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("// candle-analyze-fixture:"):
+            body = line.split(":", 1)[1].strip()
+            if body.startswith("virtual-path="):
+                virtual = body.split("=", 1)[1].strip()
+    return run_checks(build_models([(virtual, text)], frontend))

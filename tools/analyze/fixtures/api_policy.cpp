@@ -1,0 +1,26 @@
+// candle-analyze-fixture: virtual-path=src/candle/fixture_api.cpp
+// candle-analyze-fixture: expect=tensor-subscript:13
+// candle-analyze-fixture: expect=span-lifetime:18
+// candle-analyze-fixture: expect=span-lifetime:22
+#include <span>
+
+namespace candle {
+
+class Tensor;
+class MappedFrame;
+
+float peek(const Tensor& t) {
+  return t[0];  // unchecked indexing outside the hot paths: use at()
+}
+
+std::span<const float> first_row() {
+  MappedFrame frame("cache.bin");
+  return frame.row(0);  // span outlives the local frame
+}
+
+void peek_row() {
+  auto row = MappedFrame("cache.bin").row(0);  // span into a temporary
+  (void)row;
+}
+
+}  // namespace candle

@@ -1,0 +1,38 @@
+// candle-analyze-fixture: virtual-path=src/comm/fixture_clean.cpp
+// Conforming patterns only: this fixture must produce ZERO findings.
+// Exercises descending lock order, a sanctioned std::thread (comm is a
+// sanctioned runtime), a predicated condvar wait, a future wait (which is
+// not a condvar wait), and an allow() suppression of a real inversion.
+#include "common/thread_annotations.h"
+#include <thread>
+
+namespace candle::comm {
+
+AnnotatedMutex g_high{CANDLE_LOCK_LEVEL(50), "comm::fixture_high"};
+AnnotatedMutex g_low{CANDLE_LOCK_LEVEL(10), "comm::fixture_low"};
+AnnotatedCondVar g_cv;
+
+void helper();
+
+void descending_ok() {
+  MutexLock outer(g_high);
+  MutexLock inner(g_low);
+}
+
+void sanctioned_thread() {
+  std::thread worker(helper);
+  worker.join();
+}
+
+void wait_with_predicate() {
+  MutexLock lock(g_low);
+  g_cv.wait(g_low, [] { return true; });
+}
+
+void suppressed_inversion() {
+  MutexLock outer(g_low);
+  // candle-analyze: allow(lock-hierarchy)
+  MutexLock inner(g_high);
+}
+
+}  // namespace candle::comm

@@ -1,0 +1,19 @@
+// candle-analyze-fixture: virtual-path=src/nn/fixture_condvar.cpp
+// candle-analyze-fixture: expect=condvar-wait:16
+// A bare wait() returns on spurious wakeups; the raw std::mutex is
+// deliberately suppressed to exercise the allow() mechanism.
+#include <condition_variable>
+#include <mutex>
+
+namespace candle::nn {
+
+std::condition_variable g_cv;
+// candle-analyze: allow(lock-level)
+std::mutex g_mu;
+
+void wait_no_predicate() {
+  std::unique_lock<std::mutex> lock(g_mu);
+  g_cv.wait(lock);
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,30 @@
+// candle-analyze-fixture: virtual-path=src/tensor/fixture_determinism.cpp
+// candle-analyze-fixture: expect=determinism-rng:12
+// candle-analyze-fixture: expect=determinism-rng:13
+// candle-analyze-fixture: expect=determinism-fp-reduction:20
+// candle-analyze-fixture: expect=determinism-thread-local:27
+#include <chrono>
+#include <random>
+
+namespace candle {
+
+float noise() {
+  std::random_device rd;
+  std::mt19937 rng(std::chrono::steady_clock::now().time_since_epoch().count());
+  (void)rd;
+  return static_cast<float>(rng());
+}
+
+float sum_all(const float* x, std::size_t n) {
+  float total = 0.0f;
+  parallel_for(n, [&](std::size_t i) { total += x[i]; });
+  return total;
+}
+
+thread_local float* t_scratch = nullptr;
+
+void scale(float* x, std::size_t n) {
+  parallel_for(n, [&](std::size_t i) { x[i] *= t_scratch[i]; });
+}
+
+}  // namespace candle

@@ -1,0 +1,29 @@
+// candle-analyze-fixture: virtual-path=src/fixture/lock_inversion.cpp
+// candle-analyze-fixture: expect=lock-hierarchy:19
+// candle-analyze-fixture: expect=lock-hierarchy:26
+// Direct and transitive lock-order inversions against CANDLE_LOCK_LEVEL.
+#include "common/thread_annotations.h"
+
+namespace candle::fixture {
+
+AnnotatedMutex g_low{CANDLE_LOCK_LEVEL(10), "fixture::g_low"};
+AnnotatedMutex g_high{CANDLE_LOCK_LEVEL(50), "fixture::g_high"};
+
+void ordered_ok() {
+  MutexLock outer(g_high);
+  MutexLock inner(g_low);  // 50 -> 10: strictly descending, conforming
+}
+
+void inverted() {
+  MutexLock outer(g_low);
+  MutexLock inner(g_high);  // 10 -> 50: inversion, flagged
+}
+
+void locks_high() { MutexLock lock(g_high); }
+
+void calls_under_low() {
+  MutexLock lock(g_low);
+  locks_high();  // callee acquires level 50 while we hold 10: flagged
+}
+
+}  // namespace candle::fixture

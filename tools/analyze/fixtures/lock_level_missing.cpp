@@ -1,0 +1,12 @@
+// candle-analyze-fixture: virtual-path=src/trace/fixture_lock_level.cpp
+// candle-analyze-fixture: expect=lock-level:9
+// candle-analyze-fixture: expect=lock-level:10
+// Every mutex in src/ must be an AnnotatedMutex with CANDLE_LOCK_LEVEL(n).
+#include "common/thread_annotations.h"
+
+namespace candle::trace {
+
+AnnotatedMutex g_unleveled{7, "trace::fixture"};
+std::mutex g_raw;
+
+}  // namespace candle::trace

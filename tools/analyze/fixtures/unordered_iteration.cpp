@@ -1,0 +1,20 @@
+// candle-analyze-fixture: virtual-path=src/hvd/fixture_unordered.cpp
+// candle-analyze-fixture: expect=determinism-unordered:14
+// Iterating an unordered container in the hvd layer: the reduction order
+// (and so the FP result) would depend on the hash seed and load factor.
+#include <string>
+#include <unordered_map>
+
+namespace candle::hvd {
+
+std::unordered_map<std::string, double> g_pending;
+
+double drain_sum() {
+  double sum = 0.0;
+  for (const auto& kv : g_pending) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace candle::hvd

@@ -1,0 +1,21 @@
+// candle-analyze-fixture: virtual-path=src/nn/fixture_thread.cpp
+// candle-analyze-fixture: expect=thread-site:15
+// candle-analyze-fixture: expect=thread-site:16
+// candle-analyze-fixture: expect=thread-site:17
+// Ad-hoc threading outside the sanctioned runtimes (candle::parallel,
+// comm, hvd, batch_pipeline). f.wait() must NOT be flagged as condvar-wait.
+#include <future>
+#include <thread>
+
+namespace candle::nn {
+
+void helper();
+
+void spawn_adhoc() {
+  std::thread worker(helper);
+  auto f = std::async(helper);
+  worker.detach();
+  f.wait();
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,751 @@
+"""Token-level frontend for candle-analyze.
+
+Lowers a lexed C++ file into the shared IR (model.FileModel) using a
+structural scan: namespace/class context tracking, function-boundary
+detection, and a per-body event walk (lock acquisitions with RAII scoping,
+calls with the held-lock context, condvar waits, thread sites, parallel_for
+lambda bodies, subscripts, range-fors, MappedFrame escapes).
+
+This frontend is self-contained (no libclang needed) and is the default
+engine; clang_frontend refines declaration typing with libclang when the
+`clang.cindex` bindings are available, but lowers bodies through the same
+walk so both frontends produce identical IR shapes.
+
+Known approximations (accepted for a project-specific gate): declarations
+are resolved by name per file/class rather than full scope analysis, and
+function detection is heuristic (an identifier followed by a balanced
+parameter list and a `{` body). Both are exact for this codebase's idiom;
+false positives are suppressible with `// candle-analyze: allow(<check>)`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpplex import LexedFile, Token, lex, match_paren, split_args
+from model import (Acquire, Call, FileModel, Function, MutexDecl,
+                   ParallelLambda, RangeFor, SpanEscape, Subscript,
+                   ThreadSite, Wait)
+
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "throw", "new", "delete", "static_cast", "const_cast", "dynamic_cast",
+    "reinterpret_cast", "decltype", "noexcept", "case", "do", "else",
+    "co_await", "co_return", "co_yield", "static_assert", "requires",
+    "alignas", "assert",
+}
+
+_RAII_LOCKS = {"MutexLock", "lock_guard", "scoped_lock", "unique_lock"}
+
+_LOCAL_TYPE_HINTS = {
+    "auto", "float", "double", "int", "long", "unsigned", "size_t",
+    "ptrdiff_t", "int64_t", "uint64_t", "int32_t", "uint32_t", "bool",
+    "char",
+}
+
+_LEVEL_CONST_RE = re.compile(r"^k[A-Za-z0-9_]+$")
+
+
+def build_file_model(path: str, text: str) -> FileModel:
+    lexed = lex(text)
+    model = FileModel(path=path, lexed=lexed)
+    builder = _Builder(model)
+    builder.scan_scope(0, len(builder.toks), [])
+    return model
+
+
+class _Builder:
+    def __init__(self, model: FileModel) -> None:
+        self.model = model
+        # Structure scan ignores preprocessor tokens entirely.
+        self.toks: list[Token] = [t for t in model.lexed.tokens
+                                  if t.kind != "pp"]
+
+    # ---------------- structure ----------------
+
+    def scan_scope(self, i: int, end: int, ctx: list[str]) -> None:
+        """Scans a declaration scope (file / namespace / class body)."""
+        toks = self.toks
+        while i < end:
+            t = toks[i]
+            text = t.text
+            if text == "template":
+                i = self._skip_template(i + 1)
+                continue
+            if text == "namespace":
+                i = self._enter_namespace(i, end, ctx)
+                continue
+            if text in ("class", "struct", "union"):
+                i = self._enter_class(i, end, ctx)
+                continue
+            if text == "enum":
+                i = self._skip_enum(i, end)
+                continue
+            if text == "}":
+                return
+            i = self._scan_statement(i, end, ctx)
+
+    def _skip_template(self, i: int) -> int:
+        toks = self.toks
+        if i < len(toks) and toks[i].text == "<":
+            depth = 0
+            while i < len(toks):
+                if toks[i].text == "<":
+                    depth += 1
+                elif toks[i].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        return i + 1
+                elif toks[i].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        return i + 1
+                i += 1
+        return i
+
+    def _enter_namespace(self, i: int, end: int, ctx: list[str]) -> int:
+        toks = self.toks
+        j = i + 1
+        parts: list[str] = []
+        while j < end and (toks[j].kind == "id" or toks[j].text == "::"):
+            if toks[j].kind == "id":
+                parts.append(toks[j].text)
+            j += 1
+        if j < end and toks[j].text == "{":
+            close = match_paren(toks, j)
+            self.scan_scope(j + 1, close, ctx + (parts or ["<anon>"]))
+            return close + 1
+        # Namespace alias or using-directive; skip to ';'.
+        while j < end and toks[j].text != ";":
+            j += 1
+        return j + 1
+
+    def _enter_class(self, i: int, end: int, ctx: list[str]) -> int:
+        toks = self.toks
+        j = i + 1
+        name = ""
+        # Skip attribute-style macros: `class CANDLE_CAPABILITY("x") Name`.
+        while j < end:
+            if toks[j].kind == "id":
+                if j + 1 < end and toks[j + 1].text == "(":
+                    j = match_paren(toks, j + 1) + 1
+                    continue
+                name = toks[j].text
+                j += 1
+                break
+            j += 1
+        # Find the body '{' or a ';' (forward declaration) first.
+        while j < end and toks[j].text not in ("{", ";"):
+            if toks[j].text == "(":  # e.g. a macro in the base clause
+                j = match_paren(toks, j)
+            j += 1
+        if j >= end or toks[j].text == ";":
+            return j + 1
+        close = match_paren(toks, j)
+        self.scan_scope(j + 1, close, ctx + [name])
+        return close + 1
+
+    def _skip_enum(self, i: int, end: int) -> int:
+        toks = self.toks
+        j = i
+        while j < end and toks[j].text not in ("{", ";"):
+            j += 1
+        if j < end and toks[j].text == "{":
+            j = match_paren(toks, j)
+            while j < end and toks[j].text != ";":
+                j += 1
+        return j + 1
+
+    def _scan_statement(self, i: int, end: int, ctx: list[str]) -> int:
+        """Scans one declaration-scope statement starting at i. Detects
+        function definitions; otherwise extracts typed declarations."""
+        toks = self.toks
+        stmt_start = i
+        j = i
+        while j < end:
+            text = toks[j].text
+            if text == ";":
+                self._extract_decls(stmt_start, j, ctx, None)
+                return j + 1
+            if text == "}":
+                self._extract_decls(stmt_start, j, ctx, None)
+                return j
+            if text == "{":
+                # Brace-initialized variable (or stray block): skip.
+                close = match_paren(toks, j)
+                k = close + 1
+                if k < end and toks[k].text == ";":
+                    self._extract_decls(stmt_start, k, ctx, None)
+                    return k + 1
+                self._extract_decls(stmt_start, close, ctx, None)
+                return close + 1
+            if text == "(" and j > stmt_start and toks[j - 1].kind == "id" \
+                    and toks[j - 1].text not in _KEYWORDS:
+                handled, nxt = self._try_function(stmt_start, j, end, ctx)
+                if handled:
+                    return nxt
+                j = match_paren(toks, j) + 1
+                continue
+            j += 1
+        self._extract_decls(stmt_start, end, ctx, None)
+        return end
+
+    def _try_function(self, stmt_start: int, paren: int, end: int,
+                      ctx: list[str]) -> tuple[bool, int]:
+        """Called with `paren` at the '(' following an identifier. Returns
+        (True, next_index) when a function definition body was consumed."""
+        toks = self.toks
+        close = match_paren(toks, paren)
+        # Walk the trailer: specifiers, attribute macros, trailing return.
+        j = close + 1
+        while j < end:
+            text = toks[j].text
+            if toks[j].kind == "id" or text in ("&", "&&", "*", "->", "::",
+                                                "<", ">", ",", "..."):
+                j += 1
+                continue
+            if text == "(":
+                j = match_paren(toks, j) + 1
+                continue
+            if text == ";":
+                return False, 0  # declaration / prototype
+            if text == "=":
+                return False, 0  # `= default` / `= delete` / initializer
+            if text == ":":
+                j = self._skip_ctor_inits(j + 1, end)
+                if j < end and toks[j].text == "{":
+                    break
+                return False, 0
+            if text == "{":
+                break
+            return False, 0
+        if j >= end or toks[j].text != "{":
+            return False, 0
+        body_close = match_paren(toks, j)
+        name, cls = self._function_name(paren, ctx)
+        fn = Function(name=name,
+                      qualname="::".join([c for c in ctx if c] + [name]),
+                      cls=cls, path=self.model.path, line=toks[paren].line)
+        # Parameters may declare Tensor/MappedFrame/condvar references.
+        self._extract_decls(paren + 1, close, ctx, fn)
+        self._scan_body(fn, j + 1, body_close, ctx)
+        self.model.functions.append(fn)
+        return True, body_close + 1
+
+    def _skip_ctor_inits(self, i: int, end: int) -> int:
+        """Skips `name(args), name{args}, ...` and returns the index of the
+        body '{'."""
+        toks = self.toks
+        j = i
+        while j < end:
+            text = toks[j].text
+            if toks[j].kind == "id" or text in ("::", ","):
+                j += 1
+                continue
+            if text in ("(", "{"):
+                # An opener directly after an identifier is an initializer;
+                # otherwise it is the constructor body.
+                if j > i and (toks[j - 1].kind == "id"
+                              or toks[j - 1].text == ">"):
+                    j = match_paren(toks, j) + 1
+                    continue
+                return j
+            if text == "<":  # templated base initializer
+                j += 1
+                continue
+            if text == ">":
+                j += 1
+                continue
+            return j
+        return j
+
+    def _function_name(self, paren: int, ctx: list[str]) -> tuple[str, str]:
+        """Name and owning class for the function whose '(' is at paren."""
+        toks = self.toks
+        parts: list[str] = []
+        j = paren - 1
+        while j >= 0 and (toks[j].kind == "id" or toks[j].text in ("::", "~")):
+            if toks[j].kind == "id":
+                parts.append(toks[j].text)
+            if toks[j].text == "::" or toks[j].kind == "id":
+                j -= 1
+                continue
+            j -= 1
+        parts.reverse()
+        name = parts[-1] if parts else "<anon>"
+        # `World::run` defined out of class: the owning class is the
+        # second-to-last qualifier; otherwise the innermost class context.
+        cls = ""
+        if len(parts) >= 2 and toks[paren - 2].text == "::":
+            cls = parts[-2]
+        else:
+            for c in reversed(ctx):
+                if c and c != "<anon>":
+                    cls = c
+                    break
+        return name, cls
+
+    # ---------------- declarations ----------------
+
+    def _extract_decls(self, start: int, end: int, ctx: list[str],
+                       fn: Function | None) -> None:
+        toks = self.toks
+        cls = ""
+        for c in reversed(ctx):
+            if c and c != "<anon>":
+                cls = c
+                break
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.kind != "id":
+                i += 1
+                continue
+            text = t.text
+            nxt = toks[i + 1] if i + 1 < end else None
+            if text == "AnnotatedMutex" and nxt is not None \
+                    and nxt.kind == "id":
+                decl = self._mutex_decl(i + 1, end, cls, annotated=True)
+                (fn.local_mutexes if fn is not None
+                 else self.model.mutexes).append(decl)
+                i += 2
+                continue
+            if text == "mutex" and self._prev_is_std(i) and nxt is not None \
+                    and nxt.kind == "id":
+                decl = self._mutex_decl(i + 1, end, cls, annotated=False)
+                (fn.local_mutexes if fn is not None
+                 else self.model.mutexes).append(decl)
+                i += 2
+                continue
+            if text in ("AnnotatedCondVar", "condition_variable",
+                        "condition_variable_any") and nxt is not None \
+                    and nxt.kind == "id":
+                self.model.condvars.add(nxt.text)
+                i += 2
+                continue
+            if text == "Tensor":
+                var = self._declared_name(i + 1, end)
+                if var:
+                    self.model.tensors.add(var)
+                i += 1
+                continue
+            if text in ("unordered_map", "unordered_set", "unordered_multimap",
+                        "unordered_multiset"):
+                var = self._after_template_name(i + 1, end)
+                if var:
+                    self.model.unordered.add(var)
+                i += 1
+                continue
+            if text == "MappedFrame":
+                var = self._declared_name(i + 1, end)
+                if var:
+                    self.model.mapped_frames.add(var)
+                i += 1
+                continue
+            if text == "thread_local":
+                var = self._thread_local_name(i + 1, end)
+                if var:
+                    self.model.thread_locals.add(var)
+                i += 1
+                continue
+            if text == "vector" and self._tokens_match(
+                    i + 1, ("<", "std", "::", "thread", ">")):
+                var = self._after_template_name(i + 1, end)
+                if var:
+                    self.model.thread_vectors.add(var)
+                i += 1
+                continue
+            if text == "constexpr":
+                self._maybe_level_constant(i, end)
+                i += 1
+                continue
+            i += 1
+
+    def _prev_is_std(self, i: int) -> bool:
+        toks = self.toks
+        return (i >= 2 and toks[i - 1].text == "::"
+                and toks[i - 2].text == "std")
+
+    def _tokens_match(self, i: int, texts: tuple[str, ...]) -> bool:
+        toks = self.toks
+        return all(i + k < len(toks) and toks[i + k].text == texts[k]
+                   for k in range(len(texts)))
+
+    def _mutex_decl(self, name_idx: int, end: int, cls: str,
+                    annotated: bool) -> MutexDecl:
+        toks = self.toks
+        decl = MutexDecl(var=toks[name_idx].text, cls=cls,
+                         line=toks[name_idx].line, annotated=annotated)
+        j = name_idx + 1
+        if j < end and toks[j].text in ("{", "("):
+            close = match_paren(toks, j)
+            for k in range(j, close):
+                if toks[k].text == "CANDLE_LOCK_LEVEL" \
+                        and toks[k + 1].text == "(":
+                    arg_close = match_paren(toks, k + 1)
+                    decl.level_text = "".join(
+                        tk.text for tk in toks[k + 2:arg_close])
+                if toks[k].kind == "str":
+                    decl.name_str = toks[k].text.strip('"')
+        return decl
+
+    def _declared_name(self, i: int, end: int) -> str:
+        """Identifier declared after a type name: skips const/&/*."""
+        toks = self.toks
+        j = i
+        while j < end and (toks[j].text in ("&", "*", "const", "&&")):
+            j += 1
+        if j < end and toks[j].kind == "id":
+            follow = toks[j + 1].text if j + 1 < end else ";"
+            if follow in (";", "=", ",", ")", "{", "(", "["):
+                return toks[j].text
+        return ""
+
+    def _after_template_name(self, i: int, end: int) -> str:
+        """Identifier declared after `<...>` template arguments."""
+        toks = self.toks
+        if i >= end or toks[i].text != "<":
+            return ""
+        depth = 0
+        j = i
+        while j < end:
+            if toks[j].text == "<":
+                depth += 1
+            elif toks[j].text == ">":
+                depth -= 1
+                if depth == 0:
+                    return self._declared_name(j + 1, end)
+            elif toks[j].text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return self._declared_name(j + 1, end)
+            j += 1
+        return ""
+
+    def _thread_local_name(self, i: int, end: int) -> str:
+        toks = self.toks
+        stop = i
+        while stop < end and toks[stop].text not in ("=", ";", "{"):
+            stop += 1
+        # Strip a trailing array extent: `thread_local Held t[kMax];`.
+        j = stop - 1
+        if j > i and toks[j].text == "]":
+            while j > i and toks[j].text != "[":
+                j -= 1
+            j -= 1
+        while j >= i and toks[j].kind != "id":
+            j -= 1
+        return toks[j].text if j >= i else ""
+
+    def _maybe_level_constant(self, i: int, end: int) -> None:
+        """`inline constexpr int kName = 42;` => level constant."""
+        if self._tokens_match(i, ("constexpr", "int")):
+            toks = self.toks
+            if i + 2 < end and toks[i + 2].kind == "id" \
+                    and _LEVEL_CONST_RE.match(toks[i + 2].text) \
+                    and i + 4 < end and toks[i + 3].text == "=" \
+                    and toks[i + 4].kind == "num":
+                try:
+                    self.model.level_constants[toks[i + 2].text] = int(
+                        toks[i + 4].text)
+                except ValueError:
+                    pass
+
+    # ---------------- function bodies ----------------
+
+    def _scan_body(self, fn: Function, start: int, end: int,
+                   ctx: list[str]) -> None:
+        toks = self.toks
+        model = self.model
+        depth = 0
+        # Active RAII acquisitions: (Acquire, depth). Explicit .lock()
+        # acquisitions use depth -1 (live until .unlock or function end).
+        active: list[tuple[Acquire, int]] = []
+        i = start
+        while i < end:
+            t = toks[i]
+            text = t.text
+            if text == "{":
+                depth += 1
+                i += 1
+                continue
+            if text == "}":
+                depth -= 1
+                while active and active[-1][1] > depth >= 0 \
+                        and active[-1][1] >= 0:
+                    active.pop()
+                i += 1
+                continue
+
+            if t.kind != "id":
+                i += 1
+                continue
+
+            # Local typed declarations (AnnotatedMutex locals, Tensor
+            # locals, MappedFrame locals...) share the file-level extractor.
+            if text in ("AnnotatedMutex", "Tensor", "MappedFrame",
+                        "thread_local", "AnnotatedCondVar") or \
+                    text in ("unordered_map", "unordered_set"):
+                self._extract_decls(i, min(self._stmt_end(i, end) + 1, end),
+                                    ctx, fn if text == "AnnotatedMutex"
+                                    else None)
+                if text == "MappedFrame":
+                    self._check_frame_temporary(fn, i, end)
+                    i += 1
+                    continue
+
+            # RAII lock: MutexLock lock(mu); / std::lock_guard<M> l(mu);
+            if text in _RAII_LOCKS:
+                j = i + 1
+                if j < end and toks[j].text == "<":
+                    j = self._skip_template(j)
+                if j < end and toks[j].kind == "id" and j + 1 < end \
+                        and toks[j + 1].text in ("(", "{"):
+                    close = match_paren(toks, j + 1)
+                    args = split_args(toks, j + 1, close)
+                    if args:
+                        mu = self._expr_text(args[0])
+                        acq = Acquire(mutex=mu, line=t.line)
+                        self._note_acquire(fn, active, acq, depth)
+                        i = close + 1
+                        continue
+
+            # Explicit x.lock() / x.unlock().
+            if text in ("lock", "unlock") and i > start \
+                    and toks[i - 1].text in (".", "->") \
+                    and i + 1 < end and toks[i + 1].text == "(":
+                base = self._receiver_chain(i - 1)
+                if text == "lock":
+                    acq = Acquire(mutex=base, line=t.line)
+                    self._note_acquire(fn, active, acq, -1)
+                else:
+                    for k in range(len(active) - 1, -1, -1):
+                        if active[k][0].mutex == base:
+                            del active[k]
+                            break
+                i = match_paren(toks, i + 1) + 1
+                continue
+
+            # Condvar waits.
+            if text in ("wait", "wait_for", "wait_until") and i > start \
+                    and toks[i - 1].text in (".", "->") \
+                    and i + 1 < end and toks[i + 1].text == "(":
+                close = match_paren(toks, i + 1)
+                nargs = len(split_args(toks, i + 1, close))
+                model.waits.append(Wait(receiver=self._receiver_chain(i - 1),
+                                        method=text, line=t.line,
+                                        nargs=nargs))
+                i += 2
+                continue
+
+            # Thread sites.
+            if text in ("thread", "jthread") and self._prev_is_std(i):
+                nxt = toks[i + 1] if i + 1 < end else None
+                if nxt is not None and nxt.text != "::":
+                    if nxt.text in ("(", "{"):
+                        model.thread_sites.append(
+                            ThreadSite(kind=text, line=t.line))
+                    elif nxt.kind == "id" and i + 2 < end \
+                            and toks[i + 2].text in ("(", "{"):
+                        model.thread_sites.append(
+                            ThreadSite(kind=text, line=t.line))
+                i += 1
+                continue
+            if text == "async" and self._prev_is_std(i) and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                model.thread_sites.append(ThreadSite(kind="async",
+                                                     line=t.line))
+                i += 1
+                continue
+            if text == "detach" and i > start \
+                    and toks[i - 1].text in (".", "->") \
+                    and i + 1 < end and toks[i + 1].text == "(":
+                model.thread_sites.append(ThreadSite(kind="detach",
+                                                     line=t.line))
+                i += 1
+                continue
+            if text in ("emplace_back", "push_back") and i > start \
+                    and toks[i - 1].text in (".", "->") \
+                    and self._receiver_chain(i - 1) in model.thread_vectors \
+                    and i + 1 < end and toks[i + 1].text == "(":
+                model.thread_sites.append(ThreadSite(kind="emplace",
+                                                     line=t.line))
+                i += 1
+                continue
+
+            # Range-for.
+            if text == "for" and i + 1 < end and toks[i + 1].text == "(":
+                close = match_paren(toks, i + 1)
+                colon = self._top_level_colon(i + 1, close)
+                if colon is not None:
+                    for k in range(colon + 1, close):
+                        if toks[k].kind == "id":
+                            model.range_fors.append(
+                                RangeFor(base=toks[k].text, line=t.line))
+                            break
+                i += 1
+                continue
+
+            # parallel_for lambdas.
+            if text == "parallel_for" and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                close = match_paren(toks, i + 1)
+                self._scan_parallel_lambda(i + 1, close)
+                # Fall through: also record the call itself below.
+
+            # return <frame>.row(...) / .payload(...) escape.
+            if text == "return":
+                self._check_frame_return(fn, i, end)
+                i += 1
+                continue
+
+            # Subscripts on a plain identifier chain.
+            if i + 1 < end and toks[i + 1].text == "[" \
+                    and text not in _KEYWORDS:
+                model.subscripts.append(Subscript(base=text, line=t.line))
+                i += 1
+                continue
+
+            # Generic calls (with held-lock context). Qualified calls keep
+            # their qualifier (`std::to_string`) so they never alias a
+            # bare project function name during propagation.
+            if i + 1 < end and toks[i + 1].text == "(" \
+                    and text not in _KEYWORDS:
+                close = match_paren(toks, i + 1)
+                nargs = len(split_args(toks, i + 1, close))
+                receiver = ""
+                name = text
+                if i > start and toks[i - 1].text in (".", "->"):
+                    receiver = self._receiver_chain(i - 1)
+                elif i >= 2 and toks[i - 1].text == "::":
+                    name = f"{toks[i - 2].text}::{text}"
+                fn.calls.append(Call(
+                    name=name, receiver=receiver, line=t.line, nargs=nargs,
+                    held=tuple(a.mutex for a, _ in active)))
+                i += 1
+                continue
+
+            i += 1
+
+    def _note_acquire(self, fn: Function, active: list[tuple[Acquire, int]],
+                      acq: Acquire, depth: int) -> None:
+        fn.acquires.append(acq)
+        if active:
+            fn.nested_pairs.append((active[-1][0], acq))
+        active.append((acq, depth))
+
+    def _stmt_end(self, i: int, end: int) -> int:
+        toks = self.toks
+        j = i
+        while j < end and toks[j].text != ";":
+            if toks[j].text in ("{", "("):
+                j = match_paren(toks, j)
+            j += 1
+        return j
+
+    def _expr_text(self, rng: tuple[int, int]) -> str:
+        return "".join(t.text for t in self.toks[rng[0]:rng[1]])
+
+    def _receiver_chain(self, dot_idx: int) -> str:
+        """Last identifier of the expression before '.'/'->' at dot_idx."""
+        toks = self.toks
+        j = dot_idx - 1
+        if j >= 0 and toks[j].text == ")":
+            return "<call>"
+        if j >= 0 and toks[j].kind == "id":
+            return toks[j].text
+        return ""
+
+    def _top_level_colon(self, open_idx: int, close_idx: int) -> int | None:
+        toks = self.toks
+        depth = 0
+        for j in range(open_idx + 1, close_idx):
+            text = toks[j].text
+            if toks[j].kind != "punct":
+                continue
+            if text in ("([{"):
+                depth += 1
+            elif text in (")]}"):
+                depth -= 1
+            elif text == ":" and depth == 0:
+                return j
+            elif text == "::":
+                continue
+        return None
+
+    def _scan_parallel_lambda(self, open_idx: int, close_idx: int) -> None:
+        """Finds the lambda argument of a parallel_for call and records its
+        body facts for the determinism checks."""
+        toks = self.toks
+        j = open_idx + 1
+        while j < close_idx:
+            if toks[j].text == "[" and toks[j - 1].text in ("(", ","):
+                cap_close = match_paren(toks, j)
+                k = cap_close + 1
+                params: set[str] = set()
+                if k < close_idx and toks[k].text == "(":
+                    p_close = match_paren(toks, k)
+                    for idx in range(k + 1, p_close):
+                        if toks[idx].kind == "id" and idx + 1 <= p_close \
+                                and toks[idx + 1].text in (",", ")"):
+                            params.add(toks[idx].text)
+                    k = p_close + 1
+                # Skip specifier/attribute tokens up to the body.
+                while k < close_idx and toks[k].text != "{":
+                    if toks[k].text == "(":
+                        k = match_paren(toks, k)
+                    k += 1
+                if k >= close_idx:
+                    return
+                body_close = match_paren(toks, k)
+                lam = ParallelLambda(line=toks[j].line, params=params,
+                                     locals_=set())
+                for idx in range(k + 1, body_close):
+                    t = toks[idx]
+                    if t.kind != "id":
+                        continue
+                    lam.used_ids.add(t.text)
+                    prev = toks[idx - 1]
+                    if prev.kind == "id" and (prev.text in _LOCAL_TYPE_HINTS
+                                              or prev.text == "const"):
+                        lam.locals_.add(t.text)
+                    nxt = toks[idx + 1] if idx + 1 < body_close else None
+                    if nxt is not None and nxt.text in ("+=", "-=", "*=") \
+                            and prev.text not in (".", "->", "]"):
+                        lam.compound_assigns.append((t.text, t.line))
+                self.model.parallel_lambdas.append(lam)
+                return
+            if toks[j].text in ("(", "{", "["):
+                j = match_paren(toks, j)
+            j += 1
+
+    def _check_frame_temporary(self, fn: Function, i: int, end: int) -> None:
+        """MappedFrame(...).row(...) — span taken from a temporary."""
+        toks = self.toks
+        j = i + 1
+        if j < end and toks[j].text in ("(", "{"):
+            close = match_paren(toks, j)
+            if close + 2 < end and toks[close + 1].text == "." \
+                    and toks[close + 2].text in ("row", "payload"):
+                self.model.span_escapes.append(SpanEscape(
+                    line=toks[i].line, what="temporary",
+                    detail="span taken from a temporary MappedFrame"))
+
+    def _check_frame_return(self, fn: Function, i: int, end: int) -> None:
+        """return <local frame>.row(...) — span outlives its frame."""
+        toks = self.toks
+        j = i + 1
+        if j + 2 < end and toks[j].kind == "id" \
+                and toks[j + 1].text in (".", "->") \
+                and toks[j + 2].text in ("row", "payload") \
+                and toks[j].text in self._body_frame_locals(fn):
+            self.model.span_escapes.append(SpanEscape(
+                line=toks[i].line, what="return-local",
+                detail=f"returns a span into local MappedFrame "
+                       f"'{toks[j].text}'"))
+
+    def _body_frame_locals(self, fn: Function) -> set[str]:
+        # Coarse: any MappedFrame name seen in this file. Parameters are
+        # conservatively included only when declared by value; reference
+        # params share the name set — acceptable for a fixture-level check.
+        return self.model.mapped_frames

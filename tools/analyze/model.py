@@ -1,0 +1,149 @@
+"""Shared intermediate representation for candle-analyze.
+
+Both frontends (lexical and libclang) lower a translation unit into a
+FileModel; the checks consume only this IR, so they are frontend-agnostic.
+The IR is deliberately coarse: it models exactly the constructs the
+project-specific checks reason about (lock acquisitions, calls with the
+held-lock context, parallel-region lambda bodies, a handful of typed
+declarations), not general C++ semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from cpplex import LexedFile
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str
+    path: str  # repo-relative (virtual path for fixtures)
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+@dataclass
+class MutexDecl:
+    """An AnnotatedMutex (or raw std::mutex) declaration."""
+    var: str                 # declared identifier
+    cls: str                 # innermost enclosing class ('' for globals)
+    line: int
+    annotated: bool          # AnnotatedMutex vs raw std::mutex
+    level_text: str = ""     # argument text of CANDLE_LOCK_LEVEL(...)
+    level: int | None = None  # resolved numeric level
+    name_str: str = ""       # diagnostic name string literal, if present
+
+
+@dataclass
+class Acquire:
+    """One lock acquisition inside a function body."""
+    mutex: str               # source text of the locked expression
+    line: int
+    level: int | None = None  # resolved by the lock-hierarchy check
+
+
+@dataclass
+class Call:
+    """A call site, with the locks held at that point."""
+    name: str                # callee name (last identifier before '(')
+    receiver: str            # 'x' for x.f()/x->f(), '' for free calls
+    line: int
+    nargs: int
+    held: tuple[str, ...]    # mutex expressions held at the call
+
+
+@dataclass
+class Wait:
+    """A condition-variable wait call."""
+    receiver: str
+    method: str              # wait | wait_for | wait_until
+    line: int
+    nargs: int
+
+
+@dataclass
+class ThreadSite:
+    """A thread-creation (or detach) site."""
+    kind: str                # thread | jthread | async | detach | emplace
+    line: int
+
+
+@dataclass
+class Subscript:
+    base: str                # subscripted expression's last component
+    line: int
+
+
+@dataclass
+class RangeFor:
+    base: str                # iterated expression's last component
+    line: int
+
+
+@dataclass
+class ParallelLambda:
+    """Body of a lambda passed to parallel_for (or Pool::run)."""
+    line: int
+    params: set[str]         # lambda parameter names
+    locals_: set[str]        # identifiers declared inside the body
+    compound_assigns: list[tuple[str, int]] = field(default_factory=list)
+    used_ids: set[str] = field(default_factory=set)
+
+
+@dataclass
+class SpanEscape:
+    """A span/pointer derived from a MappedFrame that escapes its frame."""
+    line: int
+    what: str                # 'return-local' | 'temporary'
+    detail: str
+
+
+@dataclass
+class Function:
+    name: str
+    qualname: str            # Namespace::Class::name as written
+    cls: str                 # innermost enclosing class ('' for free)
+    path: str
+    line: int
+    acquires: list[Acquire] = field(default_factory=list)
+    nested_pairs: list[tuple[Acquire, Acquire]] = field(default_factory=list)
+    calls: list[Call] = field(default_factory=list)
+    local_mutexes: list[MutexDecl] = field(default_factory=list)
+
+
+@dataclass
+class FileModel:
+    path: str                # repo-relative path used in findings
+    lexed: LexedFile
+    functions: list[Function] = field(default_factory=list)
+    mutexes: list[MutexDecl] = field(default_factory=list)
+    condvars: set[str] = field(default_factory=set)
+    tensors: set[str] = field(default_factory=set)
+    unordered: set[str] = field(default_factory=set)
+    thread_locals: set[str] = field(default_factory=set)
+    mapped_frames: set[str] = field(default_factory=set)  # local/param names
+    thread_vectors: set[str] = field(default_factory=set)
+    waits: list[Wait] = field(default_factory=list)
+    thread_sites: list[ThreadSite] = field(default_factory=list)
+    subscripts: list[Subscript] = field(default_factory=list)
+    range_fors: list[RangeFor] = field(default_factory=list)
+    parallel_lambdas: list[ParallelLambda] = field(default_factory=list)
+    span_escapes: list[SpanEscape] = field(default_factory=list)
+    level_constants: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Project:
+    """Everything the checks see: one FileModel per analyzed file."""
+    files: list[FileModel]
+    level_constants: dict[str, int] = field(default_factory=dict)
+
+    def finish(self) -> None:
+        """Merge per-file level-constant tables (lock_order.h defines them;
+        fixtures may use bare integers only)."""
+        for f in self.files:
+            self.level_constants.update(f.level_constants)

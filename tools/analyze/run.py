@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""candle-analyze: project-specific determinism & concurrency analyzer.
+
+Usage:
+  python3 tools/analyze/run.py --build build          # analyze the repo
+  python3 tools/analyze/run.py --selftest             # fixture self-tests
+  python3 tools/analyze/run.py --fixture tools/analyze/fixtures/foo.cpp
+  python3 tools/analyze/run.py --list-checks
+
+Exits non-zero when any finding survives suppression filtering. Suppress a
+finding in source with `// candle-analyze: allow(<check>[, <check>...])`
+on the same or the preceding line. See README "Static analysis".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import engine  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="candle-analyze",
+        description="project-specific determinism & concurrency analyzer")
+    parser.add_argument("--build", type=Path, default=None,
+                        help="build directory (for compile_commands.json)")
+    parser.add_argument("--repo", type=Path, default=engine.repo_root(),
+                        help="repository root (default: auto-detected)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "lexical", "libclang"),
+                        help="parsing frontend (default: auto — libclang "
+                             "when available, else lexical)")
+    parser.add_argument("--fixture", type=Path, default=None,
+                        help="analyze one fixture file under its declared "
+                             "virtual path; exits non-zero on findings")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture self-tests and exit")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list check ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        from checks import CHECK_IDS
+        print("\n".join(CHECK_IDS))
+        return 0
+
+    if args.selftest:
+        import selftest
+        return selftest.run(args.frontend)
+
+    if args.fixture is not None:
+        findings = engine.analyze_fixture(args.fixture, args.frontend)
+        for f in findings:
+            print(f.render())
+        print(f"candle-analyze: {len(findings)} finding(s) in fixture "
+              f"{args.fixture}")
+        return 1 if findings else 0
+
+    repo = args.repo.resolve()
+    files = engine.collect_files(repo, args.build)
+    if not files:
+        print("candle-analyze: no source files found", file=sys.stderr)
+        return 2
+    findings = engine.analyze_paths(files, repo, args.frontend)
+    for f in findings:
+        print(f.render())
+    print(f"candle-analyze: {len(findings)} finding(s) across "
+          f"{len(files)} files")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Fixture self-tests for candle-analyze.
+
+Each fixture under tools/analyze/fixtures/ declares its virtual repo path
+and the exact findings it must produce:
+
+    // candle-analyze-fixture: virtual-path=src/hvd/fixture_x.cpp
+    // candle-analyze-fixture: expect=determinism-unordered:13
+
+The self-test is strict in both directions: every expected (check, line)
+must be reported, and no finding outside the expected set may appear —
+so it catches both broken checks and false-positive drift. A fixture with
+no expect lines (the clean fixture) must produce zero findings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import engine  # noqa: E402
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+
+def parse_expects(text: str) -> set[tuple[str, int]]:
+    expects: set[tuple[str, int]] = set()
+    for line in text.splitlines():
+        s = line.strip()
+        if not s.startswith("// candle-analyze-fixture:"):
+            continue
+        body = s.split(":", 1)[1].strip()
+        if body.startswith("expect="):
+            check, _, ln = body[len("expect="):].partition(":")
+            expects.add((check.strip(), int(ln)))
+    return expects
+
+
+def run(frontend: str = "auto") -> int:
+    fixtures = sorted(FIXTURES_DIR.glob("*.cpp"))
+    if not fixtures:
+        print("candle-analyze selftest: no fixtures found", file=sys.stderr)
+        return 2
+    failures = 0
+    total_expects = 0
+    for fx in fixtures:
+        expects = parse_expects(fx.read_text(encoding="utf-8"))
+        total_expects += len(expects)
+        findings = engine.analyze_fixture(fx, frontend)
+        got = {(f.check, f.line) for f in findings}
+        missing = sorted(expects - got)
+        unexpected = sorted(got - expects)
+        if missing or unexpected:
+            failures += 1
+            print(f"FAIL {fx.name}")
+            for check, line in missing:
+                print(f"  missing expected finding: [{check}] line {line}")
+            for check, line in unexpected:
+                msg = next((f.message for f in findings
+                            if (f.check, f.line) == (check, line)), "")
+                print(f"  unexpected finding: [{check}] line {line}: {msg}")
+        else:
+            print(f"PASS {fx.name} "
+                  f"({len(expects)} expected finding(s) matched)")
+    if total_expects == 0:
+        print("candle-analyze selftest: no fixture declares any expected "
+              "finding — fixtures are not exercising the checks",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"candle-analyze selftest: {failures}/{len(fixtures)} "
+              f"fixture(s) failed")
+        return 1
+    print(f"candle-analyze selftest: {len(fixtures)} fixture(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -8,15 +8,16 @@ Enforces the conventions clang-tidy does not cover:
   * no naked `new` / `delete` (ownership goes through containers and
     std::make_unique; placement/comment/string occurrences are ignored)
   * include hygiene: in-repo headers are included with quotes and a
-    src/-relative path, system headers with angle brackets; a .cpp's first
-    include is its own header (self-contained-header check)
-  * no raw std::thread / std::jthread outside the sanctioned spawn sites
-    (common/parallel.cpp owns intra-node workers; comm/ owns the
-    rank-per-thread harness; hvd/ owns that harness's distributed layer and
-    the per-rank BucketScheduler comm thread that overlaps allreduce with
-    backward; tests may spawn threads to exercise them) — everything else
-    must go through candle::parallel
+    root-relative path (src/-relative for src/ headers; bench/, examples/,
+    and tests/ headers are indexed relative to their own root), system
+    headers with angle brackets; a .cpp's first include is its own header
+    (self-contained-header check)
   * no tabs, no trailing whitespace, LF line endings, newline at EOF
+
+Thread-spawn sanctioning (formerly a regex here) moved to candle-analyze
+(tools/analyze/run.py, check id `thread-site`), which resolves spawn sites
+at the token level — including std::async, detached threads, and growth of
+std::thread containers — instead of pattern-matching lines.
 
 Usage:
   tools/lint.py            # lint the whole repo
@@ -90,33 +91,23 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 # Deleted special members: `MutexLock(const MutexLock&) = delete;` must not
 # trip the naked-delete check.
 DELETED_MEMBER_RE = re.compile(r"=\s*delete")
-# Raw thread spawns: all intra-node parallelism goes through the shared
-# candle::parallel pool. `std::thread::hardware_concurrency()` is a static
-# query, not a spawn, and stays allowed everywhere.
-RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)")
-# Relative path prefixes where constructing std::thread is sanctioned.
-THREAD_SPAWN_ALLOWED = (
-    "src/common/parallel.cpp",  # the pool itself
-    "src/comm/",                # rank-per-thread communicator harness
-    "src/hvd/",                 # distributed-training harness, incl. the
-                                # BucketScheduler's per-rank comm thread
-                                # (bucket_scheduler.cpp) — a long-lived
-                                # collective-issuing thread, deliberately
-                                # not a candle::parallel worker
-    "src/nn/batch_pipeline.",   # the input pipeline's batch producer — a
-                                # long-lived staging thread that blocks on
-                                # slot hand-offs, deliberately not a
-                                # candle::parallel worker
-    "tests/",                   # concurrency stress tests
-)
+
+# Roots whose headers form the include namespace. src/ headers are included
+# as "comm/communicator.h"; bench/examples/tests headers relative to their
+# own root ("harness.h").
+HEADER_ROOTS = ("src", "bench", "examples", "tests")
 
 
 class Linter:
     def __init__(self) -> None:
         self.violations: list[str] = []
-        self.known_headers = {
-            str(p.relative_to(SRC_ROOT)) for p in SRC_ROOT.rglob("*.h")
-        }
+        self.known_headers: set[str] = set()
+        for d in HEADER_ROOTS:
+            root = REPO_ROOT / d
+            if root.is_dir():
+                self.known_headers |= {
+                    str(p.relative_to(root)) for p in root.rglob("*.h")
+                }
 
     def report(self, path: Path, line_no: int, rule: str, msg: str) -> None:
         try:
@@ -154,19 +145,9 @@ class Linter:
             if (NAKED_DELETE_RE.search(code)
                     and not DELETED_MEMBER_RE.search(code)):
                 self.report(path, i, "naked-delete", "naked `delete`")
-            if RAW_THREAD_RE.search(code) and not self.thread_allowed(path):
-                self.report(path, i, "raw-thread",
-                            "raw std::thread spawn (use candle::parallel)")
             # The include check reads the raw line: the stripper blanks
             # string-literal contents, which is exactly the include target.
             self.lint_include(path, i, line)
-
-    def thread_allowed(self, path: Path) -> bool:
-        try:
-            rel = path.relative_to(REPO_ROOT).as_posix()
-        except ValueError:
-            return True  # out-of-repo file lists (CI changed-files mode)
-        return rel.startswith(THREAD_SPAWN_ALLOWED)
 
     def lint_header(self, path: Path, lines: list[str]) -> None:
         if not any(line.strip() == "#pragma once" for line in lines):
