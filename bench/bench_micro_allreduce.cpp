@@ -1,9 +1,12 @@
-// Micro-benchmarks of the communication substrate: ring vs naive allreduce,
-// broadcast, the tensor-fusion ablation (fused vs per-tensor), and the
-// backward-overlap ablation (overlapped vs synchronous gradient exchange).
+// Micro-benchmarks of the communication substrate: ring vs naive vs
+// hierarchical allreduce, broadcast, the tensor-fusion ablation (fused vs
+// per-tensor), the backward-overlap ablation (overlapped vs synchronous
+// gradient exchange), and the collective algorithm x wire-dtype sweep under
+// the emulated interconnect (BENCH_collectives.json).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "comm/communicator.h"
@@ -33,6 +36,27 @@ void BM_AllreduceNaive(benchmark::State& state) {
   const auto elems = static_cast<std::size_t>(state.range(1));
   comm::WorldOptions opt;
   opt.allreduce_algo = comm::AllreduceAlgo::kNaive;
+  for (auto _ : state) {
+    comm::World::run(
+        ranks,
+        [&](comm::Communicator& c) {
+          std::vector<float> data(elems, static_cast<float>(c.rank()));
+          for (int i = 0; i < 8; ++i) c.allreduce_sum(data);
+        },
+        opt);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8 *
+                          static_cast<int64_t>(elems * sizeof(float)));
+}
+
+void BM_AllreduceHierarchical(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  comm::WorldOptions opt;
+  opt.allreduce_algo = comm::AllreduceAlgo::kHierarchical;
+  // Two ranks per modeled node, so every configuration from 4 ranks on
+  // exercises the inter-node leader ring, not just the intra-node phases.
+  opt.ranks_per_node = 2;
   for (auto _ : state) {
     comm::World::run(
         ranks,
@@ -79,6 +103,9 @@ BENCHMARK(BM_AllreduceRing)
     ->Args({2, 1 << 16})->Args({4, 1 << 16})->Args({8, 1 << 16})
     ->Unit(benchmark::kMillisecond)->MinTime(0.4);
 BENCHMARK(BM_AllreduceNaive)
+    ->Args({2, 1 << 16})->Args({4, 1 << 16})->Args({8, 1 << 16})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.4);
+BENCHMARK(BM_AllreduceHierarchical)
     ->Args({2, 1 << 16})->Args({4, 1 << 16})->Args({8, 1 << 16})
     ->Unit(benchmark::kMillisecond)->MinTime(0.4);
 BENCHMARK(BM_Broadcast)
@@ -161,6 +188,61 @@ BENCHMARK(BM_OverlapStep)
     ->Args({8, 8, 0})->Args({8, 8, 1})
     ->Args({8, 64, 0})->Args({8, 64, 1})
     ->UseRealTime()->Unit(benchmark::kMillisecond)->MinTime(0.4);
+
+// Collective sweep: ranks x fusion bucket size x algorithm x wire dtype x
+// emulated wire bandwidth, one fused 16 MB gradient exchange per step. The
+// sim_net byte term is algorithm- and dtype-aware, so a compressed dtype
+// genuinely halves the emulated transfer and the hierarchical algorithm
+// pays only its inter-node share (ranks_per_node = 2 here). The bandwidth
+// axis spans the crossover: on the fast wire (8 GB/s, NVLink-class) the
+// codec's conversion cost outweighs the few ms of transfer it saves and
+// fp32 stays ahead; on the slow wire (100 MB/s, a congested fat-tree
+// share) halving the bytes buys far more than the conversions cost and
+// fp16/bf16 win. The extended RunSimulator model predicts the same
+// ordering flip (EXPERIMENTS.md). Committed as BENCH_collectives.json.
+void BM_CollectiveSweep(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const auto bucket_mb = static_cast<std::size_t>(state.range(1));
+  const auto algo = static_cast<comm::AllreduceAlgo>(state.range(2));
+  const auto dtype = static_cast<comm::WireDtype>(state.range(3));
+  const auto net_mbps = static_cast<std::size_t>(state.range(4));
+  constexpr std::size_t kLayers = 16;
+  constexpr std::size_t kElemsPerLayer = (1ull << 20) / sizeof(float);
+
+  comm::WorldOptions world;
+  world.allreduce_algo = algo;
+  world.ranks_per_node = 2;
+  hvd::FusionOptions opt;
+  opt.threshold_bytes = bucket_mb << 20;
+  opt.wire_dtype = dtype;
+  opt.sim_net_latency_s = 300e-6;
+  opt.sim_net_bytes_per_s = static_cast<double>(net_mbps) * 1.0e6;
+  for (auto _ : state) {
+    comm::World::run(
+        ranks,
+        [&](comm::Communicator& c) {
+          hvd::Context ctx(c);
+          std::vector<Tensor> grads;
+          for (std::size_t t = 0; t < kLayers; ++t)
+            grads.emplace_back(Shape{kElemsPerLayer}, 1.0f);
+          std::vector<Tensor*> ptrs;
+          for (auto& g : grads) ptrs.push_back(&g);
+          hvd::FusionBuffer buffer;
+          hvd::allreduce_average_fused(ctx, ptrs, opt, &buffer);
+        },
+        world);
+  }
+  state.SetLabel(std::string(comm::allreduce_algo_name(algo)) + "/" +
+                 comm::wire_dtype_name(dtype));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLayers * kElemsPerLayer *
+                                               sizeof(float)));
+}
+
+BENCHMARK(BM_CollectiveSweep)
+    ->ArgNames({"ranks", "bucket_mb", "algo", "dtype", "net_mbps"})
+    ->ArgsProduct({{4, 8}, {4, 16}, {0, 1, 2}, {0, 1, 2}, {100, 8000}})
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->MinTime(0.2);
 
 }  // namespace
 

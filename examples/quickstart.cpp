@@ -7,7 +7,8 @@
 //
 //   ./quickstart [--ranks N] [--epochs E] [--loader original|chunked|dask]
 //                [--overlap 0|1] [--level epoch|batch] [--cache 0|1]
-//                [--prefetch 0|1]
+//                [--prefetch 0|1] [--allreduce-algo ring|naive|hierarchical]
+//                [--wire-dtype fp32|fp16|bf16] [--ranks-per-node N]
 #include <cstdio>
 
 #include "candle/runner.h"
@@ -28,7 +29,11 @@ int main(int argc, char** argv) {
       .flag("cache", "load CSVs through the mmap binary cache (sharded "
             "reads under --level batch)", "0")
       .flag("prefetch", "stage batches on a producer thread (bit-identical)",
-            "0");
+            "0")
+      .flag("allreduce-algo", "ring | naive | hierarchical", "ring")
+      .flag("wire-dtype",
+            "gradient on-wire dtype: fp32 (bit-exact) | fp16 | bf16", "fp32")
+      .flag("ranks-per-node", "ranks per modeled node (Summit: 6)", "6");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -46,13 +51,23 @@ int main(int argc, char** argv) {
                                              : sim::ParallelLevel::kEpoch;
   config.cached_loads = cli.get_int("cache") != 0;
   config.prefetch = cli.get_int("prefetch") != 0;
+  config.allreduce_algo =
+      comm::parse_allreduce_algo(cli.get("allreduce-algo").c_str());
+  config.fusion.wire_dtype =
+      comm::parse_wire_dtype(cli.get("wire-dtype").c_str());
+  config.ranks_per_node =
+      static_cast<std::size_t>(cli.get_int("ranks-per-node"));
 
-  std::printf("NT3 quickstart: %zu ranks, %zu total epochs, loader=%s%s%s%s\n",
-              config.ranks, config.total_epochs,
-              io::loader_name(config.loader).c_str(),
-              config.fusion.overlap ? ", overlapped allreduce" : "",
-              config.cached_loads ? ", cached loads" : "",
-              config.prefetch ? ", prefetched batches" : "");
+  std::printf(
+      "NT3 quickstart: %zu ranks, %zu total epochs, loader=%s, "
+      "allreduce=%s/%s%s%s%s\n",
+      config.ranks, config.total_epochs,
+      io::loader_name(config.loader).c_str(),
+      comm::allreduce_algo_name(config.allreduce_algo),
+      comm::wire_dtype_name(config.fusion.wire_dtype),
+      config.fusion.overlap ? ", overlapped allreduce" : "",
+      config.cached_loads ? ", cached loads" : "",
+      config.prefetch ? ", prefetched batches" : "");
 
   const RealRunResult result = run_real(config);
 
@@ -77,5 +92,13 @@ int main(int argc, char** argv) {
               format_bytes(static_cast<double>(
                                result.comm_stats[0].bytes_sent))
                   .c_str());
+  const comm::CommStats& cs = result.comm_stats[0];
+  std::printf("On-wire allreduce bytes by dtype (rank 0): ");
+  for (const comm::WireDtype d :
+       {comm::WireDtype::kFp32, comm::WireDtype::kFp16,
+        comm::WireDtype::kBf16})
+    std::printf("%s=%s  ", comm::wire_dtype_name(d),
+                format_bytes(static_cast<double>(cs.wire_bytes(d))).c_str());
+  std::printf("\n");
   return 0;
 }

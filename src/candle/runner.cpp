@@ -131,7 +131,11 @@ RealRunResult run_real(const RealRunConfig& config) {
                               "runner::result_mutex"};
 
   comm::WorldOptions world_options;
-  world_options.ranks_per_node = 6;  // Summit layout (Fig 5b)
+  world_options.ranks_per_node = config.ranks_per_node;
+  world_options.allreduce_algo = config.allreduce_algo;
+  // The world default wire dtype stays fp32: gradient compression flows
+  // per bucket through config.fusion.wire_dtype, while broadcasts and
+  // scalar metric reductions always stay exact.
 
   result.comm_stats = comm::World::run(
       config.ranks,

@@ -57,7 +57,17 @@ struct RealRunConfig {
   // fusion.overlap = true reduces gradient buckets on a per-rank comm
   // thread during backward (PyTorch-DDP/Horovod-style overlap) instead of
   // a synchronous sweep after it; results are bit-identical either way.
+  // fusion.wire_dtype selects the on-wire gradient dtype (fp32 default;
+  // fp16/bf16 compress the collective payload with fp32 master
+  // accumulation — see comm/wire_codec.h for the error bound).
   hvd::FusionOptions fusion;
+
+  // Collective topology/algorithm (quickstart --allreduce-algo /
+  // --ranks-per-node): kHierarchical reduces intra-node first and rings
+  // only the node leaders, matching Summit's NVLink-within/IB-between
+  // layout; ranks_per_node controls how ranks map onto modeled nodes.
+  comm::AllreduceAlgo allreduce_algo = comm::AllreduceAlgo::kRing;
+  std::size_t ranks_per_node = 6;   // Summit node: 6 V100s (Fig 5b)
   std::uint64_t seed = 7;
 
   // Checkpoint/restart (the paper's §7 fault-tolerance future work):

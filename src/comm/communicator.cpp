@@ -2,11 +2,30 @@
 
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "common/error.h"
 
 namespace candle::comm {
+
+const char* allreduce_algo_name(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kNaive: return "naive";
+    case AllreduceAlgo::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+AllreduceAlgo parse_allreduce_algo(const char* name) {
+  const std::string s = name == nullptr ? "" : name;
+  if (s == "ring") return AllreduceAlgo::kRing;
+  if (s == "naive") return AllreduceAlgo::kNaive;
+  if (s == "hierarchical") return AllreduceAlgo::kHierarchical;
+  throw InvalidArgument("parse_allreduce_algo: unknown algorithm '" + s +
+                        "' (expected ring | naive | hierarchical)");
+}
 
 std::size_t Communicator::size() const { return world_->size(); }
 
@@ -18,19 +37,31 @@ std::size_t Communicator::node() const {
   return rank_ / world_->options().ranks_per_node;
 }
 
+const WorldOptions& Communicator::world_options() const {
+  return world_->options();
+}
+
 void Communicator::barrier() {
   ++stats_.barrier_calls;
   world_->do_barrier();
 }
 
 void Communicator::allreduce_sum(std::span<float> data) {
+  allreduce_sum(data, world_->options().wire_dtype);
+}
+
+void Communicator::allreduce_sum(std::span<float> data, WireDtype wire) {
   ++stats_.allreduce_calls;
-  world_->allreduce(*this, data, /*average=*/false);
+  world_->allreduce(*this, data, /*average=*/false, wire);
 }
 
 void Communicator::allreduce_average(std::span<float> data) {
+  allreduce_average(data, world_->options().wire_dtype);
+}
+
+void Communicator::allreduce_average(std::span<float> data, WireDtype wire) {
   ++stats_.allreduce_calls;
-  world_->allreduce(*this, data, /*average=*/true);
+  world_->allreduce(*this, data, /*average=*/true, wire);
 }
 
 void Communicator::broadcast(std::span<float> data, std::size_t root) {
@@ -53,7 +84,9 @@ void Communicator::allgather(std::span<const float> contribution,
 
 double Communicator::allreduce_scalar(double value) {
   float v = static_cast<float>(value);
-  allreduce_sum(std::span<float>(&v, 1));
+  // Always fp32 on the wire: scalar metrics (loss, accuracy) must not
+  // quantize even when the world's default gradient dtype is compressed.
+  allreduce_sum(std::span<float>(&v, 1), WireDtype::kFp32);
   return static_cast<double>(v);
 }
 
@@ -63,9 +96,11 @@ World::World(std::size_t size, WorldOptions options)
       barrier_(static_cast<std::ptrdiff_t>(size)),
       bufs_(size, nullptr),
       const_bufs_(size, nullptr),
+      wire_bufs_(size, nullptr),
       counts_(size, 0),
       seqs_(size, 0),
-      ops_(size, nullptr) {
+      ops_(size, nullptr),
+      dtypes_(size, WireDtype::kFp32) {
   require(size > 0, "World: size must be > 0");
   require(options.ranks_per_node > 0, "World: ranks_per_node must be > 0");
 }
@@ -75,12 +110,15 @@ World::~World() = default;
 void World::do_barrier() { barrier_.arrive_and_wait(); }
 
 void World::register_buffer(std::size_t rank, float* data, std::size_t count,
-                            std::uint64_t seq, const char* op) {
+                            std::uint64_t seq, const char* op, WireDtype wire,
+                            std::uint16_t* wire_buf) {
   MutexLock lock(reg_mutex_);
   bufs_[rank] = data;
+  wire_bufs_[rank] = wire_buf;
   counts_[rank] = count;
   seqs_[rank] = seq;
   ops_[rank] = op;
+  dtypes_[rank] = wire;
 }
 
 void World::register_const_buffer(std::size_t rank, const float* data,
@@ -88,9 +126,11 @@ void World::register_const_buffer(std::size_t rank, const float* data,
                                   const char* op) {
   MutexLock lock(reg_mutex_);
   const_bufs_[rank] = data;
+  wire_bufs_[rank] = nullptr;
   counts_[rank] = count;
   seqs_[rank] = seq;
   ops_[rank] = op;
+  dtypes_[rank] = WireDtype::kFp32;
 }
 
 float* World::peer_buffer(std::size_t rank) const {
@@ -108,8 +148,13 @@ std::size_t World::peer_count(std::size_t rank) const {
   return counts_[rank];
 }
 
+std::uint16_t* World::peer_wire_buffer(std::size_t rank) const {
+  MutexLock lock(reg_mutex_);
+  return wire_bufs_[rank];
+}
+
 void World::check_rendezvous(std::size_t count, std::uint64_t seq,
-                             const char* op) const {
+                             const char* op, WireDtype wire) const {
   MutexLock lock(reg_mutex_);
   for (std::size_t r = 0; r < size_; ++r) {
     if (seqs_[r] != seq || ops_[r] == nullptr ||
@@ -123,25 +168,63 @@ void World::check_rendezvous(std::size_t count, std::uint64_t seq,
     if (counts_[r] != count)
       throw CommError(std::string(op) +
                       ": ranks passed different element counts");
+    if (dtypes_[r] != wire)
+      throw CommError(std::string(op) +
+                      ": ranks requested different wire dtypes (rank " +
+                      std::to_string(r) + " registered " +
+                      wire_dtype_name(dtypes_[r]) + ", expected " +
+                      wire_dtype_name(wire) + ")");
   }
 }
 
-void World::allreduce(Communicator& self, std::span<float> data,
-                      bool average) {
+void World::allreduce(Communicator& self, std::span<float> data, bool average,
+                      WireDtype wire) {
   const std::uint64_t seq = ++self.seq_;
-  register_buffer(self.rank_, data.data(), data.size(), seq, "allreduce");
+  // A single-rank reduction moves no bytes; keep it exact regardless of the
+  // requested dtype (all ranks take this branch identically).
+  const bool compressed = wire != WireDtype::kFp32 && size_ > 1;
+  if (!compressed) wire = WireDtype::kFp32;
+  if (compressed) {
+    self.wire_scratch_.resize(data.size());
+    // Ring/naive peers read the wire image right after the rendezvous
+    // barrier; hierarchical publishes it after its intra-node reduce.
+    if (options_.allreduce_algo != AllreduceAlgo::kHierarchical)
+      wire::encode(wire, data.data(), self.wire_scratch_.data(),
+                            data.size());
+  }
+  register_buffer(self.rank_, data.data(), data.size(), seq, "allreduce",
+                  wire, compressed ? self.wire_scratch_.data() : nullptr);
   do_barrier();
-  check_rendezvous(data.size(), seq, "allreduce");
+  check_rendezvous(data.size(), seq, "allreduce", wire);
+  const std::size_t sent_before = self.stats_.bytes_sent;
   if (size_ > 1) {
     switch (options_.allreduce_algo) {
-      case AllreduceAlgo::kRing: allreduce_ring(self, data); break;
-      case AllreduceAlgo::kNaive: allreduce_naive(self, data); break;
+      case AllreduceAlgo::kRing:
+        if (compressed)
+          allreduce_ring_compressed(self, data, wire);
+        else
+          allreduce_ring(self, data);
+        break;
+      case AllreduceAlgo::kNaive:
+        if (compressed)
+          allreduce_naive_compressed(self, data, wire);
+        else
+          allreduce_naive(self, data);
+        break;
       case AllreduceAlgo::kHierarchical:
-        allreduce_hierarchical(self, data);
+        if (compressed)
+          allreduce_hierarchical_compressed(self, data, wire);
+        else
+          allreduce_hierarchical(self, data);
         break;
     }
   }
+  self.stats_.allreduce_wire_bytes[allreduce_algo_index(
+      options_.allreduce_algo)][wire_dtype_index(wire)] +=
+      self.stats_.bytes_sent - sent_before;
   if (average && size_ > 1) {
+    // Runs after the reduction as the same fp32 op on bit-identical inputs
+    // on every rank, so averaging preserves rank-invariance for any dtype.
     const float inv = 1.0f / static_cast<float>(size_);
     for (float& v : data) v *= inv;
   }
@@ -186,6 +269,59 @@ void World::allreduce_ring(Communicator& self, std::span<float> data) {
   }
 }
 
+void World::allreduce_ring_compressed(Communicator& self,
+                                      std::span<float> data, WireDtype wire) {
+  // Same segment/barrier schedule as allreduce_ring, with 16-bit wire
+  // images in place of the fp32 buffers: each hop decodes the
+  // predecessor's wire segment, accumulates into this rank's fp32 buffer
+  // (the "master"), and re-encodes the partial for the successor — so the
+  // running sum is quantized once per hop but never accumulated in reduced
+  // precision.
+  const std::size_t P = size_;
+  const std::size_t r = self.rank_;
+  const std::size_t n = data.size();
+  const std::size_t w = wire_width_bytes(wire);
+  std::uint16_t* mine = self.wire_scratch_.data();
+
+  auto off = [&](std::size_t g) { return g * n / P; };
+  auto mod = [&](std::size_t a) { return a % P; };
+
+  for (std::size_t s = 0; s + 1 < P; ++s) {
+    const std::size_t recv_seg = mod(r + 2 * P - 1 - s);
+    const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
+    const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
+    if (e > b) {
+      wire::decode_add(wire, src + b, data.data() + b, e - b);
+      wire::encode(wire, data.data() + b, mine + b, e - b);
+    }
+    self.stats_.bytes_sent += (e - b) * w;
+    do_barrier();
+  }
+
+  // This rank's fp32 master now holds a higher-precision sum for its owned
+  // segment than the wire image peers will copy; round-trip it through the
+  // codec so every rank ends with bit-identical fp32 results.
+  {
+    const std::size_t own = mod(r + 1);
+    const std::size_t b = off(own), e = off(own + 1);
+    if (e > b) wire::decode(wire, mine + b, data.data() + b, e - b);
+  }
+
+  // Allgather: copy the predecessor's completed wire segment (propagating
+  // it around the ring) and decode it into the fp32 buffer.
+  for (std::size_t s = 0; s + 1 < P; ++s) {
+    const std::size_t copy_seg = mod(r + 2 * P - s);
+    const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
+    const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
+    if (e > b) {
+      std::memcpy(mine + b, src + b, (e - b) * sizeof(std::uint16_t));
+      wire::decode(wire, mine + b, data.data() + b, e - b);
+    }
+    self.stats_.bytes_sent += (e - b) * w;
+    do_barrier();
+  }
+}
+
 void World::allreduce_naive(Communicator& self, std::span<float> data) {
   // Rank 0 accumulates everyone, then everyone copies rank 0.
   if (self.rank_ == 0) {
@@ -199,6 +335,33 @@ void World::allreduce_naive(Communicator& self, std::span<float> data) {
   if (self.rank_ != 0 && !data.empty()) {
     std::memcpy(data.data(), peer_buffer(0), data.size() * sizeof(float));
     self.stats_.bytes_sent += data.size() * sizeof(float);
+  }
+  do_barrier();
+}
+
+void World::allreduce_naive_compressed(Communicator& self,
+                                       std::span<float> data,
+                                       WireDtype wire) {
+  // Rank 0 decodes and accumulates every peer's wire image in fp32, then
+  // publishes the result compressed; peers decode rank 0's image.
+  const std::size_t n = data.size();
+  const std::size_t w = wire_width_bytes(wire);
+  std::uint16_t* mine = self.wire_scratch_.data();
+  if (self.rank_ == 0) {
+    for (std::size_t peer = 1; peer < size_; ++peer) {
+      const std::uint16_t* src = peer_wire_buffer(peer);
+      wire::decode_add(wire, src, data.data(), n);
+      self.stats_.bytes_sent += n * w;
+    }
+    // Adopt the published wire image locally so rank 0's fp32 result
+    // matches what every peer decodes.
+    wire::encode(wire, data.data(), mine, n);
+    wire::decode(wire, mine, data.data(), n);
+  }
+  do_barrier();
+  if (self.rank_ != 0 && n > 0) {
+    wire::decode(wire, peer_wire_buffer(0), data.data(), n);
+    self.stats_.bytes_sent += n * w;
   }
   do_barrier();
 }
@@ -257,6 +420,87 @@ void World::allreduce_hierarchical(Communicator& self,
   }
 
   // Phase 3: intra-node broadcast from the leader.
+  if (local != 0 && !data.empty()) {
+    std::memcpy(data.data(), peer_buffer(leader), data.size() * sizeof(float));
+    self.stats_.bytes_sent += data.size() * sizeof(float);
+  }
+  do_barrier();
+}
+
+void World::allreduce_hierarchical_compressed(Communicator& self,
+                                              std::span<float> data,
+                                              WireDtype wire) {
+  // Compression only where the paper's topology is bandwidth-bound: the
+  // intra-node phases stay fp32 (NVLink-class links), the inter-node
+  // leader ring moves 16-bit wire words (IB-class links). On a single
+  // node this degenerates to the exact fp32 hierarchical reduction.
+  const std::size_t rpn = options_.ranks_per_node;
+  const std::size_t rank = self.rank_;
+  const std::size_t node = rank / rpn;
+  const std::size_t local = rank % rpn;
+  const std::size_t leader = node * rpn;
+  const std::size_t nnodes = (size_ + rpn - 1) / rpn;
+  const std::size_t node_end = std::min(size_, leader + rpn);
+  const std::size_t w = wire_width_bytes(wire);
+  std::uint16_t* mine = self.wire_scratch_.data();
+
+  // Phase 1: intra-node reduce onto the node leader, in fp32.
+  if (local == 0) {
+    for (std::size_t m = leader + 1; m < node_end; ++m) {
+      const float* src = peer_buffer(m);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
+      self.stats_.bytes_sent += data.size() * sizeof(float);
+    }
+  }
+  do_barrier();
+
+  // Phase 2: compressed ring over the node leaders (allreduce_ring_compressed
+  // with P = nnodes, my index = node). Leaders publish their node-reduced
+  // buffer on the wire first; the extra barrier makes the images visible
+  // before the first hop reads them.
+  if (nnodes > 1) {
+    const std::size_t P = nnodes;
+    const std::size_t n = data.size();
+    auto off = [&](std::size_t g) { return g * n / P; };
+    const std::size_t pred_leader = ((node + P - 1) % P) * rpn;
+    if (local == 0) wire::encode(wire, data.data(), mine, n);
+    do_barrier();
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      if (local == 0) {
+        const std::size_t recv_seg = (node + 2 * P - 1 - s) % P;
+        const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
+        const std::uint16_t* src = peer_wire_buffer(pred_leader);
+        if (e > b) {
+          wire::decode_add(wire, src + b, data.data() + b, e - b);
+          wire::encode(wire, data.data() + b, mine + b, e - b);
+        }
+        self.stats_.bytes_sent += (e - b) * w;
+      }
+      do_barrier();
+    }
+    if (local == 0) {
+      // Owner round-trip, as in allreduce_ring_compressed: leaders must
+      // end bit-identical so phase 3 broadcasts identical buffers.
+      const std::size_t own = (node + 1) % P;
+      const std::size_t b = off(own), e = off(own + 1);
+      if (e > b) wire::decode(wire, mine + b, data.data() + b, e - b);
+    }
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      if (local == 0) {
+        const std::size_t copy_seg = (node + 2 * P - s) % P;
+        const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
+        const std::uint16_t* src = peer_wire_buffer(pred_leader);
+        if (e > b) {
+          std::memcpy(mine + b, src + b, (e - b) * sizeof(std::uint16_t));
+          wire::decode(wire, mine + b, data.data() + b, e - b);
+        }
+        self.stats_.bytes_sent += (e - b) * w;
+      }
+      do_barrier();
+    }
+  }
+
+  // Phase 3: intra-node broadcast of the leader's fp32 result.
   if (local != 0 && !data.empty()) {
     std::memcpy(data.data(), peer_buffer(leader), data.size() * sizeof(float));
     self.stats_.bytes_sent += data.size() * sizeof(float);

@@ -15,6 +15,7 @@
 //   });
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <barrier>
 #include <cstddef>
@@ -24,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/wire_codec.h"
 #include "common/thread_annotations.h"
 
 namespace candle::comm {
@@ -37,6 +39,20 @@ enum class AllreduceAlgo {
                   // NVLink-within/IB-between topology)
 };
 
+/// Number of allreduce algorithms (fixed-size stats arrays in CommStats).
+inline constexpr std::size_t kNumAllreduceAlgos = 3;
+
+/// Stable index of an algorithm for stats arrays / CLI tables.
+[[nodiscard]] constexpr std::size_t allreduce_algo_index(AllreduceAlgo a) {
+  return static_cast<std::size_t>(a);
+}
+
+/// Human-readable algorithm name ("ring" | "naive" | "hierarchical").
+[[nodiscard]] const char* allreduce_algo_name(AllreduceAlgo a);
+
+/// Parses an --allreduce-algo value; throws InvalidArgument on unknown names.
+[[nodiscard]] AllreduceAlgo parse_allreduce_algo(const char* name);
+
 /// Per-rank traffic accounting, used by tests and the fusion ablation.
 struct CommStats {
   std::size_t allreduce_calls = 0;
@@ -45,9 +61,26 @@ struct CommStats {
   std::size_t allgather_calls = 0;
   std::size_t barrier_calls = 0;
   std::size_t bytes_sent = 0;  // bytes this rank moved to a peer buffer
+
+  /// On-wire bytes this rank moved per allreduce [algo][dtype] — the
+  /// observable half of compressed collectives: an fp16/bf16 reduction of
+  /// the same payload shows half the bytes of its fp32 row. Indexed with
+  /// allreduce_algo_index() / wire_dtype_index(); also counted in
+  /// bytes_sent.
+  std::array<std::array<std::size_t, kNumWireDtypes>, kNumAllreduceAlgos>
+      allreduce_wire_bytes{};
+
+  /// Sum of allreduce_wire_bytes over algorithms for one dtype.
+  [[nodiscard]] std::size_t wire_bytes(WireDtype d) const {
+    std::size_t total = 0;
+    for (const auto& per_algo : allreduce_wire_bytes)
+      total += per_algo[wire_dtype_index(d)];
+    return total;
+  }
 };
 
 class World;
+struct WorldOptions;
 
 /// Per-rank handle; valid only inside World::run's callback, on that thread.
 class Communicator {
@@ -60,14 +93,35 @@ class Communicator {
   [[nodiscard]] std::size_t local_rank() const;
   [[nodiscard]] std::size_t node() const;
 
+  /// World configuration this rank runs under (algorithm, topology, default
+  /// wire dtype) — lets callers model per-rank collective cost.
+  [[nodiscard]] const WorldOptions& world_options() const;
+
   /// Blocks until all ranks arrive.
   void barrier();
 
   /// In-place sum-reduction across all ranks; every rank ends with the sum.
+  /// Uses the world's default wire dtype (kFp32 unless configured).
   void allreduce_sum(std::span<float> data);
+
+  /// allreduce_sum with an explicit on-wire dtype for this collective. With
+  /// kFp16/kBf16 every inter-rank hop moves 16-bit words while each rank
+  /// accumulates its owned ring segment in the fp32 buffer itself (fp32
+  /// master accumulation): one encode/decode pair per hop, identical op
+  /// order on every rank, so the result is deterministic and rank-invariant
+  /// for a fixed dtype. Compressed results carry the codec's documented
+  /// error bound (see wire_codec.h) instead of bit-exactness; kFp32 is
+  /// bit-identical to the overload above. All ranks must pass the same
+  /// dtype — the rendezvous rejects a mismatch with CommError.
+  void allreduce_sum(std::span<float> data, WireDtype wire);
 
   /// allreduce_sum followed by division by world size (gradient averaging).
   void allreduce_average(std::span<float> data);
+
+  /// allreduce_average with an explicit on-wire dtype (see allreduce_sum).
+  /// The averaging divide runs after the reduction, as the same fp32 op on
+  /// bit-identical inputs on every rank.
+  void allreduce_average(std::span<float> data, WireDtype wire);
 
   /// Copies root's buffer into every rank's buffer (binomial tree).
   void broadcast(std::span<float> data, std::size_t root);
@@ -105,12 +159,22 @@ class Communicator {
   /// serialized (one issuing thread at a time — the rank thread, or its
   /// overlap comm thread while the rank thread is quiesced), so no atomics.
   std::uint64_t seq_ = 0;
+  /// Persistent per-rank staging for compressed collectives: the 16-bit
+  /// wire image peers read. Incoming segments need no fp32 landing zone —
+  /// wire::decode_add accumulates straight into the master buffer in one
+  /// pass. Reused across calls so steady-state training does not allocate
+  /// per bucket. Same serialization as seq_.
+  std::vector<std::uint16_t> wire_scratch_;
 };
 
 /// World configuration.
 struct WorldOptions {
   std::size_t ranks_per_node = 6;  // Summit node: 6 V100s
   AllreduceAlgo allreduce_algo = AllreduceAlgo::kRing;
+  /// Default on-wire dtype for allreduce_sum/allreduce_average calls that
+  /// do not pass one explicitly. kFp32 keeps the bit-exact contract;
+  /// allreduce_scalar always stays fp32 so scalar metrics never quantize.
+  WireDtype wire_dtype = WireDtype::kFp32;
 };
 
 /// Owns the shared rendezvous state for `size` rank threads.
@@ -142,10 +206,22 @@ class World {
   friend class Communicator;
 
   void do_barrier();
-  void allreduce(Communicator& self, std::span<float> data, bool average);
+  void allreduce(Communicator& self, std::span<float> data, bool average,
+                 WireDtype wire);
   void allreduce_ring(Communicator& self, std::span<float> data);
   void allreduce_naive(Communicator& self, std::span<float> data);
   void allreduce_hierarchical(Communicator& self, std::span<float> data);
+
+  // Compressed (fp16/bf16 wire) variants. Same barrier/segment schedule as
+  // their fp32 twins; peers read 16-bit wire images instead of fp32 and
+  // each rank accumulates decoded segments into its own fp32 buffer.
+  void allreduce_ring_compressed(Communicator& self, std::span<float> data,
+                                 WireDtype wire);
+  void allreduce_naive_compressed(Communicator& self, std::span<float> data,
+                                  WireDtype wire);
+  void allreduce_hierarchical_compressed(Communicator& self,
+                                         std::span<float> data,
+                                         WireDtype wire);
   void do_broadcast(Communicator& self, std::span<float> data,
                     std::size_t root);
   void do_reduce_to(Communicator& self, std::span<float> data,
@@ -154,10 +230,14 @@ class World {
                     std::vector<float>& gathered);
 
   /// Registers `rank`'s buffer for the collective that is about to start,
-  /// tagged with the rank's collective sequence number and the op name.
-  /// Must be followed by a barrier before any peer reads it.
+  /// tagged with the rank's collective sequence number, the op name, and
+  /// the requested wire dtype (with the rank's 16-bit wire image when the
+  /// dtype is compressed). Must be followed by a barrier before any peer
+  /// reads it.
   void register_buffer(std::size_t rank, float* data, std::size_t count,
-                       std::uint64_t seq, const char* op)
+                       std::uint64_t seq, const char* op,
+                       WireDtype wire = WireDtype::kFp32,
+                       std::uint16_t* wire_buf = nullptr)
       CANDLE_EXCLUDES(reg_mutex_);
   void register_const_buffer(std::size_t rank, const float* data,
                              std::size_t count, std::uint64_t seq,
@@ -172,15 +252,20 @@ class World {
       CANDLE_EXCLUDES(reg_mutex_);
   [[nodiscard]] std::size_t peer_count(std::size_t rank) const
       CANDLE_EXCLUDES(reg_mutex_);
+  [[nodiscard]] std::uint16_t* peer_wire_buffer(std::size_t rank) const
+      CANDLE_EXCLUDES(reg_mutex_);
 
   /// Throws CommError unless every rank registered `count` elements for
-  /// the same op at the same collective sequence number. The sequence/op
-  /// check is what makes per-bucket collectives from an overlap comm thread
-  /// safe to reason about: any divergence in the global collective order
-  /// across ranks (or a bucket interleaving across steps) is reported as an
-  /// error at the rendezvous instead of corrupting a reduction.
-  void check_rendezvous(std::size_t count, std::uint64_t seq,
-                        const char* op) const CANDLE_EXCLUDES(reg_mutex_);
+  /// the same op at the same collective sequence number with the same wire
+  /// dtype. The sequence/op check is what makes per-bucket collectives from
+  /// an overlap comm thread safe to reason about: any divergence in the
+  /// global collective order across ranks (or a bucket interleaving across
+  /// steps) is reported as an error at the rendezvous instead of corrupting
+  /// a reduction; the dtype check catches ranks disagreeing about whether a
+  /// bucket crosses the wire compressed.
+  void check_rendezvous(std::size_t count, std::uint64_t seq, const char* op,
+                        WireDtype wire = WireDtype::kFp32) const
+      CANDLE_EXCLUDES(reg_mutex_);
 
   std::size_t size_;
   WorldOptions options_;
@@ -190,9 +275,11 @@ class World {
       "comm::World::reg_mutex_"};
   std::vector<float*> bufs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<const float*> const_bufs_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<std::uint16_t*> wire_bufs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<std::size_t> counts_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<std::uint64_t> seqs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<const char*> ops_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<WireDtype> dtypes_ CANDLE_GUARDED_BY(reg_mutex_);
 };
 
 }  // namespace candle::comm

@@ -1,0 +1,348 @@
+#include "comm/wire_codec.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace candle::comm {
+
+const char* wire_dtype_name(WireDtype d) {
+  switch (d) {
+    case WireDtype::kFp32: return "fp32";
+    case WireDtype::kFp16: return "fp16";
+    case WireDtype::kBf16: return "bf16";
+  }
+  return "?";
+}
+
+WireDtype parse_wire_dtype(const char* name) {
+  const std::string s = name == nullptr ? "" : name;
+  if (s == "fp32") return WireDtype::kFp32;
+  if (s == "fp16") return WireDtype::kFp16;
+  if (s == "bf16") return WireDtype::kBf16;
+  throw InvalidArgument("parse_wire_dtype: unknown wire dtype '" + s +
+                        "' (expected fp32 | fp16 | bf16)");
+}
+
+namespace wire {
+namespace {
+
+std::uint32_t f32_bits(float value) {
+  std::uint32_t x;
+  std::memcpy(&x, &value, sizeof(x));
+  return x;
+}
+
+float bits_f32(std::uint32_t x) {
+  float value;
+  std::memcpy(&value, &x, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::uint16_t f32_to_f16_scalar(float value) {
+  const std::uint32_t x = f32_bits(value);
+  const auto sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t abs = x & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {
+    if (abs == 0x7f800000u) return sign | 0x7c00u;
+    // NaN: quiet it and keep the top mantissa bits (vcvtps2ph behavior).
+    return static_cast<std::uint16_t>(sign | 0x7e00u |
+                                      ((abs & 0x7fffffu) >> 13));
+  }
+  const std::uint32_t e = abs >> 23;  // biased fp32 exponent
+  const std::uint32_t m = abs & 0x7fffffu;
+  if (e >= 113u) {  // half-normal range; RNE carry may still roll into inf
+    if (e > 142u) return sign | 0x7c00u;  // >= 2^16 rounds to inf
+    std::uint32_t h = ((e - 112u) << 10) | (m >> 13);
+    const std::uint32_t rem = m & 0x1fffu;  // the 13 dropped bits
+    h += (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ? 1u : 0u;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  if (e < 102u) return sign;  // below 2^-25: rounds to (signed) zero
+  // Subnormal half: shift the 24-bit significand into place with RNE.
+  const std::uint32_t full = m | 0x800000u;
+  const std::uint32_t shift = 126u - e;  // 14..24
+  std::uint32_t h = full >> shift;
+  const std::uint32_t rem = full & ((1u << shift) - 1u);
+  const std::uint32_t halfway = 1u << (shift - 1u);
+  h += (rem > halfway || (rem == halfway && (h & 1u))) ? 1u : 0u;
+  return static_cast<std::uint16_t>(sign | h);  // carry yields min normal
+}
+
+float f16_to_f32_scalar(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t e = (bits >> 10) & 0x1fu;
+  std::uint32_t m = bits & 0x3ffu;
+  if (e == 0) {
+    if (m == 0) return bits_f32(sign);
+    // Subnormal: renormalize the mantissa into fp32's implicit-1 form.
+    std::uint32_t shift = 0;
+    while ((m & 0x400u) == 0) {
+      m <<= 1;
+      ++shift;
+    }
+    return bits_f32(sign | ((113u - shift) << 23) | ((m & 0x3ffu) << 13));
+  }
+  if (e == 31u) {
+    // Inf passes through; NaN is quieted (vcvtph2ps behavior) so the
+    // vectorized decoder stays bit-identical to this reference.
+    const std::uint32_t quiet = m == 0 ? 0u : 0x400000u;
+    return bits_f32(sign | 0x7f800000u | quiet | (m << 13));
+  }
+  return bits_f32(sign | ((e + 112u) << 23) | (m << 13));
+}
+
+std::uint16_t f32_to_bf16_scalar(float value) {
+  std::uint32_t x = f32_bits(value);
+  if ((x & 0x7fffffffu) > 0x7f800000u)  // NaN: quiet, keep sign + top bits
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  x += 0x7fffu + ((x >> 16) & 1u);  // RNE on the 16 dropped bits
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+float bf16_to_f32_scalar(std::uint16_t bits) {
+  return bits_f32(static_cast<std::uint32_t>(bits) << 16);
+}
+
+namespace {
+
+using EncodeFn = void (*)(const float*, std::uint16_t*, std::size_t);
+using DecodeFn = void (*)(const std::uint16_t*, float*, std::size_t);
+
+void encode_f16_portable(const float* src, std::uint16_t* dst,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f32_to_f16_scalar(src[i]);
+}
+
+void decode_f16_portable(const std::uint16_t* src, float* dst,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f16_to_f32_scalar(src[i]);
+}
+
+void encode_bf16_portable(const float* src, std::uint16_t* dst,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f32_to_bf16_scalar(src[i]);
+}
+
+void decode_bf16_portable(const std::uint16_t* src, float* dst,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = bf16_to_f32_scalar(src[i]);
+}
+
+void decode_add_f16_portable(const std::uint16_t* src, float* dst,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += f16_to_f32_scalar(src[i]);
+}
+
+void decode_add_bf16_portable(const std::uint16_t* src, float* dst,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += bf16_to_f32_scalar(src[i]);
+}
+
+#if defined(__x86_64__)
+
+// F16C variants: vcvtps2ph/vcvtph2ps convert 8 lanes per instruction with
+// hardware round-to-nearest-even — bit-identical to the scalar reference
+// (tests/test_codec.cpp asserts the parity). Function-level target
+// attributes keep the rest of the TU baseline x86-64, like the GEMM
+// microkernel; only reached after __builtin_cpu_supports says it is safe.
+__attribute__((target("f16c,avx2"))) void encode_f16_f16c(
+    const float* src, std::uint16_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    const __m128i h = _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = f32_to_f16_scalar(src[i]);
+}
+
+__attribute__((target("f16c,avx2"))) void decode_f16_f16c(
+    const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) dst[i] = f16_to_f32_scalar(src[i]);
+}
+
+// AVX2 bf16 encode: the RNE rounding-add and the NaN-quieting select run 8
+// lanes at a time; finite values (including +-inf) take the add path, NaNs
+// are replaced by sign|exponent with a forced quiet mantissa bit.
+__attribute__((target("avx2"))) void encode_bf16_avx2(const float* src,
+                                                      std::uint16_t* dst,
+                                                      std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i exp_inf = _mm256_set1_epi32(0x7f800000);
+  const __m256i bias = _mm256_set1_epi32(0x7fff);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i quiet = _mm256_set1_epi32(0x0040);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i abs = _mm256_and_si256(x, abs_mask);
+    // abs and exp_inf are both non-negative, so the signed compare is safe.
+    const __m256i is_nan = _mm256_cmpgt_epi32(abs, exp_inf);
+    const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(x, 16), one);
+    const __m256i rounded =
+        _mm256_add_epi32(x, _mm256_add_epi32(bias, lsb));
+    const __m256i nan16 =
+        _mm256_or_si256(_mm256_srli_epi32(x, 16), quiet);
+    const __m256i fin16 = _mm256_srli_epi32(rounded, 16);
+    const __m256i r = _mm256_blendv_epi8(fin16, nan16, is_nan);
+    // Both halves hold 16-bit values; pack preserving order.
+    const __m128i lo = _mm256_castsi256_si128(r);
+    const __m128i hi = _mm256_extracti128_si256(r, 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_packus_epi32(lo, hi));
+  }
+  for (; i < n; ++i) dst[i] = f32_to_bf16_scalar(src[i]);
+}
+
+__attribute__((target("avx2"))) void decode_bf16_avx2(
+    const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i w = _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), w);
+  }
+  for (; i < n; ++i) dst[i] = bf16_to_f32_scalar(src[i]);
+}
+
+// Fused decode+accumulate: each lane adds only into its own dst element, so
+// SIMD stays bit-identical to the scalar reference — there is no
+// cross-lane reduction whose association order could differ.
+__attribute__((target("f16c,avx2"))) void decode_add_f16_f16c(
+    const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256 sum =
+        _mm256_add_ps(_mm256_loadu_ps(dst + i), _mm256_cvtph_ps(h));
+    _mm256_storeu_ps(dst + i, sum);
+  }
+  for (; i < n; ++i) dst[i] += f16_to_f32_scalar(src[i]);
+}
+
+__attribute__((target("avx2"))) void decode_add_bf16_avx2(
+    const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256 v = _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), v));
+  }
+  for (; i < n; ++i) dst[i] += bf16_to_f32_scalar(src[i]);
+}
+
+#endif  // __x86_64__
+
+EncodeFn select_f16_encoder() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("f16c") && __builtin_cpu_supports("avx2"))
+    return encode_f16_f16c;
+#endif
+  return encode_f16_portable;
+}
+
+DecodeFn select_f16_decoder() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("f16c") && __builtin_cpu_supports("avx2"))
+    return decode_f16_f16c;
+#endif
+  return decode_f16_portable;
+}
+
+EncodeFn select_bf16_encoder() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return encode_bf16_avx2;
+#endif
+  return encode_bf16_portable;
+}
+
+DecodeFn select_bf16_decoder() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return decode_bf16_avx2;
+#endif
+  return decode_bf16_portable;
+}
+
+DecodeFn select_f16_decode_add() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("f16c") && __builtin_cpu_supports("avx2"))
+    return decode_add_f16_f16c;
+#endif
+  return decode_add_f16_portable;
+}
+
+DecodeFn select_bf16_decode_add() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return decode_add_bf16_avx2;
+#endif
+  return decode_add_bf16_portable;
+}
+
+/// Per-hop ring segments below this many elements convert inline on the
+/// calling thread; larger buffers fan out over the shared pool.
+constexpr std::size_t kConvertGrain = 1u << 16;
+
+}  // namespace
+
+void encode(WireDtype dtype, const float* src, std::uint16_t* dst,
+            std::size_t n) {
+  require(dtype != WireDtype::kFp32, "wire::encode: fp32 is not encoded");
+  static const EncodeFn f16 = select_f16_encoder();
+  static const EncodeFn bf16 = select_bf16_encoder();
+  (dtype == WireDtype::kFp16 ? f16 : bf16)(src, dst, n);
+}
+
+void decode(WireDtype dtype, const std::uint16_t* src, float* dst,
+            std::size_t n) {
+  require(dtype != WireDtype::kFp32, "wire::decode: fp32 is not decoded");
+  static const DecodeFn f16 = select_f16_decoder();
+  static const DecodeFn bf16 = select_bf16_decoder();
+  (dtype == WireDtype::kFp16 ? f16 : bf16)(src, dst, n);
+}
+
+void decode_add(WireDtype dtype, const std::uint16_t* src, float* dst,
+                std::size_t n) {
+  require(dtype != WireDtype::kFp32, "wire::decode_add: fp32 is not decoded");
+  static const DecodeFn f16 = select_f16_decode_add();
+  static const DecodeFn bf16 = select_bf16_decode_add();
+  (dtype == WireDtype::kFp16 ? f16 : bf16)(src, dst, n);
+}
+
+void encode_parallel(WireDtype dtype, const float* src, std::uint16_t* dst,
+                     std::size_t n) {
+  parallel::parallel_for(0, n, kConvertGrain,
+                         [&](std::size_t b, std::size_t e) {
+                           encode(dtype, src + b, dst + b, e - b);
+                         });
+}
+
+void decode_parallel(WireDtype dtype, const std::uint16_t* src, float* dst,
+                     std::size_t n) {
+  parallel::parallel_for(0, n, kConvertGrain,
+                         [&](std::size_t b, std::size_t e) {
+                           decode(dtype, src + b, dst + b, e - b);
+                         });
+}
+
+}  // namespace wire
+}  // namespace candle::comm

@@ -1,0 +1,100 @@
+// Wire codec for compressed collectives: fp32 <-> fp16 / bf16.
+//
+// The paper shows gradient allreduce dominating step cost as the CANDLE
+// benchmarks strong-scale; halving the on-wire bytes is the widest remaining
+// lever once kernels are tuned. This module provides the conversion kernels
+// the compressed collective paths (communicator.cpp, hvd/fusion.cpp) are
+// built on:
+//
+//  - round-to-nearest-even in both directions (matching IEEE 754 and the
+//    F16C/vcvtps2ph hardware behavior), so the scalar fallback and the
+//    vectorized path produce bit-identical wire bytes;
+//  - runtime dispatch like the GEMM microkernel: an F16C/AVX2 variant is
+//    selected once per process when __builtin_cpu_supports says it is safe,
+//    else the portable scalar kernel runs;
+//  - candle::parallel-threaded wrappers for whole-buffer conversion. The
+//    conversion is elementwise (no cross-element reduction), so the chunk
+//    partitioning cannot change any result — threaded output is
+//    bit-identical to serial at any pool width.
+//
+// Error bounds (tested in tests/test_codec.cpp): one fp32 -> fp16 -> fp32
+// round trip of a finite value in fp16 normal range has relative error
+// <= 2^-11; fp32 -> bf16 -> fp32 has relative error <= 2^-8. The compressed
+// allreduce quantizes once per ring hop, so a P-rank reduction accumulates
+// at most (P+1) such errors per element (see communicator.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace candle::comm {
+
+/// On-wire element encoding for collective payloads. Master accumulation is
+/// always fp32; the dtype only selects how bytes cross the (emulated)
+/// interconnect. kFp32 is the bit-exact default contract.
+enum class WireDtype {
+  kFp32,  // no compression: 4 bytes/element, bit-exact
+  kFp16,  // IEEE binary16 wire: 2 bytes/element, ~2^-11 relative error/hop
+  kBf16,  // bfloat16 wire: 2 bytes/element, ~2^-8 relative error/hop
+};
+
+/// Number of wire dtypes (fixed-size stats arrays in CommStats).
+inline constexpr std::size_t kNumWireDtypes = 3;
+
+/// Stable index of a dtype for stats arrays / CLI tables.
+[[nodiscard]] constexpr std::size_t wire_dtype_index(WireDtype d) {
+  return static_cast<std::size_t>(d);
+}
+
+/// Bytes one element occupies on the wire.
+[[nodiscard]] constexpr std::size_t wire_width_bytes(WireDtype d) {
+  return d == WireDtype::kFp32 ? 4 : 2;
+}
+
+/// Human-readable dtype name ("fp32" | "fp16" | "bf16").
+[[nodiscard]] const char* wire_dtype_name(WireDtype d);
+
+/// Parses a --wire-dtype value; throws InvalidArgument on unknown names.
+[[nodiscard]] WireDtype parse_wire_dtype(const char* name);
+
+namespace wire {
+
+// --- scalar reference conversions (exact RNE; used by tests and as the ----
+// --- portable fallback of the dispatched kernels) -------------------------
+
+[[nodiscard]] std::uint16_t f32_to_f16_scalar(float value);
+[[nodiscard]] float f16_to_f32_scalar(std::uint16_t bits);
+[[nodiscard]] std::uint16_t f32_to_bf16_scalar(float value);
+[[nodiscard]] float bf16_to_f32_scalar(std::uint16_t bits);
+
+// --- single-threaded buffer kernels (runtime-dispatched, vectorized) ------
+
+/// Encodes `n` fp32 values into 16-bit wire words of the given dtype.
+/// `dtype` must not be kFp32 (there is nothing to encode).
+void encode(WireDtype dtype, const float* src, std::uint16_t* dst,
+            std::size_t n);
+
+/// Decodes `n` 16-bit wire words back to fp32.
+void decode(WireDtype dtype, const std::uint16_t* src, float* dst,
+            std::size_t n);
+
+/// Fused decode-accumulate: dst[i] += decode(src[i]). One memory pass where
+/// decode-into-scratch-then-add would take three; this is the compressed
+/// ring's reduce-scatter hot loop. The adds are elementwise (lane i only
+/// ever touches dst[i]), so the vectorized path is bit-identical to scalar.
+void decode_add(WireDtype dtype, const std::uint16_t* src, float* dst,
+                std::size_t n);
+
+// --- candle::parallel-threaded wrappers -----------------------------------
+// Chunked over the shared pool with a grain large enough that per-hop ring
+// segments below it run inline on the calling (rank/comm) thread; pool
+// workers only ever touch the src/dst buffers, never the communicator.
+
+void encode_parallel(WireDtype dtype, const float* src, std::uint16_t* dst,
+                     std::size_t n);
+void decode_parallel(WireDtype dtype, const std::uint16_t* src, float* dst,
+                     std::size_t n);
+
+}  // namespace wire
+
+}  // namespace candle::comm

@@ -11,6 +11,33 @@
 namespace candle::hvd {
 namespace {
 
+/// Per-rank on-wire bytes one allreduce of `elems` elements moves under the
+/// communicator's configured algorithm and the given wire dtype — the byte
+/// term of the emulated interconnect. Mirrors what CommStats observes:
+/// ring 2(P-1)/P of the payload, naive 2(P-1) payloads through the root
+/// bottleneck, hierarchical only the inter-node leader-ring share (the
+/// intra-node hops model NVLink-class links the sim_net wire does not
+/// cover; a single node therefore sleeps latency only).
+std::size_t allreduce_net_bytes(const comm::Communicator& c,
+                                std::size_t elems, comm::WireDtype wire) {
+  const std::size_t P = c.size();
+  if (P <= 1) return 0;
+  const std::size_t w = comm::wire_width_bytes(wire);
+  switch (c.world_options().allreduce_algo) {
+    case comm::AllreduceAlgo::kRing:
+      return 2 * (P - 1) * elems * w / P;
+    case comm::AllreduceAlgo::kNaive:
+      return 2 * (P - 1) * elems * w;
+    case comm::AllreduceAlgo::kHierarchical: {
+      const std::size_t rpn = c.world_options().ranks_per_node;
+      const std::size_t nnodes = (P + rpn - 1) / rpn;
+      if (nnodes <= 1) return 0;
+      return 2 * (nnodes - 1) * elems * w / nnodes;
+    }
+  }
+  return elems * w;
+}
+
 /// Benchmark-only interconnect emulation (FusionOptions::sim_net_*).
 void simulate_network(const FusionOptions& options, std::size_t bytes) {
   double seconds = options.sim_net_latency_s;
@@ -21,6 +48,12 @@ void simulate_network(const FusionOptions& options, std::size_t bytes) {
 }
 
 }  // namespace
+
+comm::WireDtype wire_dtype_for(const FusionOptions& options,
+                               std::size_t elems) {
+  if (elems < options.compress_min_elems) return comm::WireDtype::kFp32;
+  return options.wire_dtype;
+}
 
 std::vector<Bucket> assign_buckets(const std::vector<std::size_t>& numels,
                                    std::size_t threshold_bytes) {
@@ -58,12 +91,14 @@ void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
                       const Bucket& bucket, FusionBuffer& buffer,
                       const FusionOptions& options, FusionStats& stats) {
   const double start = ctx.now();
-  simulate_network(options, bucket.elems * sizeof(float));
+  const comm::WireDtype wire = wire_dtype_for(options, bucket.elems);
+  simulate_network(options,
+                   allreduce_net_bytes(ctx.comm(), bucket.elems, wire));
 
   if (bucket.in_place) {
     CANDLE_CHECK(bucket.tensors.size() == 1);
     Tensor* t = tensors[bucket.tensors.front()];
-    ctx.comm().allreduce_average(t->values());
+    ctx.comm().allreduce_average(t->values(), wire);
     ++stats.collectives;
     ++stats.tensors;
     stats.fused_bytes += t->numel() * sizeof(float);
@@ -93,7 +128,7 @@ void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
                                          t->numel() * sizeof(float));
                            }
                          });
-  ctx.comm().allreduce_average(payload);
+  ctx.comm().allreduce_average(payload, wire);
   ++stats.collectives;
   stats.tensors += bucket.tensors.size();
   stats.fused_bytes += payload.size() * sizeof(float);

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/wire_codec.h"
 #include "common/aligned.h"
 #include "hvd/context.h"
 #include "tensor/tensor.h"
@@ -38,14 +39,39 @@ struct FusionOptions {
   /// synchronous sweep after backward (runner/sim `--overlap` knob).
   bool overlap = false;
 
-  /// Benchmark-only simulated network: sleeps latency + bytes/bandwidth
-  /// around every bucket collective, emulating a real interconnect on a
-  /// shared-memory host. Applied identically on the synchronous and
-  /// overlapped paths (sleeps never change FP results), so the overlap
-  /// benches compare like against like. Zero disables.
+  /// Benchmark-only simulated network: sleeps latency + per-rank on-wire
+  /// bytes / bandwidth around every bucket collective, emulating a real
+  /// interconnect on a shared-memory host. The byte term is algorithm- and
+  /// dtype-aware (ring moves 2(P-1)/P of the payload, hierarchical only
+  /// its inter-node share, compressed dtypes half the width), so the
+  /// emulated wire rewards exactly what a real one would. Applied
+  /// identically on the synchronous and overlapped paths (sleeps never
+  /// change FP results), so the overlap benches compare like against like.
+  /// Zero disables.
   double sim_net_latency_s = 0.0;
   double sim_net_bytes_per_s = 0.0;
+
+  /// On-wire dtype for bucket gradient collectives. kFp32 keeps the
+  /// bit-exact default contract; kFp16/kBf16 halve collective bytes at the
+  /// codec's documented error bound (comm/wire_codec.h), with fp32 master
+  /// accumulation inside the communicator.
+  comm::WireDtype wire_dtype = comm::WireDtype::kFp32;
+
+  /// Buckets smaller than this many elements stay fp32 even under a
+  /// compressed wire_dtype: latency-bound payloads gain nothing from
+  /// halved bytes but would still pay two codec passes per hop. The
+  /// per-bucket choice is a pure function of the shared bucket plan
+  /// (wire_dtype_for), so every rank picks the same dtype.
+  std::size_t compress_min_elems = 1024;
 };
+
+/// Wire dtype for one bucket of `elems` elements: options.wire_dtype when
+/// the bucket clears compress_min_elems, else kFp32. Pure in (options,
+/// elems) — no rank or timing input — so all ranks agree per bucket; the
+/// communicator rendezvous cross-checks the dtype anyway and fails fast on
+/// divergence.
+[[nodiscard]] comm::WireDtype wire_dtype_for(const FusionOptions& options,
+                                             std::size_t elems);
 
 /// Statistics from one fused reduction sweep (or one overlapped step).
 struct FusionStats {

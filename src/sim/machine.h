@@ -34,6 +34,14 @@ struct Machine {
   double net_bw = 0.0;              // inter-node per-rank bandwidth, bytes/s
   double local_bw = 0.0;            // intra-node (NVLink) bandwidth, bytes/s
 
+  // --- wire codec throughput -------------------------------------------------
+  // fp32 <-> fp16/bf16 conversion rate for compressed collectives, in
+  // elements/s per rank. Compression halves the byte term of an allreduce
+  // but adds (converted elements / this rate) of compute per hop; the
+  // crossover the simulator predicts is exactly bandwidth saved vs
+  // conversion paid. 0 models free conversion.
+  double convert_elems_per_s = 0.0;
+
   // --- per-step synchronization overhead model ------------------------------
   // Observed Horovod overhead per batch step grows sub-linearly with rank
   // count (stragglers + NCCL/MPI small-message costs). Modeled as

@@ -69,36 +69,62 @@ double RunSimulator::broadcast_tree_seconds(std::size_t ranks) const {
 }
 
 double RunSimulator::allreduce_step_seconds(std::size_t ranks) const {
+  return allreduce_step_seconds(ranks, comm::AllreduceAlgo::kRing,
+                                comm::WireDtype::kFp32);
+}
+
+double RunSimulator::allreduce_step_seconds(std::size_t ranks,
+                                            comm::AllreduceAlgo algo,
+                                            comm::WireDtype dtype) const {
   if (ranks <= 1) return 0.0;
-  const double payload =
-      static_cast<double>(profile_->param_count) * sizeof(float);
+  const double n = static_cast<double>(profile_->param_count);
+  // The byte term scales with the wire width (fp16/bf16: 2 bytes/elem);
+  // the fp32 master accumulation itself stays on-rank and is free here.
+  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
   const double p = static_cast<double>(ranks);
   const double bw =
       ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
-  // Ring allreduce: 2(P-1) stages, each moving payload/P at `bw`, plus the
-  // calibrated per-step synchronization/straggler overhead.
-  const double ring = 2.0 * (p - 1.0) *
-                      (machine_->net_latency_s + payload / p / bw);
-  return ring + machine_->sync_overhead(ranks);
+  double t = 0.0;
+  // Critical-path fp32<->wire converted elements: the entry encode plus
+  // one decode + encode per reduce-scatter hop and one decode per
+  // allgather hop (see communicator.cpp's compressed paths).
+  double converted = 0.0;
+  switch (algo) {
+    case comm::AllreduceAlgo::kRing:
+      // Ring allreduce: 2(P-1) stages, each moving payload/P at `bw`.
+      t = 2.0 * (p - 1.0) * (machine_->net_latency_s + payload / p / bw);
+      converted = n * (1.0 + 3.0 * (p - 1.0) / p);
+      break;
+    case comm::AllreduceAlgo::kNaive:
+      // Root bottleneck: P-1 inbound payloads, then P-1 outbound copies.
+      t = 2.0 * (p - 1.0) * (machine_->net_latency_s + payload / bw);
+      converted = n * (p + 1.0);
+      break;
+    case comm::AllreduceAlgo::kHierarchical: {
+      const double local =
+          static_cast<double>(std::min(ranks, machine_->ranks_per_node));
+      const double nodes = static_cast<double>(machine_->nodes_for(ranks));
+      // Intra-node reduce + final broadcast over NVLink: always fp32
+      // (2 passes of the uncompressed payload).
+      if (local > 1.0) t += 2.0 * (n * 4.0) / machine_->local_bw;
+      // Inter-node ring over the node leaders is the only compressed leg.
+      if (nodes > 1.0) {
+        t += 2.0 * (nodes - 1.0) *
+             (machine_->net_latency_s + payload / nodes / machine_->net_bw);
+        converted = n * (1.0 + 3.0 * (nodes - 1.0) / nodes);
+      }
+      break;
+    }
+  }
+  if (dtype != comm::WireDtype::kFp32 && machine_->convert_elems_per_s > 0.0)
+    t += converted / machine_->convert_elems_per_s;
+  return t + machine_->sync_overhead(ranks);
 }
 
 double RunSimulator::allreduce_hierarchical_seconds(
     std::size_t ranks) const {
-  if (ranks <= 1) return 0.0;
-  const double payload =
-      static_cast<double>(profile_->param_count) * sizeof(float);
-  const std::size_t rpn = machine_->ranks_per_node;
-  const double local = static_cast<double>(std::min(ranks, rpn));
-  const double nodes = static_cast<double>(machine_->nodes_for(ranks));
-
-  // Intra-node reduce + final broadcast over NVLink (2 passes of payload).
-  double t = 0.0;
-  if (local > 1.0) t += 2.0 * payload / machine_->local_bw;
-  // Inter-node ring over the node leaders.
-  if (nodes > 1.0)
-    t += 2.0 * (nodes - 1.0) *
-         (machine_->net_latency_s + payload / nodes / machine_->net_bw);
-  return t + machine_->sync_overhead(ranks);
+  return allreduce_step_seconds(ranks, comm::AllreduceAlgo::kHierarchical,
+                                comm::WireDtype::kFp32);
 }
 
 double RunSimulator::step_compute_seconds(std::size_t batch) const {
@@ -143,7 +169,8 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
   }
 
   const double step_c = step_compute_seconds(batch);
-  const double step_ar = allreduce_step_seconds(plan.ranks);
+  const double step_ar = allreduce_step_seconds(plan.ranks, plan.allreduce_algo,
+                                                plan.wire_dtype);
   // Overlap credit: with backward-overlapped communication, up to the
   // backward window of each step's compute hides allreduce time; only the
   // remainder is exposed on the critical path.

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "comm/communicator.h"
 #include "io/csv_reader.h"
 #include "power/power.h"
 #include "sim/calibration.h"
@@ -52,6 +53,13 @@ struct RunPlan {
   double input_stage_frac = 0.0;
   bool pipeline_input = false;     // credit staging hidden behind compute
                                    // (the runner's fit prefetch knob)
+  /// Collective algorithm and on-wire dtype for the per-step gradient
+  /// allreduce (the runner's --allreduce-algo / --wire-dtype knobs). The
+  /// defaults reproduce the pre-existing flat fp32 ring model bit-exactly;
+  /// compressed dtypes halve the byte term and add a conversion term
+  /// (Machine::convert_elems_per_s).
+  comm::AllreduceAlgo allreduce_algo = comm::AllreduceAlgo::kRing;
+  comm::WireDtype wire_dtype = comm::WireDtype::kFp32;
   bool make_timeline = false;      // emit Horovod-style events (<= 6 lanes)
   bool make_power_trace = false;   // keep the rank-0 sampled power series
 };
@@ -122,6 +130,18 @@ class RunSimulator {
 
   /// One ring-allreduce of the gradient payload, incl. sync overhead.
   [[nodiscard]] double allreduce_step_seconds(std::size_t ranks) const;
+
+  /// Algorithm- and dtype-aware allreduce cost: the byte term uses the
+  /// dtype's wire width (fp16/bf16 halve it), and compressed dtypes add a
+  /// conversion term — critical-path converted elements over
+  /// Machine::convert_elems_per_s. (kRing, kFp32) is bit-identical to the
+  /// one-argument overload; hierarchical compresses only its inter-node
+  /// leg, so its fp16 gain shrinks as more of the payload moves intra-node.
+  /// This is the model behind the ring-vs-hierarchical x fp32-vs-fp16
+  /// crossover recipe in EXPERIMENTS.md.
+  [[nodiscard]] double allreduce_step_seconds(std::size_t ranks,
+                                              comm::AllreduceAlgo algo,
+                                              comm::WireDtype dtype) const;
 
   /// Two-level (NCCL-hierarchical) allreduce cost: intra-node ring over
   /// NVLink, inter-node ring over the NIC between node leaders, intra-node

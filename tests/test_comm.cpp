@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "comm/communicator.h"
@@ -348,6 +349,205 @@ TEST(CommStats, CountsCollectiveCalls) {
     EXPECT_EQ(s.allgather_calls, 1u);
     EXPECT_EQ(s.barrier_calls, 1u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compressed collectives (fp16/bf16 wire, fp32 master accumulation)
+// ---------------------------------------------------------------------------
+
+void check_compressed_sum(std::size_t ranks, std::size_t n,
+                          AllreduceAlgo algo, WireDtype dtype) {
+  // Small integers and their sums are exactly representable in fp16 and
+  // bf16, so the compressed reduction must still be exact.
+  WorldOptions opt;
+  opt.allreduce_algo = algo;
+  opt.ranks_per_node = 3;
+  opt.wire_dtype = dtype;
+  World::run(
+      ranks,
+      [&](Communicator& c) {
+        std::vector<float> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+          data[i] = static_cast<float>(c.rank() + i % 5);
+        c.allreduce_sum(data);
+        const float rank_sum =
+            static_cast<float>(ranks * (ranks - 1)) / 2.0f;
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_FLOAT_EQ(data[i], static_cast<float>(ranks * (i % 5)) +
+                                       rank_sum)
+              << allreduce_algo_name(algo) << "/" << wire_dtype_name(dtype)
+              << " ranks=" << ranks << " n=" << n << " i=" << i;
+      },
+      opt);
+}
+
+TEST(CompressedAllreduce, ExactOnSmallIntegersAcrossAlgosAndRankCounts) {
+  for (AllreduceAlgo algo : {AllreduceAlgo::kRing, AllreduceAlgo::kNaive,
+                             AllreduceAlgo::kHierarchical})
+    for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16})
+      for (std::size_t ranks : {1u, 2u, 3u, 4u, 7u})
+        for (std::size_t n : {1u, 5u, 64u, 1000u})
+          check_compressed_sum(ranks, n, algo, dtype);
+}
+
+TEST(CompressedAllreduce, AllRanksBitIdenticalAndDeterministic) {
+  // Rank-invariance: every rank must end with bit-identical fp32 results
+  // (the synchronous SGD contract), and a re-run must reproduce them.
+  const std::size_t ranks = 5, n = 137;
+  for (AllreduceAlgo algo : {AllreduceAlgo::kRing, AllreduceAlgo::kNaive,
+                             AllreduceAlgo::kHierarchical}) {
+    for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16}) {
+      WorldOptions opt;
+      opt.allreduce_algo = algo;
+      opt.ranks_per_node = 2;
+      opt.wire_dtype = dtype;
+      std::vector<std::vector<float>> first(ranks), second(ranks);
+      for (auto* out : {&first, &second}) {
+        World::run(
+            ranks,
+            [&](Communicator& c) {
+              Rng rng(900 + c.rank());
+              std::vector<float> data(n);
+              for (float& v : data)
+                v = static_cast<float>(rng.normal(0.0, 1.0));
+              c.allreduce_average(data);
+              (*out)[c.rank()] = data;
+            },
+            opt);
+      }
+      for (std::size_t r = 0; r < ranks; ++r) {
+        ASSERT_EQ(0, std::memcmp(first[0].data(), first[r].data(),
+                                 n * sizeof(float)))
+            << allreduce_algo_name(algo) << "/" << wire_dtype_name(dtype)
+            << " rank " << r;
+        ASSERT_EQ(0, std::memcmp(first[r].data(), second[r].data(),
+                                 n * sizeof(float)))
+            << allreduce_algo_name(algo) << "/" << wire_dtype_name(dtype)
+            << " rerun, rank " << r;
+      }
+    }
+  }
+}
+
+TEST(CompressedAllreduce, TracksExactAverageWithinCodecErrorBound) {
+  // Random data: the compressed average must stay within the documented
+  // per-hop relative error times the (P+1) quantizations a ring reduction
+  // can accumulate.
+  const std::size_t ranks = 6, n = 211;
+  std::vector<float> exact(n);
+  std::vector<std::vector<float>> got(ranks);
+  World::run(ranks, [&](Communicator& c) {
+    Rng rng(77 + c.rank());
+    std::vector<float> data(n);
+    for (float& v : data)
+      v = static_cast<float>(rng.uniform(0.5, 2.0));  // same-sign, O(1)
+    c.allreduce_average(data);
+    if (c.rank() == 0) exact = data;
+  });
+  for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16}) {
+    WorldOptions opt;
+    opt.wire_dtype = dtype;
+    World::run(
+        ranks,
+        [&](Communicator& c) {
+          Rng rng(77 + c.rank());
+          std::vector<float> data(n);
+          for (float& v : data)
+            v = static_cast<float>(rng.uniform(0.5, 2.0));
+          c.allreduce_average(data);
+          got[c.rank()] = data;
+        },
+        opt);
+    const float rel =
+        dtype == WireDtype::kFp16 ? 0x1p-11f : 0x1p-8f;
+    const float bound = static_cast<float>(ranks + 1) * rel * 2.0f;
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(got[0][i], exact[i], bound * std::fabs(exact[i]))
+          << wire_dtype_name(dtype) << " i=" << i;
+  }
+}
+
+TEST(CompressedAllreduce, WireByteCountersPerAlgoAndDtype) {
+  // Ring moves 2(P-1) segments of n/P elements per rank; with a 16-bit
+  // wire each costs 2 bytes. The counters are indexed [algo][dtype].
+  const std::size_t ranks = 4, n = 400;
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kFp16;
+  const auto stats = World::run(
+      ranks,
+      [&](Communicator& c) {
+        std::vector<float> data(n, 1.0f);
+        c.allreduce_sum(data);
+      },
+      opt);
+  const std::size_t expected = 2 * (ranks - 1) * (n / ranks) * 2;
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.allreduce_wire_bytes[allreduce_algo_index(
+                  AllreduceAlgo::kRing)][wire_dtype_index(WireDtype::kFp16)],
+              expected);
+    EXPECT_EQ(s.wire_bytes(WireDtype::kFp16), expected);
+    EXPECT_EQ(s.wire_bytes(WireDtype::kFp32), 0u);
+    EXPECT_EQ(s.wire_bytes(WireDtype::kBf16), 0u);
+    // The per-algo/dtype rows partition the allreduce traffic.
+    EXPECT_EQ(s.bytes_sent, expected);
+  }
+}
+
+TEST(CompressedAllreduce, ScalarMetricsStayFp32UnderCompressedDefault) {
+  // allreduce_scalar (losses, accuracies) must never quantize, even when
+  // the world default wire dtype is compressed.
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kBf16;
+  const auto stats = World::run(
+      3,
+      [](Communicator& c) {
+        const double sum = c.allreduce_scalar(1.0 / 3.0);
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+      },
+      opt);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.wire_bytes(WireDtype::kBf16), 0u);
+    EXPECT_GT(s.wire_bytes(WireDtype::kFp32), 0u);
+  }
+}
+
+TEST(CompressedAllreduce, PerCallDtypeOverridesWorldDefault) {
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kFp32;
+  const auto stats = World::run(
+      2,
+      [](Communicator& c) {
+        std::vector<float> data(100, static_cast<float>(c.rank()));
+        c.allreduce_sum(data, WireDtype::kFp16);
+        for (float v : data) ASSERT_FLOAT_EQ(v, 1.0f);
+      },
+      opt);
+  for (const auto& s : stats) EXPECT_GT(s.wire_bytes(WireDtype::kFp16), 0u);
+}
+
+TEST(CompressedAllreduce, SingleRankIgnoresCompression) {
+  // One rank moves no bytes: the value must stay bit-exact (no quantize).
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kFp16;
+  World::run(
+      1,
+      [](Communicator& c) {
+        std::vector<float> data{1.0001220703125f};  // 1 + 2^-13: not fp16
+        c.allreduce_sum(data);
+        EXPECT_EQ(data[0], 1.0001220703125f);
+      },
+      opt);
+}
+
+TEST(CompressedAllreduce, MismatchedDtypesThrow) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> data(8, 1.0f);
+                            c.allreduce_sum(data, c.rank() == 0
+                                                      ? WireDtype::kFp16
+                                                      : WireDtype::kBf16);
+                          }),
+               CommError);
 }
 
 // Parameterized stress: repeated mixed collectives stay consistent.

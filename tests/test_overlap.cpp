@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -335,8 +336,8 @@ struct FitOutcome {
 };
 
 FitOutcome run_benchmark_fit(BenchmarkId id, std::size_t ranks, bool overlap,
-                             std::size_t epochs = 2,
-                             bool early_stop = false) {
+                             std::size_t epochs = 2, bool early_stop = false,
+                             comm::WireDtype wire = comm::WireDtype::kFp32) {
   const ScaledGeometry geometry = scaled_geometry(id, 0.002);
   const BenchmarkData data = make_benchmark_data(id, geometry, /*seed=*/11);
   const std::size_t n = std::min<std::size_t>(64, data.train.size());
@@ -350,6 +351,7 @@ FitOutcome run_benchmark_fit(BenchmarkId id, std::size_t ranks, bool overlap,
     FusionOptions fusion;
     fusion.threshold_bytes = 4 * 1024;  // several buckets per step
     fusion.overlap = overlap;
+    fusion.wire_dtype = wire;
     auto opt = std::make_unique<hvd::DistributedOptimizer>(
         nn::make_optimizer(benchmark_optimizer(id), 0.01), ctx, fusion);
     hvd::DistributedOptimizer* dist = opt.get();
@@ -416,6 +418,54 @@ TEST(OverlapEquivalence, BitExactOnMiniBenchmarksAcrossRanksAndThreads) {
         EXPECT_EQ(sync.stats.buckets_overlapped, 0u);
         EXPECT_EQ(ovl.stats.buckets_overlapped, ovl.stats.collectives);
         EXPECT_GT(ovl.stats.buckets_overlapped, 0u);
+      }
+    }
+  }
+}
+
+TEST(OverlapEquivalence, CompressedBucketsStayBitExactOverlappedVsSync) {
+  // The overlap correctness bar extends to compressed buckets: with the
+  // same wire dtype on both paths, reducing a bucket on the comm thread
+  // must produce the same bits as the synchronous sweep — the quantization
+  // schedule depends only on the bucket plan and rank count, not on which
+  // thread issues the collective.
+  for (comm::WireDtype wire : {comm::WireDtype::kFp16, comm::WireDtype::kBf16}) {
+    for (std::size_t ranks : {2u, 4u}) {
+      SCOPED_TRACE(std::string(comm::wire_dtype_name(wire)) + " ranks=" +
+                   std::to_string(ranks));
+      const FitOutcome sync = run_benchmark_fit(BenchmarkId::kNT3, ranks,
+                                                false, /*epochs=*/2,
+                                                /*early_stop=*/false, wire);
+      const FitOutcome ovl = run_benchmark_fit(BenchmarkId::kNT3, ranks,
+                                               true, /*epochs=*/2,
+                                               /*early_stop=*/false, wire);
+      expect_bit_identical(sync, ovl);
+      EXPECT_EQ(ovl.stats.buckets_overlapped, ovl.stats.collectives);
+    }
+  }
+}
+
+TEST(OverlapEquivalence, CompressedTrainingTracksFp32Loss) {
+  // fp16/bf16 wire gradients must not derail mini-training: per-epoch loss
+  // stays within a small relative band of the bit-exact fp32 run. The band
+  // is loose relative to the per-hop codec error bounds (2^-11 / 2^-8)
+  // because quantization error compounds through the optimizer across
+  // steps; what is being pinned down is "training tracks", not a bound.
+  for (BenchmarkId id : {BenchmarkId::kNT3, BenchmarkId::kP1B1}) {
+    const FitOutcome fp32 = run_benchmark_fit(id, 2, true, /*epochs=*/3);
+    ASSERT_FALSE(fp32.losses.empty());
+    for (comm::WireDtype wire :
+         {comm::WireDtype::kFp16, comm::WireDtype::kBf16}) {
+      SCOPED_TRACE(std::string(benchmark_name(id)) + " " +
+                   comm::wire_dtype_name(wire));
+      const FitOutcome q = run_benchmark_fit(id, 2, true, /*epochs=*/3,
+                                             /*early_stop=*/false, wire);
+      ASSERT_EQ(q.losses.size(), fp32.losses.size());
+      for (std::size_t e = 0; e < q.losses.size(); ++e) {
+        EXPECT_TRUE(std::isfinite(q.losses[e]));
+        EXPECT_NEAR(q.losses[e], fp32.losses[e],
+                    0.05 * std::abs(fp32.losses[e]) + 1e-4)
+            << "epoch " << e;
       }
     }
   }

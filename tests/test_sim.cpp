@@ -291,6 +291,73 @@ TEST(RunSimulator, HierarchicalAllreduceWinsInTheLatencyBoundRegime) {
             sim.allreduce_hierarchical_seconds(12));
 }
 
+TEST(RunSimulator, CompressedWireDefaultsAreBitIdenticalToFp32Ring) {
+  // The dtype/algo-aware overload must collapse exactly onto the legacy
+  // model at the defaults — same doubles, not merely close — so every
+  // previously calibrated anchor in this file keeps holding.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  for (std::size_t ranks : {1u, 2u, 48u, 384u, 3072u}) {
+    EXPECT_DOUBLE_EQ(sim.allreduce_step_seconds(ranks),
+                     sim.allreduce_step_seconds(ranks,
+                                                comm::AllreduceAlgo::kRing,
+                                                comm::WireDtype::kFp32));
+    EXPECT_DOUBLE_EQ(
+        sim.allreduce_hierarchical_seconds(ranks),
+        sim.allreduce_step_seconds(ranks, comm::AllreduceAlgo::kHierarchical,
+                                   comm::WireDtype::kFp32));
+  }
+  RunPlan plan;
+  plan.ranks = 48;
+  RunPlan explicit_plan = plan;
+  explicit_plan.allreduce_algo = comm::AllreduceAlgo::kRing;
+  explicit_plan.wire_dtype = comm::WireDtype::kFp32;
+  EXPECT_DOUBLE_EQ(sim.simulate(plan).phases.total(),
+                   sim.simulate(explicit_plan).phases.total());
+}
+
+TEST(RunSimulator, WireDtypeModelPredictsTheBandwidthCrossover) {
+  // The conversion term flips the ordering exactly as the measured sweep
+  // does (BENCH_collectives.json): on a slow wire halved bytes dominate
+  // and fp16 wins; on a fast wire the codec passes cost more than the
+  // transfer they save and fp32 stays ahead.
+  Machine slow = Machine::summit();
+  slow.net_bw = 100.0e6;             // congested fat-tree share
+  slow.convert_elems_per_s = 1.5e9;  // measured single-core codec rate
+  Machine fast = slow;
+  fast.net_bw = 8.0e9;  // NVLink-class
+  RunSimulator on_slow(slow, BenchmarkProfile::nt3());
+  RunSimulator on_fast(fast, BenchmarkProfile::nt3());
+  for (comm::AllreduceAlgo algo :
+       {comm::AllreduceAlgo::kRing, comm::AllreduceAlgo::kNaive}) {
+    EXPECT_LT(
+        on_slow.allreduce_step_seconds(48, algo, comm::WireDtype::kFp16),
+        on_slow.allreduce_step_seconds(48, algo, comm::WireDtype::kFp32));
+    EXPECT_GT(
+        on_fast.allreduce_step_seconds(48, algo, comm::WireDtype::kFp16),
+        on_fast.allreduce_step_seconds(48, algo, comm::WireDtype::kFp32));
+  }
+  // bf16 shares fp16's width, so the model treats their wire cost alike.
+  EXPECT_DOUBLE_EQ(
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kRing,
+                                     comm::WireDtype::kBf16),
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kRing,
+                                     comm::WireDtype::kFp16));
+  // Hierarchical compresses only the inter-node leg, so its slow-wire gain
+  // exists but is smaller than the flat ring's.
+  const double hier_gain =
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kHierarchical,
+                                     comm::WireDtype::kFp32) -
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kHierarchical,
+                                     comm::WireDtype::kFp16);
+  const double ring_gain =
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kRing,
+                                     comm::WireDtype::kFp32) -
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kRing,
+                                     comm::WireDtype::kFp16);
+  EXPECT_GT(hier_gain, 0.0);
+  EXPECT_LT(hier_gain, ring_gain);
+}
+
 TEST(RunSimulator, TimelineCarriesPowerCounters) {
   RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
   RunPlan plan;

@@ -1,4 +1,5 @@
-"""Determinism checks for the numeric core (src/tensor, src/nn, src/hvd).
+"""Determinism checks for the numeric core (src/tensor, src/nn, src/hvd,
+src/comm).
 
 The paper's benchmarks are validated by comparing losses across runs and
 thread counts, so the numeric core must be bitwise deterministic for a
@@ -24,7 +25,7 @@ from __future__ import annotations
 
 from model import FileModel, Finding, Project
 
-_SCOPE = ("src/tensor/", "src/nn/", "src/hvd/")
+_SCOPE = ("src/tensor/", "src/nn/", "src/hvd/", "src/comm/")
 
 #: gemm owns its FP-reduction order by construction (fixed blocking);
 #: exempt from the reduction rule only.

@@ -1,0 +1,32 @@
+// candle-analyze-fixture: virtual-path=src/comm/fixture_codec.cpp
+// candle-analyze-fixture: expect=determinism-fp-reduction:28
+// Wire-codec hot-loop shapes under the src/comm determinism scope. The
+// elementwise loops are the real patterns from wire_codec.cpp: plain
+// assignment (encode/decode) and subscripted fused accumulation
+// (decode_add) touch only their own dst element per index, so chunk
+// interleaving cannot change any result and they must stay clean. The
+// scalar captured accumulator at the end is the one genuine hazard.
+#include <cstddef>
+#include <cstdint>
+
+namespace candle::comm {
+
+float half_to_float(std::uint16_t bits);
+
+void decode_buffer(const std::uint16_t* src, float* dst, std::size_t n) {
+  parallel_for(n, [&](std::size_t i) { dst[i] = half_to_float(src[i]); });
+}
+
+void decode_add_buffer(const std::uint16_t* src, float* dst, std::size_t n) {
+  // Fused reduce-scatter accumulation: elementwise, order-free, clean.
+  parallel_for(n, [&](std::size_t i) { dst[i] += half_to_float(src[i]); });
+}
+
+float quantization_error(const std::uint16_t* src, const float* ref,
+                         std::size_t n) {
+  float total = 0.0f;
+  parallel_for(n, [&](std::size_t i) { total += ref[i] - half_to_float(src[i]); });
+  return total;
+}
+
+}  // namespace candle::comm
