@@ -1,0 +1,117 @@
+// Tensor-parallelism micro-benchmark: one distributed training step under
+// data vs channel parallelism at a fixed GLOBAL batch, so per-rank compute
+// is matched (data splits the batch across ranks with full layers, channel
+// replicates the batch with 1/P of each wide layer's columns) and the
+// difference is pure communication. Data parallelism allreduces the weight
+// gradients (~weight bytes per step); channel parallelism allgathers output
+// activations and reduce-scatters input gradients (~activation bytes). The
+// sweep crosses the regimes: on the wide MLP (weight-heavy, small batch)
+// channel moves far fewer bytes and wins; on the narrow MLP (activation-
+// heavy, large batch) the activation collectives dominate and data wins.
+// RunSimulator's data_parallel_layer_comm_seconds /
+// channel_parallel_layer_comm_seconds predict the same flip (test_sim pins
+// it). Committed as BENCH_tensor_parallel.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "common/rng.h"
+#include "hvd/context.h"
+#include "hvd/distributed_optimizer.h"
+#include "hvd/fusion.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/parallelism.h"
+
+namespace {
+
+using namespace candle;
+
+struct TpGeometry {
+  std::size_t features = 0;
+  std::size_t hidden = 0;
+  std::size_t classes = 16;
+  std::size_t global_batch = 0;
+};
+
+// Wide: 256 -> 2048 -> 2048 -> 16 at global batch 32. ~4.8 M weights
+// (~19 MB of gradient allreduce per data-parallel step) vs ~256 KB of
+// activations per sharded layer. Narrow: 64 -> 64 -> 64 -> 16 at global
+// batch 512. ~9 K weights (~36 KB allreduce) vs ~128 KB of activations.
+TpGeometry tp_geometry(bool wide) {
+  return wide ? TpGeometry{256, 2048, 16, 32} : TpGeometry{64, 64, 16, 512};
+}
+
+void fill_batch(Tensor& x, Tensor& y, std::size_t classes, Rng& rng) {
+  for (float& v : x.values()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (float& v : y.values()) v = 0.0f;
+  const std::size_t rows = y.shape()[0];
+  for (std::size_t i = 0; i < rows; ++i)
+    y[i * classes + rng.uniform_index(classes)] = 1.0f;
+}
+
+void BM_TensorParallelStep(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const bool wide = state.range(1) != 0;
+  const bool channel = state.range(2) != 0;
+  const auto dtype = static_cast<comm::WireDtype>(state.range(3));
+  const TpGeometry geo = tp_geometry(wide);
+  // Fixed global batch: data parallelism shards the rows, channel
+  // parallelism replicates them (and shards the columns instead).
+  const std::size_t batch = channel ? geo.global_batch
+                                    : geo.global_batch / ranks;
+  constexpr std::size_t kStepsPerIter = 4;  // amortize world spawn/join
+
+  for (auto _ : state) {
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      hvd::Context ctx(c);
+      hvd::FusionOptions fusion;
+      fusion.wire_dtype = dtype;
+      nn::Model model;
+      model.add<nn::Dense>(geo.hidden, nn::Act::kRelu);
+      model.add<nn::Dense>(geo.hidden, nn::Act::kRelu);
+      model.add<nn::Dense>(geo.classes, nn::Act::kSoftmax);
+      nn::ParallelismOptions popt;
+      popt.mode = channel ? nn::ParallelismMode::kChannel
+                          : nn::ParallelismMode::kData;
+      popt.comm = &c;
+      popt.batch_hint = batch;
+      popt.wire_dtype = dtype;
+      model.compile({geo.features},
+                    std::make_unique<hvd::DistributedOptimizer>(
+                        nn::make_optimizer("sgd", 0.01), ctx, fusion),
+                    nn::make_loss("categorical_crossentropy"), /*seed=*/5,
+                    popt);
+      // Channel mode replicates the batch, so every rank must see the same
+      // rows; data mode gives each rank its own shard of the global batch.
+      Rng rng(channel ? 11 : 11 + c.rank());
+      Tensor x({batch, geo.features});
+      Tensor y({batch, geo.classes});
+      fill_batch(x, y, geo.classes, rng);
+      for (std::size_t step = 0; step < kStepsPerIter; ++step) {
+        const float loss = model.train_on_batch(x, y);
+        benchmark::DoNotOptimize(loss);
+      }
+    });
+  }
+  state.SetLabel(std::string(channel ? "channel" : "data") + "/" +
+                 std::string(wide ? "wide" : "narrow") + "/" +
+                 comm::wire_dtype_name(dtype));
+  state.counters["steps"] =
+      benchmark::Counter(static_cast<double>(kStepsPerIter),
+                         benchmark::Counter::kIsIterationInvariant);
+}
+
+BENCHMARK(BM_TensorParallelStep)
+    ->ArgNames({"ranks", "wide", "channel", "dtype"})
+    ->ArgsProduct({{2, 4}, {0, 1}, {0, 1}, {0, 2}})
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->MinTime(0.3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

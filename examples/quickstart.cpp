@@ -9,6 +9,7 @@
 //                [--overlap 0|1] [--level epoch|batch] [--cache 0|1]
 //                [--prefetch 0|1] [--allreduce-algo ring|naive|hierarchical]
 //                [--wire-dtype fp32|fp16|bf16] [--ranks-per-node N]
+//                [--layer-parallelism auto|data|channel]
 #include <cstdio>
 
 #include "candle/runner.h"
@@ -33,7 +34,13 @@ int main(int argc, char** argv) {
       .flag("allreduce-algo", "ring | naive | hierarchical", "ring")
       .flag("wire-dtype",
             "gradient on-wire dtype: fp32 (bit-exact) | fp16 | bf16", "fp32")
-      .flag("ranks-per-node", "ranks per modeled node (Summit: 6)", "6");
+      .flag("ranks-per-node", "ranks per modeled node (Summit: 6)", "6")
+      .flag("layer-parallelism",
+            "per-layer tensor parallelism: data (replicate every layer) | "
+            "channel (shard Dense/Conv1D output channels across ranks) | "
+            "auto (shard layers whose weight gradient outweighs the "
+            "activation exchange); channel/auto need --level epoch",
+            "data");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -57,14 +64,17 @@ int main(int argc, char** argv) {
       comm::parse_wire_dtype(cli.get("wire-dtype").c_str());
   config.ranks_per_node =
       static_cast<std::size_t>(cli.get_int("ranks-per-node"));
+  config.layer_parallelism =
+      nn::parse_parallelism_mode(cli.get("layer-parallelism").c_str());
 
   std::printf(
       "NT3 quickstart: %zu ranks, %zu total epochs, loader=%s, "
-      "allreduce=%s/%s%s%s%s\n",
+      "allreduce=%s/%s, layer-parallelism=%s%s%s%s\n",
       config.ranks, config.total_epochs,
       io::loader_name(config.loader).c_str(),
       comm::allreduce_algo_name(config.allreduce_algo),
       comm::wire_dtype_name(config.fusion.wire_dtype),
+      nn::parallelism_mode_name(config.layer_parallelism),
       config.fusion.overlap ? ", overlapped allreduce" : "",
       config.cached_loads ? ", cached loads" : "",
       config.prefetch ? ", prefetched batches" : "");
@@ -100,5 +110,10 @@ int main(int argc, char** argv) {
     std::printf("%s=%s  ", comm::wire_dtype_name(d),
                 format_bytes(static_cast<double>(cs.wire_bytes(d))).c_str());
   std::printf("\n");
+  if (cs.reduce_scatter_calls > 0 || cs.allgather_calls > 0)
+    std::printf(
+        "Tensor-parallel collectives (rank 0): reduce_scatter=%zu "
+        "allgather=%zu\n",
+        cs.reduce_scatter_calls, cs.allgather_calls);
   return 0;
 }

@@ -101,6 +101,18 @@ std::pair<std::string, std::string> prepare_benchmark_csvs(
 
 RealRunResult run_real(const RealRunConfig& config) {
   require(config.ranks > 0, "run_real: ranks must be > 0");
+  const bool channel_mode =
+      config.layer_parallelism != nn::ParallelismMode::kData;
+  // Channel parallelism shards weights, not data: every rank must step the
+  // same batches in the same order (epoch-level replication), and a
+  // rank-sharded model cannot round-trip through the single-file
+  // checkpoint.
+  require(!channel_mode || config.level == sim::ParallelLevel::kEpoch,
+          "run_real: --layer-parallelism channel/auto requires epoch-level "
+          "parallelism (all ranks must step identical batches)");
+  require(!channel_mode || (config.checkpoint_every == 0 && !config.resume),
+          "run_real: --layer-parallelism channel/auto is incompatible with "
+          "checkpoint/resume (weights are rank-sharded)");
   const ScaledGeometry geometry =
       scaled_geometry(config.benchmark, config.scale);
   const std::size_t epochs_per_rank =
@@ -198,9 +210,20 @@ RealRunResult run_real(const RealRunConfig& config) {
         auto distributed = std::make_unique<hvd::DistributedOptimizer>(
             std::move(inner), ctx, config.fusion);
         hvd::DistributedOptimizer* dist = distributed.get();
+        nn::ParallelismOptions parallelism;
+        parallelism.mode = config.layer_parallelism;
+        parallelism.comm = &communicator;
+        parallelism.batch_hint = batch;
+        parallelism.wire_dtype = config.fusion.wire_dtype;
+        // Channel mode needs a uniform seed: sharded layers slice one
+        // shared full init, and every rank must draw the same shuffle
+        // stream. Data mode keeps the rank-distinct init (rank 0 wins via
+        // the broadcast below), preserving the existing runs bit-exactly.
+        const std::uint64_t model_seed =
+            channel_mode ? config.seed : config.seed + ctx.rank();
         model.compile({geometry.features}, std::move(distributed),
                       nn::make_loss(benchmark_loss(config.benchmark)),
-                      config.seed + ctx.rank());
+                      model_seed, parallelism);
         // Overlap knob: reduce gradient buckets on a per-rank comm thread
         // during backward instead of a synchronous sweep after it.
         // Bit-identical either way (see hvd/bucket_scheduler.h).

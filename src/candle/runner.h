@@ -70,6 +70,16 @@ struct RealRunConfig {
   std::size_t ranks_per_node = 6;   // Summit node: 6 V100s (Fig 5b)
   std::uint64_t seed = 7;
 
+  // Per-layer tensor parallelism (quickstart --layer-parallelism, see
+  // nn/parallelism.h): kData replicates every layer; kChannel shards every
+  // Dense/Conv1D output channel-wise across ranks; kAuto shards exactly
+  // the layers whose weight-gradient allreduce outweighs the activation
+  // exchange. Channel/auto require epoch-level parallelism (all ranks step
+  // identical batches from an identical shuffle stream — the runner uses a
+  // uniform seed) and are incompatible with checkpoint/resume (weights are
+  // rank-sharded).
+  nn::ParallelismMode layer_parallelism = nn::ParallelismMode::kData;
+
   // Checkpoint/restart (the paper's §7 fault-tolerance future work):
   // rank 0 saves weights every `checkpoint_every` epochs (0 disables);
   // with `resume`, rank 0 loads the checkpoint before training and the

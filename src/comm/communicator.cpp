@@ -82,6 +82,26 @@ void Communicator::allgather(std::span<const float> contribution,
   world_->do_allgather(*this, contribution, gathered);
 }
 
+void Communicator::reduce_scatter(std::span<float> data) {
+  reduce_scatter(data, world_->options().wire_dtype);
+}
+
+void Communicator::reduce_scatter(std::span<float> data, WireDtype wire,
+                                  std::size_t granularity) {
+  ++stats_.reduce_scatter_calls;
+  world_->do_reduce_scatter(*this, data, wire, granularity);
+}
+
+void Communicator::allgather(std::span<float> data) {
+  allgather(data, world_->options().wire_dtype);
+}
+
+void Communicator::allgather(std::span<float> data, WireDtype wire,
+                             std::size_t granularity) {
+  ++stats_.allgather_calls;
+  world_->do_allgather_inplace(*this, data, wire, granularity);
+}
+
 double Communicator::allreduce_scalar(double value) {
   float v = static_cast<float>(value);
   // Always fp32 on the wire: scalar metrics (loss, accuracy) must not
@@ -100,7 +120,8 @@ World::World(std::size_t size, WorldOptions options)
       counts_(size, 0),
       seqs_(size, 0),
       ops_(size, nullptr),
-      dtypes_(size, WireDtype::kFp32) {
+      dtypes_(size, WireDtype::kFp32),
+      grans_(size, 1) {
   require(size > 0, "World: size must be > 0");
   require(options.ranks_per_node > 0, "World: ranks_per_node must be > 0");
 }
@@ -111,7 +132,8 @@ void World::do_barrier() { barrier_.arrive_and_wait(); }
 
 void World::register_buffer(std::size_t rank, float* data, std::size_t count,
                             std::uint64_t seq, const char* op, WireDtype wire,
-                            std::uint16_t* wire_buf) {
+                            std::uint16_t* wire_buf,
+                            std::size_t granularity) {
   MutexLock lock(reg_mutex_);
   bufs_[rank] = data;
   wire_bufs_[rank] = wire_buf;
@@ -119,6 +141,7 @@ void World::register_buffer(std::size_t rank, float* data, std::size_t count,
   seqs_[rank] = seq;
   ops_[rank] = op;
   dtypes_[rank] = wire;
+  grans_[rank] = granularity;
 }
 
 void World::register_const_buffer(std::size_t rank, const float* data,
@@ -131,6 +154,7 @@ void World::register_const_buffer(std::size_t rank, const float* data,
   seqs_[rank] = seq;
   ops_[rank] = op;
   dtypes_[rank] = WireDtype::kFp32;
+  grans_[rank] = 1;
 }
 
 float* World::peer_buffer(std::size_t rank) const {
@@ -154,7 +178,8 @@ std::uint16_t* World::peer_wire_buffer(std::size_t rank) const {
 }
 
 void World::check_rendezvous(std::size_t count, std::uint64_t seq,
-                             const char* op, WireDtype wire) const {
+                             const char* op, WireDtype wire,
+                             std::size_t granularity) const {
   MutexLock lock(reg_mutex_);
   for (std::size_t r = 0; r < size_; ++r) {
     if (seqs_[r] != seq || ops_[r] == nullptr ||
@@ -174,6 +199,12 @@ void World::check_rendezvous(std::size_t count, std::uint64_t seq,
                       std::to_string(r) + " registered " +
                       wire_dtype_name(dtypes_[r]) + ", expected " +
                       wire_dtype_name(wire) + ")");
+    if (grans_[r] != granularity)
+      throw CommError(std::string(op) +
+                      ": ranks passed different segment granularities "
+                      "(rank " + std::to_string(r) + " registered " +
+                      std::to_string(grans_[r]) + ", expected " +
+                      std::to_string(granularity) + ")");
   }
 }
 
@@ -556,6 +587,7 @@ void World::do_allgather(Communicator& self,
   do_barrier();
   check_rendezvous(contribution.size(), seq, "allgather");
   gathered.resize(size_ * contribution.size());
+  const std::size_t sent_before = self.stats_.bytes_sent;
   for (std::size_t peer = 0; peer < size_; ++peer) {
     if (peer_count(peer) == 0) continue;
     std::memcpy(gathered.data() + peer * contribution.size(),
@@ -563,6 +595,131 @@ void World::do_allgather(Communicator& self,
     if (peer != self.rank_)
       self.stats_.bytes_sent += contribution.size() * sizeof(float);
   }
+  self.stats_.allgather_wire_bytes[wire_dtype_index(WireDtype::kFp32)] +=
+      self.stats_.bytes_sent - sent_before;
+  do_barrier();
+}
+
+void World::do_reduce_scatter(Communicator& self, std::span<float> data,
+                              WireDtype wire, std::size_t granularity) {
+  const std::uint64_t seq = ++self.seq_;
+  const std::size_t n = data.size();
+  require(granularity > 0, "reduce_scatter: granularity must be > 0");
+  require(n % granularity == 0,
+          "reduce_scatter: element count must be divisible by granularity");
+  const bool compressed = wire != WireDtype::kFp32 && size_ > 1;
+  if (!compressed) wire = WireDtype::kFp32;
+  if (compressed) {
+    self.wire_scratch_.resize(n);
+    wire::encode(wire, data.data(), self.wire_scratch_.data(), n);
+  }
+  register_buffer(self.rank_, data.data(), n, seq, "reduce_scatter", wire,
+                  compressed ? self.wire_scratch_.data() : nullptr,
+                  granularity);
+  do_barrier();
+  check_rendezvous(n, seq, "reduce_scatter", wire, granularity);
+  const std::size_t sent_before = self.stats_.bytes_sent;
+  if (size_ > 1) {
+    const std::size_t P = size_;
+    const std::size_t r = self.rank_;
+    const std::size_t units = n / granularity;
+    auto off = [&](std::size_t g) { return granularity * (g * units / P); };
+    auto mod = [&](std::size_t a) { return a % P; };
+    const std::size_t w = wire_width_bytes(wire);
+    std::uint16_t* mine = compressed ? self.wire_scratch_.data() : nullptr;
+    // The allreduce ring's scatter-reduce phase, shifted one position so
+    // rank r finishes owning segment r: at step s each rank accumulates
+    // segment (r - 2 - s mod P) from its predecessor, which produced that
+    // partial at step s-1; the final step (s = P-2) lands segment r with
+    // the full P-way sum.
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      const std::size_t recv_seg = mod(r + 2 * P - 2 - s);
+      const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
+      if (compressed) {
+        const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
+        if (e > b) {
+          wire::decode_add(wire, src + b, data.data() + b, e - b);
+          // The successor reads this partial at step s+1. The last step's
+          // result is this rank's owned segment — nobody reads it, so it
+          // keeps the full fp32 master precision.
+          if (s + 2 < P)
+            wire::encode(wire, data.data() + b, mine + b, e - b);
+        }
+      } else {
+        const float* src = peer_buffer(mod(r + P - 1));
+        for (std::size_t i = b; i < e; ++i) data[i] += src[i];
+      }
+      self.stats_.bytes_sent += (e - b) * w;
+      do_barrier();
+    }
+  }
+  self.stats_.reduce_scatter_wire_bytes[wire_dtype_index(wire)] +=
+      self.stats_.bytes_sent - sent_before;
+  do_barrier();
+}
+
+void World::do_allgather_inplace(Communicator& self, std::span<float> data,
+                                 WireDtype wire, std::size_t granularity) {
+  const std::uint64_t seq = ++self.seq_;
+  const std::size_t n = data.size();
+  require(granularity > 0, "allgather: granularity must be > 0");
+  require(n % granularity == 0,
+          "allgather: element count must be divisible by granularity");
+  const bool compressed = wire != WireDtype::kFp32 && size_ > 1;
+  if (!compressed) wire = WireDtype::kFp32;
+  const std::size_t P = size_;
+  const std::size_t r = self.rank_;
+  const std::size_t units = n / granularity;
+  auto off = [&](std::size_t g) { return granularity * (g * units / P); };
+  auto mod = [&](std::size_t a) { return a % P; };
+  if (compressed) {
+    self.wire_scratch_.resize(n);
+    // Only the owned segment needs a wire image before the first hop; the
+    // rest of this rank's image fills in as segments propagate the ring.
+    const std::size_t b = off(r), e = off(r + 1);
+    if (e > b)
+      wire::encode(wire, data.data() + b, self.wire_scratch_.data() + b,
+                   e - b);
+  }
+  register_buffer(self.rank_, data.data(), n, seq, "allgather", wire,
+                  compressed ? self.wire_scratch_.data() : nullptr,
+                  granularity);
+  do_barrier();
+  check_rendezvous(n, seq, "allgather", wire, granularity);
+  const std::size_t sent_before = self.stats_.bytes_sent;
+  if (P > 1) {
+    const std::size_t w = wire_width_bytes(wire);
+    std::uint16_t* mine = compressed ? self.wire_scratch_.data() : nullptr;
+    if (compressed) {
+      // Owner round-trip: peers decode this segment from the wire image,
+      // so the contributing rank adopts the same quantized values and all
+      // ranks end bit-identical (cf. allreduce_ring_compressed).
+      const std::size_t b = off(r), e = off(r + 1);
+      if (e > b) wire::decode(wire, mine + b, data.data() + b, e - b);
+    }
+    // Ring allgather with rank r owning segment r: at step s each rank
+    // copies segment (r - 1 - s mod P) from its predecessor, which
+    // completed it at step s-1 (its own contribution for s = 0).
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      const std::size_t copy_seg = mod(r + 2 * P - 1 - s);
+      const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
+      if (compressed) {
+        const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
+        if (e > b) {
+          std::memcpy(mine + b, src + b, (e - b) * sizeof(std::uint16_t));
+          wire::decode(wire, mine + b, data.data() + b, e - b);
+        }
+      } else {
+        const float* src = peer_buffer(mod(r + P - 1));
+        if (e > b)
+          std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
+      }
+      self.stats_.bytes_sent += (e - b) * w;
+      do_barrier();
+    }
+  }
+  self.stats_.allgather_wire_bytes[wire_dtype_index(wire)] +=
+      self.stats_.bytes_sent - sent_before;
   do_barrier();
 }
 

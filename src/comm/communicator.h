@@ -59,6 +59,7 @@ struct CommStats {
   std::size_t broadcast_calls = 0;
   std::size_t reduce_calls = 0;
   std::size_t allgather_calls = 0;
+  std::size_t reduce_scatter_calls = 0;
   std::size_t barrier_calls = 0;
   std::size_t bytes_sent = 0;  // bytes this rank moved to a peer buffer
 
@@ -69,6 +70,14 @@ struct CommStats {
   /// bytes_sent.
   std::array<std::array<std::size_t, kNumWireDtypes>, kNumAllreduceAlgos>
       allreduce_wire_bytes{};
+
+  /// On-wire bytes per standalone reduce_scatter / allgather collective,
+  /// by dtype (also counted in bytes_sent). The ring formulas are exact
+  /// and asserted in test_comm.cpp: with P ranks and n elements divisible
+  /// by P, each rank moves (P-1) * n/P elements per call. The concat-style
+  /// allgather overload counts its fp32 copies here too.
+  std::array<std::size_t, kNumWireDtypes> reduce_scatter_wire_bytes{};
+  std::array<std::size_t, kNumWireDtypes> allgather_wire_bytes{};
 
   /// Sum of allreduce_wire_bytes over algorithms for one dtype.
   [[nodiscard]] std::size_t wire_bytes(WireDtype d) const {
@@ -134,6 +143,31 @@ class Communicator {
   /// Gathers equal-size contributions from all ranks, in rank order.
   void allgather(std::span<const float> contribution,
                  std::vector<float>& gathered);
+
+  /// In-place ring reduce-scatter (MPI_Reduce_scatter_block generalized to
+  /// the ring's uneven segments): on return, rank r's segment r of the ring
+  /// partition holds the element-wise sum over all ranks; the rest of the
+  /// buffer holds partial sums and must be treated as scratch. Segment g
+  /// covers [off(g), off(g+1)) with off(g) = granularity * (g * (n /
+  /// granularity) / P) — granularity-aligned boundaries let callers gather
+  /// per-rank blocks of `granularity`-strided rows (n must be divisible by
+  /// granularity). Deterministic and rank-invariant: the ring schedule
+  /// fixes the accumulation order per segment independent of thread timing.
+  /// With a compressed wire dtype every hop moves 16-bit words and fuses
+  /// decode+add into the fp32 master buffer (wire_codec.h).
+  void reduce_scatter(std::span<float> data);
+  void reduce_scatter(std::span<float> data, WireDtype wire,
+                      std::size_t granularity = 1);
+
+  /// In-place ring allgather, the inverse of reduce_scatter: rank r
+  /// contributes its segment r (same boundary function, same granularity
+  /// rules) and on return every rank holds every segment. With a
+  /// compressed dtype each segment crosses the wire once in 16-bit words
+  /// and the contributing rank round-trips its own segment through the
+  /// codec, so all ranks end bit-identical.
+  void allgather(std::span<float> data);
+  void allgather(std::span<float> data, WireDtype wire,
+                 std::size_t granularity = 1);
 
   /// Reduces a single double (sum) — convenience for scalar metrics.
   double allreduce_scalar(double value);
@@ -229,6 +263,15 @@ class World {
   void do_allgather(Communicator& self, std::span<const float> contribution,
                     std::vector<float>& gathered);
 
+  // Standalone ring collectives (the allreduce ring's two phases promoted
+  // to public primitives; see communicator.cpp for the shifted segment
+  // schedule that makes rank r own segment r). Each handles both the fp32
+  // and the compressed wire path.
+  void do_reduce_scatter(Communicator& self, std::span<float> data,
+                         WireDtype wire, std::size_t granularity);
+  void do_allgather_inplace(Communicator& self, std::span<float> data,
+                            WireDtype wire, std::size_t granularity);
+
   /// Registers `rank`'s buffer for the collective that is about to start,
   /// tagged with the rank's collective sequence number, the op name, and
   /// the requested wire dtype (with the rank's 16-bit wire image when the
@@ -237,7 +280,8 @@ class World {
   void register_buffer(std::size_t rank, float* data, std::size_t count,
                        std::uint64_t seq, const char* op,
                        WireDtype wire = WireDtype::kFp32,
-                       std::uint16_t* wire_buf = nullptr)
+                       std::uint16_t* wire_buf = nullptr,
+                       std::size_t granularity = 1)
       CANDLE_EXCLUDES(reg_mutex_);
   void register_const_buffer(std::size_t rank, const float* data,
                              std::size_t count, std::uint64_t seq,
@@ -262,9 +306,11 @@ class World {
   /// global collective order across ranks (or a bucket interleaving across
   /// steps) is reported as an error at the rendezvous instead of corrupting
   /// a reduction; the dtype check catches ranks disagreeing about whether a
-  /// bucket crosses the wire compressed.
+  /// bucket crosses the wire compressed, and the granularity check catches
+  /// ranks disagreeing about segment boundaries (reduce_scatter/allgather).
   void check_rendezvous(std::size_t count, std::uint64_t seq, const char* op,
-                        WireDtype wire = WireDtype::kFp32) const
+                        WireDtype wire = WireDtype::kFp32,
+                        std::size_t granularity = 1) const
       CANDLE_EXCLUDES(reg_mutex_);
 
   std::size_t size_;
@@ -280,6 +326,7 @@ class World {
   std::vector<std::uint64_t> seqs_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<const char*> ops_ CANDLE_GUARDED_BY(reg_mutex_);
   std::vector<WireDtype> dtypes_ CANDLE_GUARDED_BY(reg_mutex_);
+  std::vector<std::size_t> grans_ CANDLE_GUARDED_BY(reg_mutex_);
 };
 
 }  // namespace candle::comm

@@ -12,6 +12,7 @@
 // simulator models it explicitly.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "hvd/context.h"
@@ -38,7 +39,17 @@ class BroadcastGlobalVariablesHook final : public nn::Callback {
       : ctx_(&ctx), root_(root) {}
 
   void on_train_begin(nn::Model& model) override {
-    negotiate_seconds_ = broadcast_parameters(*ctx_, model.parameters(), root_);
+    // Channel-sharded parameters are rank-local by construction (each rank
+    // owns a different weight slice) — broadcasting them from root would
+    // clobber every other rank's shard, so only replicated parameters are
+    // synchronized.
+    const std::vector<Tensor*> params = model.parameters();
+    const std::vector<std::uint8_t>& mask = model.rank_local_mask();
+    std::vector<Tensor*> replicated;
+    replicated.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+      if (i >= mask.size() || mask[i] == 0) replicated.push_back(params[i]);
+    negotiate_seconds_ = broadcast_parameters(*ctx_, replicated, root_);
   }
 
   /// Seconds spent waiting in the negotiate phase (the broadcast overhead

@@ -1,5 +1,6 @@
 #include "hvd/bucket_scheduler.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -57,7 +58,13 @@ void BucketScheduler::mark_ready(std::size_t first, std::size_t count) {
     remaining_.resize(buckets_.size());
     for (std::size_t b = 0; b < buckets_.size(); ++b)
       remaining_[b] = buckets_[b].tensors.size();
-    complete_.assign(buckets_.size(), 0);
+    // Drop bucket work a previous (errored/abandoned) step left queued;
+    // run_inline tasks are synchronous and can never linger here.
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [](const WorkItem& w) {
+                                  return w.task == nullptr;
+                                }),
+                 queue_.end());
   }
   bool notify = false;
   for (std::size_t t = first; t < first + count; ++t) {
@@ -65,7 +72,10 @@ void BucketScheduler::mark_ready(std::size_t first, std::size_t count) {
     require(remaining_[b] > 0,
             "BucketScheduler::mark_ready: gradient marked ready twice");
     if (--remaining_[b] == 0) {
-      complete_[b] = 1;
+      // Completion order is the comm thread's issue order: backward runs
+      // the layers in reverse, so buckets enqueue in descending index
+      // order, interleaved deterministically with run_inline tasks.
+      queue_.push_back(WorkItem{b, nullptr});
       notify = true;
     }
   }
@@ -97,28 +107,60 @@ FusionStats BucketScheduler::drain() {
   return std::exchange(step_stats_, {});
 }
 
+void BucketScheduler::run_inline(const std::function<void()>& fn) {
+  InlineTask task;
+  task.fn = &fn;
+  {
+    MutexLock lock(mutex_);
+    require(!shutdown_, "BucketScheduler::run_inline: shutting down");
+    queue_.push_back(WorkItem{0, &task});
+  }
+  ready_cv_.notify_all();
+  MutexLock lock(mutex_);
+  done_cv_.wait(mutex_, [&task]() CANDLE_REQUIRES(mutex_) {
+    return task.done;
+  });
+  if (task.error != nullptr) std::rethrow_exception(task.error);
+}
+
 void BucketScheduler::comm_main() {
   while (true) {
-    // Wait for the next bucket in descending index order (the order
-    // readiness arrives in: backward runs the layers in reverse).
     const double idle_from = ctx_->now();
-    std::size_t next = 0;
+    WorkItem item;
     double negotiate_from = idle_from;
     {
       MutexLock lock(mutex_);
       ready_cv_.wait(mutex_, [this]() CANDLE_REQUIRES(mutex_) {
-        if (shutdown_) return true;
-        if (!armed_ || error_ != nullptr) return false;
-        if (processed_ >= buckets_.size()) return false;
-        return complete_[buckets_.size() - 1 - processed_] != 0;
+        return shutdown_ || !queue_.empty();
       });
       if (shutdown_) return;
-      next = buckets_.size() - 1 - processed_;
-      // NEGOTIATE = waiting for the bucket's gradients: from the step's
-      // first mark_ready for the first bucket, else from the previous
-      // bucket's completion (idle between steps is not negotiation).
-      if (armed_at_ > negotiate_from) negotiate_from = armed_at_;
+      item = queue_.front();
+      queue_.pop_front();
+      if (item.task == nullptr) {
+        // Once a step errored, its remaining buckets are dropped — drain
+        // reports the first error; reducing more would only cascade.
+        if (error_ != nullptr) continue;
+        if (armed_at_ > negotiate_from) negotiate_from = armed_at_;
+      }
     }
+
+    if (item.task != nullptr) {
+      std::exception_ptr err;
+      try {
+        (*item.task->fn)();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      MutexLock lock(mutex_);
+      item.task->error = err;
+      item.task->done = true;
+      done_cv_.notify_all();
+      continue;
+    }
+
+    // NEGOTIATE = waiting for the bucket's gradients: from the step's
+    // first mark_ready for the first bucket, else from the previous
+    // item's completion (idle between steps is not negotiation).
     const double negotiated = ctx_->now();
     ctx_->record(trace::kNegotiateAllreduce, "allreduce", negotiate_from,
                  negotiated - negotiate_from);
@@ -128,8 +170,8 @@ void BucketScheduler::comm_main() {
     FusionStats stats;
     std::exception_ptr err;
     try {
-      allreduce_bucket(*ctx_, grads_, buckets_[next], *buffer_, options_,
-                       stats);
+      allreduce_bucket(*ctx_, grads_, buckets_[item.bucket], *buffer_,
+                       options_, stats);
     } catch (...) {
       err = std::current_exception();
     }

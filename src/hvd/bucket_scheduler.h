@@ -18,15 +18,21 @@
 //
 // Collective-ordering contract: backward finalizes layers in reverse order,
 // so forward-order buckets complete readiness in strictly descending index
-// order; the comm thread reduces them in exactly that order on every rank.
-// The main thread must not issue collectives on this rank's Communicator
-// between the first mark_ready() of a step and drain() returning — drain
-// before touching the communicator. Violations trip the communicator's
-// sequence/op rendezvous check (CommError) rather than corrupting data.
+// order; the comm thread works a FIFO queue fed by the main thread (bucket
+// completions and run_inline tasks, both pushed at deterministic program
+// points of backward), so every rank issues the identical collective
+// sequence. The main thread must not issue collectives on this rank's
+// Communicator directly between the first mark_ready() of a step and
+// drain() returning — route them through run_inline (channel-sharded
+// layers do; see nn::CollectiveExecutor) or drain first. Violations trip
+// the communicator's sequence/op rendezvous check (CommError) rather than
+// corrupting data.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -80,10 +86,30 @@ class BucketScheduler {
   /// exception the comm thread hit (e.g. CommError).
   FusionStats drain() CANDLE_EXCLUDES(mutex_);
 
+  /// Runs `fn` on the comm thread, after everything already queued, and
+  /// blocks until it finished; rethrows what it threw. This is how
+  /// channel-sharded layers issue their activation collectives while a
+  /// step is in flight: the comm thread stays the rank's only collective
+  /// issuer and the FIFO order — fed only by this (main) thread — is
+  /// identical on every rank. Also safe with no step armed.
+  void run_inline(const std::function<void()>& fn) CANDLE_EXCLUDES(mutex_);
+
   /// Buckets in the bound plan.
   [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
 
  private:
+  /// One comm-thread work unit: a completed fusion bucket (task == nullptr)
+  /// or a run_inline task.
+  struct InlineTask {
+    const std::function<void()>* fn = nullptr;
+    bool done = false;
+    std::exception_ptr error;
+  };
+  struct WorkItem {
+    std::size_t bucket = 0;
+    InlineTask* task = nullptr;
+  };
+
   void comm_main();
 
   Context* ctx_;
@@ -107,7 +133,7 @@ class BucketScheduler {
   bool armed_ CANDLE_GUARDED_BY(mutex_) = false;
   double armed_at_ CANDLE_GUARDED_BY(mutex_) = 0.0;
   std::vector<std::size_t> remaining_ CANDLE_GUARDED_BY(mutex_);
-  std::vector<char> complete_ CANDLE_GUARDED_BY(mutex_);
+  std::deque<WorkItem> queue_ CANDLE_GUARDED_BY(mutex_);
   std::size_t processed_ CANDLE_GUARDED_BY(mutex_) = 0;
   FusionStats step_stats_ CANDLE_GUARDED_BY(mutex_);
   std::exception_ptr error_ CANDLE_GUARDED_BY(mutex_);

@@ -53,7 +53,16 @@ class DistributedOptimizer final : public nn::Optimizer {
   /// after Model::compile. The model must outlive this optimizer's use, and
   /// apply() must be called (draining the step) before any other collective
   /// is issued on this rank — Model::train_on_batch does exactly that.
+  /// Rank-local (channel-sharded) gradients are excluded from the bucket
+  /// plan; the hook maps ready spans into the reduced order.
   void enable_overlap(nn::Model& model);
+
+  /// Records which gradients are rank-local under channel parallelism (set
+  /// by Model::compile via the parallelism plan): those tensors are owned
+  /// by exactly one rank's shard and are excluded from allreduce averaging
+  /// on both the synchronous and overlapped paths. An empty mask (the
+  /// default) reduces everything.
+  void set_rank_local_gradients(const std::vector<std::uint8_t>& mask) override;
 
   [[nodiscard]] bool overlap_enabled() const { return scheduler_ != nullptr; }
 
@@ -64,12 +73,20 @@ class DistributedOptimizer final : public nn::Optimizer {
   [[nodiscard]] const FusionBuffer& fusion_buffer() const { return buffer_; }
 
  private:
+  [[nodiscard]] bool is_rank_local(std::size_t grad_index) const {
+    return grad_index < local_mask_.size() && local_mask_[grad_index] != 0;
+  }
+
   std::unique_ptr<nn::Optimizer> inner_;
   Context* ctx_;
   FusionOptions fusion_;
   FusionStats stats_;
   FusionBuffer buffer_;
   std::unique_ptr<BucketScheduler> scheduler_;
+  std::vector<std::uint8_t> local_mask_;
+  /// Flat gradients() index -> index in the reduced (non-local) order;
+  /// kNotReduced for rank-local gradients. Rebuilt by enable_overlap.
+  std::vector<std::size_t> reduced_of_;
 };
 
 }  // namespace candle::hvd

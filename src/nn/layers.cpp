@@ -103,17 +103,59 @@ std::string Dense::describe() const {
   return strprintf("Dense(%zu, %s)", units_, act_name(act_).c_str());
 }
 
+bool Dense::channel_shard_costs(const Shape& input_shape, std::size_t batch,
+                                std::size_t* weight_bytes,
+                                std::size_t* activation_bytes,
+                                std::size_t* channels) const {
+  if (input_shape.size() != 1) return false;
+  const std::size_t in = input_shape[0];
+  // Data parallelism allreduces dW/db every step; channel parallelism
+  // allgathers the (batch, units) output forward and reduce-scatters +
+  // allgathers the (batch, in) input gradient backward.
+  *weight_bytes = (in * units_ + units_) * sizeof(float);
+  *activation_bytes = batch * (units_ + 2 * in) * sizeof(float);
+  *channels = units_;
+  return true;
+}
+
+void Dense::apply_channel_shard(const ChannelShard& shard) {
+  require(w_.numel() == 0, "Dense::apply_channel_shard: must precede build()");
+  require(shard.world >= 1 && shard.rank < shard.world,
+          "Dense::apply_channel_shard: bad rank/world");
+  require(shard.world == 1 || shard.comm != nullptr,
+          "Dense::apply_channel_shard: null communicator");
+  require(units_ >= shard.world, "Dense::apply_channel_shard: units < world");
+  sharded_ = true;
+  shard_ = shard;
+}
+
 Shape Dense::build(const Shape& input_shape, Rng& rng) {
   require(input_shape.size() == 1,
           "Dense: per-sample input must be rank-1, got " +
               shape_to_string(input_shape));
   const std::size_t in = input_shape[0];
-  w_ = Tensor({in, units_});
-  b_ = Tensor({units_});
-  dw_ = Tensor({in, units_});
-  db_ = Tensor({units_});
-  glorot_uniform(w_, in, units_, rng);
-  if (init_scale_ != 1.0) w_ *= static_cast<float>(init_scale_);
+  shard_begin_ = 0;
+  shard_cols_ = units_;
+  if (sharded_) {
+    shard_begin_ = shard_offset(shard_.rank, units_, shard_.world);
+    shard_cols_ =
+        shard_offset(shard_.rank + 1, units_, shard_.world) - shard_begin_;
+  }
+  // Draw the FULL Glorot init from the shared stream before slicing: every
+  // rank consumes the same number of variates, so replicated layers (and
+  // the fit-time shuffle stream) stay identical to the unsharded model.
+  Tensor wfull({in, units_});
+  glorot_uniform(wfull, in, units_, rng);
+  if (init_scale_ != 1.0) wfull *= static_cast<float>(init_scale_);
+  if (shard_cols_ != units_) {
+    w_ = Tensor({in, shard_cols_});
+    slice_columns(wfull, shard_begin_, shard_cols_, w_);
+  } else {
+    w_ = std::move(wfull);
+  }
+  b_ = Tensor({shard_cols_});
+  dw_ = Tensor({in, shard_cols_});
+  db_ = Tensor({shard_cols_});
   return {units_};
 }
 
@@ -123,20 +165,49 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   // epilogue, so no pre-activation tensor is materialized separately.
   Epilogue ep;
   ep.bias = b_.data();
-  if (act_ == Act::kRelu) ep.op = EpilogueOp::kRelu;
-  Tensor z({x.dim(0), units_});
-  gemm(false, false, x, w_, z, ep);
-  if (act_ != Act::kRelu) apply_activation_inplace(act_, z);
-  y_ = std::move(z);
+  if (!sharded_ || shard_.world <= 1) {
+    if (act_ == Act::kRelu) ep.op = EpilogueOp::kRelu;
+    Tensor z({x.dim(0), units_});
+    gemm(false, false, x, w_, z, ep);
+    if (act_ != Act::kRelu) apply_activation_inplace(act_, z);
+    y_ = std::move(z);
+    return y_;
+  }
+  // Channel-parallel forward: local GEMM over this rank's column slice
+  // (bias rides the epilogue; the activation must wait for the gather —
+  // softmax normalizes across all columns, and post-gather ReLU is
+  // bit-identical to the fused form).
+  const std::size_t batch = x.dim(0);
+  if (local_block_.shape() != Shape{batch, shard_cols_})
+    local_block_ = Tensor({batch, shard_cols_});
+  gemm(false, false, x, w_, local_block_, ep);
+  if (y_.shape() != Shape{batch, units_}) y_ = Tensor({batch, units_});
+  allgather_columns(shard_, local_block_, units_, gather_scratch_, y_);
+  apply_activation_inplace(act_, y_);
   return y_;
 }
 
 Tensor Dense::backward(const Tensor& dy) {
   const Tensor dz = activation_backward(act_, dy, y_);
-  gemm(true, false, x_, dz, dw_);  // dW = X^T dZ
+  if (!sharded_ || shard_.world <= 1) {
+    gemm(true, false, x_, dz, dw_);  // dW = X^T dZ
+    if (l2_ > 0.0) axpy(static_cast<float>(2.0 * l2_), w_, dw_);
+    db_ = sum_rows(dz);
+    return gemm(false, true, dz, w_);  // dX = dZ W^T
+  }
+  // Channel-parallel backward: slice this rank's columns of dZ, form the
+  // rank-local dW/db (full batch, so no cross-rank averaging), then sum the
+  // per-rank partial dX = dZ_r W_r^T across ranks.
+  const std::size_t batch = dz.dim(0);
+  if (local_block_.shape() != Shape{batch, shard_cols_})
+    local_block_ = Tensor({batch, shard_cols_});
+  slice_columns(dz, shard_begin_, shard_cols_, local_block_);
+  gemm(true, false, x_, local_block_, dw_);
   if (l2_ > 0.0) axpy(static_cast<float>(2.0 * l2_), w_, dw_);
-  db_ = sum_rows(dz);
-  return gemm(false, true, dz, w_);  // dX = dZ W^T
+  db_ = sum_rows(local_block_);
+  Tensor dx = gemm(false, true, local_block_, w_);
+  sum_partials(shard_, dx);
+  return dx;
 }
 
 // ---------------------------------------------------------------------------
@@ -155,35 +226,107 @@ std::string Conv1D::describe() const {
                    stride_, act_name(act_).c_str());
 }
 
+bool Conv1D::channel_shard_costs(const Shape& input_shape, std::size_t batch,
+                                 std::size_t* weight_bytes,
+                                 std::size_t* activation_bytes,
+                                 std::size_t* channels) const {
+  if (input_shape.size() != 2) return false;
+  const std::size_t L = input_shape[0], cin = input_shape[1];
+  if (L < kernel_) return false;
+  const std::size_t lout = conv1d_out_length(L, kernel_, stride_);
+  // Filter sharding gathers the (batch, Lout, filters) output forward and
+  // reduce-scatters + allgathers the (batch, L, Cin) input gradient
+  // backward; data parallelism allreduces the (K, Cin, filters) gradient.
+  *weight_bytes = (kernel_ * cin * filters_ + filters_) * sizeof(float);
+  *activation_bytes = batch * (lout * filters_ + 2 * L * cin) * sizeof(float);
+  *channels = filters_;
+  return true;
+}
+
+void Conv1D::apply_channel_shard(const ChannelShard& shard) {
+  require(w_.numel() == 0,
+          "Conv1D::apply_channel_shard: must precede build()");
+  require(shard.world >= 1 && shard.rank < shard.world,
+          "Conv1D::apply_channel_shard: bad rank/world");
+  require(shard.world == 1 || shard.comm != nullptr,
+          "Conv1D::apply_channel_shard: null communicator");
+  require(filters_ >= shard.world,
+          "Conv1D::apply_channel_shard: filters < world");
+  sharded_ = true;
+  shard_ = shard;
+}
+
 Shape Conv1D::build(const Shape& input_shape, Rng& rng) {
   require(input_shape.size() == 2,
           "Conv1D: per-sample input must be (L, C), got " +
               shape_to_string(input_shape));
   const std::size_t L = input_shape[0], cin = input_shape[1];
   const std::size_t lout = conv1d_out_length(L, kernel_, stride_);
-  w_ = Tensor({kernel_, cin, filters_});
-  b_ = Tensor({filters_});
-  dw_ = Tensor({kernel_, cin, filters_});
-  db_ = Tensor({filters_});
-  glorot_uniform(w_, kernel_ * cin, kernel_ * filters_, rng);
+  shard_begin_ = 0;
+  shard_cols_ = filters_;
+  if (sharded_) {
+    shard_begin_ = shard_offset(shard_.rank, filters_, shard_.world);
+    shard_cols_ =
+        shard_offset(shard_.rank + 1, filters_, shard_.world) - shard_begin_;
+  }
+  // Full init first so every rank consumes the same RNG variates (see
+  // Dense::build); the filter axis is the trailing dim, so the slice is a
+  // column slice of the flattened (K * Cin, filters) view.
+  Tensor wfull({kernel_, cin, filters_});
+  glorot_uniform(wfull, kernel_ * cin, kernel_ * filters_, rng);
+  if (shard_cols_ != filters_) {
+    w_ = Tensor({kernel_, cin, shard_cols_});
+    slice_columns(wfull, shard_begin_, shard_cols_, w_);
+  } else {
+    w_ = std::move(wfull);
+  }
+  b_ = Tensor({shard_cols_});
+  dw_ = Tensor({kernel_, cin, shard_cols_});
+  db_ = Tensor({shard_cols_});
   return {lout, filters_};
 }
 
 Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
   x_ = x;
-  const bool fused_relu = act_ == Act::kRelu;
-  // Writing into y_ reuses the activation buffer across steps: the GEMM
-  // overwrites every element, so no per-step zero-fill is paid.
-  conv1d_forward(x, w_, b_, stride_, y_, &ws_,
-                 fused_relu ? EpilogueOp::kRelu : EpilogueOp::kIdentity);
-  if (!fused_relu) apply_activation_inplace(act_, y_);
+  if (!sharded_ || shard_.world <= 1) {
+    const bool fused_relu = act_ == Act::kRelu;
+    // Writing into y_ reuses the activation buffer across steps: the GEMM
+    // overwrites every element, so no per-step zero-fill is paid.
+    conv1d_forward(x, w_, b_, stride_, y_, &ws_,
+                   fused_relu ? EpilogueOp::kRelu : EpilogueOp::kIdentity);
+    if (!fused_relu) apply_activation_inplace(act_, y_);
+    return y_;
+  }
+  // Filter-parallel forward: local convolution over this rank's filter
+  // block, then gather the (B, Lout, filters) output (granularity B * Lout
+  // rows); the activation runs post-gather on the full tensor.
+  conv1d_forward(x, w_, b_, stride_, local_block_, &ws_,
+                 EpilogueOp::kIdentity);
+  const std::size_t batch = local_block_.dim(0);
+  const std::size_t lout = local_block_.dim(1);
+  if (y_.shape() != Shape{batch, lout, filters_})
+    y_ = Tensor({batch, lout, filters_});
+  allgather_columns(shard_, local_block_, filters_, gather_scratch_, y_);
+  apply_activation_inplace(act_, y_);
   return y_;
 }
 
 Tensor Conv1D::backward(const Tensor& dy) {
   const Tensor dz = activation_backward(act_, dy, y_);
+  if (!sharded_ || shard_.world <= 1) {
+    Tensor dx(x_.shape());
+    conv1d_backward(x_, w_, dz, stride_, dx, dw_, db_, &ws_);
+    return dx;
+  }
+  // Filter-parallel backward: slice this rank's filter block of dZ, run the
+  // local conv backward (rank-local dW/db over the full batch), then sum
+  // the per-rank partial dX across ranks.
+  if (local_block_.shape() != Shape{dz.dim(0), dz.dim(1), shard_cols_})
+    local_block_ = Tensor({dz.dim(0), dz.dim(1), shard_cols_});
+  slice_columns(dz, shard_begin_, shard_cols_, local_block_);
   Tensor dx(x_.shape());
-  conv1d_backward(x_, w_, dz, stride_, dx, dw_, db_, &ws_);
+  conv1d_backward(x_, w_, local_block_, stride_, dx, dw_, db_, &ws_);
+  sum_partials(shard_, dx);
   return dx;
 }
 

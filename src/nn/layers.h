@@ -11,9 +11,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
+#include "nn/parallelism.h"
 #include "tensor/conv.h"
 #include "tensor/tensor.h"
 
@@ -56,6 +59,48 @@ class Layer {
 
   /// Total trainable scalar count.
   [[nodiscard]] std::size_t param_count();
+
+  /// Channel-parallelism support. Layers that can shard their output
+  /// channels report the planner costs for a given input shape and batch
+  /// hint: `weight_bytes` is the layer's per-step weight-gradient allreduce
+  /// volume under data parallelism, `activation_bytes` the activation
+  /// exchange channel parallelism pays instead (forward output allgather +
+  /// backward input-gradient reduce-scatter and allgather), and `channels`
+  /// the shardable output-channel count (the planner keeps layers narrower
+  /// than the world replicated). Returns false (the default) when the
+  /// layer cannot shard.
+  [[nodiscard]] virtual bool channel_shard_costs(
+      const Shape& input_shape, std::size_t batch, std::size_t* weight_bytes,
+      std::size_t* activation_bytes, std::size_t* channels) const {
+    (void)input_shape;
+    (void)batch;
+    (void)weight_bytes;
+    (void)activation_bytes;
+    (void)channels;
+    return false;
+  }
+
+  /// Partitions this layer's output channels across `shard.world` ranks.
+  /// Must be called before build(); only layers whose channel_shard_costs
+  /// returns true support it. After this call params()/grads() expose the
+  /// rank-local 1/P slice, which must not be averaged or broadcast across
+  /// ranks (Model tracks the mask; see Model::rank_local_mask).
+  virtual void apply_channel_shard(const ChannelShard& shard) {
+    (void)shard;
+    throw InvalidArgument("apply_channel_shard: " + describe() +
+                          " does not support channel sharding");
+  }
+
+  /// True once apply_channel_shard was called.
+  [[nodiscard]] virtual bool channel_sharded() const { return false; }
+
+  /// Routes this layer's sharded collectives through `exec` (see
+  /// CollectiveExecutor). The overlap scheduler installs one so the comm
+  /// thread stays the rank's only collective issuer; pass {} to restore
+  /// inline issue. No-op for layers that never issue collectives.
+  virtual void set_collective_executor(CollectiveExecutor exec) {
+    (void)exec;
+  }
 };
 
 /// Fully connected layer with optional fused activation and optional L2
@@ -79,6 +124,15 @@ class Dense : public Layer {
   [[nodiscard]] const Tensor& bias() const { return b_; }
   [[nodiscard]] double l2() const { return l2_; }
 
+  [[nodiscard]] bool channel_shard_costs(
+      const Shape& input_shape, std::size_t batch, std::size_t* weight_bytes,
+      std::size_t* activation_bytes, std::size_t* channels) const override;
+  void apply_channel_shard(const ChannelShard& shard) override;
+  [[nodiscard]] bool channel_sharded() const override { return sharded_; }
+  void set_collective_executor(CollectiveExecutor exec) override {
+    shard_.executor = std::move(exec);
+  }
+
  private:
   std::size_t units_;
   Act act_;
@@ -86,6 +140,14 @@ class Dense : public Layer {
   double init_scale_;
   Tensor w_, b_, dw_, db_;
   Tensor x_, y_;  // cached input and post-activation output
+  // Channel sharding: this rank owns output columns
+  // [shard_begin_, shard_begin_ + shard_cols_) of the full (in, units_)
+  // weight; w_/b_/dw_/db_ hold only that slice.
+  bool sharded_ = false;
+  ChannelShard shard_;
+  std::size_t shard_begin_ = 0, shard_cols_ = 0;
+  std::vector<float> gather_scratch_;  // staging for the forward allgather
+  Tensor local_block_;  // (B, local): pre-gather output, then the dz slice
 };
 
 /// 1-D convolution (channels-last), valid padding, fused activation.
@@ -101,12 +163,28 @@ class Conv1D : public Layer {
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
 
+  [[nodiscard]] bool channel_shard_costs(
+      const Shape& input_shape, std::size_t batch, std::size_t* weight_bytes,
+      std::size_t* activation_bytes, std::size_t* channels) const override;
+  void apply_channel_shard(const ChannelShard& shard) override;
+  [[nodiscard]] bool channel_sharded() const override { return sharded_; }
+  void set_collective_executor(CollectiveExecutor exec) override {
+    shard_.executor = std::move(exec);
+  }
+
  private:
   std::size_t filters_, kernel_, stride_;
   Act act_;
   Tensor w_, b_, dw_, db_;
   Tensor x_, y_;
   Conv1dWorkspace ws_;  // im2col buffers reused across steps
+  // Filter sharding: this rank owns output filters
+  // [shard_begin_, shard_begin_ + shard_cols_); w_ is (K, Cin, local).
+  bool sharded_ = false;
+  ChannelShard shard_;
+  std::size_t shard_begin_ = 0, shard_cols_ = 0;
+  std::vector<float> gather_scratch_;
+  Tensor local_block_;  // (B, Lout, local): conv output, then the dz slice
 };
 
 /// Locally connected 1-D layer: convolution-like but with untied weights —

@@ -29,6 +29,14 @@ void Model::add(std::unique_ptr<Layer> layer) {
 void Model::compile(const Shape& input_shape,
                     std::unique_ptr<Optimizer> optimizer,
                     std::unique_ptr<Loss> loss, std::uint64_t seed) {
+  compile(input_shape, std::move(optimizer), std::move(loss), seed,
+          ParallelismOptions{});
+}
+
+void Model::compile(const Shape& input_shape,
+                    std::unique_ptr<Optimizer> optimizer,
+                    std::unique_ptr<Loss> loss, std::uint64_t seed,
+                    const ParallelismOptions& parallelism) {
   require(!compiled_, "Model::compile: already compiled");
   require(!layers_.empty(), "Model::compile: model has no layers");
   require(optimizer != nullptr && loss != nullptr,
@@ -36,18 +44,51 @@ void Model::compile(const Shape& input_shape,
   optimizer_ = std::move(optimizer);
   loss_ = std::move(loss);
   input_shape_ = input_shape;
+  // Resolve the per-layer plan before building: the decision depends only
+  // on layer hyperparameters and shapes, so every rank computes the same
+  // plan without communicating.
+  ChannelShard shard;
+  shard.comm = parallelism.comm;
+  shard.rank = parallelism.comm == nullptr ? 0 : parallelism.comm->rank();
+  shard.world = parallelism.comm == nullptr ? 1 : parallelism.comm->size();
+  shard.wire_dtype = parallelism.wire_dtype;
+  plan_.per_layer.clear();
+  plan_.per_layer.reserve(layers_.size());
   Rng rng(seed);
   fit_rng_ = rng.fork(0xF17);
   Shape shape = input_shape;
-  for (auto& layer : layers_) shape = layer->build(shape, rng);
+  for (auto& layer : layers_) {
+    // Decide this layer's parallelism from its input shape, shard before
+    // build (the sharded build slices the full init), then build.
+    std::size_t weight_bytes = 0, activation_bytes = 0, channels = 0;
+    const bool can_shard = layer->channel_shard_costs(
+        shape, parallelism.batch_hint, &weight_bytes, &activation_bytes,
+        &channels);
+    // Layers narrower than the world stay replicated even under forced
+    // channel mode (a 2-class softmax head cannot split across 4 ranks).
+    const LayerParallelism lp = choose_parallelism(
+        parallelism.mode, can_shard && channels >= shard.world, weight_bytes,
+        activation_bytes);
+    if (lp == LayerParallelism::kChannel) layer->apply_channel_shard(shard);
+    plan_.per_layer.push_back(lp);
+    shape = layer->build(shape, rng);
+  }
   grad_spans_.clear();
   grad_spans_.reserve(layers_.size());
+  rank_local_mask_.clear();
   std::size_t grad_at = 0;
-  for (auto& layer : layers_) {
-    const std::size_t count = layer->grads().size();
+  bool any_local = false;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const std::size_t count = layers_[li]->grads().size();
     grad_spans_.emplace_back(grad_at, count);
     grad_at += count;
+    const bool local = plan_.per_layer[li] == LayerParallelism::kChannel;
+    any_local = any_local || (local && count > 0);
+    rank_local_mask_.insert(rank_local_mask_.end(), count,
+                            local ? std::uint8_t{1} : std::uint8_t{0});
   }
+  if (!any_local) rank_local_mask_.clear();
+  optimizer_->set_rank_local_gradients(rank_local_mask_);
   compiled_ = true;
 }
 
@@ -55,6 +96,10 @@ void Model::set_grad_ready_hook(GradReadyHook hook) {
   require(compiled_ || !hook,
           "Model::set_grad_ready_hook: compile() first");
   grad_ready_hook_ = std::move(hook);
+}
+
+void Model::set_collective_executor(const CollectiveExecutor& exec) {
+  for (auto& layer : layers_) layer->set_collective_executor(exec);
 }
 
 Tensor Model::forward(const Tensor& x, bool training) {

@@ -1,6 +1,7 @@
 // Sequential model with a Keras-style compile/fit/evaluate/predict API.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -120,6 +121,16 @@ class Model {
   void compile(const Shape& input_shape, std::unique_ptr<Optimizer> optimizer,
                std::unique_ptr<Loss> loss, std::uint64_t seed = 42);
 
+  /// compile() with a parallelism request: resolves a per-layer plan
+  /// (see nn/parallelism.h), shards the chosen layers' output channels
+  /// before building, and passes the rank-local gradient mask to the
+  /// optimizer. All ranks must call with identical layers, shapes, seed,
+  /// and options (channel parallelism replicates the batch, so the data
+  /// and shuffle stream must be identical too).
+  void compile(const Shape& input_shape, std::unique_ptr<Optimizer> optimizer,
+               std::unique_ptr<Loss> loss, std::uint64_t seed,
+               const ParallelismOptions& parallelism);
+
   [[nodiscard]] bool compiled() const { return compiled_; }
 
   /// Forward pass without dropout.
@@ -163,6 +174,26 @@ class Model {
   /// Keras-style model summary (one line per layer + parameter total).
   [[nodiscard]] std::string summary();
 
+  /// Per-layer parallelism resolved at compile() time (all-kData when
+  /// compile() ran without ParallelismOptions).
+  [[nodiscard]] const ParallelismPlan& parallelism_plan() const {
+    return plan_;
+  }
+
+  /// Rank-local flags over the flat parameters()/gradients() order (the
+  /// two lists pair up one-to-one): true entries belong to a
+  /// channel-sharded layer and must be neither allreduce-averaged nor
+  /// broadcast across ranks. Empty when no layer is sharded.
+  [[nodiscard]] const std::vector<std::uint8_t>& rank_local_mask() const {
+    return rank_local_mask_;
+  }
+
+  /// Installs a collective executor on every layer (see
+  /// nn::CollectiveExecutor): sharded layers then issue their activation
+  /// collectives through it instead of inline. The overlap scheduler calls
+  /// this so one comm thread owns the rank's whole collective order.
+  void set_collective_executor(const CollectiveExecutor& exec);
+
  private:
   Tensor forward(const Tensor& x, bool training);
   void backward(const Tensor& dloss);
@@ -177,6 +208,8 @@ class Model {
   /// Per-layer (first, count) spans into the flat gradients() order,
   /// computed at compile() time.
   std::vector<std::pair<std::size_t, std::size_t>> grad_spans_;
+  ParallelismPlan plan_;
+  std::vector<std::uint8_t> rank_local_mask_;
 };
 
 }  // namespace candle::nn

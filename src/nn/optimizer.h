@@ -7,6 +7,7 @@
 // the paper's `hvd.DistributedOptimizer(optimizer)` pattern.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,18 @@ class Optimizer {
   /// Applies one update step in-place.
   virtual void apply(const std::vector<Tensor*>& params,
                      const std::vector<Tensor*>& grads) = 0;
+
+  /// Marks which gradients (by flat index, aligned with apply()'s lists)
+  /// are rank-local under channel parallelism: each rank owns a disjoint
+  /// weight shard, so those gradients must be excluded from cross-rank
+  /// averaging and parameter broadcast. Called by Model::compile once the
+  /// parallelism plan is resolved. The base optimizers update whatever
+  /// gradients they are handed and ignore the mask; the Horovod
+  /// DistributedOptimizer overrides this to reduce only the complement.
+  virtual void set_rank_local_gradients(
+      const std::vector<std::uint8_t>& mask) {
+    (void)mask;
+  }
 };
 
 /// Stochastic gradient descent with optional (optionally Nesterov)

@@ -1,0 +1,142 @@
+#include "nn/parallelism.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace candle::nn {
+
+const char* parallelism_mode_name(ParallelismMode m) {
+  switch (m) {
+    case ParallelismMode::kData: return "data";
+    case ParallelismMode::kChannel: return "channel";
+    case ParallelismMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+const char* layer_parallelism_name(LayerParallelism p) {
+  switch (p) {
+    case LayerParallelism::kData: return "data";
+    case LayerParallelism::kChannel: return "channel";
+  }
+  return "?";
+}
+
+ParallelismMode parse_parallelism_mode(const char* name) {
+  const std::string s = name == nullptr ? "" : name;
+  if (s == "data") return ParallelismMode::kData;
+  if (s == "channel") return ParallelismMode::kChannel;
+  if (s == "auto") return ParallelismMode::kAuto;
+  throw InvalidArgument("parse_parallelism_mode: unknown mode '" + s +
+                        "' (expected auto|data|channel)");
+}
+
+std::size_t shard_offset(std::size_t block, std::size_t channels,
+                         std::size_t world) {
+  require(world > 0, "shard_offset: world must be > 0");
+  require(block <= world, "shard_offset: block out of range");
+  return block * channels / world;
+}
+
+LayerParallelism choose_parallelism(ParallelismMode mode, bool can_shard,
+                                    std::size_t weight_bytes,
+                                    std::size_t activation_bytes) {
+  if (!can_shard) return LayerParallelism::kData;
+  switch (mode) {
+    case ParallelismMode::kData: return LayerParallelism::kData;
+    case ParallelismMode::kChannel: return LayerParallelism::kChannel;
+    case ParallelismMode::kAuto:
+      // Data parallelism allreduces the weight gradient every step; channel
+      // parallelism exchanges activations instead. Shard exactly when the
+      // weights dominate — wide Dense / fat Conv1D filter banks — and keep
+      // activation-heavy layers replicated.
+      return weight_bytes > activation_bytes ? LayerParallelism::kChannel
+                                             : LayerParallelism::kData;
+  }
+  return LayerParallelism::kData;
+}
+
+namespace {
+
+std::size_t trailing_rows(const Tensor& t) {
+  require(t.rank() >= 1 && t.numel() > 0,
+          "parallelism: tensor must be non-empty");
+  return t.numel() / t.dim(t.rank() - 1);
+}
+
+void run_collective(const ChannelShard& shard,
+                    const std::function<void()>& fn) {
+  if (shard.executor) {
+    shard.executor(fn);
+  } else {
+    fn();
+  }
+}
+
+}  // namespace
+
+void slice_columns(const Tensor& full, std::size_t col0, std::size_t cols,
+                   Tensor& out) {
+  const std::size_t total = full.dim(full.rank() - 1);
+  require(col0 + cols <= total, "slice_columns: slice out of range");
+  const std::size_t rows = trailing_rows(full);
+  require(out.numel() == rows * cols, "slice_columns: bad output size");
+  const float* src = full.data();
+  float* dst = out.data();
+  for (std::size_t r = 0; r < rows; ++r)
+    std::memcpy(dst + r * cols, src + r * total + col0, cols * sizeof(float));
+}
+
+void allgather_columns(const ChannelShard& shard, const Tensor& local,
+                       std::size_t total_cols, std::vector<float>& scratch,
+                       Tensor& out) {
+  const std::size_t rows = trailing_rows(local);
+  const std::size_t my_cols = local.dim(local.rank() - 1);
+  require(out.numel() == rows * total_cols,
+          "allgather_columns: bad output size");
+  if (shard.world <= 1) {
+    require(my_cols == total_cols, "allgather_columns: bad local width");
+    std::memcpy(out.data(), local.data(), local.numel() * sizeof(float));
+    return;
+  }
+  require(shard.comm != nullptr, "allgather_columns: null communicator");
+  const std::size_t my0 = shard_offset(shard.rank, total_cols, shard.world);
+  require(my_cols ==
+              shard_offset(shard.rank + 1, total_cols, shard.world) - my0,
+          "allgather_columns: local width does not match shard block");
+  // Stage rank blocks contiguously: block g occupies
+  // [rows * shard_offset(g), rows * shard_offset(g + 1)), which is exactly
+  // the granularity-`rows` ring segment owned by rank g.
+  scratch.resize(rows * total_cols);
+  std::memcpy(scratch.data() + rows * my0, local.data(),
+              local.numel() * sizeof(float));
+  run_collective(shard, [&] {
+    shard.comm->allgather(std::span<float>(scratch.data(), scratch.size()),
+                          shard.wire_dtype, rows);
+  });
+  // Interleave the gathered blocks back into row-major (rows, total_cols).
+  for (std::size_t g = 0; g < shard.world; ++g) {
+    const std::size_t c0 = shard_offset(g, total_cols, shard.world);
+    const std::size_t cg = shard_offset(g + 1, total_cols, shard.world) - c0;
+    const float* src = scratch.data() + rows * c0;
+    float* dst = out.data() + c0;
+    for (std::size_t r = 0; r < rows; ++r)
+      std::memcpy(dst + r * total_cols, src + r * cg, cg * sizeof(float));
+  }
+}
+
+void sum_partials(const ChannelShard& shard, Tensor& partial) {
+  if (shard.world <= 1) return;
+  require(shard.comm != nullptr, "sum_partials: null communicator");
+  const std::span<float> flat = partial.values();
+  // One executor block for the pair: the reduce-scatter and its inverse
+  // stay adjacent in the rank's collective order.
+  run_collective(shard, [&] {
+    shard.comm->reduce_scatter(flat, shard.wire_dtype);
+    shard.comm->allgather(flat, shard.wire_dtype);
+  });
+}
+
+}  // namespace candle::nn

@@ -1,0 +1,133 @@
+// Per-layer tensor (channel/filter) parallelism.
+//
+// LBANN's "Channel and Filter Parallelism for Large-Scale CNN Training"
+// (SC'19) recipe, applied to the CANDLE layers: a layer that dominates the
+// model's parameter count (NT3/P1B1's wide Dense, Conv1D filter banks) is
+// partitioned across ranks by *output* channel/feature instead of being
+// replicated. Each rank then owns a 1/P column slice of the weights and
+// optimizer state, the per-step weight-gradient allreduce disappears for
+// that layer, and the collectives move activations instead: forward
+// allgathers the per-rank output column blocks, backward reduce-scatters +
+// allgathers the summed input gradient (comm/communicator.h primitives).
+//
+// The planner (Model::compile) resolves a ParallelismMode request into a
+// per-layer ParallelismPlan; kAuto shards exactly the layers whose per-step
+// weight-gradient bytes exceed the activation bytes channel parallelism
+// would move instead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "tensor/tensor.h"
+
+namespace candle::nn {
+
+/// Requested parallelism policy for Model::compile (runner/quickstart
+/// --layer-parallelism): kData replicates every layer (the classic Horovod
+/// setup), kChannel shards every shardable layer, kAuto decides per layer
+/// from the byte heuristic below.
+enum class ParallelismMode { kData, kChannel, kAuto };
+
+/// Resolved parallelism of one layer.
+enum class LayerParallelism { kData, kChannel };
+
+[[nodiscard]] const char* parallelism_mode_name(ParallelismMode m);
+[[nodiscard]] const char* layer_parallelism_name(LayerParallelism p);
+
+/// Parses an --layer-parallelism value ("auto" | "data" | "channel");
+/// throws InvalidArgument on unknown names.
+[[nodiscard]] ParallelismMode parse_parallelism_mode(const char* name);
+
+/// Routes a block of collective calls to the thread that owns the rank's
+/// collective order. The overlap scheduler installs one (see
+/// hvd::BucketScheduler::run_inline) so sharded-layer collectives and
+/// overlapped gradient buckets are issued by a single comm thread in a
+/// rank-invariant FIFO order; when empty, the block runs inline on the
+/// calling thread.
+using CollectiveExecutor = std::function<void(const std::function<void()>&)>;
+
+/// Sharding context handed to a layer before build(). `comm` may be null
+/// only when world == 1 (no collectives are issued). All ranks must agree
+/// on world/wire_dtype; each rank passes its own rank.
+struct ChannelShard {
+  comm::Communicator* comm = nullptr;
+  std::size_t rank = 0;
+  std::size_t world = 1;
+  /// On-wire dtype for the activation collectives (fp32 keeps the layer's
+  /// multi-rank forward bit-exact; fp16/bf16 compress at the codec bound).
+  comm::WireDtype wire_dtype = comm::WireDtype::kFp32;
+  /// Set after compile by Layer::set_collective_executor (overlap mode).
+  CollectiveExecutor executor;
+};
+
+/// Planner inputs for Model::compile. rank/world are derived from `comm`
+/// (0/1 when null); batch_hint feeds the kAuto activation-byte estimate.
+struct ParallelismOptions {
+  ParallelismMode mode = ParallelismMode::kData;
+  comm::Communicator* comm = nullptr;
+  std::size_t batch_hint = 32;
+  comm::WireDtype wire_dtype = comm::WireDtype::kFp32;
+};
+
+/// Resolved per-layer plan, fixed at compile() time.
+struct ParallelismPlan {
+  std::vector<LayerParallelism> per_layer;
+
+  [[nodiscard]] bool any_channel() const {
+    for (const LayerParallelism p : per_layer)
+      if (p == LayerParallelism::kChannel) return true;
+    return false;
+  }
+  [[nodiscard]] std::size_t channel_layers() const {
+    std::size_t n = 0;
+    for (const LayerParallelism p : per_layer)
+      n += p == LayerParallelism::kChannel ? 1 : 0;
+    return n;
+  }
+};
+
+/// Output-channel block boundary for `world`-way sharding: block g covers
+/// channels [shard_offset(g), shard_offset(g+1)). This is the communicator
+/// ring's segment function, so a granularity-`rows` allgather of the
+/// per-rank column blocks lands each block exactly on its boundary.
+[[nodiscard]] std::size_t shard_offset(std::size_t block,
+                                       std::size_t channels,
+                                       std::size_t world);
+
+/// The planner's per-layer decision. `can_shard` is whether the layer
+/// supports channel sharding at all; weight_bytes is the per-step gradient
+/// allreduce volume data parallelism pays for the layer, activation_bytes
+/// the per-step activation exchange channel parallelism pays instead
+/// (forward output allgather + backward input-gradient reduce-scatter and
+/// allgather). kAuto shards when the weights dominate.
+[[nodiscard]] LayerParallelism choose_parallelism(
+    ParallelismMode mode, bool can_shard, std::size_t weight_bytes,
+    std::size_t activation_bytes);
+
+/// Gathers per-rank output column blocks into the full activation matrix.
+/// `local` is this rank's (rows, cols_r) block (any tensor whose trailing
+/// dimension is the sharded channel axis; leading axes flatten into rows);
+/// `out` must be pre-shaped with the same rows and `total_cols` trailing
+/// columns. `scratch` is persistent per-layer staging (rank blocks laid out
+/// contiguously for the granularity-`rows` allgather, then interleaved into
+/// `out`). With world == 1 this is a plain copy.
+void allgather_columns(const ChannelShard& shard, const Tensor& local,
+                       std::size_t total_cols, std::vector<float>& scratch,
+                       Tensor& out);
+
+/// Copies the [col0, col0+cols) column slice of `full` (trailing-axis
+/// columns, leading axes flattened into rows) into `out`, which must be
+/// pre-shaped (rows..., cols).
+void slice_columns(const Tensor& full, std::size_t col0, std::size_t cols,
+                   Tensor& out);
+
+/// Sums a partially-reduced tensor across ranks in place via
+/// reduce_scatter + allgather — the backward input-gradient exchange.
+/// Deterministic and rank-invariant (ring schedule); no-op at world 1.
+void sum_partials(const ChannelShard& shard, Tensor& partial);
+
+}  // namespace candle::nn

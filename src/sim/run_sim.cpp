@@ -73,6 +73,28 @@ double RunSimulator::allreduce_step_seconds(std::size_t ranks) const {
                                 comm::WireDtype::kFp32);
 }
 
+double RunSimulator::ring_hops_seconds(double p, double payload_bytes,
+                                       double bw) const {
+  return (p - 1.0) * (machine_->net_latency_s + payload_bytes / p / bw);
+}
+
+double RunSimulator::ring_reduce_converted(double p, double elems) {
+  // One decode_add + one encode per hop, each touching elems/p.
+  return 2.0 * (p - 1.0) * elems / p;
+}
+
+double RunSimulator::ring_gather_converted(double p, double elems) {
+  // One decode per hop of elems/p.
+  return (p - 1.0) * elems / p;
+}
+
+double RunSimulator::convert_seconds(double converted_elems,
+                                     comm::WireDtype dtype) const {
+  if (dtype == comm::WireDtype::kFp32 || machine_->convert_elems_per_s <= 0.0)
+    return 0.0;
+  return converted_elems / machine_->convert_elems_per_s;
+}
+
 double RunSimulator::allreduce_step_seconds(std::size_t ranks,
                                             comm::AllreduceAlgo algo,
                                             comm::WireDtype dtype) const {
@@ -85,15 +107,18 @@ double RunSimulator::allreduce_step_seconds(std::size_t ranks,
   const double bw =
       ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
   double t = 0.0;
-  // Critical-path fp32<->wire converted elements: the entry encode plus
-  // one decode + encode per reduce-scatter hop and one decode per
-  // allgather hop (see communicator.cpp's compressed paths).
+  // Critical-path fp32<->wire converted elements: the entry encode of the
+  // full payload plus the per-hop terms shared with the standalone
+  // collectives (ring_reduce_converted / ring_gather_converted).
   double converted = 0.0;
   switch (algo) {
     case comm::AllreduceAlgo::kRing:
-      // Ring allreduce: 2(P-1) stages, each moving payload/P at `bw`.
-      t = 2.0 * (p - 1.0) * (machine_->net_latency_s + payload / p / bw);
-      converted = n * (1.0 + 3.0 * (p - 1.0) / p);
+      // Ring allreduce = reduce-scatter phase + allgather phase over the
+      // same ring: two ring_hops terms, one reduce and one gather codec
+      // term.
+      t = 2.0 * ring_hops_seconds(p, payload, bw);
+      converted =
+          n + ring_reduce_converted(p, n) + ring_gather_converted(p, n);
       break;
     case comm::AllreduceAlgo::kNaive:
       // Root bottleneck: P-1 inbound payloads, then P-1 outbound copies.
@@ -109,16 +134,71 @@ double RunSimulator::allreduce_step_seconds(std::size_t ranks,
       if (local > 1.0) t += 2.0 * (n * 4.0) / machine_->local_bw;
       // Inter-node ring over the node leaders is the only compressed leg.
       if (nodes > 1.0) {
-        t += 2.0 * (nodes - 1.0) *
-             (machine_->net_latency_s + payload / nodes / machine_->net_bw);
-        converted = n * (1.0 + 3.0 * (nodes - 1.0) / nodes);
+        t += 2.0 * ring_hops_seconds(nodes, payload, machine_->net_bw);
+        converted = n + ring_reduce_converted(nodes, n) +
+                    ring_gather_converted(nodes, n);
       }
       break;
     }
   }
-  if (dtype != comm::WireDtype::kFp32 && machine_->convert_elems_per_s > 0.0)
-    t += converted / machine_->convert_elems_per_s;
-  return t + machine_->sync_overhead(ranks);
+  return t + convert_seconds(converted, dtype) +
+         machine_->sync_overhead(ranks);
+}
+
+double RunSimulator::reduce_scatter_seconds(std::size_t ranks,
+                                            std::size_t elems,
+                                            comm::WireDtype dtype) const {
+  if (ranks <= 1) return 0.0;
+  const double n = static_cast<double>(elems);
+  const double p = static_cast<double>(ranks);
+  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const double bw =
+      ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
+  // Entry encode of the full payload, then decode_add+encode per hop.
+  const double converted = n + ring_reduce_converted(p, n);
+  return ring_hops_seconds(p, payload, bw) + convert_seconds(converted, dtype) +
+         machine_->sync_overhead(ranks);
+}
+
+double RunSimulator::allgather_seconds(std::size_t ranks, std::size_t elems,
+                                       comm::WireDtype dtype) const {
+  if (ranks <= 1) return 0.0;
+  const double n = static_cast<double>(elems);
+  const double p = static_cast<double>(ranks);
+  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const double bw =
+      ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
+  // Owned-segment encode + round-trip decode (2 n/p), then a decode per hop.
+  const double converted = 2.0 * n / p + ring_gather_converted(p, n);
+  return ring_hops_seconds(p, payload, bw) + convert_seconds(converted, dtype) +
+         machine_->sync_overhead(ranks);
+}
+
+double RunSimulator::data_parallel_layer_comm_seconds(
+    std::size_t ranks, std::size_t weight_elems, comm::WireDtype dtype) const {
+  if (ranks <= 1) return 0.0;
+  // One ring reduce-scatter + allgather over the weight gradient — the ring
+  // allreduce decomposition, built from the same shared terms.
+  const double n = static_cast<double>(weight_elems);
+  const double p = static_cast<double>(ranks);
+  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const double bw =
+      ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
+  const double converted =
+      n + ring_reduce_converted(p, n) + ring_gather_converted(p, n);
+  return 2.0 * ring_hops_seconds(p, payload, bw) +
+         convert_seconds(converted, dtype) + machine_->sync_overhead(ranks);
+}
+
+double RunSimulator::channel_parallel_layer_comm_seconds(
+    std::size_t ranks, std::size_t out_act_elems, std::size_t in_act_elems,
+    comm::WireDtype dtype) const {
+  if (ranks <= 1) return 0.0;
+  // Forward: allgather of the output activations. Backward: reduce-scatter
+  // + allgather summing the partial input gradient.
+  return allgather_seconds(ranks, out_act_elems, dtype) +
+         reduce_scatter_seconds(ranks, in_act_elems, dtype) +
+         allgather_seconds(ranks, in_act_elems, dtype);
 }
 
 double RunSimulator::allreduce_hierarchical_seconds(

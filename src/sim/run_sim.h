@@ -150,6 +150,38 @@ class RunSimulator {
   [[nodiscard]] double allreduce_hierarchical_seconds(
       std::size_t ranks) const;
 
+  /// One standalone ring reduce-scatter over `elems` fp32 elements at the
+  /// given wire dtype: P-1 hops of elems/P wire words plus, for compressed
+  /// dtypes, the entry encode and the per-hop decode_add+encode conversions
+  /// (ring_reduce_converted). Shares its hop and codec terms with the
+  /// allreduce model above, so the two cannot drift.
+  [[nodiscard]] double reduce_scatter_seconds(std::size_t ranks,
+                                              std::size_t elems,
+                                              comm::WireDtype dtype) const;
+
+  /// One standalone in-place ring allgather over `elems` fp32 elements:
+  /// P-1 hops of elems/P wire words plus, for compressed dtypes, the
+  /// owned-segment encode + round-trip decode and the per-hop decodes
+  /// (ring_gather_converted).
+  [[nodiscard]] double allgather_seconds(std::size_t ranks, std::size_t elems,
+                                         comm::WireDtype dtype) const;
+
+  /// Per-step communication cost of one layer under data parallelism: a
+  /// ring allreduce of its `weight_elems` gradient. Pairs with
+  /// channel_parallel_layer_comm_seconds for the data->channel crossover
+  /// recipe (EXPERIMENTS.md, BENCH_tensor_parallel.json).
+  [[nodiscard]] double data_parallel_layer_comm_seconds(
+      std::size_t ranks, std::size_t weight_elems,
+      comm::WireDtype dtype) const;
+
+  /// Per-step communication cost of the same layer channel-sharded: the
+  /// weight-gradient allreduce disappears, replaced by a forward allgather
+  /// of the `out_act_elems` output activations and a backward
+  /// reduce-scatter + allgather summing the `in_act_elems` input gradient.
+  [[nodiscard]] double channel_parallel_layer_comm_seconds(
+      std::size_t ranks, std::size_t out_act_elems, std::size_t in_act_elems,
+      comm::WireDtype dtype) const;
+
   /// One batch step's compute time for a per-rank batch size.
   [[nodiscard]] double step_compute_seconds(std::size_t batch) const;
 
@@ -163,6 +195,25 @@ class RunSimulator {
   [[nodiscard]] const BenchmarkProfile& profile() const { return *profile_; }
 
  private:
+  /// Wire-transfer term of one ring phase: (p-1) hops, each moving
+  /// payload/p bytes at `bw` after `net_latency_s`. The ring allreduce is
+  /// exactly two of these (reduce-scatter + allgather over the same ring).
+  [[nodiscard]] double ring_hops_seconds(double p, double payload_bytes,
+                                         double bw) const;
+
+  /// fp32<->wire elements converted on the critical path of a compressed
+  /// ring reduce-scatter phase (one decode_add + encode per hop) and of an
+  /// allgather phase (one decode per hop). Shared by the allreduce model
+  /// and the standalone collectives — see communicator.cpp's compressed
+  /// paths.
+  [[nodiscard]] static double ring_reduce_converted(double p, double elems);
+  [[nodiscard]] static double ring_gather_converted(double p, double elems);
+
+  /// Conversion-throughput term: zero for fp32, converted_elems over
+  /// Machine::convert_elems_per_s otherwise.
+  [[nodiscard]] double convert_seconds(double converted_elems,
+                                       comm::WireDtype dtype) const;
+
   const Machine* machine_;
   const BenchmarkProfile* profile_;
 };

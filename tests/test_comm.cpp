@@ -550,6 +550,259 @@ TEST(CompressedAllreduce, MismatchedDtypesThrow) {
                CommError);
 }
 
+// ---------------------------------------------------------------------------
+// Standalone reduce_scatter / in-place allgather (tensor-parallel primitives)
+// ---------------------------------------------------------------------------
+
+/// Ring segment boundary used by the standalone collectives (gran = 1).
+std::size_t seg_off(std::size_t g, std::size_t n, std::size_t p) {
+  return g * n / p;
+}
+
+TEST(ReduceScatter, RankOwnsItsSummedSegment) {
+  // data[i] = (rank+1)*(i+1): the cross-rank sum is (i+1)*P(P+1)/2, exact
+  // in fp32 for these small integers under any association.
+  for (std::size_t ranks : {1u, 2u, 3u, 4u, 7u}) {
+    for (std::size_t n : {1u, 8u, 65u, 400u}) {
+      World::run(ranks, [&](Communicator& c) {
+        std::vector<float> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+          data[i] = static_cast<float>((c.rank() + 1) * (i + 1));
+        c.reduce_scatter(data);
+        const float psum =
+            static_cast<float>(ranks * (ranks + 1)) / 2.0f;
+        const std::size_t b = seg_off(c.rank(), n, ranks);
+        const std::size_t e = seg_off(c.rank() + 1, n, ranks);
+        for (std::size_t i = b; i < e; ++i)
+          ASSERT_FLOAT_EQ(data[i], static_cast<float>(i + 1) * psum)
+              << "ranks=" << ranks << " n=" << n << " i=" << i;
+      });
+    }
+  }
+}
+
+TEST(AllgatherInplace, DistributesEachOwnedSegment) {
+  for (std::size_t ranks : {1u, 2u, 3u, 4u, 7u}) {
+    for (std::size_t n : {1u, 8u, 65u, 400u}) {
+      World::run(ranks, [&](Communicator& c) {
+        // Only the owned segment holds real data; the rest is a poison
+        // value the collective must overwrite (for segments that exist).
+        std::vector<float> data(n, -1000.0f);
+        const std::size_t b = seg_off(c.rank(), n, ranks);
+        const std::size_t e = seg_off(c.rank() + 1, n, ranks);
+        for (std::size_t i = b; i < e; ++i)
+          data[i] = static_cast<float>(100 * c.rank() + i);
+        c.allgather(std::span<float>(data));
+        for (std::size_t g = 0; g < ranks; ++g) {
+          const std::size_t gb = seg_off(g, n, ranks);
+          const std::size_t ge = seg_off(g + 1, n, ranks);
+          for (std::size_t i = gb; i < ge; ++i)
+            ASSERT_FLOAT_EQ(data[i], static_cast<float>(100 * g + i))
+                << "ranks=" << ranks << " n=" << n << " i=" << i;
+        }
+      });
+    }
+  }
+}
+
+TEST(ReduceScatter, ComposedWithAllgatherMatchesAllreduceExactly) {
+  // reduce_scatter + in-place allgather IS the ring allreduce, so on
+  // small integers (exact in fp32) the composition must reproduce
+  // allreduce_sum bit for bit.
+  const std::size_t ranks = 4, n = 103;
+  World::run(ranks, [&](Communicator& c) {
+    std::vector<float> data(n), reference(n);
+    for (std::size_t i = 0; i < n; ++i)
+      reference[i] = data[i] = static_cast<float>(c.rank() + i % 9);
+    c.allreduce_sum(reference);
+    c.reduce_scatter(std::span<float>(data));
+    c.allgather(std::span<float>(data));
+    ASSERT_EQ(0, std::memcmp(data.data(), reference.data(),
+                             n * sizeof(float)));
+  });
+}
+
+TEST(ReduceScatter, ByteCountersMatchRingFormula) {
+  // The standalone ring phases each move (P-1) * n/P elements per rank —
+  // exactly half an allreduce.
+  const std::size_t ranks = 4, n = 400;
+  const auto stats = World::run(ranks, [&](Communicator& c) {
+    std::vector<float> data(n, 1.0f);
+    c.reduce_scatter(data);
+    c.allgather(std::span<float>(data));
+  });
+  const std::size_t expected = (ranks - 1) * (n / ranks) * sizeof(float);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.reduce_scatter_calls, 1u);
+    EXPECT_EQ(s.allgather_calls, 1u);
+    EXPECT_EQ(s.reduce_scatter_wire_bytes[wire_dtype_index(WireDtype::kFp32)],
+              expected);
+    EXPECT_EQ(s.allgather_wire_bytes[wire_dtype_index(WireDtype::kFp32)],
+              expected);
+    EXPECT_EQ(s.bytes_sent, 2 * expected);
+  }
+}
+
+TEST(ReduceScatter, CompressedByteCountersUseWireWidth) {
+  const std::size_t ranks = 4, n = 400;
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kFp16;
+  const auto stats = World::run(
+      ranks,
+      [&](Communicator& c) {
+        std::vector<float> data(n, 1.0f);
+        c.reduce_scatter(data);
+        c.allgather(std::span<float>(data));
+      },
+      opt);
+  const std::size_t expected = (ranks - 1) * (n / ranks) * 2;
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.reduce_scatter_wire_bytes[wire_dtype_index(WireDtype::kFp16)],
+              expected);
+    EXPECT_EQ(s.allgather_wire_bytes[wire_dtype_index(WireDtype::kFp16)],
+              expected);
+    EXPECT_EQ(s.bytes_sent, 2 * expected);
+  }
+}
+
+TEST(ReduceScatter, CompressedExactOnSmallIntegers) {
+  for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16}) {
+    for (std::size_t ranks : {2u, 3u, 5u}) {
+      WorldOptions opt;
+      opt.wire_dtype = dtype;
+      World::run(
+          ranks,
+          [&](Communicator& c) {
+            const std::size_t n = 64;
+            std::vector<float> data(n);
+            for (std::size_t i = 0; i < n; ++i)
+              data[i] = static_cast<float>(c.rank() + i % 5);
+            c.reduce_scatter(data);
+            const float rank_sum =
+                static_cast<float>(ranks * (ranks - 1)) / 2.0f;
+            const std::size_t b = seg_off(c.rank(), n, ranks);
+            const std::size_t e = seg_off(c.rank() + 1, n, ranks);
+            for (std::size_t i = b; i < e; ++i)
+              ASSERT_FLOAT_EQ(data[i],
+                              static_cast<float>(ranks * (i % 5)) + rank_sum)
+                  << wire_dtype_name(dtype) << " ranks=" << ranks;
+          },
+          opt);
+    }
+  }
+}
+
+TEST(AllgatherInplace, CompressedEndsBitIdenticalAcrossRanks) {
+  // With a compressed wire the owner round-trips its own segment through
+  // the codec, so every rank — owner included — must end bit-identical.
+  const std::size_t ranks = 5, n = 137;
+  for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16}) {
+    WorldOptions opt;
+    opt.wire_dtype = dtype;
+    std::vector<std::vector<float>> out(ranks);
+    World::run(
+        ranks,
+        [&](Communicator& c) {
+          Rng rng(31 + c.rank());
+          std::vector<float> data(n, 0.0f);
+          const std::size_t b = seg_off(c.rank(), n, ranks);
+          const std::size_t e = seg_off(c.rank() + 1, n, ranks);
+          for (std::size_t i = b; i < e; ++i)
+            data[i] = static_cast<float>(rng.normal(0.0, 1.0));
+          c.allgather(std::span<float>(data));
+          out[c.rank()] = data;
+        },
+        opt);
+    for (std::size_t r = 1; r < ranks; ++r)
+      ASSERT_EQ(0, std::memcmp(out[0].data(), out[r].data(),
+                               n * sizeof(float)))
+          << wire_dtype_name(dtype) << " rank " << r;
+  }
+}
+
+TEST(AllgatherInplace, GranularityGathersColumnBlocks) {
+  // granularity = rows gathers per-rank column blocks of a row-major
+  // (rows, cols) matrix laid out block-contiguously — the layer-forward
+  // use case, including uneven blocks (cols = 6 over 4 ranks -> 1,2,1,2).
+  const std::size_t ranks = 4, rows = 3, cols = 6, n = rows * cols;
+  World::run(ranks, [&](Communicator& c) {
+    std::vector<float> data(n, -1.0f);
+    const std::size_t b = rows * seg_off(c.rank(), cols, ranks);
+    const std::size_t e = rows * seg_off(c.rank() + 1, cols, ranks);
+    for (std::size_t i = b; i < e; ++i)
+      data[i] = static_cast<float>(10 * c.rank()) + static_cast<float>(i);
+    c.allgather(std::span<float>(data), WireDtype::kFp32, rows);
+    for (std::size_t g = 0; g < ranks; ++g) {
+      const std::size_t gb = rows * seg_off(g, cols, ranks);
+      const std::size_t ge = rows * seg_off(g + 1, cols, ranks);
+      for (std::size_t i = gb; i < ge; ++i)
+        ASSERT_FLOAT_EQ(data[i],
+                        static_cast<float>(10 * g) + static_cast<float>(i))
+            << "block " << g << " i=" << i;
+    }
+  });
+}
+
+TEST(ReduceScatter, GranularityMismatchThrows) {
+  EXPECT_THROW(
+      World::run(2,
+                 [](Communicator& c) {
+                   std::vector<float> data(12, 1.0f);
+                   c.reduce_scatter(std::span<float>(data), WireDtype::kFp32,
+                                    c.rank() == 0 ? 1 : 3);
+                 }),
+      CommError);
+}
+
+TEST(ReduceScatter, IndivisibleGranularityThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> data(10, 1.0f);
+                            c.reduce_scatter(std::span<float>(data),
+                                             WireDtype::kFp32, 3);
+                          }),
+               InvalidArgument);
+}
+
+TEST(ReduceScatter, OpMismatchWithAllgatherThrows) {
+  // Rendezvous cross-check: one rank calling reduce_scatter while another
+  // calls allgather must fail loudly, not deadlock or corrupt.
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> data(8, 1.0f);
+                            if (c.rank() == 0)
+                              c.reduce_scatter(std::span<float>(data));
+                            else
+                              c.allgather(std::span<float>(data));
+                          }),
+               CommError);
+}
+
+TEST(ReduceScatter, DeterministicAcrossRuns) {
+  // Same inputs -> bit-identical owned segments on a re-run (ring order is
+  // fixed, not timing-dependent).
+  const std::size_t ranks = 3, n = 91;
+  std::vector<std::vector<float>> first(ranks), second(ranks);
+  for (auto* out : {&first, &second}) {
+    World::run(ranks, [&](Communicator& c) {
+      Rng rng(55 + c.rank());
+      std::vector<float> data(n);
+      for (float& v : data) v = static_cast<float>(rng.normal(0.0, 1.0));
+      c.reduce_scatter(data);
+      (*out)[c.rank()] = data;
+    });
+  }
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const std::size_t b = seg_off(r, n, ranks) * sizeof(float);
+    const std::size_t e = seg_off(r + 1, n, ranks) * sizeof(float);
+    ASSERT_EQ(0, std::memcmp(
+                     reinterpret_cast<const char*>(first[r].data()) + b,
+                     reinterpret_cast<const char*>(second[r].data()) + b,
+                     e - b))
+        << "rank " << r;
+  }
+}
+
 // Parameterized stress: repeated mixed collectives stay consistent.
 class CollectiveStress : public ::testing::TestWithParam<std::size_t> {};
 

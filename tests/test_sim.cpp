@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "nn/parallelism.h"
 #include "sim/calibration.h"
 #include "sim/dvfs.h"
 #include "sim/event_sim.h"
@@ -356,6 +357,85 @@ TEST(RunSimulator, WireDtypeModelPredictsTheBandwidthCrossover) {
                                      comm::WireDtype::kFp16);
   EXPECT_GT(hier_gain, 0.0);
   EXPECT_LT(hier_gain, ring_gain);
+}
+
+TEST(RunSimulator, DataParallelLayerCostIsExactlyTheRingAllreduce) {
+  // The per-layer data-parallel comm model must be the ring allreduce of the
+  // layer's gradient — same doubles, so the decomposition into the shared
+  // hop/codec helpers can never drift from the calibrated allreduce model.
+  const RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  const std::size_t n = sim.profile().param_count;
+  for (std::size_t ranks : {2u, 6u, 48u}) {
+    for (comm::WireDtype dtype :
+         {comm::WireDtype::kFp32, comm::WireDtype::kFp16,
+          comm::WireDtype::kBf16}) {
+      EXPECT_DOUBLE_EQ(
+          sim.data_parallel_layer_comm_seconds(ranks, n, dtype),
+          sim.allreduce_step_seconds(ranks, comm::AllreduceAlgo::kRing,
+                                     dtype));
+      // reduce-scatter + allgather pays one extra rendezvous over the fused
+      // ring (and, compressed, one owned-segment round-trip); never less.
+      EXPECT_GE(sim.reduce_scatter_seconds(ranks, n, dtype) +
+                    sim.allgather_seconds(ranks, n, dtype),
+                sim.data_parallel_layer_comm_seconds(ranks, n, dtype));
+    }
+  }
+  EXPECT_DOUBLE_EQ(
+      sim.data_parallel_layer_comm_seconds(1, n, comm::WireDtype::kFp32), 0.0);
+  EXPECT_DOUBLE_EQ(
+      sim.channel_parallel_layer_comm_seconds(1, n, n, comm::WireDtype::kFp32),
+      0.0);
+}
+
+TEST(RunSimulator, ChannelParallelModelPredictsTheLayerWidthCrossover) {
+  // Same geometries as the measured sweep (BENCH_tensor_parallel.json).
+  // Wide MLP layer, small batch (256 -> 2048 at global batch 32): the
+  // weight-gradient allreduce dwarfs the activation collectives and channel
+  // parallelism wins — measured 224 ms vs 468 ms per 4 steps at 2 ranks.
+  // Narrow layer, large batch (64 -> 64 at batch 512): activations outweigh
+  // the tiny gradient and data parallelism wins (7.3 ms vs 14.0 ms).
+  //
+  // The machine models the benchmark host: ranks are threads, so a
+  // rendezvous costs microseconds (not Summit's calibrated MPI/NCCL sync
+  // overhead — there, channel's 3 collectives per layer only pay off for
+  // far larger layers) and every transfer crosses one memcpy-class wire.
+  Machine host = Machine::summit();
+  host.ranks_per_node = 1;  // no NVLink tier: all ranks share one wire
+  host.net_bw = 2.0e9;
+  host.net_latency_s = 5.0e-6;
+  host.sync_coeff_s = 1.0e-5;
+  host.sync_exp = 1.0;
+  const RunSimulator sim(host, BenchmarkProfile::nt3());
+  constexpr std::size_t kWideIn = 256, kWideOut = 2048, kWideBatch = 32;
+  constexpr std::size_t kNarrowIn = 64, kNarrowOut = 64, kNarrowBatch = 512;
+  for (std::size_t ranks : {2u, 4u}) {
+    for (comm::WireDtype dtype :
+         {comm::WireDtype::kFp32, comm::WireDtype::kBf16}) {
+      EXPECT_LT(sim.channel_parallel_layer_comm_seconds(
+                    ranks, kWideBatch * kWideOut, kWideBatch * kWideIn, dtype),
+                sim.data_parallel_layer_comm_seconds(
+                    ranks, kWideIn * kWideOut + kWideOut, dtype));
+      EXPECT_GT(sim.channel_parallel_layer_comm_seconds(
+                    ranks, kNarrowBatch * kNarrowOut, kNarrowBatch * kNarrowIn,
+                    dtype),
+                sim.data_parallel_layer_comm_seconds(
+                    ranks, kNarrowIn * kNarrowOut + kNarrowOut, dtype));
+    }
+  }
+  // The compile-time planner heuristic keys on the same byte comparison, so
+  // the sim and the planner agree on which layers to shard.
+  EXPECT_EQ(nn::choose_parallelism(nn::ParallelismMode::kAuto, true,
+                                   /*weight_bytes=*/4 *
+                                       (kWideIn * kWideOut + kWideOut),
+                                   /*activation_bytes=*/4 * kWideBatch *
+                                       (kWideIn + kWideOut)),
+            nn::LayerParallelism::kChannel);
+  EXPECT_EQ(nn::choose_parallelism(nn::ParallelismMode::kAuto, true,
+                                   /*weight_bytes=*/4 *
+                                       (kNarrowIn * kNarrowOut + kNarrowOut),
+                                   /*activation_bytes=*/4 * kNarrowBatch *
+                                       (kNarrowIn + kNarrowOut)),
+            nn::LayerParallelism::kData);
 }
 
 TEST(RunSimulator, TimelineCarriesPowerCounters) {

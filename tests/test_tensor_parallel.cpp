@@ -1,0 +1,481 @@
+// Tests for channel/filter tensor parallelism (nn/parallelism.h + the
+// sharded Dense/Conv1D paths + the Model compile-time planner + the
+// rank-local gradient mask through hvd): plan selection, the
+// unsharded-equivalence correctness bar (bit-exact at one rank, tight
+// tolerance at 2/4 ranks), composition with overlap/prefetch/compressed
+// wires, and a TSan-targeted stress case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "candle/models.h"
+#include "comm/communicator.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "hvd/broadcast.h"
+#include "hvd/context.h"
+#include "hvd/distributed_optimizer.h"
+#include "hvd/fusion.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/parallelism.h"
+
+namespace candle {
+namespace {
+
+using nn::ChannelShard;
+using nn::LayerParallelism;
+using nn::ParallelismMode;
+using nn::ParallelismOptions;
+
+/// Restores the ambient pool width when a test scope ends.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n)
+      : saved_(parallel::num_threads()) {
+    parallel::set_num_threads(n);
+  }
+  ~ThreadCountGuard() { parallel::set_num_threads(saved_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Planner primitives
+// ---------------------------------------------------------------------------
+
+TEST(ParallelismPlan, ShardOffsetCoversChannelsContiguously) {
+  // 6 channels over 4 ranks: blocks 1,2,1,2 — contiguous, exhaustive.
+  const std::vector<std::size_t> expected{0, 1, 3, 4, 6};
+  for (std::size_t g = 0; g <= 4; ++g)
+    EXPECT_EQ(nn::shard_offset(g, 6, 4), expected[g]);
+  // Every channel lands in exactly one block for a few odd sizes.
+  for (std::size_t world : {1u, 2u, 3u, 5u}) {
+    for (std::size_t channels : {1u, 7u, 32u}) {
+      EXPECT_EQ(nn::shard_offset(0, channels, world), 0u);
+      EXPECT_EQ(nn::shard_offset(world, channels, world), channels);
+      for (std::size_t g = 0; g < world; ++g)
+        EXPECT_LE(nn::shard_offset(g, channels, world),
+                  nn::shard_offset(g + 1, channels, world));
+    }
+  }
+}
+
+TEST(ParallelismPlan, ParseAndNameRoundTrip) {
+  EXPECT_EQ(nn::parse_parallelism_mode("data"), ParallelismMode::kData);
+  EXPECT_EQ(nn::parse_parallelism_mode("channel"), ParallelismMode::kChannel);
+  EXPECT_EQ(nn::parse_parallelism_mode("auto"), ParallelismMode::kAuto);
+  for (ParallelismMode m : {ParallelismMode::kData, ParallelismMode::kChannel,
+                            ParallelismMode::kAuto})
+    EXPECT_EQ(nn::parse_parallelism_mode(nn::parallelism_mode_name(m)), m);
+  EXPECT_THROW((void)nn::parse_parallelism_mode("tensor"), InvalidArgument);
+}
+
+TEST(ParallelismPlan, AutoShardsWeightHeavyLayersOnly) {
+  // A weight-heavy wide Dense (256x256 weights vs batch-16 activations)
+  // shards; a narrow head whose activations dominate stays replicated.
+  comm::World::run(2, [](comm::Communicator& c) {
+    hvd::Context ctx(c);
+    nn::Model model;
+    model.add<nn::Dense>(256, nn::Act::kRelu);
+    model.add<nn::Dense>(4, nn::Act::kSoftmax);
+    ParallelismOptions popt;
+    popt.mode = ParallelismMode::kAuto;
+    popt.comm = &c;
+    popt.batch_hint = 16;
+    model.compile({256},
+                  std::make_unique<hvd::DistributedOptimizer>(
+                      nn::make_optimizer("sgd", 0.01), ctx,
+                      hvd::FusionOptions{}),
+                  nn::make_loss("categorical_crossentropy"), 7, popt);
+    const nn::ParallelismPlan& plan = model.parallelism_plan();
+    ASSERT_EQ(plan.per_layer.size(), 2u);
+    EXPECT_EQ(plan.per_layer[0], LayerParallelism::kChannel);
+    EXPECT_EQ(plan.per_layer[1], LayerParallelism::kData);
+    EXPECT_TRUE(plan.any_channel());
+    EXPECT_EQ(plan.channel_layers(), 1u);
+    // Mask covers the flat param order: {w0, b0} local, {w1, b1} replicated.
+    const std::vector<std::uint8_t>& mask = model.rank_local_mask();
+    ASSERT_EQ(mask.size(), 4u);
+    EXPECT_EQ(mask[0], 1u);
+    EXPECT_EQ(mask[1], 1u);
+    EXPECT_EQ(mask[2], 0u);
+    EXPECT_EQ(mask[3], 0u);
+    // The sharded layer owns exactly its 1/P column slice.
+    EXPECT_EQ(model.parameters()[0]->numel(), 256u * 128u);
+    EXPECT_EQ(model.parameters()[1]->numel(), 128u);
+  });
+}
+
+TEST(ParallelismPlan, ForcedChannelKeepsTooNarrowLayersReplicated) {
+  // A 2-unit softmax head cannot split over 4 ranks: forced channel mode
+  // falls back to data parallelism for that layer instead of throwing.
+  comm::World::run(4, [](comm::Communicator& c) {
+    hvd::Context ctx(c);
+    nn::Model model;
+    model.add<nn::Dense>(32, nn::Act::kRelu);
+    model.add<nn::Dense>(2, nn::Act::kSoftmax);
+    ParallelismOptions popt;
+    popt.mode = ParallelismMode::kChannel;
+    popt.comm = &c;
+    model.compile({16},
+                  std::make_unique<hvd::DistributedOptimizer>(
+                      nn::make_optimizer("sgd", 0.01), ctx,
+                      hvd::FusionOptions{}),
+                  nn::make_loss("categorical_crossentropy"), 7, popt);
+    const nn::ParallelismPlan& plan = model.parallelism_plan();
+    ASSERT_EQ(plan.per_layer.size(), 2u);
+    EXPECT_EQ(plan.per_layer[0], LayerParallelism::kChannel);
+    EXPECT_EQ(plan.per_layer[1], LayerParallelism::kData);
+  });
+}
+
+TEST(ParallelismPlan, DataModeLeavesNoMaskOrShards) {
+  nn::Model model;
+  model.add<nn::Dense>(64, nn::Act::kRelu);
+  model.add<nn::Dense>(8, nn::Act::kSoftmax);
+  model.compile({32}, nn::make_optimizer("sgd", 0.01),
+                nn::make_loss("categorical_crossentropy"), 7);
+  EXPECT_FALSE(model.parallelism_plan().any_channel());
+  EXPECT_TRUE(model.rank_local_mask().empty());
+  for (nn::Layer* l : model.layers()) EXPECT_FALSE(l->channel_sharded());
+}
+
+TEST(ParallelismPlan, ShardAfterBuildOrOnUnsupportedLayerThrows) {
+  ChannelShard shard;
+  shard.rank = 0;
+  shard.world = 1;
+  {
+    nn::Dense d(8);
+    Rng rng(1);
+    (void)d.build({4}, rng);
+    EXPECT_THROW(d.apply_channel_shard(shard), InvalidArgument);
+  }
+  {
+    nn::MaxPool1D pool(2);
+    EXPECT_THROW(pool.apply_channel_shard(shard), InvalidArgument);
+  }
+  {
+    // units < world is rejected at the layer level (the planner avoids
+    // this; direct callers get a clear error).
+    nn::Dense d(2);
+    ChannelShard wide;
+    wide.rank = 0;
+    wide.world = 4;
+    EXPECT_THROW(d.apply_channel_shard(wide), InvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Training equivalence: channel-parallel vs unsharded
+// ---------------------------------------------------------------------------
+
+struct TpOutcome {
+  std::vector<std::vector<float>> losses;  // per-rank per-epoch losses
+  std::vector<float> predictions;          // rank-0 predict() on the train x
+  std::vector<std::vector<float>> params;  // per-rank flattened (local) params
+  std::size_t reduce_scatter_calls = 0;    // rank 0
+  std::size_t allgather_calls = 0;         // rank 0
+  std::size_t channel_layers = 0;
+};
+
+nn::Dataset mini_train_set(BenchmarkId id, const ScaledGeometry& geometry) {
+  const BenchmarkData data = make_benchmark_data(id, geometry, /*seed=*/11);
+  const std::size_t n = std::min<std::size_t>(64, data.train.size());
+  return nn::Dataset{nn::take_rows(data.train.x, 0, n),
+                     nn::take_rows(data.train.y, 0, n)};
+}
+
+nn::FitOptions mini_fit_options(BenchmarkId id, std::size_t epochs,
+                                bool prefetch) {
+  nn::FitOptions fit;
+  fit.epochs = epochs;
+  fit.batch_size = 16;
+  fit.shuffle = false;  // identical batch stream on every rank
+  fit.classification = benchmark_is_classification(id);
+  fit.prefetch = prefetch;
+  return fit;
+}
+
+/// Unsharded single-process reference: same seed, same data, same batch
+/// stream, plain (non-distributed) optimizer.
+TpOutcome run_reference_fit(BenchmarkId id, std::size_t epochs = 2) {
+  const ScaledGeometry geometry = scaled_geometry(id, 0.002);
+  const nn::Dataset train = mini_train_set(id, geometry);
+  nn::Model model = build_model(id, geometry);
+  model.compile({geometry.features},
+                nn::make_optimizer(benchmark_optimizer(id), 0.01),
+                nn::make_loss(benchmark_loss(id)), /*seed=*/5);
+  const nn::History history =
+      model.fit(train, mini_fit_options(id, epochs, false));
+  TpOutcome out;
+  out.losses.resize(1);
+  for (const auto& e : history.epochs) out.losses[0].push_back(e.loss);
+  const Tensor pred = model.predict(train.x);
+  out.predictions.assign(pred.data(), pred.data() + pred.numel());
+  out.params.resize(1);
+  for (Tensor* p : model.parameters())
+    out.params[0].insert(out.params[0].end(), p->data(),
+                         p->data() + p->numel());
+  return out;
+}
+
+/// Channel-parallel distributed fit. Uses a uniform seed (the sharded build
+/// slices one shared init) and the rank-local-aware broadcast hook.
+TpOutcome run_channel_fit(BenchmarkId id, std::size_t ranks,
+                          ParallelismMode mode, bool overlap = false,
+                          bool prefetch = false, std::size_t epochs = 2,
+                          comm::WireDtype wire = comm::WireDtype::kFp32) {
+  const ScaledGeometry geometry = scaled_geometry(id, 0.002);
+  const nn::Dataset train = mini_train_set(id, geometry);
+  TpOutcome out;
+  out.losses.resize(ranks);
+  out.params.resize(ranks);
+  const auto stats = comm::World::run(ranks, [&](comm::Communicator& c) {
+    hvd::Context ctx(c);
+    nn::Model model = build_model(id, geometry);
+    hvd::FusionOptions fusion;
+    fusion.threshold_bytes = 4 * 1024;  // several buckets per step
+    fusion.overlap = overlap;
+    fusion.wire_dtype = wire;
+    auto opt = std::make_unique<hvd::DistributedOptimizer>(
+        nn::make_optimizer(benchmark_optimizer(id), 0.01), ctx, fusion);
+    hvd::DistributedOptimizer* dist = opt.get();
+    ParallelismOptions popt;
+    popt.mode = mode;
+    popt.comm = &c;
+    popt.batch_hint = 16;
+    popt.wire_dtype = wire;
+    model.compile({geometry.features}, std::move(opt),
+                  nn::make_loss(benchmark_loss(id)), /*seed=*/5, popt);
+    if (overlap) dist->enable_overlap(model);
+
+    hvd::BroadcastGlobalVariablesHook broadcast(ctx, 0);
+    std::vector<nn::Callback*> callbacks{&broadcast};
+    const nn::History history =
+        model.fit(train, mini_fit_options(id, epochs, prefetch), callbacks);
+
+    for (const auto& e : history.epochs)
+      out.losses[c.rank()].push_back(e.loss);
+    for (Tensor* p : model.parameters())
+      out.params[c.rank()].insert(out.params[c.rank()].end(), p->data(),
+                                  p->data() + p->numel());
+    // Every rank must run predict: a sharded forward is a collective
+    // (output allgather), so a lone caller would deadlock the world.
+    const Tensor pred = model.predict(train.x);
+    if (c.rank() == 0) {
+      out.predictions.assign(pred.data(), pred.data() + pred.numel());
+      out.channel_layers = model.parallelism_plan().channel_layers();
+    }
+  });
+  out.reduce_scatter_calls = stats[0].reduce_scatter_calls;
+  out.allgather_calls = stats[0].allgather_calls;
+  return out;
+}
+
+void expect_losses_bit_equal_across_ranks(const TpOutcome& o) {
+  for (std::size_t r = 1; r < o.losses.size(); ++r) {
+    ASSERT_EQ(o.losses[r].size(), o.losses[0].size());
+    for (std::size_t e = 0; e < o.losses[0].size(); ++e)
+      ASSERT_EQ(o.losses[r][e], o.losses[0][e])
+          << "rank " << r << " epoch " << e;
+  }
+}
+
+void expect_close(const std::vector<float>& a, const std::vector<float>& b,
+                  double rel, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(a[i], b[i], rel * std::abs(b[i]) + rel)
+        << what << " [" << i << "]";
+}
+
+TEST(ChannelParallel, SingleRankIsBitIdenticalToUnsharded) {
+  // At world 1 the sharded layers take the identical unsharded code path
+  // (same fused kernels, same init): weights, losses, and predictions
+  // must match bit for bit.
+  for (BenchmarkId id : {BenchmarkId::kNT3, BenchmarkId::kP1B1}) {
+    SCOPED_TRACE(benchmark_name(id));
+    const TpOutcome ref = run_reference_fit(id);
+    const TpOutcome tp =
+        run_channel_fit(id, 1, ParallelismMode::kChannel);
+    ASSERT_EQ(tp.params[0].size(), ref.params[0].size());
+    EXPECT_EQ(0, std::memcmp(tp.params[0].data(), ref.params[0].data(),
+                             ref.params[0].size() * sizeof(float)));
+    ASSERT_EQ(tp.losses[0].size(), ref.losses[0].size());
+    for (std::size_t e = 0; e < ref.losses[0].size(); ++e)
+      EXPECT_EQ(tp.losses[0][e], ref.losses[0][e]) << "epoch " << e;
+    ASSERT_EQ(tp.predictions.size(), ref.predictions.size());
+    EXPECT_EQ(0, std::memcmp(tp.predictions.data(), ref.predictions.data(),
+                             ref.predictions.size() * sizeof(float)));
+  }
+}
+
+TEST(ChannelParallel, MultiRankMatchesUnshardedWithinTolerance) {
+  // Sharded training changes only floating-point summation order (the
+  // backward dx partials are ring-reduced instead of one local GEMM), so
+  // per-epoch losses and final predictions stay within a tight relative
+  // band of the unsharded run — and all ranks stay bit-identical to each
+  // other, since every rank steps the same replicated batch.
+  for (BenchmarkId id : {BenchmarkId::kNT3, BenchmarkId::kP1B1}) {
+    const TpOutcome ref = run_reference_fit(id);
+    for (std::size_t ranks : {2u, 4u}) {
+      for (std::size_t threads : {1u, 4u}) {
+        SCOPED_TRACE(std::string(benchmark_name(id)) + " ranks=" +
+                     std::to_string(ranks) + " threads=" +
+                     std::to_string(threads));
+        ThreadCountGuard guard(threads);
+        const TpOutcome tp =
+            run_channel_fit(id, ranks, ParallelismMode::kChannel);
+        EXPECT_GT(tp.channel_layers, 0u);
+        EXPECT_GT(tp.reduce_scatter_calls, 0u);
+        EXPECT_GT(tp.allgather_calls, 0u);
+        expect_losses_bit_equal_across_ranks(tp);
+        expect_close(tp.losses[0], ref.losses[0], 1e-5, "losses");
+        expect_close(tp.predictions, ref.predictions, 1e-5, "predictions");
+      }
+    }
+  }
+}
+
+TEST(ChannelParallel, ShardedWeightSlicesReassembleTheFullInit) {
+  // Before any training step, each rank's first-layer weight slice must be
+  // exactly the corresponding columns of the unsharded init (the sharded
+  // build draws the full init from the shared stream, then slices).
+  const BenchmarkId id = BenchmarkId::kP1B1;
+  const ScaledGeometry geometry = scaled_geometry(id, 0.002);
+  nn::Model ref = build_model(id, geometry);
+  ref.compile({geometry.features},
+              nn::make_optimizer(benchmark_optimizer(id), 0.01),
+              nn::make_loss(benchmark_loss(id)), /*seed=*/5);
+  const Tensor& wfull = *ref.parameters()[0];  // (F, h1)
+  const std::size_t in = wfull.dim(0), h1 = wfull.dim(1);
+  const std::size_t ranks = 4;
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    hvd::Context ctx(c);
+    nn::Model model = build_model(id, geometry);
+    ParallelismOptions popt;
+    popt.mode = ParallelismMode::kChannel;
+    popt.comm = &c;
+    popt.batch_hint = 16;
+    model.compile({geometry.features},
+                  std::make_unique<hvd::DistributedOptimizer>(
+                      nn::make_optimizer(benchmark_optimizer(id), 0.01), ctx,
+                      hvd::FusionOptions{}),
+                  nn::make_loss(benchmark_loss(id)), /*seed=*/5, popt);
+    const Tensor& wlocal = *model.parameters()[0];
+    const std::size_t c0 = nn::shard_offset(c.rank(), h1, ranks);
+    const std::size_t cols = nn::shard_offset(c.rank() + 1, h1, ranks) - c0;
+    ASSERT_EQ(wlocal.numel(), in * cols);
+    for (std::size_t r = 0; r < in; ++r)
+      ASSERT_EQ(0, std::memcmp(wlocal.data() + r * cols,
+                               wfull.data() + r * h1 + c0,
+                               cols * sizeof(float)))
+          << "rank " << c.rank() << " row " << r;
+  });
+}
+
+TEST(ChannelParallel, OverlapAndPrefetchComposeBitExactly) {
+  // Overlap moves only the replicated-gradient reduction onto the comm
+  // thread and prefetch only copies batches earlier: composed with channel
+  // sharding, both must reproduce the synchronous channel run bit for bit.
+  for (std::size_t ranks : {2u, 4u}) {
+    SCOPED_TRACE("ranks=" + std::to_string(ranks));
+    const TpOutcome plain = run_channel_fit(BenchmarkId::kNT3, ranks,
+                                            ParallelismMode::kChannel);
+    const TpOutcome composed =
+        run_channel_fit(BenchmarkId::kNT3, ranks, ParallelismMode::kChannel,
+                        /*overlap=*/true, /*prefetch=*/true);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      ASSERT_EQ(plain.params[r].size(), composed.params[r].size());
+      ASSERT_EQ(0, std::memcmp(plain.params[r].data(),
+                               composed.params[r].data(),
+                               plain.params[r].size() * sizeof(float)))
+          << "rank " << r;
+      ASSERT_EQ(plain.losses[r], composed.losses[r]) << "rank " << r;
+    }
+  }
+}
+
+TEST(ChannelParallel, CompressedWireTracksFp32Loss) {
+  // fp16/bf16 activation gathers and gradient reductions must keep channel
+  // training on track: same loose band the data-parallel compressed tests
+  // pin (codec error compounds through the optimizer across steps).
+  const TpOutcome fp32 = run_channel_fit(
+      BenchmarkId::kP1B1, 2, ParallelismMode::kChannel, false, false, 3);
+  for (comm::WireDtype wire :
+       {comm::WireDtype::kFp16, comm::WireDtype::kBf16}) {
+    SCOPED_TRACE(comm::wire_dtype_name(wire));
+    const TpOutcome q =
+        run_channel_fit(BenchmarkId::kP1B1, 2, ParallelismMode::kChannel,
+                        false, false, 3, wire);
+    expect_losses_bit_equal_across_ranks(q);
+    ASSERT_EQ(q.losses[0].size(), fp32.losses[0].size());
+    for (std::size_t e = 0; e < q.losses[0].size(); ++e) {
+      EXPECT_TRUE(std::isfinite(q.losses[0][e]));
+      EXPECT_NEAR(q.losses[0][e], fp32.losses[0][e],
+                  0.05 * std::abs(fp32.losses[0][e]) + 1e-4)
+          << "epoch " << e;
+    }
+  }
+}
+
+TEST(ChannelParallel, AutoModeMatchesReferenceToo) {
+  // kAuto picks a mixed plan (some layers sharded, some replicated);
+  // training must still track the unsharded reference.
+  const TpOutcome ref = run_reference_fit(BenchmarkId::kP1B1);
+  const TpOutcome tp =
+      run_channel_fit(BenchmarkId::kP1B1, 2, ParallelismMode::kAuto);
+  expect_losses_bit_equal_across_ranks(tp);
+  expect_close(tp.losses[0], ref.losses[0], 1e-5, "losses");
+  expect_close(tp.predictions, ref.predictions, 1e-5, "predictions");
+}
+
+TEST(ChannelParallel, TsanStressShardedOverlapManySteps) {
+  // TSan-targeted: 4 rank threads x 4 pool threads drive sharded forward
+  // allgathers, backward reduce-scatters, and overlapped replicated-bucket
+  // reductions for many steps on a wide MLP.
+  const std::size_t ranks = 4;
+  ThreadCountGuard guard(4);
+  comm::World::run(ranks, [&](comm::Communicator& c) {
+    hvd::Context ctx(c);
+    nn::Model model;
+    model.add<nn::Dense>(96, nn::Act::kRelu);
+    model.add<nn::Dense>(96, nn::Act::kTanh);
+    model.add<nn::Dense>(4, nn::Act::kSoftmax);
+    hvd::FusionOptions fusion;
+    fusion.threshold_bytes = 256;
+    fusion.overlap = true;
+    auto opt = std::make_unique<hvd::DistributedOptimizer>(
+        nn::make_optimizer("sgd", 0.05), ctx, fusion);
+    hvd::DistributedOptimizer* dist = opt.get();
+    ParallelismOptions popt;
+    popt.mode = ParallelismMode::kChannel;
+    popt.comm = &c;
+    popt.batch_hint = 8;
+    model.compile({24}, std::move(opt),
+                  nn::make_loss("categorical_crossentropy"), /*seed=*/3,
+                  popt);
+    dist->enable_overlap(model);
+
+    Rng rng(17);  // uniform seed: identical batches on every rank
+    Tensor x({8, 24}), y({8, 4}, 0.0f);
+    for (float& v : x.values()) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (std::size_t i = 0; i < 8; ++i)
+      y.data()[i * 4 + i % 4] = 1.0f;
+    float loss = 0.0f;
+    for (int step = 0; step < 30; ++step) loss = model.train_on_batch(x, y);
+    EXPECT_TRUE(std::isfinite(loss));
+  });
+}
+
+}  // namespace
+}  // namespace candle

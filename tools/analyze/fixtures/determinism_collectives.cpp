@@ -1,0 +1,44 @@
+// candle-analyze-fixture: virtual-path=src/comm/fixture_collectives.cpp
+// candle-analyze-fixture: expect=determinism-fp-reduction:30
+// candle-analyze-fixture: expect=determinism-unordered:38
+// Reduce-scatter / allgather hot-loop shapes under the src/comm determinism
+// scope. The per-hop segment loops are the real patterns from the standalone
+// collectives: the reduce-scatter hop accumulates a peer's segment into the
+// owned segment elementwise (each index touches only its own dst element, so
+// chunk interleaving cannot reorder any FP sum), and the allgather hop is a
+// plain segment copy. Both must stay clean. The captured-scalar wire-error
+// accumulator and the hash-ordered pending-segment walk are the genuine
+// hazards a refactor could introduce.
+#include <cstddef>
+#include <unordered_map>
+
+namespace candle::comm {
+
+void reduce_scatter_hop(const float* src, float* dst, std::size_t seg) {
+  // Fused decode_add of one ring hop: elementwise, order-free, clean.
+  parallel_for(seg, [&](std::size_t i) { dst[i] += src[i]; });
+}
+
+void allgather_hop(const float* src, float* dst, std::size_t seg) {
+  parallel_for(seg, [&](std::size_t i) { dst[i] = src[i]; });
+}
+
+float wire_error(const float* sent, const float* ref, std::size_t seg) {
+  // Hazard: FP accumulation into captured state — the chunk interleaving
+  // of parallel_for decides the summation order.
+  float total = 0.0f;
+  parallel_for(seg, [&](std::size_t i) { total += ref[i] - sent[i]; });
+  return total;
+}
+
+std::unordered_map<std::size_t, const float*> g_pending_segments;
+
+float drain_pending(std::size_t seg) {
+  float total = 0.0f;
+  for (const auto& kv : g_pending_segments) {
+    for (std::size_t i = 0; i < seg; ++i) total += kv.second[i];
+  }
+  return total;
+}
+
+}  // namespace candle::comm
