@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the inference serving layer: a
+// closed-loop client fleet drives one served model through the
+// micro-batching scheduler across the {max_batch, batch-deadline,
+// offered-load} grid. The grid exposes the serving tradeoff the
+// batch_deadline_s knob controls: micro-batching (max_batch 16) must beat
+// the batch-size-1 baseline on throughput at equal offered load, while a
+// deadline stretched past the arrival gap buys batch occupancy with tail
+// latency (the throughput-vs-p99 crossover). Feeds the committed
+// BENCH_serving.json:
+//   build/bench/bench_micro_serving --benchmark_filter=Serving
+//     --benchmark_out=BENCH_serving.json --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "harness.h"
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace candle;
+
+// Wide enough that a batched forward amortizes real GEMM work, small
+// enough that one loadgen run stays in milliseconds.
+constexpr std::size_t kFeatures = 256;
+constexpr std::size_t kHidden = 512;
+constexpr std::size_t kClasses = 10;
+constexpr std::size_t kRequests = 256;
+
+nn::Model make_served_model() {
+  nn::Model model;
+  model.add<nn::Dense>(kHidden, nn::Act::kRelu);
+  model.add<nn::Dense>(kClasses, nn::Act::kSoftmax);
+  model.compile_for_inference({kFeatures}, /*seed=*/3);
+  return model;
+}
+
+Tensor make_request_pool() {
+  Tensor pool({64, kFeatures});
+  Rng rng(17);
+  for (std::size_t i = 0; i < pool.numel(); ++i)
+    pool[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return pool;
+}
+
+/// One closed-loop loadgen sweep per iteration. range(0) is max_batch
+/// (1 = the request-per-forward baseline), range(1) the batch deadline in
+/// microseconds, range(2) the client count (the offered load of a closed
+/// loop). Wall time, not CPU time: the work runs on dispatcher + client
+/// threads.
+void BM_ServingSweep(benchmark::State& state) {
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  const double deadline_s = static_cast<double>(state.range(1)) * 1e-6;
+  const auto clients = static_cast<std::size_t>(state.range(2));
+
+  serve::InferenceServer server;
+  server.add_model("mlp", make_served_model(),
+                   {.max_batch = max_batch, .batch_deadline_s = deadline_s});
+  const Tensor pool = make_request_pool();
+  const std::vector<serve::TrafficSource> sources = {{"mlp", &pool, 1.0}};
+  serve::LoadgenOptions options;
+  options.mode = serve::LoopMode::kClosed;
+  options.clients = clients;
+  options.requests = kRequests;
+  options.offered_rps = 4000.0;  // mix pacing only (closed loop)
+  options.seed = 29;
+
+  std::vector<double> latencies_ms;
+  std::size_t completed = 0;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    const serve::LoadgenReport report =
+        serve::run_loadgen(server, sources, options);
+    completed += report.completed;
+    wall_s += report.wall_s;
+    latencies_ms.insert(latencies_ms.end(), report.latencies_ms.begin(),
+                        report.latencies_ms.end());
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+  state.counters["throughput_rps"] = benchmark::Counter(
+      wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0);
+  state.counters["p50_ms"] = benchmark::Counter(bench::p50(latencies_ms));
+  state.counters["p99_ms"] = benchmark::Counter(bench::p99(latencies_ms));
+  state.counters["mean_batch_rows"] =
+      benchmark::Counter(server.stats("mlp").mean_batch_rows());
+}
+
+// {max_batch, deadline_us, clients}: 2 batch policies x 3 deadlines x
+// 2 offered loads (closed-loop client count). The max_batch-1 rows are
+// flat across deadlines — every batch closes full at one row — which is
+// itself the control: the deadline knob only bites once batching is on.
+BENCHMARK(BM_ServingSweep)
+    ->Args({1, 200, 4})->Args({1, 200, 16})
+    ->Args({1, 1000, 4})->Args({1, 1000, 16})
+    ->Args({1, 4000, 4})->Args({1, 4000, 16})
+    ->Args({16, 200, 4})->Args({16, 200, 16})
+    ->Args({16, 1000, 4})->Args({16, 1000, 16})
+    ->Args({16, 4000, 4})->Args({16, 4000, 16})
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

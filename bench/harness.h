@@ -14,6 +14,7 @@
 #include "candle/scaling.h"
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "io/csv_reader.h"
@@ -65,6 +66,37 @@ inline double conv1d_flop_count(std::size_t b, std::size_t lout,
 inline double gflops(double flops, double seconds) {
   require(seconds > 0.0, "gflops: seconds must be > 0");
   return flops / seconds / 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// Latency percentiles (serving bench / loadgen reports). Tail percentiles,
+// not means, are what a latency SLO constrains — a serving bench that only
+// prints the mean hides exactly the behaviour the batch-deadline knob
+// trades away.
+// ---------------------------------------------------------------------------
+
+/// Linear-interpolated percentile of `values`, q in [0, 100]; delegates to
+/// candle::Summary so every report quotes the same definition. Requires a
+/// non-empty sample.
+inline double percentile(const std::vector<double>& values, double q) {
+  Summary summary;
+  summary.add_all(values);
+  return summary.percentile(q);
+}
+
+/// Median latency: the "typical request" column of a serving report.
+inline double p50(const std::vector<double>& values) {
+  return percentile(values, 50.0);
+}
+
+inline double p90(const std::vector<double>& values) {
+  return percentile(values, 90.0);
+}
+
+/// Tail latency: the SLO column. With ~100 requests this is within one
+/// sample of the max; quote it with the sample count in mind.
+inline double p99(const std::vector<double>& values) {
+  return percentile(values, 99.0);
 }
 
 /// One row of an original-vs-optimized comparison.

@@ -34,6 +34,8 @@ namespace candle::lock_order {
 /// full table (holder, what the lock protects, what may nest inside it)
 /// lives in EXPERIMENTS.md "Static analysis".
 namespace level {
+inline constexpr int kServeLoadgen = 86;     // serve loadgen failure capture
+inline constexpr int kServeAdmission = 80;   // serve::MicroBatcher::mutex_
 inline constexpr int kBatchPipeline = 70;    // nn::BatchPipeline::mutex_
 inline constexpr int kBucketScheduler = 60;  // hvd::BucketScheduler::mutex_
 inline constexpr int kRunnerResult = 50;     // candle runner result_mutex

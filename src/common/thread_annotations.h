@@ -13,6 +13,7 @@
 // private helpers that expect the caller to hold it carry CANDLE_REQUIRES.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -122,6 +123,17 @@ class AnnotatedCondVar {
   template <typename Predicate>
   void wait(AnnotatedMutex& mutex, Predicate pred) CANDLE_REQUIRES(mutex) {
     while (!pred()) cv_.wait(mutex);
+  }
+
+  /// Deadline wait (absolute time point), predicate form only: returns the
+  /// predicate's value at wakeup (false = the deadline passed with the
+  /// predicate still false). The serving micro-batcher's SLO timer is built
+  /// on this.
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(AnnotatedMutex& mutex,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) CANDLE_REQUIRES(mutex) {
+    return cv_.wait_until(mutex, deadline, pred);
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -92,9 +92,29 @@ void Model::compile(const Shape& input_shape,
   compiled_ = true;
 }
 
+void Model::compile_for_inference(const Shape& input_shape,
+                                  std::uint64_t seed) {
+  require(!compiled_, "Model::compile_for_inference: already compiled");
+  require(!layers_.empty(), "Model::compile_for_inference: model has no layers");
+  input_shape_ = input_shape;
+  Rng rng(seed);
+  fit_rng_ = rng.fork(0xF17);
+  Shape shape = input_shape;
+  for (auto& layer : layers_) shape = layer->build(shape, rng);
+  // Serving never runs backward: release the gradient buffers build()
+  // allocated (they mirror every parameter, doubling NT3-scale weight
+  // memory) and skip the grad-span/hook bookkeeping entirely.
+  for (auto& layer : layers_)
+    for (Tensor* g : layer->grads()) *g = Tensor();
+  plan_.per_layer.assign(layers_.size(), LayerParallelism::kData);
+  compiled_ = true;
+}
+
 void Model::set_grad_ready_hook(GradReadyHook hook) {
   require(compiled_ || !hook,
           "Model::set_grad_ready_hook: compile() first");
+  require(!inference_only() || !hook,
+          "Model::set_grad_ready_hook: model was compiled for inference");
   grad_ready_hook_ = std::move(hook);
 }
 
@@ -128,6 +148,8 @@ Tensor Model::predict(const Tensor& x) {
 std::pair<float, float> Model::evaluate(const Tensor& x, const Tensor& y,
                                         bool classification) {
   require(compiled_, "Model::evaluate: compile() first");
+  require(!inference_only(),
+          "Model::evaluate: model was compiled for inference (no loss)");
   const Tensor pred = forward(x, /*training=*/false);
   const float l = loss_->value(pred, y);
   const float metric =
@@ -137,6 +159,8 @@ std::pair<float, float> Model::evaluate(const Tensor& x, const Tensor& y,
 
 float Model::train_on_batch(const Tensor& x, const Tensor& y) {
   require(compiled_, "Model::train_on_batch: compile() first");
+  require(!inference_only(),
+          "Model::train_on_batch: model was compiled for inference");
   const Tensor pred = forward(x, /*training=*/true);
   const float l = loss_->value(pred, y);
   backward(loss_->gradient(pred, y));
@@ -147,6 +171,7 @@ float Model::train_on_batch(const Tensor& x, const Tensor& y) {
 History Model::fit(const Dataset& data, const FitOptions& options,
                    const std::vector<Callback*>& callbacks) {
   require(compiled_, "Model::fit: compile() first");
+  require(!inference_only(), "Model::fit: model was compiled for inference");
   require(options.batch_size > 0, "Model::fit: batch_size must be > 0");
   require(data.size() > 0, "Model::fit: empty dataset");
 

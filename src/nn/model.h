@@ -131,7 +131,23 @@ class Model {
                std::unique_ptr<Loss> loss, std::uint64_t seed,
                const ParallelismOptions& parallelism);
 
+  /// Inference-only compile: builds the layers (weights initialized from
+  /// `seed`, normally overwritten by nn::load_weights) and then releases
+  /// every gradient tensor — no optimizer, no loss, no gradient-ready
+  /// hooks, so a served model pays neither training-side memory (gradient
+  /// buffers mirror every parameter) nor hook overhead. predict() and
+  /// evaluate-free serving work; fit/train_on_batch/evaluate throw.
+  /// The same seed produces bit-identical weights to compile() because the
+  /// RNG stream over the layer builds is unchanged.
+  void compile_for_inference(const Shape& input_shape,
+                             std::uint64_t seed = 42);
+
   [[nodiscard]] bool compiled() const { return compiled_; }
+
+  /// True when compile_for_inference built this model (no optimizer/loss).
+  [[nodiscard]] bool inference_only() const {
+    return compiled_ && optimizer_ == nullptr;
+  }
 
   /// Forward pass without dropout.
   [[nodiscard]] Tensor predict(const Tensor& x);

@@ -1,0 +1,229 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <future>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_annotations.h"
+
+namespace candle::serve {
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+double to_ms(steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+double to_seconds(steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+steady_clock::duration from_seconds(double s) {
+  return std::chrono::duration_cast<steady_clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Exponential inter-arrival gap with the given rate (events/second).
+/// uniform() is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+double exponential_gap(Rng& rng, double rate) {
+  return -std::log1p(-rng.uniform()) / rate;
+}
+
+/// Next arrival gap at simulated time `now` under the configured process.
+double next_gap(Rng& rng, const LoadgenOptions& o, double now) {
+  switch (o.arrival) {
+    case ArrivalKind::kUniform:
+      return 1.0 / o.offered_rps;
+    case ArrivalKind::kPoisson:
+      return exponential_gap(rng, o.offered_rps);
+    case ArrivalKind::kBurst: {
+      // Piecewise-constant rate: hi during the leading burst_fraction of
+      // each period, lo elsewhere, with lo solved so the long-run mean
+      // stays offered_rps (floored at 1% for extreme burst settings).
+      const double f = o.burst_fraction;
+      const double hi = o.offered_rps * o.burst_factor;
+      const double lo =
+          std::max(o.offered_rps * (1.0 - f * o.burst_factor) / (1.0 - f),
+                   0.01 * o.offered_rps);
+      const double phase =
+          now - std::floor(now / o.burst_period_s) * o.burst_period_s;
+      return exponential_gap(rng, phase < f * o.burst_period_s ? hi : lo);
+    }
+  }
+  return 1.0 / o.offered_rps;
+}
+
+}  // namespace
+
+std::vector<ScheduledRequest> make_schedule(
+    const LoadgenOptions& options,
+    const std::vector<TrafficSource>& sources) {
+  require(!sources.empty(), "make_schedule: no traffic sources");
+  require(options.requests > 0, "make_schedule: requests must be > 0");
+  require(options.offered_rps > 0.0,
+          "make_schedule: offered_rps must be > 0");
+  if (options.arrival == ArrivalKind::kBurst) {
+    require(options.burst_factor >= 1.0,
+            "make_schedule: burst_factor must be >= 1");
+    require(options.burst_fraction > 0.0 && options.burst_fraction < 1.0,
+            "make_schedule: burst_fraction must be in (0, 1)");
+    require(options.burst_period_s > 0.0,
+            "make_schedule: burst_period_s must be > 0");
+  }
+  double total_weight = 0.0;
+  for (const TrafficSource& source : sources) {
+    require(source.rows != nullptr && source.rows->rank() >= 2 &&
+                source.rows->dim(0) > 0,
+            "make_schedule: source '" + source.model +
+                "' needs a non-empty (n, features...) row pool");
+    require(source.weight > 0.0, "make_schedule: source '" + source.model +
+                                     "' weight must be > 0");
+    total_weight += source.weight;
+  }
+  // Decorrelated streams so changing the arrival process never perturbs
+  // the model/row mix (and vice versa).
+  Rng rng(options.seed);
+  Rng arrivals = rng.fork(1);
+  Rng mix = rng.fork(2);
+  std::vector<ScheduledRequest> schedule;
+  schedule.reserve(options.requests);
+  double t = 0.0;
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    ScheduledRequest req;
+    req.at_s = t;
+    const double u = mix.uniform() * total_weight;
+    double acc = 0.0;
+    req.source = sources.size() - 1;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      acc += sources[s].weight;
+      if (u < acc) {
+        req.source = s;
+        break;
+      }
+    }
+    req.row = mix.uniform_index(sources[req.source].rows->dim(0));
+    schedule.push_back(req);
+    t += next_gap(arrivals, options, t);
+  }
+  return schedule;
+}
+
+LoadgenReport run_loadgen(InferenceServer& server,
+                          const std::vector<TrafficSource>& sources,
+                          const LoadgenOptions& options) {
+  require(options.clients > 0, "run_loadgen: clients must be > 0");
+  const std::vector<ScheduledRequest> schedule =
+      make_schedule(options, sources);
+  std::vector<std::size_t> width(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    require(server.has_model(sources[s].model),
+            "run_loadgen: server has no model '" + sources[s].model + "'");
+    width[s] = sources[s].rows->numel() / sources[s].rows->dim(0);
+    require(width[s] == server.row_numel(sources[s].model),
+            "run_loadgen: source row width does not match model '" +
+                sources[s].model + "'");
+  }
+
+  // Per-entry latency slots: entry e is written by client e % clients
+  // only and read after the join, so no locking is needed (-1 = never
+  // completed, only possible when a client failed).
+  std::vector<double> latency_ms(schedule.size(), -1.0);
+  AnnotatedMutex failure_mutex{
+      CANDLE_LOCK_LEVEL(lock_order::level::kServeLoadgen),
+      "serve::run_loadgen failure capture"};
+  std::exception_ptr failure;  // first client failure, under failure_mutex
+
+  const steady_clock::time_point t0 = steady_clock::now();
+  const auto worker = [&](std::size_t client) {
+    try {
+      if (options.mode == LoopMode::kClosed) {
+        // Closed loop: the schedule supplies the model/row mix; pacing is
+        // response-driven. Latency runs submit -> batch completion.
+        for (std::size_t e = client; e < schedule.size();
+             e += options.clients) {
+          const ScheduledRequest& req = schedule[e];
+          const TrafficSource& source = sources[req.source];
+          const std::span<const float> row(
+              source.rows->data() + req.row * width[req.source],
+              width[req.source]);
+          const steady_clock::time_point sent = steady_clock::now();
+          const Response response = server.submit(source.model, row).get();
+          latency_ms[e] = to_ms(response.completed_at - sent);
+        }
+      } else {
+        // Open loop: dispatch on the schedule, harvest afterwards.
+        // Latency runs *scheduled* arrival -> batch completion, so
+        // server-induced queueing is charged (no coordinated omission).
+        struct InFlight {
+          std::size_t entry;
+          steady_clock::time_point arrival;
+          std::future<Response> future;
+        };
+        std::vector<InFlight> inflight;
+        for (std::size_t e = client; e < schedule.size();
+             e += options.clients) {
+          const ScheduledRequest& req = schedule[e];
+          const TrafficSource& source = sources[req.source];
+          const std::span<const float> row(
+              source.rows->data() + req.row * width[req.source],
+              width[req.source]);
+          const steady_clock::time_point arrival =
+              t0 + from_seconds(req.at_s);
+          std::this_thread::sleep_until(arrival);
+          inflight.push_back({e, arrival, server.submit(source.model, row)});
+        }
+        for (InFlight& f : inflight) {
+          const Response response = f.future.get();
+          latency_ms[f.entry] = to_ms(response.completed_at - f.arrival);
+        }
+      }
+    } catch (...) {
+      MutexLock lock(failure_mutex);
+      if (failure == nullptr) failure = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c)
+    clients.emplace_back(worker, c);
+  for (std::thread& client : clients) client.join();
+  const double wall = to_seconds(steady_clock::now() - t0);
+  {
+    MutexLock lock(failure_mutex);
+    if (failure != nullptr) std::rethrow_exception(failure);
+  }
+
+  LoadgenReport report;
+  report.wall_s = wall;
+  report.latencies_ms.reserve(schedule.size());
+  Summary latency;
+  for (std::size_t e = 0; e < schedule.size(); ++e) {
+    if (latency_ms[e] < 0.0) continue;
+    ++report.completed;
+    report.latencies_ms.push_back(latency_ms[e]);
+    latency.add(latency_ms[e]);
+    ++report.per_model[sources[schedule[e].source].model];
+  }
+  report.throughput_rps =
+      wall > 0.0 ? static_cast<double>(report.completed) / wall : 0.0;
+  if (latency.count() > 0) {
+    report.mean_ms = latency.mean();
+    report.p50_ms = latency.percentile(50.0);
+    report.p90_ms = latency.percentile(90.0);
+    report.p99_ms = latency.percentile(99.0);
+    report.max_ms = latency.max();
+  }
+  return report;
+}
+
+}  // namespace candle::serve

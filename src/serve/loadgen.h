@@ -1,0 +1,96 @@
+// Deterministic traffic load generator for the inference server.
+//
+// Serving benchmarks die by coordinated omission: a closed-loop client
+// (wait for each response before sending the next) slows its own arrival
+// rate exactly when the server stalls, hiding the tail. The loadgen
+// supports both disciplines explicitly. Closed-loop mode measures
+// best-case per-request latency under a fixed concurrency; open-loop
+// mode dispatches on a precomputed arrival schedule regardless of
+// response progress and charges each request's latency from its
+// *scheduled* arrival to batch completion, so queueing delay the server
+// caused is counted, not silently forgiven.
+//
+// The schedule — arrival offsets, model mix, request rows — is a pure
+// function of (options, sources) through a seeded candle::Rng, so every
+// run of a configuration replays the identical request stream: arrivals
+// uniform, Poisson (exponential gaps), or bursty (Poisson whose rate
+// multiplies by burst_factor during the leading burst_fraction of every
+// burst_period_s window, rescaled so the long-run average stays
+// offered_rps). Client e serves schedule entries e, e+clients, ... so
+// the per-thread split is deterministic too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace candle::serve {
+
+/// Closed: each client waits for its response before the next request.
+/// Open: requests dispatch on the arrival schedule, responses harvested
+/// after the fact (latency includes server-induced queueing).
+enum class LoopMode { kClosed, kOpen };
+
+/// Arrival-gap process for the schedule (open-loop pacing; closed-loop
+/// runs use the schedule only for the model/row mix).
+enum class ArrivalKind { kUniform, kPoisson, kBurst };
+
+/// One model's share of the traffic mix.
+struct TrafficSource {
+  std::string model;            // name registered with the server
+  const Tensor* rows = nullptr; // (n, features...) request pool
+  double weight = 1.0;          // relative share of requests
+};
+
+struct LoadgenOptions {
+  LoopMode mode = LoopMode::kClosed;
+  std::size_t clients = 4;
+  std::size_t requests = 256;  // total across all clients
+  double offered_rps = 1000.0; // aggregate arrival rate
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double burst_factor = 4.0;   // in-burst rate multiplier (kBurst)
+  double burst_fraction = 0.25;// leading fraction of each period bursting
+  double burst_period_s = 0.05;
+  std::uint64_t seed = 42;     // schedule RNG seed
+};
+
+/// One precomputed request: when, which model, which pool row.
+struct ScheduledRequest {
+  double at_s = 0.0;        // arrival offset from run start
+  std::size_t source = 0;   // index into the sources vector
+  std::size_t row = 0;      // row within that source's pool
+};
+
+/// Builds the deterministic request schedule (pure; unit-tested alone).
+[[nodiscard]] std::vector<ScheduledRequest> make_schedule(
+    const LoadgenOptions& options, const std::vector<TrafficSource>& sources);
+
+/// Client-side results of one loadgen run. Latency is per request, in
+/// milliseconds, measured to the dispatcher's batch-completion timestamp
+/// (Response::completed_at), from submit time (closed) or scheduled
+/// arrival (open).
+struct LoadgenReport {
+  std::size_t completed = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<double> latencies_ms;            // schedule order
+  std::map<std::string, std::size_t> per_model; // completed per model
+};
+
+/// Replays the schedule against `server` with `options.clients` threads
+/// and aggregates latency/throughput. Propagates the first client-side
+/// failure after all threads join.
+[[nodiscard]] LoadgenReport run_loadgen(
+    InferenceServer& server, const std::vector<TrafficSource>& sources,
+    const LoadgenOptions& options);
+
+}  // namespace candle::serve

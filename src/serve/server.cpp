@@ -1,0 +1,75 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace candle::serve {
+
+void InferenceServer::add_model(const std::string& name, nn::Model model,
+                                const BatcherOptions& options) {
+  require(!name.empty(), "InferenceServer::add_model: empty model name");
+  require(entries_.find(name) == entries_.end(),
+          "InferenceServer::add_model: duplicate model name '" + name + "'");
+  require(model.compiled(),
+          "InferenceServer::add_model: model must be compiled");
+  auto entry = std::make_unique<Entry>();
+  entry->model = std::move(model);
+  entry->batcher = std::make_unique<MicroBatcher>(entry->model, options);
+  entries_.emplace(name, std::move(entry));
+}
+
+void InferenceServer::add_model_from_checkpoint(const std::string& name,
+                                                nn::Model architecture,
+                                                const Shape& input_shape,
+                                                const std::string& path,
+                                                const BatcherOptions& options) {
+  require(nn::is_checkpoint(path),
+          "InferenceServer::add_model_from_checkpoint: '" + path +
+              "' is not a candle checkpoint");
+  architecture.compile_for_inference(input_shape);
+  nn::load_weights(architecture, path);
+  add_model(name, std::move(architecture), options);
+}
+
+std::future<Response> InferenceServer::submit(const std::string& model,
+                                              std::span<const float> row) {
+  return entry(model).batcher->submit(row);
+}
+
+void InferenceServer::shutdown() {
+  for (auto& [name, entry] : entries_) entry->batcher->shutdown();
+}
+
+std::vector<std::string> InferenceServer::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+BatcherStats InferenceServer::stats(const std::string& model) const {
+  return entry(model).batcher->stats();
+}
+
+std::size_t InferenceServer::row_numel(const std::string& model) const {
+  return entry(model).batcher->row_numel();
+}
+
+InferenceServer::Entry& InferenceServer::entry(const std::string& name) {
+  const auto it = entries_.find(name);
+  require(it != entries_.end(),
+          "InferenceServer: unknown model '" + name + "'");
+  return *it->second;
+}
+
+const InferenceServer::Entry& InferenceServer::entry(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  require(it != entries_.end(),
+          "InferenceServer: unknown model '" + name + "'");
+  return *it->second;
+}
+
+}  // namespace candle::serve

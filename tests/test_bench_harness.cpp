@@ -1,0 +1,57 @@
+// Tests for the shared bench harness helpers — chiefly the latency
+// percentile helpers the serving bench and loadgen reports quote.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness.h"
+
+#include "common/error.h"
+
+namespace candle::bench {
+namespace {
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(p50(v), 2.5);  // midpoint of 2 and 3
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // 0..100 inclusive: pos = q/100 * 100, so percentile(q) == q exactly.
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p50(v), 50.0);
+  EXPECT_DOUBLE_EQ(p90(v), 90.0);
+  EXPECT_DOUBLE_EQ(p99(v), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 12.5);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(p50(v), 7.0);
+  EXPECT_DOUBLE_EQ(p90(v), 7.0);
+  EXPECT_DOUBLE_EQ(p99(v), 7.0);
+}
+
+TEST(Percentile, TailOrderingOnSkewedSample) {
+  // Long-tailed latency-like sample: percentiles must be monotone in q.
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(1.0 + 0.01 * i);
+  v.push_back(50.0);  // one straggler
+  EXPECT_LE(p50(v), p90(v));
+  EXPECT_LE(p90(v), p99(v));
+  EXPECT_GT(p99(v), p90(v));  // the straggler lives in the tail
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)p50(empty), InvalidArgument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), InvalidArgument);
+  EXPECT_THROW((void)percentile(v, 101.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace candle::bench

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from model import FileModel, Finding, Project
 
-_SCOPE = ("src/tensor/", "src/nn/", "src/hvd/", "src/comm/")
+_SCOPE = ("src/tensor/", "src/nn/", "src/hvd/", "src/comm/", "src/serve/")
 
 #: gemm owns its FP-reduction order by construction (fixed blocking);
 #: exempt from the reduction rule only.

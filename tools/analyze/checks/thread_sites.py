@@ -23,6 +23,7 @@ _SANCTIONED = (
     "src/comm/",                 # rank-per-thread communicator harness
     "src/hvd/",                  # background collective thread
     "src/nn/batch_pipeline.",    # pipeline stage threads
+    "src/serve/",                # serving dispatcher + loadgen clients
 )
 
 #: The annotation wrapper layer forwards waits by design.

@@ -1,0 +1,46 @@
+// candle-analyze-fixture: virtual-path=src/serve/fixture_admission.cpp
+// candle-analyze-fixture: expect=determinism-unordered:40
+// The serving admission-queue idioms. The slot hand-off — declared lock
+// level, predicated wait, deadline wait_until with predicate, sanctioned
+// dispatcher thread — must produce zero findings; the per-model stats
+// aggregation over an unordered_map must be flagged (serve/ is in the
+// determinism scope: a served report's row order must not depend on the
+// hash seed).
+#include "common/thread_annotations.h"
+#include <chrono>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace candle::serve {
+
+AnnotatedMutex g_admission{CANDLE_LOCK_LEVEL(80),
+                           "serve::fixture_admission"};
+AnnotatedCondVar g_dispatch;
+bool g_ready = false;
+
+void serve_batches();
+
+void slot_handoff_ok() {
+  MutexLock lock(g_admission);
+  g_dispatch.wait(g_admission, [] { return g_ready; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+  (void)g_dispatch.wait_until(g_admission, deadline, [] { return g_ready; });
+}
+
+void dispatcher_thread_ok() {
+  std::thread dispatcher(serve_batches);
+  dispatcher.join();
+}
+
+double unordered_report_hazard(
+    const std::unordered_map<std::string, double>& per_model) {
+  double total = 0.0;
+  for (const auto& kv : per_model) {
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace candle::serve
