@@ -192,14 +192,17 @@ BENCHMARK(BM_OverlapStep)
 // Collective sweep: ranks x fusion bucket size x algorithm x wire dtype x
 // emulated wire bandwidth, one fused 16 MB gradient exchange per step. The
 // sim_net byte term is algorithm- and dtype-aware, so a compressed dtype
-// genuinely halves the emulated transfer and the hierarchical algorithm
-// pays only its inter-node share (ranks_per_node = 2 here). The bandwidth
-// axis spans the crossover: on the fast wire (8 GB/s, NVLink-class) the
-// codec's conversion cost outweighs the few ms of transfer it saves and
-// fp32 stays ahead; on the slow wire (100 MB/s, a congested fat-tree
-// share) halving the bytes buys far more than the conversions cost and
-// fp16/bf16 win. The extended RunSimulator model predicts the same
-// ordering flip (EXPERIMENTS.md). Committed as BENCH_collectives.json.
+// genuinely shrinks the emulated transfer (fp16/bf16 halve it, int8
+// quarters it plus the per-chunk scale metadata) and the hierarchical
+// algorithm pays only its inter-node share (ranks_per_node = 2 here). The
+// bandwidth axis spans the crossover: on the fast wire (8 GB/s,
+// NVLink-class) the codec's conversion cost outweighs the few ms of
+// transfer it saves and fp32 stays ahead; on the slow wire (100 MB/s, a
+// congested fat-tree share) shrinking the bytes buys far more than the
+// conversions cost, fp16/bf16 win over fp32, and int8's 4x cut beats both
+// 16-bit dtypes despite its steeper quantizer. The extended RunSimulator
+// model predicts the same ordering flips (EXPERIMENTS.md). Committed as
+// BENCH_collectives.json.
 void BM_CollectiveSweep(benchmark::State& state) {
   const auto ranks = static_cast<std::size_t>(state.range(0));
   const auto bucket_mb = static_cast<std::size_t>(state.range(1));
@@ -241,7 +244,57 @@ void BM_CollectiveSweep(benchmark::State& state) {
 
 BENCHMARK(BM_CollectiveSweep)
     ->ArgNames({"ranks", "bucket_mb", "algo", "dtype", "net_mbps"})
-    ->ArgsProduct({{4, 8}, {4, 16}, {0, 1, 2}, {0, 1, 2}, {100, 8000}})
+    ->ArgsProduct({{4, 8}, {4, 16}, {0, 1, 2}, {0, 1, 2, 3}, {100, 8000}})
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+// Hierarchical local-wire ablation: the intra-node member exchanges of the
+// hierarchical algorithm compressed independently of the inter-node leader
+// ring (WorldOptions::local_wire_dtype). The emulated wire only charges the
+// inter-node share, so the local axis isolates the NVLink-tier codec cost:
+// int8 local legs pay quantization on every member exchange for bytes the
+// emulated network never bills, quantifying what a bandwidth-starved
+// intra-node fabric would have to save to justify it.
+void BM_HierarchicalLocalWire(benchmark::State& state) {
+  const auto wire = static_cast<comm::WireDtype>(state.range(0));
+  const auto local_wire = static_cast<comm::WireDtype>(state.range(1));
+  constexpr std::size_t kRanks = 8;
+  constexpr std::size_t kLayers = 16;
+  constexpr std::size_t kElemsPerLayer = (1ull << 20) / sizeof(float);
+
+  comm::WorldOptions world;
+  world.allreduce_algo = comm::AllreduceAlgo::kHierarchical;
+  world.ranks_per_node = 4;
+  world.local_wire_dtype = local_wire;
+  hvd::FusionOptions opt;
+  opt.threshold_bytes = 16ull << 20;
+  opt.wire_dtype = wire;
+  opt.sim_net_latency_s = 300e-6;
+  opt.sim_net_bytes_per_s = 100.0e6;
+  for (auto _ : state) {
+    comm::World::run(
+        kRanks,
+        [&](comm::Communicator& c) {
+          hvd::Context ctx(c);
+          std::vector<Tensor> grads;
+          for (std::size_t t = 0; t < kLayers; ++t)
+            grads.emplace_back(Shape{kElemsPerLayer}, 1.0f);
+          std::vector<Tensor*> ptrs;
+          for (auto& g : grads) ptrs.push_back(&g);
+          hvd::FusionBuffer buffer;
+          hvd::allreduce_average_fused(ctx, ptrs, opt, &buffer);
+        },
+        world);
+  }
+  state.SetLabel(std::string("wire=") + comm::wire_dtype_name(wire) +
+                 "/local=" + comm::wire_dtype_name(local_wire));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLayers * kElemsPerLayer *
+                                               sizeof(float)));
+}
+
+BENCHMARK(BM_HierarchicalLocalWire)
+    ->ArgNames({"dtype", "local_dtype"})
+    ->ArgsProduct({{0, 3}, {0, 3}})
     ->UseRealTime()->Unit(benchmark::kMillisecond)->MinTime(0.2);
 
 }  // namespace

@@ -8,8 +8,9 @@
 //   ./quickstart [--ranks N] [--epochs E] [--loader original|chunked|dask]
 //                [--overlap 0|1] [--level epoch|batch] [--cache 0|1]
 //                [--prefetch 0|1] [--allreduce-algo ring|naive|hierarchical]
-//                [--wire-dtype fp32|fp16|bf16] [--ranks-per-node N]
-//                [--layer-parallelism auto|data|channel]
+//                [--wire-dtype fp32|fp16|bf16|int8] [--error-feedback 0|1]
+//                [--local-wire-dtype fp32|fp16|bf16|int8]
+//                [--ranks-per-node N] [--layer-parallelism auto|data|channel]
 #include <cstdio>
 
 #include "candle/runner.h"
@@ -33,7 +34,14 @@ int main(int argc, char** argv) {
             "0")
       .flag("allreduce-algo", "ring | naive | hierarchical", "ring")
       .flag("wire-dtype",
-            "gradient on-wire dtype: fp32 (bit-exact) | fp16 | bf16", "fp32")
+            "gradient on-wire dtype: fp32 (bit-exact) | fp16 | bf16 | int8",
+            "fp32")
+      .flag("error-feedback",
+            "carry per-bucket quantization-error residuals into the next "
+            "step (pair with --wire-dtype int8)", "0")
+      .flag("local-wire-dtype",
+            "on-wire dtype of hierarchical intra-node legs (needs "
+            "--allreduce-algo hierarchical)", "fp32")
       .flag("ranks-per-node", "ranks per modeled node (Summit: 6)", "6")
       .flag("layer-parallelism",
             "per-layer tensor parallelism: data (replicate every layer) | "
@@ -62,6 +70,9 @@ int main(int argc, char** argv) {
       comm::parse_allreduce_algo(cli.get("allreduce-algo").c_str());
   config.fusion.wire_dtype =
       comm::parse_wire_dtype(cli.get("wire-dtype").c_str());
+  config.fusion.error_feedback = cli.get_int("error-feedback") != 0;
+  config.local_wire_dtype =
+      comm::parse_wire_dtype(cli.get("local-wire-dtype").c_str());
   config.ranks_per_node =
       static_cast<std::size_t>(cli.get_int("ranks-per-node"));
   config.layer_parallelism =
@@ -69,11 +80,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "NT3 quickstart: %zu ranks, %zu total epochs, loader=%s, "
-      "allreduce=%s/%s, layer-parallelism=%s%s%s%s\n",
+      "allreduce=%s/%s%s, layer-parallelism=%s%s%s%s\n",
       config.ranks, config.total_epochs,
       io::loader_name(config.loader).c_str(),
       comm::allreduce_algo_name(config.allreduce_algo),
       comm::wire_dtype_name(config.fusion.wire_dtype),
+      config.fusion.error_feedback ? "+ef" : "",
       nn::parallelism_mode_name(config.layer_parallelism),
       config.fusion.overlap ? ", overlapped allreduce" : "",
       config.cached_loads ? ", cached loads" : "",
@@ -106,7 +118,7 @@ int main(int argc, char** argv) {
   std::printf("On-wire allreduce bytes by dtype (rank 0): ");
   for (const comm::WireDtype d :
        {comm::WireDtype::kFp32, comm::WireDtype::kFp16,
-        comm::WireDtype::kBf16})
+        comm::WireDtype::kBf16, comm::WireDtype::kInt8})
     std::printf("%s=%s  ", comm::wire_dtype_name(d),
                 format_bytes(static_cast<double>(cs.wire_bytes(d))).c_str());
   std::printf("\n");

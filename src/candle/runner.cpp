@@ -145,9 +145,11 @@ RealRunResult run_real(const RealRunConfig& config) {
   comm::WorldOptions world_options;
   world_options.ranks_per_node = config.ranks_per_node;
   world_options.allreduce_algo = config.allreduce_algo;
+  world_options.local_wire_dtype = config.local_wire_dtype;
   // The world default wire dtype stays fp32: gradient compression flows
-  // per bucket through config.fusion.wire_dtype, while broadcasts and
-  // scalar metric reductions always stay exact.
+  // per bucket through config.fusion.wire_dtype (local_wire_dtype only
+  // compresses hierarchical intra-node legs), while broadcasts and scalar
+  // metric reductions always stay exact.
 
   result.comm_stats = comm::World::run(
       config.ranks,

@@ -58,8 +58,10 @@ struct RealRunConfig {
   // thread during backward (PyTorch-DDP/Horovod-style overlap) instead of
   // a synchronous sweep after it; results are bit-identical either way.
   // fusion.wire_dtype selects the on-wire gradient dtype (fp32 default;
-  // fp16/bf16 compress the collective payload with fp32 master
-  // accumulation — see comm/wire_codec.h for the error bound).
+  // fp16/bf16 halve and int8 quarters the collective payload with fp32
+  // master accumulation — see comm/wire_codec.h for the error bounds).
+  // fusion.error_feedback adds per-bucket residual compression (pair it
+  // with int8; see hvd/fusion.h).
   hvd::FusionOptions fusion;
 
   // Collective topology/algorithm (quickstart --allreduce-algo /
@@ -68,6 +70,12 @@ struct RealRunConfig {
   // layout; ranks_per_node controls how ranks map onto modeled nodes.
   comm::AllreduceAlgo allreduce_algo = comm::AllreduceAlgo::kRing;
   std::size_t ranks_per_node = 6;   // Summit node: 6 V100s (Fig 5b)
+
+  // On-wire dtype of the hierarchical algorithm's intra-node legs
+  // (quickstart --local-wire-dtype): compresses the NVLink-tier member
+  // exchanges independently of the per-bucket inter-node dtype above.
+  // Ignored unless allreduce_algo is kHierarchical.
+  comm::WireDtype local_wire_dtype = comm::WireDtype::kFp32;
   std::uint64_t seed = 7;
 
   // Per-layer tensor parallelism (quickstart --layer-parallelism, see

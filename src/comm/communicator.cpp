@@ -1,5 +1,6 @@
 #include "comm/communicator.h"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -8,6 +9,66 @@
 #include "common/error.h"
 
 namespace candle::comm {
+
+namespace {
+
+// Dtype-generic operations on range [b, e) of a compressed wire image over
+// `n` total elements. For the 16-bit dtypes the range is simply words
+// [b, e); for int8 the payload and scale planes are addressed with
+// pre-offset pointers, so the quantization chunk grid is always relative to
+// the range start and disjoint ring segments own disjoint scale slots
+// (wire_codec.h). Every collective therefore encodes int8 per segment —
+// never as one whole-buffer range — so encoder and decoder agree on the
+// grid at every hop.
+
+void encode_range(WireDtype wire, const float* data, std::uint16_t* image,
+                  std::size_t n, std::size_t b, std::size_t e) {
+  if (e <= b) return;
+  if (wire == WireDtype::kInt8)
+    wire::encode_int8(data + b, wire::int8_payload(image, n) + b,
+                      wire::int8_scales(image) + b, e - b);
+  else
+    wire::encode(wire, data + b, image + b, e - b);
+}
+
+void decode_range(WireDtype wire, const std::uint16_t* image, float* data,
+                  std::size_t n, std::size_t b, std::size_t e) {
+  if (e <= b) return;
+  if (wire == WireDtype::kInt8)
+    wire::decode_int8(wire::int8_payload(image, n) + b,
+                      wire::int8_scales(image) + b, data + b, e - b);
+  else
+    wire::decode(wire, image + b, data + b, e - b);
+}
+
+void decode_add_range(WireDtype wire, const std::uint16_t* image, float* data,
+                      std::size_t n, std::size_t b, std::size_t e) {
+  if (e <= b) return;
+  if (wire == WireDtype::kInt8)
+    wire::decode_add_int8(wire::int8_payload(image, n) + b,
+                          wire::int8_scales(image) + b, data + b, e - b);
+  else
+    wire::decode_add(wire, image + b, data + b, e - b);
+}
+
+// Propagates range [b, e) of a peer's wire image into ours (ring allgather
+// hops): the payload words/bytes plus, for int8, the range's scale slots.
+void copy_range(WireDtype wire, std::uint16_t* dst, const std::uint16_t* src,
+                std::size_t n, std::size_t b, std::size_t e) {
+  if (e <= b) return;
+  if (wire == WireDtype::kInt8) {
+    std::memcpy(wire::int8_payload(dst, n) + b, wire::int8_payload(src, n) + b,
+                e - b);
+    float* dst_scales = wire::int8_scales(dst);
+    const float* src_scales = wire::int8_scales(src);
+    for (std::size_t s = b; s < e; s += kInt8ChunkElems)
+      dst_scales[s] = src_scales[s];
+  } else {
+    std::memcpy(dst + b, src + b, (e - b) * sizeof(std::uint16_t));
+  }
+}
+
+}  // namespace
 
 const char* allreduce_algo_name(AllreduceAlgo a) {
   switch (a) {
@@ -211,22 +272,43 @@ void World::check_rendezvous(std::size_t count, std::uint64_t seq,
 void World::allreduce(Communicator& self, std::span<float> data, bool average,
                       WireDtype wire) {
   const std::uint64_t seq = ++self.seq_;
+  const std::size_t n = data.size();
   // A single-rank reduction moves no bytes; keep it exact regardless of the
   // requested dtype (all ranks take this branch identically).
   const bool compressed = wire != WireDtype::kFp32 && size_ > 1;
   if (!compressed) wire = WireDtype::kFp32;
-  if (compressed) {
-    self.wire_scratch_.resize(data.size());
+  const bool hier = options_.allreduce_algo == AllreduceAlgo::kHierarchical;
+  // The hierarchical local-leg dtype is world-level configuration, so every
+  // rank derives the same value — no rendezvous cross-check needed.
+  const WireDtype local_wire =
+      (hier && size_ > 1) ? options_.local_wire_dtype : WireDtype::kFp32;
+  const bool local_compressed = local_wire != WireDtype::kFp32;
+  if (compressed || local_compressed) {
+    self.wire_scratch_.resize(
+        std::max(wire::wire_image_scratch_elems(wire, n),
+                 wire::wire_image_scratch_elems(local_wire, n)));
+    std::uint16_t* mine = self.wire_scratch_.data();
     // Ring/naive peers read the wire image right after the rendezvous
-    // barrier; hierarchical publishes it after its intra-node reduce.
-    if (options_.allreduce_algo != AllreduceAlgo::kHierarchical)
-      wire::encode(wire, data.data(), self.wire_scratch_.data(),
-                            data.size());
+    // barrier; the hierarchical leader ring publishes it after the
+    // intra-node reduce, but members publish their contribution here when
+    // the local leg compresses. The ring encodes per segment so re-encoded
+    // hops keep the int8 chunk grid (identical bytes for 16-bit dtypes).
+    if (compressed && options_.allreduce_algo == AllreduceAlgo::kRing) {
+      for (std::size_t g = 0; g < size_; ++g)
+        encode_range(wire, data.data(), mine, n, g * n / size_,
+                     (g + 1) * n / size_);
+    } else if (compressed && options_.allreduce_algo == AllreduceAlgo::kNaive) {
+      encode_range(wire, data.data(), mine, n, 0, n);
+    } else if (local_compressed &&
+               self.rank_ % options_.ranks_per_node != 0) {
+      encode_range(local_wire, data.data(), mine, n, 0, n);
+    }
   }
-  register_buffer(self.rank_, data.data(), data.size(), seq, "allreduce",
-                  wire, compressed ? self.wire_scratch_.data() : nullptr);
+  register_buffer(
+      self.rank_, data.data(), n, seq, "allreduce", wire,
+      (compressed || local_compressed) ? self.wire_scratch_.data() : nullptr);
   do_barrier();
-  check_rendezvous(data.size(), seq, "allreduce", wire);
+  check_rendezvous(n, seq, "allreduce", wire);
   const std::size_t sent_before = self.stats_.bytes_sent;
   if (size_ > 1) {
     switch (options_.allreduce_algo) {
@@ -243,10 +325,7 @@ void World::allreduce(Communicator& self, std::span<float> data, bool average,
           allreduce_naive(self, data);
         break;
       case AllreduceAlgo::kHierarchical:
-        if (compressed)
-          allreduce_hierarchical_compressed(self, data, wire);
-        else
-          allreduce_hierarchical(self, data);
+        allreduce_hierarchical(self, data, wire, local_wire);
         break;
     }
   }
@@ -302,16 +381,14 @@ void World::allreduce_ring(Communicator& self, std::span<float> data) {
 
 void World::allreduce_ring_compressed(Communicator& self,
                                       std::span<float> data, WireDtype wire) {
-  // Same segment/barrier schedule as allreduce_ring, with 16-bit wire
-  // images in place of the fp32 buffers: each hop decodes the
-  // predecessor's wire segment, accumulates into this rank's fp32 buffer
-  // (the "master"), and re-encodes the partial for the successor — so the
-  // running sum is quantized once per hop but never accumulated in reduced
-  // precision.
+  // Same segment/barrier schedule as allreduce_ring, with wire images in
+  // place of the fp32 buffers: each hop decodes the predecessor's wire
+  // segment, accumulates into this rank's fp32 buffer (the "master"), and
+  // re-encodes the partial for the successor — so the running sum is
+  // quantized once per hop but never accumulated in reduced precision.
   const std::size_t P = size_;
   const std::size_t r = self.rank_;
   const std::size_t n = data.size();
-  const std::size_t w = wire_width_bytes(wire);
   std::uint16_t* mine = self.wire_scratch_.data();
 
   auto off = [&](std::size_t g) { return g * n / P; };
@@ -322,10 +399,10 @@ void World::allreduce_ring_compressed(Communicator& self,
     const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
     const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
     if (e > b) {
-      wire::decode_add(wire, src + b, data.data() + b, e - b);
-      wire::encode(wire, data.data() + b, mine + b, e - b);
+      decode_add_range(wire, src, data.data(), n, b, e);
+      encode_range(wire, data.data(), mine, n, b, e);
     }
-    self.stats_.bytes_sent += (e - b) * w;
+    self.stats_.bytes_sent += wire_range_bytes(wire, e - b);
     do_barrier();
   }
 
@@ -334,8 +411,7 @@ void World::allreduce_ring_compressed(Communicator& self,
   // codec so every rank ends with bit-identical fp32 results.
   {
     const std::size_t own = mod(r + 1);
-    const std::size_t b = off(own), e = off(own + 1);
-    if (e > b) wire::decode(wire, mine + b, data.data() + b, e - b);
+    decode_range(wire, mine, data.data(), n, off(own), off(own + 1));
   }
 
   // Allgather: copy the predecessor's completed wire segment (propagating
@@ -345,10 +421,10 @@ void World::allreduce_ring_compressed(Communicator& self,
     const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
     const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
     if (e > b) {
-      std::memcpy(mine + b, src + b, (e - b) * sizeof(std::uint16_t));
-      wire::decode(wire, mine + b, data.data() + b, e - b);
+      copy_range(wire, mine, src, n, b, e);
+      decode_range(wire, mine, data.data(), n, b, e);
     }
-    self.stats_.bytes_sent += (e - b) * w;
+    self.stats_.bytes_sent += wire_range_bytes(wire, e - b);
     do_barrier();
   }
 }
@@ -374,33 +450,38 @@ void World::allreduce_naive_compressed(Communicator& self,
                                        std::span<float> data,
                                        WireDtype wire) {
   // Rank 0 decodes and accumulates every peer's wire image in fp32, then
-  // publishes the result compressed; peers decode rank 0's image.
+  // publishes the result compressed; peers decode rank 0's image. The
+  // whole buffer is one wire range (chunk grid starts at element 0 on
+  // every rank).
   const std::size_t n = data.size();
-  const std::size_t w = wire_width_bytes(wire);
   std::uint16_t* mine = self.wire_scratch_.data();
   if (self.rank_ == 0) {
     for (std::size_t peer = 1; peer < size_; ++peer) {
-      const std::uint16_t* src = peer_wire_buffer(peer);
-      wire::decode_add(wire, src, data.data(), n);
-      self.stats_.bytes_sent += n * w;
+      decode_add_range(wire, peer_wire_buffer(peer), data.data(), n, 0, n);
+      self.stats_.bytes_sent += wire_range_bytes(wire, n);
     }
     // Adopt the published wire image locally so rank 0's fp32 result
     // matches what every peer decodes.
-    wire::encode(wire, data.data(), mine, n);
-    wire::decode(wire, mine, data.data(), n);
+    encode_range(wire, data.data(), mine, n, 0, n);
+    decode_range(wire, mine, data.data(), n, 0, n);
   }
   do_barrier();
   if (self.rank_ != 0 && n > 0) {
-    wire::decode(wire, peer_wire_buffer(0), data.data(), n);
-    self.stats_.bytes_sent += n * w;
+    decode_range(wire, peer_wire_buffer(0), data.data(), n, 0, n);
+    self.stats_.bytes_sent += wire_range_bytes(wire, n);
   }
   do_barrier();
 }
 
-void World::allreduce_hierarchical(Communicator& self,
-                                   std::span<float> data) {
+void World::allreduce_hierarchical(Communicator& self, std::span<float> data,
+                                   WireDtype wire, WireDtype local_wire) {
   // Two-level reduction matching Summit's topology: NVLink within a node,
   // InfiniBand between node leaders (what NCCL does for multi-node jobs).
+  // `wire` compresses the inter-node leader ring (IB-class links, usually
+  // the bottleneck); `local_wire` compresses the intra-node legs for
+  // machines where local_bw is the limit instead. Both kFp32 reproduces
+  // the exact fp32 reduction bit-identically; on a single node a
+  // compressed `wire` alone degenerates to it too.
   const std::size_t rpn = options_.ranks_per_node;
   const std::size_t rank = self.rank_;
   const std::size_t node = rank / rpn;
@@ -408,135 +489,118 @@ void World::allreduce_hierarchical(Communicator& self,
   const std::size_t leader = node * rpn;
   const std::size_t nnodes = (size_ + rpn - 1) / rpn;
   const std::size_t node_end = std::min(size_, leader + rpn);
+  const std::size_t n = data.size();
+  const bool ring_compressed = wire != WireDtype::kFp32;
+  const bool local_compressed = local_wire != WireDtype::kFp32;
+  std::uint16_t* mine = self.wire_scratch_.data();
 
-  // Phase 1: intra-node reduce onto the node leader.
+  // Phase 1: intra-node reduce onto the node leader. With a compressed
+  // local leg the members published whole-buffer wire images at entry
+  // (World::allreduce) and the leader fuses decode+add into its fp32
+  // master; otherwise the leader reads the members' fp32 buffers.
   if (local == 0) {
     for (std::size_t m = leader + 1; m < node_end; ++m) {
-      const float* src = peer_buffer(m);
-      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
-      self.stats_.bytes_sent += data.size() * sizeof(float);
+      if (local_compressed) {
+        decode_add_range(local_wire, peer_wire_buffer(m), data.data(), n, 0,
+                         n);
+        self.stats_.bytes_sent += wire_range_bytes(local_wire, n);
+      } else {
+        const float* src = peer_buffer(m);
+        for (std::size_t i = 0; i < n; ++i) data[i] += src[i];
+        self.stats_.bytes_sent += n * sizeof(float);
+      }
     }
   }
   do_barrier();
 
   // Phase 2: ring over the node leaders. Every rank participates in the
   // step barriers; only leaders move data. Segment arithmetic is the same
-  // ring as allreduce_ring with P = nnodes and my index = node.
+  // ring as allreduce_ring with P = nnodes and my index = node. When the
+  // ring compresses, leaders publish their node-reduced buffer on the wire
+  // first (per segment, so int8 chunk grids match the per-hop re-encodes);
+  // the extra barrier makes the images visible before the first hop.
   if (nnodes > 1) {
     const std::size_t P = nnodes;
-    const std::size_t n = data.size();
     auto off = [&](std::size_t g) { return g * n / P; };
     const std::size_t pred_leader = ((node + P - 1) % P) * rpn;
-    for (std::size_t s = 0; s + 1 < P; ++s) {
-      if (local == 0) {
-        const std::size_t recv_seg = (node + 2 * P - 1 - s) % P;
-        const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
-        const float* src = peer_buffer(pred_leader);
-        for (std::size_t i = b; i < e; ++i) data[i] += src[i];
-        self.stats_.bytes_sent += (e - b) * sizeof(float);
-      }
+    if (ring_compressed) {
+      if (local == 0)
+        for (std::size_t g = 0; g < P; ++g)
+          encode_range(wire, data.data(), mine, n, off(g), off(g + 1));
       do_barrier();
     }
     for (std::size_t s = 0; s + 1 < P; ++s) {
       if (local == 0) {
-        const std::size_t copy_seg = (node + 2 * P - s) % P;
-        const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
-        const float* src = peer_buffer(pred_leader);
-        if (e > b)
-          std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
-        self.stats_.bytes_sent += (e - b) * sizeof(float);
-      }
-      do_barrier();
-    }
-  }
-
-  // Phase 3: intra-node broadcast from the leader.
-  if (local != 0 && !data.empty()) {
-    std::memcpy(data.data(), peer_buffer(leader), data.size() * sizeof(float));
-    self.stats_.bytes_sent += data.size() * sizeof(float);
-  }
-  do_barrier();
-}
-
-void World::allreduce_hierarchical_compressed(Communicator& self,
-                                              std::span<float> data,
-                                              WireDtype wire) {
-  // Compression only where the paper's topology is bandwidth-bound: the
-  // intra-node phases stay fp32 (NVLink-class links), the inter-node
-  // leader ring moves 16-bit wire words (IB-class links). On a single
-  // node this degenerates to the exact fp32 hierarchical reduction.
-  const std::size_t rpn = options_.ranks_per_node;
-  const std::size_t rank = self.rank_;
-  const std::size_t node = rank / rpn;
-  const std::size_t local = rank % rpn;
-  const std::size_t leader = node * rpn;
-  const std::size_t nnodes = (size_ + rpn - 1) / rpn;
-  const std::size_t node_end = std::min(size_, leader + rpn);
-  const std::size_t w = wire_width_bytes(wire);
-  std::uint16_t* mine = self.wire_scratch_.data();
-
-  // Phase 1: intra-node reduce onto the node leader, in fp32.
-  if (local == 0) {
-    for (std::size_t m = leader + 1; m < node_end; ++m) {
-      const float* src = peer_buffer(m);
-      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
-      self.stats_.bytes_sent += data.size() * sizeof(float);
-    }
-  }
-  do_barrier();
-
-  // Phase 2: compressed ring over the node leaders (allreduce_ring_compressed
-  // with P = nnodes, my index = node). Leaders publish their node-reduced
-  // buffer on the wire first; the extra barrier makes the images visible
-  // before the first hop reads them.
-  if (nnodes > 1) {
-    const std::size_t P = nnodes;
-    const std::size_t n = data.size();
-    auto off = [&](std::size_t g) { return g * n / P; };
-    const std::size_t pred_leader = ((node + P - 1) % P) * rpn;
-    if (local == 0) wire::encode(wire, data.data(), mine, n);
-    do_barrier();
-    for (std::size_t s = 0; s + 1 < P; ++s) {
-      if (local == 0) {
         const std::size_t recv_seg = (node + 2 * P - 1 - s) % P;
         const std::size_t b = off(recv_seg), e = off(recv_seg + 1);
-        const std::uint16_t* src = peer_wire_buffer(pred_leader);
-        if (e > b) {
-          wire::decode_add(wire, src + b, data.data() + b, e - b);
-          wire::encode(wire, data.data() + b, mine + b, e - b);
+        if (ring_compressed) {
+          const std::uint16_t* src = peer_wire_buffer(pred_leader);
+          if (e > b) {
+            decode_add_range(wire, src, data.data(), n, b, e);
+            encode_range(wire, data.data(), mine, n, b, e);
+          }
+          self.stats_.bytes_sent += wire_range_bytes(wire, e - b);
+        } else {
+          const float* src = peer_buffer(pred_leader);
+          for (std::size_t i = b; i < e; ++i) data[i] += src[i];
+          self.stats_.bytes_sent += (e - b) * sizeof(float);
         }
-        self.stats_.bytes_sent += (e - b) * w;
       }
       do_barrier();
     }
-    if (local == 0) {
+    if (ring_compressed && local == 0) {
       // Owner round-trip, as in allreduce_ring_compressed: leaders must
       // end bit-identical so phase 3 broadcasts identical buffers.
       const std::size_t own = (node + 1) % P;
-      const std::size_t b = off(own), e = off(own + 1);
-      if (e > b) wire::decode(wire, mine + b, data.data() + b, e - b);
+      decode_range(wire, mine, data.data(), n, off(own), off(own + 1));
     }
     for (std::size_t s = 0; s + 1 < P; ++s) {
       if (local == 0) {
         const std::size_t copy_seg = (node + 2 * P - s) % P;
         const std::size_t b = off(copy_seg), e = off(copy_seg + 1);
-        const std::uint16_t* src = peer_wire_buffer(pred_leader);
-        if (e > b) {
-          std::memcpy(mine + b, src + b, (e - b) * sizeof(std::uint16_t));
-          wire::decode(wire, mine + b, data.data() + b, e - b);
+        if (ring_compressed) {
+          const std::uint16_t* src = peer_wire_buffer(pred_leader);
+          if (e > b) {
+            copy_range(wire, mine, src, n, b, e);
+            decode_range(wire, mine, data.data(), n, b, e);
+          }
+          self.stats_.bytes_sent += wire_range_bytes(wire, e - b);
+        } else {
+          const float* src = peer_buffer(pred_leader);
+          if (e > b)
+            std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
+          self.stats_.bytes_sent += (e - b) * sizeof(float);
         }
-        self.stats_.bytes_sent += (e - b) * w;
       }
       do_barrier();
     }
   }
 
-  // Phase 3: intra-node broadcast of the leader's fp32 result.
-  if (local != 0 && !data.empty()) {
-    std::memcpy(data.data(), peer_buffer(leader), data.size() * sizeof(float));
-    self.stats_.bytes_sent += data.size() * sizeof(float);
+  // Phase 3: intra-node broadcast of the leader's result. With a
+  // compressed local leg the leader re-encodes its final buffer (reusing
+  // the wire image the leader ring is done with), adopts its own decode,
+  // and an extra barrier publishes the image for the members — every
+  // leader round-trips even on member-less nodes, so all ranks of the
+  // world still end bit-identical.
+  if (local_compressed) {
+    if (local == 0) {
+      encode_range(local_wire, data.data(), mine, n, 0, n);
+      decode_range(local_wire, mine, data.data(), n, 0, n);
+    }
+    do_barrier();
+    if (local != 0 && n > 0) {
+      decode_range(local_wire, peer_wire_buffer(leader), data.data(), n, 0,
+                   n);
+      self.stats_.bytes_sent += wire_range_bytes(local_wire, n);
+    }
+    do_barrier();
+  } else {
+    if (local != 0 && !data.empty()) {
+      std::memcpy(data.data(), peer_buffer(leader), n * sizeof(float));
+      self.stats_.bytes_sent += n * sizeof(float);
+    }
+    do_barrier();
   }
-  do_barrier();
 }
 
 void World::do_broadcast(Communicator& self, std::span<float> data,
@@ -609,9 +673,18 @@ void World::do_reduce_scatter(Communicator& self, std::span<float> data,
           "reduce_scatter: element count must be divisible by granularity");
   const bool compressed = wire != WireDtype::kFp32 && size_ > 1;
   if (!compressed) wire = WireDtype::kFp32;
+  const std::size_t units_total = n / granularity;
+  auto seg_off = [&](std::size_t g) {
+    return granularity * (g * units_total / size_);
+  };
   if (compressed) {
-    self.wire_scratch_.resize(n);
-    wire::encode(wire, data.data(), self.wire_scratch_.data(), n);
+    self.wire_scratch_.resize(wire::wire_image_scratch_elems(wire, n));
+    // Per-segment entry encode: the per-hop re-encodes below operate on
+    // single segments, so the int8 chunk grid must be segment-relative
+    // from the start (identical bytes for the 16-bit dtypes).
+    for (std::size_t g = 0; g < size_; ++g)
+      encode_range(wire, data.data(), self.wire_scratch_.data(), n,
+                   seg_off(g), seg_off(g + 1));
   }
   register_buffer(self.rank_, data.data(), n, seq, "reduce_scatter", wire,
                   compressed ? self.wire_scratch_.data() : nullptr,
@@ -622,10 +695,8 @@ void World::do_reduce_scatter(Communicator& self, std::span<float> data,
   if (size_ > 1) {
     const std::size_t P = size_;
     const std::size_t r = self.rank_;
-    const std::size_t units = n / granularity;
-    auto off = [&](std::size_t g) { return granularity * (g * units / P); };
+    auto off = seg_off;
     auto mod = [&](std::size_t a) { return a % P; };
-    const std::size_t w = wire_width_bytes(wire);
     std::uint16_t* mine = compressed ? self.wire_scratch_.data() : nullptr;
     // The allreduce ring's scatter-reduce phase, shifted one position so
     // rank r finishes owning segment r: at step s each rank accumulates
@@ -638,18 +709,17 @@ void World::do_reduce_scatter(Communicator& self, std::span<float> data,
       if (compressed) {
         const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
         if (e > b) {
-          wire::decode_add(wire, src + b, data.data() + b, e - b);
+          decode_add_range(wire, src, data.data(), n, b, e);
           // The successor reads this partial at step s+1. The last step's
           // result is this rank's owned segment — nobody reads it, so it
           // keeps the full fp32 master precision.
-          if (s + 2 < P)
-            wire::encode(wire, data.data() + b, mine + b, e - b);
+          if (s + 2 < P) encode_range(wire, data.data(), mine, n, b, e);
         }
       } else {
         const float* src = peer_buffer(mod(r + P - 1));
         for (std::size_t i = b; i < e; ++i) data[i] += src[i];
       }
-      self.stats_.bytes_sent += (e - b) * w;
+      self.stats_.bytes_sent += wire_range_bytes(wire, e - b);
       do_barrier();
     }
   }
@@ -673,13 +743,11 @@ void World::do_allgather_inplace(Communicator& self, std::span<float> data,
   auto off = [&](std::size_t g) { return granularity * (g * units / P); };
   auto mod = [&](std::size_t a) { return a % P; };
   if (compressed) {
-    self.wire_scratch_.resize(n);
+    self.wire_scratch_.resize(wire::wire_image_scratch_elems(wire, n));
     // Only the owned segment needs a wire image before the first hop; the
     // rest of this rank's image fills in as segments propagate the ring.
-    const std::size_t b = off(r), e = off(r + 1);
-    if (e > b)
-      wire::encode(wire, data.data() + b, self.wire_scratch_.data() + b,
-                   e - b);
+    encode_range(wire, data.data(), self.wire_scratch_.data(), n, off(r),
+                 off(r + 1));
   }
   register_buffer(self.rank_, data.data(), n, seq, "allgather", wire,
                   compressed ? self.wire_scratch_.data() : nullptr,
@@ -688,14 +756,12 @@ void World::do_allgather_inplace(Communicator& self, std::span<float> data,
   check_rendezvous(n, seq, "allgather", wire, granularity);
   const std::size_t sent_before = self.stats_.bytes_sent;
   if (P > 1) {
-    const std::size_t w = wire_width_bytes(wire);
     std::uint16_t* mine = compressed ? self.wire_scratch_.data() : nullptr;
     if (compressed) {
       // Owner round-trip: peers decode this segment from the wire image,
       // so the contributing rank adopts the same quantized values and all
       // ranks end bit-identical (cf. allreduce_ring_compressed).
-      const std::size_t b = off(r), e = off(r + 1);
-      if (e > b) wire::decode(wire, mine + b, data.data() + b, e - b);
+      decode_range(wire, mine, data.data(), n, off(r), off(r + 1));
     }
     // Ring allgather with rank r owning segment r: at step s each rank
     // copies segment (r - 1 - s mod P) from its predecessor, which
@@ -706,15 +772,15 @@ void World::do_allgather_inplace(Communicator& self, std::span<float> data,
       if (compressed) {
         const std::uint16_t* src = peer_wire_buffer(mod(r + P - 1));
         if (e > b) {
-          std::memcpy(mine + b, src + b, (e - b) * sizeof(std::uint16_t));
-          wire::decode(wire, mine + b, data.data() + b, e - b);
+          copy_range(wire, mine, src, n, b, e);
+          decode_range(wire, mine, data.data(), n, b, e);
         }
       } else {
         const float* src = peer_buffer(mod(r + P - 1));
         if (e > b)
           std::memcpy(data.data() + b, src + b, (e - b) * sizeof(float));
       }
-      self.stats_.bytes_sent += (e - b) * w;
+      self.stats_.bytes_sent += wire_range_bytes(wire, e - b);
       do_barrier();
     }
   }

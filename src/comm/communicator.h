@@ -65,9 +65,12 @@ struct CommStats {
 
   /// On-wire bytes this rank moved per allreduce [algo][dtype] — the
   /// observable half of compressed collectives: an fp16/bf16 reduction of
-  /// the same payload shows half the bytes of its fp32 row. Indexed with
+  /// the same payload shows half the bytes of its fp32 row, int8 a quarter
+  /// plus the per-chunk scale metadata (wire_range_bytes). Indexed with
   /// allreduce_algo_index() / wire_dtype_index(); also counted in
-  /// bytes_sent.
+  /// bytes_sent. A hierarchical call with a compressed local_wire_dtype
+  /// charges its intra-node legs at the local dtype's width, accumulated
+  /// under the call's [kHierarchical][wire] row.
   std::array<std::array<std::size_t, kNumWireDtypes>, kNumAllreduceAlgos>
       allreduce_wire_bytes{};
 
@@ -114,7 +117,8 @@ class Communicator {
   void allreduce_sum(std::span<float> data);
 
   /// allreduce_sum with an explicit on-wire dtype for this collective. With
-  /// kFp16/kBf16 every inter-rank hop moves 16-bit words while each rank
+  /// kFp16/kBf16 every inter-rank hop moves 16-bit words — and with kInt8
+  /// block-scaled bytes plus per-chunk fp32 scales — while each rank
   /// accumulates its owned ring segment in the fp32 buffer itself (fp32
   /// master accumulation): one encode/decode pair per hop, identical op
   /// order on every rank, so the result is deterministic and rank-invariant
@@ -193,11 +197,13 @@ class Communicator {
   /// serialized (one issuing thread at a time — the rank thread, or its
   /// overlap comm thread while the rank thread is quiesced), so no atomics.
   std::uint64_t seq_ = 0;
-  /// Persistent per-rank staging for compressed collectives: the 16-bit
-  /// wire image peers read. Incoming segments need no fp32 landing zone —
-  /// wire::decode_add accumulates straight into the master buffer in one
-  /// pass. Reused across calls so steady-state training does not allocate
-  /// per bucket. Same serialization as seq_.
+  /// Persistent per-rank staging for compressed collectives: the wire
+  /// image peers read — n 16-bit words for fp16/bf16, or the planar
+  /// [scales | int8 payload] image for int8 (wire_codec.h), sized by
+  /// wire::wire_image_scratch_elems. Incoming segments need no fp32
+  /// landing zone — the fused decode_add kernels accumulate straight into
+  /// the master buffer in one pass. Reused across calls so steady-state
+  /// training does not allocate per bucket. Same serialization as seq_.
   std::vector<std::uint16_t> wire_scratch_;
 };
 
@@ -209,6 +215,16 @@ struct WorldOptions {
   /// do not pass one explicitly. kFp32 keeps the bit-exact contract;
   /// allreduce_scalar always stays fp32 so scalar metrics never quantize.
   WireDtype wire_dtype = WireDtype::kFp32;
+  /// On-wire dtype for the intra-node legs (phases 1 and 3) of the
+  /// kHierarchical allreduce, for when `local_bw` — not the inter-node
+  /// wire — is the bottleneck. kFp32 (the default) keeps the intra-node
+  /// legs exact; a compressed dtype makes members publish encoded images
+  /// for the leader's phase-1 reduce and decode the leader's re-encoded
+  /// result in phase 3 (leaders round-trip their own image so every rank
+  /// of the world still ends bit-identical). World-level configuration —
+  /// never per call — so ranks can never disagree about it. Ignored by
+  /// the other algorithms.
+  WireDtype local_wire_dtype = WireDtype::kFp32;
 };
 
 /// Owns the shared rendezvous state for `size` rank threads.
@@ -244,18 +260,21 @@ class World {
                  WireDtype wire);
   void allreduce_ring(Communicator& self, std::span<float> data);
   void allreduce_naive(Communicator& self, std::span<float> data);
-  void allreduce_hierarchical(Communicator& self, std::span<float> data);
 
-  // Compressed (fp16/bf16 wire) variants. Same barrier/segment schedule as
-  // their fp32 twins; peers read 16-bit wire images instead of fp32 and
-  // each rank accumulates decoded segments into its own fp32 buffer.
+  // Compressed (fp16/bf16/int8 wire) variants. Same barrier/segment
+  // schedule as their fp32 twins; peers read wire images instead of fp32
+  // and each rank accumulates decoded segments into its own fp32 buffer.
   void allreduce_ring_compressed(Communicator& self, std::span<float> data,
                                  WireDtype wire);
   void allreduce_naive_compressed(Communicator& self, std::span<float> data,
                                   WireDtype wire);
-  void allreduce_hierarchical_compressed(Communicator& self,
-                                         std::span<float> data,
-                                         WireDtype wire);
+
+  // Hierarchical handles all four combinations of plain/compressed
+  // inter-node ring (`wire`) x plain/compressed intra-node legs
+  // (`local_wire`); both kFp32 reproduces the exact two-level reduction
+  // bit-identically.
+  void allreduce_hierarchical(Communicator& self, std::span<float> data,
+                              WireDtype wire, WireDtype local_wire);
   void do_broadcast(Communicator& self, std::span<float> data,
                     std::size_t root);
   void do_reduce_to(Communicator& self, std::span<float> data,

@@ -1,5 +1,7 @@
 #include "comm/wire_codec.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -17,6 +19,7 @@ const char* wire_dtype_name(WireDtype d) {
     case WireDtype::kFp32: return "fp32";
     case WireDtype::kFp16: return "fp16";
     case WireDtype::kBf16: return "bf16";
+    case WireDtype::kInt8: return "int8";
   }
   return "?";
 }
@@ -26,8 +29,9 @@ WireDtype parse_wire_dtype(const char* name) {
   if (s == "fp32") return WireDtype::kFp32;
   if (s == "fp16") return WireDtype::kFp16;
   if (s == "bf16") return WireDtype::kBf16;
+  if (s == "int8") return WireDtype::kInt8;
   throw InvalidArgument("parse_wire_dtype: unknown wire dtype '" + s +
-                        "' (expected fp32 | fp16 | bf16)");
+                        "' (expected fp32 | fp16 | bf16 | int8)");
 }
 
 namespace wire {
@@ -43,6 +47,24 @@ float bits_f32(std::uint32_t x) {
   float value;
   std::memcpy(&value, &x, sizeof(value));
   return value;
+}
+
+// Chunk absmax as a max over abs bits compared as unsigned integers: for
+// IEEE floats the bit ordering equals the magnitude ordering, the max is
+// order-independent (so scalar and SIMD agree bitwise), and a NaN (abs bits
+// above the inf pattern) wins and poisons the chunk scale visibly.
+std::uint32_t chunk_absmax_bits_scalar(const float* src, std::size_t n) {
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    m = std::max(m, f32_bits(src[i]) & 0x7fffffffu);
+  return m;
+}
+
+// One int8 quantization: RNE like vcvtps2dq (std::lrint honors the default
+// round-to-nearest mode), then clamp to the symmetric [-127, 127] range.
+std::int32_t quantize_one(float v, float inv) {
+  const long q = std::lrint(v * inv);
+  return static_cast<std::int32_t>(std::clamp(q, -127L, 127L));
 }
 
 }  // namespace
@@ -110,6 +132,43 @@ std::uint16_t f32_to_bf16_scalar(float value) {
 
 float bf16_to_f32_scalar(std::uint16_t bits) {
   return bits_f32(static_cast<std::uint32_t>(bits) << 16);
+}
+
+void encode_int8_reference(const float* src, std::uint8_t* payload,
+                           float* scales, std::size_t n) {
+  for (std::size_t c = 0; c < n; c += kInt8ChunkElems) {
+    const std::size_t len = std::min(kInt8ChunkElems, n - c);
+    const std::uint32_t m = chunk_absmax_bits_scalar(src + c, len);
+    const float absmax = bits_f32(m);
+    scales[c] = absmax;
+    const float inv = m != 0 ? 127.0f / absmax : 0.0f;
+    for (std::size_t i = 0; i < len; ++i)
+      payload[c + i] = static_cast<std::uint8_t>(
+          static_cast<std::int8_t>(quantize_one(src[c + i], inv)));
+  }
+}
+
+void decode_int8_reference(const std::uint8_t* payload, const float* scales,
+                           float* dst, std::size_t n) {
+  for (std::size_t c = 0; c < n; c += kInt8ChunkElems) {
+    const std::size_t len = std::min(kInt8ChunkElems, n - c);
+    const float step = scales[c] / 127.0f;
+    for (std::size_t i = 0; i < len; ++i)
+      dst[c + i] =
+          static_cast<float>(static_cast<std::int8_t>(payload[c + i])) * step;
+  }
+}
+
+void decode_add_int8_reference(const std::uint8_t* payload,
+                               const float* scales, float* dst,
+                               std::size_t n) {
+  for (std::size_t c = 0; c < n; c += kInt8ChunkElems) {
+    const std::size_t len = std::min(kInt8ChunkElems, n - c);
+    const float step = scales[c] / 127.0f;
+    for (std::size_t i = 0; i < len; ++i)
+      dst[c + i] +=
+          static_cast<float>(static_cast<std::int8_t>(payload[c + i])) * step;
+  }
 }
 
 namespace {
@@ -251,6 +310,103 @@ __attribute__((target("avx2"))) void decode_add_bf16_avx2(
   for (; i < n; ++i) dst[i] += bf16_to_f32_scalar(src[i]);
 }
 
+// AVX2 chunk absmax: vpmaxud over abs bits, then a lane-order-free
+// horizontal max — every step is an exact unsigned integer max, so the
+// result is the same bit pattern the scalar loop produces.
+__attribute__((target("avx2"))) std::uint32_t chunk_absmax_bits_avx2(
+    const float* src, std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  __m256i vm = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    vm = _mm256_max_epu32(vm, _mm256_and_si256(x, abs_mask));
+  }
+  __m128i m4 = _mm_max_epu32(_mm256_castsi256_si128(vm),
+                             _mm256_extracti128_si256(vm, 1));
+  m4 = _mm_max_epu32(m4, _mm_shuffle_epi32(m4, _MM_SHUFFLE(1, 0, 3, 2)));
+  m4 = _mm_max_epu32(m4, _mm_shuffle_epi32(m4, _MM_SHUFFLE(2, 3, 0, 1)));
+  auto m = static_cast<std::uint32_t>(_mm_cvtsi128_si32(m4));
+  for (; i < n; ++i) m = std::max(m, f32_bits(src[i]) & 0x7fffffffu);
+  return m;
+}
+
+// AVX2 int8 encode: vcvtps2dq rounds RNE exactly like the scalar lrint
+// path, the clamp runs before the saturating packs (so the packs are
+// value-preserving), and the scale is computed from the exact absmax bits.
+__attribute__((target("avx2"))) void encode_int8_avx2(const float* src,
+                                                      std::uint8_t* payload,
+                                                      float* scales,
+                                                      std::size_t n) {
+  const __m256i hi_q = _mm256_set1_epi32(127);
+  const __m256i lo_q = _mm256_set1_epi32(-127);
+  for (std::size_t c = 0; c < n; c += kInt8ChunkElems) {
+    const std::size_t len = std::min(kInt8ChunkElems, n - c);
+    const std::uint32_t m = chunk_absmax_bits_avx2(src + c, len);
+    const float absmax = bits_f32(m);
+    scales[c] = absmax;
+    const float inv = m != 0 ? 127.0f / absmax : 0.0f;
+    const __m256 vinv = _mm256_set1_ps(inv);
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      const __m256 v = _mm256_loadu_ps(src + c + i);
+      __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(v, vinv));
+      q = _mm256_min_epi32(_mm256_max_epi32(q, lo_q), hi_q);
+      const __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(payload + c + i),
+                       _mm_packs_epi16(w, w));
+    }
+    for (; i < len; ++i)
+      payload[c + i] = static_cast<std::uint8_t>(
+          static_cast<std::int8_t>(quantize_one(src[c + i], inv)));
+  }
+}
+
+__attribute__((target("avx2"))) void decode_int8_avx2(
+    const std::uint8_t* payload, const float* scales, float* dst,
+    std::size_t n) {
+  for (std::size_t c = 0; c < n; c += kInt8ChunkElems) {
+    const std::size_t len = std::min(kInt8ChunkElems, n - c);
+    const float step = scales[c] / 127.0f;
+    const __m256 vstep = _mm256_set1_ps(step);
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      const __m128i b =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(payload + c + i));
+      const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+      _mm256_storeu_ps(dst + c + i, _mm256_mul_ps(v, vstep));
+    }
+    for (; i < len; ++i)
+      dst[c + i] =
+          static_cast<float>(static_cast<std::int8_t>(payload[c + i])) * step;
+  }
+}
+
+// Explicit mul-then-add (never an FMA) so the accumulate matches the scalar
+// reference bitwise, like the 16-bit decode_add kernels above.
+__attribute__((target("avx2"))) void decode_add_int8_avx2(
+    const std::uint8_t* payload, const float* scales, float* dst,
+    std::size_t n) {
+  for (std::size_t c = 0; c < n; c += kInt8ChunkElems) {
+    const std::size_t len = std::min(kInt8ChunkElems, n - c);
+    const float step = scales[c] / 127.0f;
+    const __m256 vstep = _mm256_set1_ps(step);
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      const __m128i b =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(payload + c + i));
+      const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+      _mm256_storeu_ps(dst + c + i, _mm256_add_ps(_mm256_loadu_ps(dst + c + i),
+                                                  _mm256_mul_ps(v, vstep)));
+    }
+    for (; i < len; ++i)
+      dst[c + i] +=
+          static_cast<float>(static_cast<std::int8_t>(payload[c + i])) * step;
+  }
+}
+
 #endif  // __x86_64__
 
 EncodeFn select_f16_encoder() {
@@ -298,6 +454,32 @@ DecodeFn select_bf16_decode_add() {
   return decode_add_bf16_portable;
 }
 
+using EncodeInt8Fn = void (*)(const float*, std::uint8_t*, float*,
+                              std::size_t);
+using DecodeInt8Fn = void (*)(const std::uint8_t*, const float*, float*,
+                              std::size_t);
+
+EncodeInt8Fn select_int8_encoder() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return encode_int8_avx2;
+#endif
+  return encode_int8_reference;
+}
+
+DecodeInt8Fn select_int8_decoder() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return decode_int8_avx2;
+#endif
+  return decode_int8_reference;
+}
+
+DecodeInt8Fn select_int8_decode_add() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return decode_add_int8_avx2;
+#endif
+  return decode_add_int8_reference;
+}
+
 /// Per-hop ring segments below this many elements convert inline on the
 /// calling thread; larger buffers fan out over the shared pool.
 constexpr std::size_t kConvertGrain = 1u << 16;
@@ -306,7 +488,8 @@ constexpr std::size_t kConvertGrain = 1u << 16;
 
 void encode(WireDtype dtype, const float* src, std::uint16_t* dst,
             std::size_t n) {
-  require(dtype != WireDtype::kFp32, "wire::encode: fp32 is not encoded");
+  require(dtype == WireDtype::kFp16 || dtype == WireDtype::kBf16,
+          "wire::encode: 16-bit dtypes only (int8 uses the planar API)");
   static const EncodeFn f16 = select_f16_encoder();
   static const EncodeFn bf16 = select_bf16_encoder();
   (dtype == WireDtype::kFp16 ? f16 : bf16)(src, dst, n);
@@ -314,7 +497,8 @@ void encode(WireDtype dtype, const float* src, std::uint16_t* dst,
 
 void decode(WireDtype dtype, const std::uint16_t* src, float* dst,
             std::size_t n) {
-  require(dtype != WireDtype::kFp32, "wire::decode: fp32 is not decoded");
+  require(dtype == WireDtype::kFp16 || dtype == WireDtype::kBf16,
+          "wire::decode: 16-bit dtypes only (int8 uses the planar API)");
   static const DecodeFn f16 = select_f16_decoder();
   static const DecodeFn bf16 = select_bf16_decoder();
   (dtype == WireDtype::kFp16 ? f16 : bf16)(src, dst, n);
@@ -322,7 +506,8 @@ void decode(WireDtype dtype, const std::uint16_t* src, float* dst,
 
 void decode_add(WireDtype dtype, const std::uint16_t* src, float* dst,
                 std::size_t n) {
-  require(dtype != WireDtype::kFp32, "wire::decode_add: fp32 is not decoded");
+  require(dtype == WireDtype::kFp16 || dtype == WireDtype::kBf16,
+          "wire::decode_add: 16-bit dtypes only (int8 uses the planar API)");
   static const DecodeFn f16 = select_f16_decode_add();
   static const DecodeFn bf16 = select_bf16_decode_add();
   (dtype == WireDtype::kFp16 ? f16 : bf16)(src, dst, n);
@@ -341,6 +526,81 @@ void decode_parallel(WireDtype dtype, const std::uint16_t* src, float* dst,
   parallel::parallel_for(0, n, kConvertGrain,
                          [&](std::size_t b, std::size_t e) {
                            decode(dtype, src + b, dst + b, e - b);
+                         });
+}
+
+void encode_int8(const float* src, std::uint8_t* payload, float* scales,
+                 std::size_t n) {
+  static const EncodeInt8Fn fn = select_int8_encoder();
+  fn(src, payload, scales, n);
+}
+
+void decode_int8(const std::uint8_t* payload, const float* scales, float* dst,
+                 std::size_t n) {
+  static const DecodeInt8Fn fn = select_int8_decoder();
+  fn(payload, scales, dst, n);
+}
+
+void decode_add_int8(const std::uint8_t* payload, const float* scales,
+                     float* dst, std::size_t n) {
+  static const DecodeInt8Fn fn = select_int8_decode_add();
+  fn(payload, scales, dst, n);
+}
+
+void quantization_residual(WireDtype dtype, const float* data, float* residual,
+                           std::size_t n) {
+  require(dtype != WireDtype::kFp32,
+          "wire::quantization_residual: fp32 has no quantization error");
+  // Blocks are a multiple of kInt8ChunkElems, so blockwise int8 encoding
+  // reproduces the chunk grid of one whole-range encode starting at data[0].
+  constexpr std::size_t kBlock = 4 * kInt8ChunkElems;
+  float rt[kBlock];
+  if (dtype == WireDtype::kInt8) {
+    std::uint8_t payload[kBlock];
+    float scales[kBlock];  // sparse: only slots j * kInt8ChunkElems are used
+    for (std::size_t b = 0; b < n; b += kBlock) {
+      const std::size_t len = std::min(kBlock, n - b);
+      encode_int8(data + b, payload, scales, len);
+      decode_int8(payload, scales, rt, len);
+      for (std::size_t i = 0; i < len; ++i)
+        residual[b + i] = data[b + i] - rt[i];
+    }
+    return;
+  }
+  std::uint16_t words[kBlock];
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    encode(dtype, data + b, words, len);
+    decode(dtype, words, rt, len);
+    for (std::size_t i = 0; i < len; ++i) residual[b + i] = data[b + i] - rt[i];
+  }
+}
+
+void encode_int8_parallel(const float* src, std::uint8_t* payload,
+                          float* scales, std::size_t n) {
+  const std::size_t chunks =
+      (n + kInt8ChunkElems - 1) / kInt8ChunkElems;
+  parallel::parallel_for(0, chunks, kConvertGrain / kInt8ChunkElems,
+                         [&](std::size_t c0, std::size_t c1) {
+                           const std::size_t b = c0 * kInt8ChunkElems;
+                           const std::size_t e =
+                               std::min(n, c1 * kInt8ChunkElems);
+                           encode_int8(src + b, payload + b, scales + b,
+                                       e - b);
+                         });
+}
+
+void decode_int8_parallel(const std::uint8_t* payload, const float* scales,
+                          float* dst, std::size_t n) {
+  const std::size_t chunks =
+      (n + kInt8ChunkElems - 1) / kInt8ChunkElems;
+  parallel::parallel_for(0, chunks, kConvertGrain / kInt8ChunkElems,
+                         [&](std::size_t c0, std::size_t c1) {
+                           const std::size_t b = c0 * kInt8ChunkElems;
+                           const std::size_t e =
+                               std::min(n, c1 * kInt8ChunkElems);
+                           decode_int8(payload + b, scales + b, dst + b,
+                                       e - b);
                          });
 }
 

@@ -9,10 +9,12 @@
 namespace candle::hvd {
 
 BucketScheduler::BucketScheduler(Context& ctx, const FusionOptions& options,
-                                 FusionBuffer& buffer)
+                                 FusionBuffer& buffer,
+                                 ResidualState* residuals)
     : ctx_(&ctx),
       options_(options),
       buffer_(&buffer),
+      residuals_(residuals),
       thread_([this] { comm_main(); }) {}
 
 BucketScheduler::~BucketScheduler() {
@@ -37,6 +39,9 @@ void BucketScheduler::bind(const std::vector<Tensor*>& grads) {
   }
   grads_ = grads;
   buckets_ = assign_buckets(numels, options_.threshold_bytes);
+  // Same-plan rebinds keep the accumulated residuals (bind() is a no-op
+  // then), so recompiling with unchanged shapes does not perturb training.
+  if (residuals_ != nullptr) residuals_->bind(buckets_);
   bucket_of_.assign(grads_.size(), 0);
   for (std::size_t b = 0; b < buckets_.size(); ++b)
     for (std::size_t t : buckets_[b].tensors) bucket_of_[t] = b;
@@ -171,7 +176,9 @@ void BucketScheduler::comm_main() {
     std::exception_ptr err;
     try {
       allreduce_bucket(*ctx_, grads_, buckets_[item.bucket], *buffer_,
-                       options_, stats);
+                       options_, stats,
+                       residuals_ != nullptr ? residuals_->buffer(item.bucket)
+                                             : std::span<float>{});
     } catch (...) {
       err = std::current_exception();
     }

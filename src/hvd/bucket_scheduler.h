@@ -51,9 +51,13 @@ class BucketScheduler {
  public:
   /// Spawns the comm thread. `ctx` and `buffer` must outlive the scheduler;
   /// `buffer` is the rank's persistent fusion scratch (shared with the
-  /// synchronous path so overlap on/off reuses one allocation).
+  /// synchronous path so overlap on/off reuses one allocation). A non-null
+  /// `residuals` (also shared with the synchronous path, same lifetime
+  /// rules) enables error feedback: bind() rebinds it to the bucket plan
+  /// and the comm thread threads each bucket's residual buffer through
+  /// allreduce_bucket.
   BucketScheduler(Context& ctx, const FusionOptions& options,
-                  FusionBuffer& buffer);
+                  FusionBuffer& buffer, ResidualState* residuals = nullptr);
 
   /// Signals shutdown and joins the comm thread. In-flight buckets of an
   /// abandoned step (backward threw) are dropped, not reduced.
@@ -115,6 +119,7 @@ class BucketScheduler {
   Context* ctx_;
   FusionOptions options_;
   FusionBuffer* buffer_;
+  ResidualState* residuals_;  // null: error feedback disabled
 
   /// Bound plan. Not lock-protected by design (cf. parallel.cpp's Pool
   /// errors_): written by bind() only while the comm thread is parked

@@ -40,7 +40,9 @@ void DistributedOptimizer::enable_overlap(nn::Model& model) {
   require(model.compiled(),
           "DistributedOptimizer::enable_overlap: compile the model first");
   if (scheduler_ == nullptr)
-    scheduler_ = std::make_unique<BucketScheduler>(*ctx_, fusion_, buffer_);
+    scheduler_ = std::make_unique<BucketScheduler>(
+        *ctx_, fusion_, buffer_,
+        fusion_.error_feedback ? &residuals_ : nullptr);
   // Channel-sharded (rank-local) gradients never enter the bucket plan:
   // every rank computes the same reduced list, so the bucket layout stays
   // rank-invariant.
@@ -103,15 +105,21 @@ void DistributedOptimizer::apply(const std::vector<Tensor*>& params,
   // Per-bucket NCCL_ALLREDUCE events are recorded inside allreduce_bucket.
   // Rank-local (channel-sharded) gradients are skipped: each rank already
   // holds the full-batch gradient for its own shard.
+  // The residual state is shared with the overlapped scheduler: the bucket
+  // plan is identical on both paths, so the accumulated error carries over
+  // bit-exactly when overlap is toggled.
+  ResidualState* residuals = fusion_.error_feedback ? &residuals_ : nullptr;
   FusionStats step;
   if (local_mask_.empty()) {
-    step = allreduce_average_fused(*ctx_, grads, fusion_, &buffer_);
+    step = allreduce_average_fused(*ctx_, grads, fusion_, &buffer_,
+                                   residuals);
   } else {
     std::vector<Tensor*> reduced;
     reduced.reserve(grads.size());
     for (std::size_t i = 0; i < grads.size(); ++i)
       if (!is_rank_local(i)) reduced.push_back(grads[i]);
-    step = allreduce_average_fused(*ctx_, reduced, fusion_, &buffer_);
+    step = allreduce_average_fused(*ctx_, reduced, fusion_, &buffer_,
+                                   residuals);
   }
   stats_.collectives += step.collectives;
   stats_.tensors += step.tensors;

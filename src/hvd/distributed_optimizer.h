@@ -72,6 +72,13 @@ class DistributedOptimizer final : public nn::Optimizer {
   /// The rank's persistent fusion scratch (shared by both paths).
   [[nodiscard]] const FusionBuffer& fusion_buffer() const { return buffer_; }
 
+  /// The rank's persistent error-feedback residuals (empty until the first
+  /// step with FusionOptions::error_feedback set). Shared by both paths so
+  /// toggling overlap mid-training keeps one residual sequence.
+  [[nodiscard]] const ResidualState& residual_state() const {
+    return residuals_;
+  }
+
  private:
   [[nodiscard]] bool is_rank_local(std::size_t grad_index) const {
     return grad_index < local_mask_.size() && local_mask_[grad_index] != 0;
@@ -82,6 +89,7 @@ class DistributedOptimizer final : public nn::Optimizer {
   FusionOptions fusion_;
   FusionStats stats_;
   FusionBuffer buffer_;
+  ResidualState residuals_;  // used only when fusion_.error_feedback
   std::unique_ptr<BucketScheduler> scheduler_;
   std::vector<std::uint8_t> local_mask_;
   /// Flat gradients() index -> index in the reduced (non-local) order;

@@ -22,20 +22,19 @@ std::size_t allreduce_net_bytes(const comm::Communicator& c,
                                 std::size_t elems, comm::WireDtype wire) {
   const std::size_t P = c.size();
   if (P <= 1) return 0;
-  const std::size_t w = comm::wire_width_bytes(wire);
   switch (c.world_options().allreduce_algo) {
     case comm::AllreduceAlgo::kRing:
-      return 2 * (P - 1) * elems * w / P;
+      return 2 * (P - 1) * comm::wire_range_bytes(wire, elems) / P;
     case comm::AllreduceAlgo::kNaive:
-      return 2 * (P - 1) * elems * w;
+      return 2 * (P - 1) * comm::wire_range_bytes(wire, elems);
     case comm::AllreduceAlgo::kHierarchical: {
       const std::size_t rpn = c.world_options().ranks_per_node;
       const std::size_t nnodes = (P + rpn - 1) / rpn;
       if (nnodes <= 1) return 0;
-      return 2 * (nnodes - 1) * elems * w / nnodes;
+      return 2 * (nnodes - 1) * comm::wire_range_bytes(wire, elems) / nnodes;
     }
   }
-  return elems * w;
+  return comm::wire_range_bytes(wire, elems);
 }
 
 /// Benchmark-only interconnect emulation (FusionOptions::sim_net_*).
@@ -47,7 +46,50 @@ void simulate_network(const FusionOptions& options, std::size_t bytes) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
+/// Error-feedback fold around one bucket collective: adds the previous
+/// step's residual into the payload (p = g + e_prev), then stashes this
+/// step's quantization error (e = p - roundtrip(p)) before the payload hits
+/// the wire. Residual chunking is relative to the bucket start — an
+/// approximation of the collective's per-segment chunk grids, which is all
+/// EF needs (the residual only has to track what rounding lost, not match
+/// wire bytes exactly). Averaged reductions need no rescaling: the residual
+/// is this rank's own pre-reduction error and re-enters through the same
+/// averaged sum. No-op for an empty span (feedback disabled), an
+/// uncompressed bucket, or a single-rank world, where the communicator
+/// skips compression and the quantizer C is the identity.
+void apply_error_feedback(Context& ctx, comm::WireDtype wire,
+                          std::span<float> payload,
+                          std::span<float> residual) {
+  if (residual.empty() || wire == comm::WireDtype::kFp32 ||
+      ctx.comm().size() <= 1)
+    return;
+  CANDLE_CHECK(residual.size() == payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] += residual[i];
+  comm::wire::quantization_residual(wire, payload.data(), residual.data(),
+                                    payload.size());
+}
+
 }  // namespace
+
+void ResidualState::bind(const std::vector<Bucket>& plan) {
+  std::vector<std::size_t> elems(plan.size());
+  for (std::size_t b = 0; b < plan.size(); ++b) elems[b] = plan[b].elems;
+  if (elems == elems_) return;  // same plan: keep accumulating
+  elems_ = std::move(elems);
+  buffers_.assign(elems_.size(), AlignedVector{});
+  for (std::size_t b = 0; b < elems_.size(); ++b)
+    buffers_[b].assign(elems_[b], 0.0f);
+}
+
+std::span<float> ResidualState::buffer(std::size_t b) {
+  require(b < buffers_.size(), "ResidualState::buffer: unbound bucket index");
+  return {buffers_[b].data(), buffers_[b].size()};
+}
+
+std::span<const float> ResidualState::buffer(std::size_t b) const {
+  require(b < buffers_.size(), "ResidualState::buffer: unbound bucket index");
+  return {buffers_[b].data(), buffers_[b].size()};
+}
 
 comm::WireDtype wire_dtype_for(const FusionOptions& options,
                                std::size_t elems) {
@@ -89,7 +131,8 @@ std::vector<Bucket> assign_buckets(const std::vector<std::size_t>& numels,
 
 void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
                       const Bucket& bucket, FusionBuffer& buffer,
-                      const FusionOptions& options, FusionStats& stats) {
+                      const FusionOptions& options, FusionStats& stats,
+                      std::span<float> residual) {
   const double start = ctx.now();
   const comm::WireDtype wire = wire_dtype_for(options, bucket.elems);
   simulate_network(options,
@@ -98,6 +141,7 @@ void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
   if (bucket.in_place) {
     CANDLE_CHECK(bucket.tensors.size() == 1);
     Tensor* t = tensors[bucket.tensors.front()];
+    apply_error_feedback(ctx, wire, t->values(), residual);
     ctx.comm().allreduce_average(t->values(), wire);
     ++stats.collectives;
     ++stats.tensors;
@@ -128,6 +172,7 @@ void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
                                          t->numel() * sizeof(float));
                            }
                          });
+  apply_error_feedback(ctx, wire, payload, residual);
   ctx.comm().allreduce_average(payload, wire);
   ++stats.collectives;
   stats.tensors += bucket.tensors.size();
@@ -149,7 +194,8 @@ void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
 FusionStats allreduce_average_fused(Context& ctx,
                                     const std::vector<Tensor*>& tensors,
                                     const FusionOptions& options,
-                                    FusionBuffer* buffer) {
+                                    FusionBuffer* buffer,
+                                    ResidualState* residuals) {
   std::vector<std::size_t> numels;
   numels.reserve(tensors.size());
   for (const Tensor* t : tensors) {
@@ -159,10 +205,15 @@ FusionStats allreduce_average_fused(Context& ctx,
   FusionBuffer local;
   FusionBuffer& scratch = buffer != nullptr ? *buffer : local;
 
+  const std::vector<Bucket> plan =
+      assign_buckets(numels, options.threshold_bytes);
+  if (residuals != nullptr) residuals->bind(plan);
+
   FusionStats stats;
-  for (const Bucket& bucket :
-       assign_buckets(numels, options.threshold_bytes))
-    allreduce_bucket(ctx, tensors, bucket, scratch, options, stats);
+  for (std::size_t b = 0; b < plan.size(); ++b)
+    allreduce_bucket(ctx, tensors, plan[b], scratch, options, stats,
+                     residuals != nullptr ? residuals->buffer(b)
+                                          : std::span<float>{});
   return stats;
 }
 

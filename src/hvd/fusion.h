@@ -63,6 +63,21 @@ struct FusionOptions {
   /// per-bucket choice is a pure function of the shared bucket plan
   /// (wire_dtype_for), so every rank picks the same dtype.
   std::size_t compress_min_elems = 1024;
+
+  /// Error-feedback (residual) compression: every fusion bucket keeps a
+  /// persistent per-rank residual buffer (ResidualState) that accumulates
+  /// the wire quantization error each step and folds it back into the next
+  /// step's payload before encoding — the 1-bit-SGD/EF-SGD trick that
+  /// makes sub-8-bit wire dtypes converge. With payload p = g + e_prev
+  /// transmitted as C(p), the new residual is e = p - C(p); rounding error
+  /// is carried forward instead of lost, so it cancels over steps rather
+  /// than accumulating as bias. A per-step no-op for kFp32 buckets and
+  /// single-rank worlds (compression is disabled there, so C is the
+  /// identity and the residual stays zero). Deterministic and
+  /// rank-invariant: the residual is a pure function of the rank's own
+  /// payload sequence, which synchronized data-parallel steps keep
+  /// identical across ranks.
+  bool error_feedback = false;
 };
 
 /// Wire dtype for one bucket of `elems` elements: options.wire_dtype when
@@ -118,20 +133,56 @@ class FusionBuffer {
   AlignedVector storage_;
 };
 
+/// Per-bucket persistent error-feedback residual buffers
+/// (FusionOptions::error_feedback), keyed by position in the bucket plan.
+/// One instance lives in the DistributedOptimizer and is shared by the
+/// synchronous sweep and the overlapped BucketScheduler, so the residual
+/// sequence — and therefore training — is bit-exact between the two paths.
+/// Written only by whichever thread currently issues the bucket's
+/// collective (the rank thread, or the comm thread while the rank thread
+/// is quiesced), under the same serialization as the FusionBuffer.
+class ResidualState {
+ public:
+  /// Rebinds to a bucket plan: when the per-bucket element counts differ
+  /// from the currently bound plan, every buffer is reallocated and zeroed
+  /// (stale residuals from another plan must never leak in); when the plan
+  /// is unchanged this is a no-op, so steady-state steps keep accumulating.
+  void bind(const std::vector<Bucket>& plan);
+
+  /// Residual buffer of bucket `b` of the bound plan.
+  [[nodiscard]] std::span<float> buffer(std::size_t b);
+  [[nodiscard]] std::span<const float> buffer(std::size_t b) const;
+
+  [[nodiscard]] std::size_t buckets() const { return buffers_.size(); }
+
+ private:
+  std::vector<std::size_t> elems_;
+  std::vector<AlignedVector> buffers_;
+};
+
 /// Reduces one bucket: packs its tensors into `buffer` (in-place buckets
 /// skip the pack), allreduce-averages the payload, unpacks, and accumulates
 /// `stats`. Records one NCCL_ALLREDUCE timeline event per bucket when the
 /// context has a timeline. The caller provides the bucket plan; both the
 /// synchronous sweep and the overlapped comm thread funnel through here.
+/// A non-empty `residual` (the bucket's ResidualState buffer, same element
+/// count) enables error feedback: the previous step's quantization error is
+/// added to the payload before the collective and the new error is stashed
+/// for the next step. Empty disables (and is required for fp32 buckets to
+/// stay bit-exact).
 void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
                       const Bucket& bucket, FusionBuffer& buffer,
-                      const FusionOptions& options, FusionStats& stats);
+                      const FusionOptions& options, FusionStats& stats,
+                      std::span<float> residual = {});
 
 /// Allreduce-averages every tensor in `tensors` across ranks, packing
 /// consecutive tensors into fusion-buffer-sized groups. All ranks must call
 /// with identically-shaped tensor lists. `buffer` is the persistent per-rank
 /// fusion scratch; when null a call-local buffer is used (tests, one-shot
-/// ablations).
+/// ablations). A non-null `residuals` is bound to the computed bucket plan
+/// and threads each bucket's residual buffer through allreduce_bucket
+/// (error feedback; pass the optimizer's persistent instance so state
+/// survives across steps).
 ///
 /// Thread contract: called concurrently from every rank thread with the
 /// rank's own tensors and fusion buffer; cross-rank synchronization happens
@@ -140,6 +191,7 @@ void allreduce_bucket(Context& ctx, const std::vector<Tensor*>& tensors,
 FusionStats allreduce_average_fused(Context& ctx,
                                     const std::vector<Tensor*>& tensors,
                                     const FusionOptions& options = {},
-                                    FusionBuffer* buffer = nullptr);
+                                    FusionBuffer* buffer = nullptr,
+                                    ResidualState* residuals = nullptr);
 
 }  // namespace candle::hvd

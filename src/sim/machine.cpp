@@ -39,6 +39,7 @@ const Machine& Machine::summit() {
     s.net_bw = 25.0e9;                // dual EDR NICs, 25 GB/s per node
     s.local_bw = 50.0e9;              // NVLink brick: 2 x 25 GB/s
     s.convert_elems_per_s = 4.0e9;    // V100 half-precision pack/unpack
+    s.quantize_elems_per_s = 3.0e9;   // absmax + scale + saturating pack
     // Calibrated: NT3 time/epoch 10.3 s (1 GPU) -> ~22 s (384 GPUs)
     // -> >3x sequential at 3,072 GPUs (paper Table 2, Table 6, §7), while
     // keeping data loading dominant from 48 GPUs on (§4.2.1).
@@ -76,6 +77,7 @@ const Machine& Machine::theta() {
     t.net_bw = 8.0e9;
     t.local_bw = 8.0e9;               // single rank per node: no NVLink tier
     t.convert_elems_per_s = 1.0e9;    // KNL vector convert, one rank/node
+    t.quantize_elems_per_s = 0.8e9;   // absmax + scale + saturating pack
     // Calibrated to hit BOTH anchors: NT3 time/epoch 695 s on 24 nodes and
     // 965 s on 384 nodes (paper §5.1): 0.05 * 24^0.787 = 0.61 s/step and
     // 0.05 * 384^0.787 = 5.43 s/step over the 661 s single-node epoch.

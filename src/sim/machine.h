@@ -42,6 +42,15 @@ struct Machine {
   // conversion paid. 0 models free conversion.
   double convert_elems_per_s = 0.0;
 
+  // fp32 <-> block-scaled int8 quantization rate, elements/s per rank.
+  // Slower than the 16-bit converts: each chunk takes an absmax reduction
+  // pass plus scale/clamp/pack on top of the type cast. Int8 quarters the
+  // byte term but pays this steeper codec rate — the simulator's
+  // int8-vs-fp16 crossover is exactly that trade (tests/test_sim.cpp pins
+  // it against the measured BENCH_collectives.json ordering). 0 models
+  // free quantization.
+  double quantize_elems_per_s = 0.0;
+
   // --- per-step synchronization overhead model ------------------------------
   // Observed Horovod overhead per batch step grows sub-linearly with rank
   // count (stragglers + NCCL/MPI small-message costs). Modeled as

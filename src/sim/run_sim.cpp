@@ -90,19 +90,33 @@ double RunSimulator::ring_gather_converted(double p, double elems) {
 
 double RunSimulator::convert_seconds(double converted_elems,
                                      comm::WireDtype dtype) const {
-  if (dtype == comm::WireDtype::kFp32 || machine_->convert_elems_per_s <= 0.0)
-    return 0.0;
-  return converted_elems / machine_->convert_elems_per_s;
+  if (dtype == comm::WireDtype::kFp32) return 0.0;
+  const double rate = dtype == comm::WireDtype::kInt8
+                          ? machine_->quantize_elems_per_s
+                          : machine_->convert_elems_per_s;
+  if (rate <= 0.0) return 0.0;
+  return converted_elems / rate;
 }
 
 double RunSimulator::allreduce_step_seconds(std::size_t ranks,
                                             comm::AllreduceAlgo algo,
                                             comm::WireDtype dtype) const {
+  return allreduce_step_seconds(ranks, algo, dtype, comm::WireDtype::kFp32);
+}
+
+double RunSimulator::allreduce_step_seconds(std::size_t ranks,
+                                            comm::AllreduceAlgo algo,
+                                            comm::WireDtype dtype,
+                                            comm::WireDtype local_dtype)
+    const {
   if (ranks <= 1) return 0.0;
-  const double n = static_cast<double>(profile_->param_count);
-  // The byte term scales with the wire width (fp16/bf16: 2 bytes/elem);
-  // the fp32 master accumulation itself stays on-rank and is free here.
-  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const std::size_t elems = profile_->param_count;
+  const double n = static_cast<double>(elems);
+  // The byte term scales with the dtype's on-wire bytes (fp16/bf16: half;
+  // int8: a quarter plus per-chunk scale metadata); the fp32 master
+  // accumulation itself stays on-rank and is free here.
+  const double payload =
+      static_cast<double>(comm::wire_range_bytes(dtype, elems));
   const double p = static_cast<double>(ranks);
   const double bw =
       ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
@@ -129,10 +143,19 @@ double RunSimulator::allreduce_step_seconds(std::size_t ranks,
       const double local =
           static_cast<double>(std::min(ranks, machine_->ranks_per_node));
       const double nodes = static_cast<double>(machine_->nodes_for(ranks));
-      // Intra-node reduce + final broadcast over NVLink: always fp32
-      // (2 passes of the uncompressed payload).
-      if (local > 1.0) t += 2.0 * (n * 4.0) / machine_->local_bw;
-      // Inter-node ring over the node leaders is the only compressed leg.
+      // Intra-node reduce + final broadcast over NVLink: two passes of the
+      // payload at the local wire dtype (fp32 by default; a compressed
+      // local_dtype shrinks the NVLink bytes and pays roughly local + 2
+      // payloads of codec work — member entry encodes and the leader's
+      // decode_add sweep in phase 1, the leader re-encode plus the member
+      // decodes in phase 3).
+      if (local > 1.0) {
+        const double local_payload =
+            static_cast<double>(comm::wire_range_bytes(local_dtype, elems));
+        t += 2.0 * local_payload / machine_->local_bw;
+        t += convert_seconds((local + 2.0) * n, local_dtype);
+      }
+      // Inter-node ring over the node leaders is the only `dtype` leg.
       if (nodes > 1.0) {
         t += 2.0 * ring_hops_seconds(nodes, payload, machine_->net_bw);
         converted = n + ring_reduce_converted(nodes, n) +
@@ -151,7 +174,8 @@ double RunSimulator::reduce_scatter_seconds(std::size_t ranks,
   if (ranks <= 1) return 0.0;
   const double n = static_cast<double>(elems);
   const double p = static_cast<double>(ranks);
-  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const double payload =
+      static_cast<double>(comm::wire_range_bytes(dtype, elems));
   const double bw =
       ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
   // Entry encode of the full payload, then decode_add+encode per hop.
@@ -165,7 +189,8 @@ double RunSimulator::allgather_seconds(std::size_t ranks, std::size_t elems,
   if (ranks <= 1) return 0.0;
   const double n = static_cast<double>(elems);
   const double p = static_cast<double>(ranks);
-  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const double payload =
+      static_cast<double>(comm::wire_range_bytes(dtype, elems));
   const double bw =
       ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
   // Owned-segment encode + round-trip decode (2 n/p), then a decode per hop.
@@ -181,7 +206,8 @@ double RunSimulator::data_parallel_layer_comm_seconds(
   // allreduce decomposition, built from the same shared terms.
   const double n = static_cast<double>(weight_elems);
   const double p = static_cast<double>(ranks);
-  const double payload = n * static_cast<double>(comm::wire_width_bytes(dtype));
+  const double payload =
+      static_cast<double>(comm::wire_range_bytes(dtype, weight_elems));
   const double bw =
       ranks <= machine_->ranks_per_node ? machine_->local_bw : machine_->net_bw;
   const double converted =
@@ -249,8 +275,9 @@ SimResult RunSimulator::simulate(const RunPlan& plan) const {
   }
 
   const double step_c = step_compute_seconds(batch);
-  const double step_ar = allreduce_step_seconds(plan.ranks, plan.allreduce_algo,
-                                                plan.wire_dtype);
+  const double step_ar =
+      allreduce_step_seconds(plan.ranks, plan.allreduce_algo, plan.wire_dtype,
+                             plan.local_wire_dtype);
   // Overlap credit: with backward-overlapped communication, up to the
   // backward window of each step's compute hides allreduce time; only the
   // remainder is exposed on the critical path.

@@ -60,6 +60,12 @@ struct RunPlan {
   /// (Machine::convert_elems_per_s).
   comm::AllreduceAlgo allreduce_algo = comm::AllreduceAlgo::kRing;
   comm::WireDtype wire_dtype = comm::WireDtype::kFp32;
+  /// On-wire dtype of the hierarchical algorithm's intra-node legs (the
+  /// runner's --local-wire-dtype / WorldOptions::local_wire_dtype knob):
+  /// the NVLink-tier byte term is charged at this dtype's width and, when
+  /// compressed, the local codec passes are charged too. Ignored by the
+  /// flat algorithms, exactly like the real communicator.
+  comm::WireDtype local_wire_dtype = comm::WireDtype::kFp32;
   bool make_timeline = false;      // emit Horovod-style events (<= 6 lanes)
   bool make_power_trace = false;   // keep the rank-0 sampled power series
 };
@@ -132,16 +138,31 @@ class RunSimulator {
   [[nodiscard]] double allreduce_step_seconds(std::size_t ranks) const;
 
   /// Algorithm- and dtype-aware allreduce cost: the byte term uses the
-  /// dtype's wire width (fp16/bf16 halve it), and compressed dtypes add a
-  /// conversion term — critical-path converted elements over
-  /// Machine::convert_elems_per_s. (kRing, kFp32) is bit-identical to the
-  /// one-argument overload; hierarchical compresses only its inter-node
-  /// leg, so its fp16 gain shrinks as more of the payload moves intra-node.
-  /// This is the model behind the ring-vs-hierarchical x fp32-vs-fp16
-  /// crossover recipe in EXPERIMENTS.md.
+  /// dtype's on-wire bytes (fp16/bf16 halve it, int8 quarters it plus the
+  /// per-chunk scale metadata), and compressed dtypes add a conversion
+  /// term — critical-path converted elements over the dtype's codec rate
+  /// (Machine::convert_elems_per_s for the 16-bit dtypes,
+  /// Machine::quantize_elems_per_s for int8). (kRing, kFp32) is
+  /// bit-identical to the one-argument overload; hierarchical compresses
+  /// only its inter-node leg, so its compressed gain shrinks as more of
+  /// the payload moves intra-node. This is the model behind the
+  /// ring-vs-hierarchical x dtype crossover recipes in EXPERIMENTS.md.
   [[nodiscard]] double allreduce_step_seconds(std::size_t ranks,
                                               comm::AllreduceAlgo algo,
                                               comm::WireDtype dtype) const;
+
+  /// As above with an explicit intra-node wire dtype for kHierarchical:
+  /// the NVLink legs (phase-1 reduce + phase-3 broadcast) move
+  /// wire_range_bytes(local_dtype) bytes and, when local_dtype is
+  /// compressed, charge roughly (local_ranks + 2) payloads of codec work
+  /// (member entry encodes + leader decode_adds, then the leader re-encode
+  /// and the member decodes). The three-argument overload forwards kFp32
+  /// (uncompressed NVLink legs). Flat algorithms ignore `local_dtype`.
+  [[nodiscard]] double allreduce_step_seconds(std::size_t ranks,
+                                              comm::AllreduceAlgo algo,
+                                              comm::WireDtype dtype,
+                                              comm::WireDtype local_dtype)
+      const;
 
   /// Two-level (NCCL-hierarchical) allreduce cost: intra-node ring over
   /// NVLink, inter-node ring over the NIC between node leaders, intra-node
@@ -209,8 +230,9 @@ class RunSimulator {
   [[nodiscard]] static double ring_reduce_converted(double p, double elems);
   [[nodiscard]] static double ring_gather_converted(double p, double elems);
 
-  /// Conversion-throughput term: zero for fp32, converted_elems over
-  /// Machine::convert_elems_per_s otherwise.
+  /// Conversion-throughput term: zero for fp32, converted_elems over the
+  /// dtype's codec rate (convert_elems_per_s for fp16/bf16,
+  /// quantize_elems_per_s for int8) otherwise.
   [[nodiscard]] double convert_seconds(double converted_elems,
                                        comm::WireDtype dtype) const;
 

@@ -5,6 +5,7 @@
 // several pool widths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -302,15 +303,211 @@ TEST(WireKernels, ParallelMatchesSerialBitwiseAcrossPoolWidths) {
 }
 
 // ---------------------------------------------------------------------------
+// Block-scaled int8: error bound, exact grids, dispatch parity, residuals
+// ---------------------------------------------------------------------------
+
+// Finite random inputs spanning several chunks plus a ragged tail; includes
+// an all-zero chunk (scale 0 must decode to exact zeros) and a
+// wildly-scaled chunk (per-chunk absmax must isolate it).
+std::vector<float> int8_inputs() {
+  const std::size_t n = 5 * kInt8ChunkElems + 37;
+  std::vector<float> in(n);
+  Rng rng(48);
+  for (float& v : in) v = static_cast<float>(rng.normal(0.0, 3.0));
+  for (std::size_t i = kInt8ChunkElems; i < 2 * kInt8ChunkElems; ++i)
+    in[i] = 0.0f;
+  for (std::size_t i = 2 * kInt8ChunkElems; i < 3 * kInt8ChunkElems; ++i)
+    in[i] *= 1.0e6f;
+  return in;
+}
+
+TEST(WireInt8, RoundTripWithinChunkAbsmaxBound) {
+  const std::vector<float> in = int8_inputs();
+  const std::size_t n = in.size();
+  std::vector<std::uint8_t> payload(n);
+  std::vector<float> scales(n, -1.0f), out(n);
+  wire::encode_int8_reference(in.data(), payload.data(), scales.data(), n);
+  wire::decode_int8_reference(payload.data(), scales.data(), out.data(), n);
+  for (std::size_t b = 0; b < n; b += kInt8ChunkElems) {
+    const std::size_t e = std::min(n, b + kInt8ChunkElems);
+    float absmax = 0.0f;
+    for (std::size_t i = b; i < e; ++i)
+      absmax = std::max(absmax, std::fabs(in[i]));
+    ASSERT_EQ(scales[b], absmax) << "chunk at " << b;
+    // Documented bound: symmetric 127-level grid over [-absmax, absmax]
+    // rounds to nearest, so the error is at most half a step = absmax/254.
+    for (std::size_t i = b; i < e; ++i)
+      ASSERT_LE(std::fabs(in[i] - out[i]), absmax / 254.0f + 1e-30f)
+          << "i=" << i << " v=" << in[i];
+  }
+  // The all-zero chunk decodes to exact zeros.
+  for (std::size_t i = kInt8ChunkElems; i < 2 * kInt8ChunkElems; ++i)
+    ASSERT_EQ(to_bits(out[i]), 0u);
+}
+
+TEST(WireInt8, IntegerGridValuesRoundTripExactly) {
+  // v[i] = ((7 i) mod 255) - 127 puts every element on the int8 grid with
+  // chunk absmax exactly 127 (7 is coprime to 255, so every full
+  // 256-window contains +/-127): scale/127 = 1 and the round trip is
+  // exact. Only holds for FULL chunks — a partial tail chunk of this
+  // pattern can have absmax < 127 with off-grid integers.
+  const std::size_t n = 3 * kInt8ChunkElems;
+  std::vector<float> in(n);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = static_cast<float>(static_cast<int>((i * 7) % 255) - 127);
+  std::vector<std::uint8_t> payload(n);
+  std::vector<float> scales(n), out(n);
+  wire::encode_int8(in.data(), payload.data(), scales.data(), n);
+  wire::decode_int8(payload.data(), scales.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(to_bits(out[i]), to_bits(in[i])) << "i=" << i;
+}
+
+TEST(WireInt8, SignedGridExactAtAnyChunkBoundaryAndScale) {
+  // w[i] in {0, +S*127, -S*127} is exact for ANY chunk size or offset:
+  // every chunk's values sit at 0 or +/-absmax, so quantization yields
+  // {0, +/-127} and the decode step is exactly S. This is the
+  // construction the exact-sum communicator tests rely on.
+  for (const float s : {1.0f, 3.0f, 10.0f}) {
+    for (const std::size_t n : {1u, 11u, 256u, 779u}) {
+      std::vector<float> in(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float w = i % 3 == 0 ? 0.0f : i % 3 == 1 ? 127.0f : -127.0f;
+        in[i] = s * w;
+      }
+      std::vector<std::uint8_t> payload(n);
+      std::vector<float> scales(n), out(n);
+      wire::encode_int8(in.data(), payload.data(), scales.data(), n);
+      wire::decode_int8(payload.data(), scales.data(), out.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(to_bits(out[i]), to_bits(in[i]))
+            << "s=" << s << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(WireInt8, DispatchedMatchesReferenceBitwise) {
+  const std::vector<float> in = int8_inputs();
+  const std::size_t n = in.size();
+  std::vector<std::uint8_t> pay_ref(n), pay_dsp(n);
+  std::vector<float> sc_ref(n, -1.0f), sc_dsp(n, -1.0f);
+  wire::encode_int8_reference(in.data(), pay_ref.data(), sc_ref.data(), n);
+  wire::encode_int8(in.data(), pay_dsp.data(), sc_dsp.data(), n);
+  EXPECT_EQ(0, std::memcmp(pay_ref.data(), pay_dsp.data(), n));
+  EXPECT_EQ(0, std::memcmp(sc_ref.data(), sc_dsp.data(), n * sizeof(float)));
+
+  std::vector<float> out_ref(n), out_dsp(n);
+  wire::decode_int8_reference(pay_ref.data(), sc_ref.data(), out_ref.data(),
+                              n);
+  wire::decode_int8(pay_ref.data(), sc_ref.data(), out_dsp.data(), n);
+  EXPECT_EQ(0,
+            std::memcmp(out_ref.data(), out_dsp.data(), n * sizeof(float)));
+
+  Rng rng(49);
+  std::vector<float> acc(n);
+  for (float& v : acc) v = static_cast<float>(rng.normal(0.0, 10.0));
+  std::vector<float> acc_ref = acc, acc_dsp = acc;
+  wire::decode_add_int8_reference(pay_ref.data(), sc_ref.data(),
+                                  acc_ref.data(), n);
+  wire::decode_add_int8(pay_ref.data(), sc_ref.data(), acc_dsp.data(), n);
+  EXPECT_EQ(0,
+            std::memcmp(acc_ref.data(), acc_dsp.data(), n * sizeof(float)));
+}
+
+TEST(WireInt8, DecodeAddMatchesDecodeThenAddBitwise) {
+  const std::vector<float> in = int8_inputs();
+  const std::size_t n = in.size();
+  std::vector<std::uint8_t> payload(n);
+  std::vector<float> scales(n);
+  wire::encode_int8(in.data(), payload.data(), scales.data(), n);
+  Rng rng(50);
+  std::vector<float> acc0(n);
+  for (float& v : acc0) v = static_cast<float>(rng.normal(0.0, 10.0));
+  std::vector<float> fused = acc0, reference = acc0, scratch(n);
+  wire::decode_add_int8(payload.data(), scales.data(), fused.data(), n);
+  wire::decode_int8(payload.data(), scales.data(), scratch.data(), n);
+  for (std::size_t i = 0; i < n; ++i) reference[i] += scratch[i];
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(to_bits(fused[i]), to_bits(reference[i])) << "i=" << i;
+}
+
+TEST(WireInt8, ParallelMatchesSerialBitwiseAcrossPoolWidths) {
+  // Large enough that the chunk-aligned grain actually splits the buffer;
+  // the scale grid is a function of element index alone, so every pool
+  // width must produce identical planes.
+  const std::size_t n = (1u << 17) + 13;
+  std::vector<float> in(n);
+  Rng rng(51);
+  for (float& v : in) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<std::uint8_t> pay_s(n), pay_p(n);
+  std::vector<float> sc_s(n, -1.0f), sc_p(n, -1.0f), out_s(n), out_p(n);
+  wire::encode_int8(in.data(), pay_s.data(), sc_s.data(), n);
+  wire::decode_int8(pay_s.data(), sc_s.data(), out_s.data(), n);
+  const std::size_t saved = parallel::num_threads();
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    parallel::set_num_threads(threads);
+    wire::encode_int8_parallel(in.data(), pay_p.data(), sc_p.data(), n);
+    wire::decode_int8_parallel(pay_p.data(), sc_p.data(), out_p.data(), n);
+    EXPECT_EQ(0, std::memcmp(pay_s.data(), pay_p.data(), n))
+        << "threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(sc_s.data(), sc_p.data(), n * sizeof(float)))
+        << "threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(out_s.data(), out_p.data(), n * sizeof(float)))
+        << "threads=" << threads;
+  }
+  parallel::set_num_threads(saved);
+}
+
+TEST(WireResidual, EqualsDataMinusRoundTripBitwise) {
+  const std::vector<float> in = int8_inputs();
+  const std::size_t n = in.size();
+  std::vector<float> residual(n, -1.0f);
+  // int8: chunked relative to data[0], exactly like a fresh encode.
+  wire::quantization_residual(WireDtype::kInt8, in.data(), residual.data(),
+                              n);
+  std::vector<std::uint8_t> payload(n);
+  std::vector<float> scales(n), round(n);
+  wire::encode_int8(in.data(), payload.data(), scales.data(), n);
+  wire::decode_int8(payload.data(), scales.data(), round.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(to_bits(residual[i]), to_bits(in[i] - round[i])) << "i=" << i;
+
+  // 16-bit dtypes: elementwise round trip.
+  for (WireDtype d : {WireDtype::kFp16, WireDtype::kBf16}) {
+    wire::quantization_residual(d, in.data(), residual.data(), n);
+    std::vector<std::uint16_t> words(n);
+    wire::encode(d, in.data(), words.data(), n);
+    wire::decode(d, words.data(), round.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(to_bits(residual[i]), to_bits(in[i] - round[i]))
+          << wire_dtype_name(d) << " i=" << i;
+  }
+  float f = 1.0f, r = 0.0f;
+  EXPECT_THROW(wire::quantization_residual(WireDtype::kFp32, &f, &r, 1),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
 // Names, parsing, widths
 // ---------------------------------------------------------------------------
 
 TEST(WireDtypeApi, NamesParseAndWidths) {
-  for (WireDtype d : {WireDtype::kFp32, WireDtype::kFp16, WireDtype::kBf16})
+  for (WireDtype d : {WireDtype::kFp32, WireDtype::kFp16, WireDtype::kBf16,
+                      WireDtype::kInt8})
     EXPECT_EQ(parse_wire_dtype(wire_dtype_name(d)), d);
   EXPECT_EQ(wire_width_bytes(WireDtype::kFp32), 4u);
   EXPECT_EQ(wire_width_bytes(WireDtype::kFp16), 2u);
   EXPECT_EQ(wire_width_bytes(WireDtype::kBf16), 2u);
+  EXPECT_EQ(wire_width_bytes(WireDtype::kInt8), 1u);
+  // Scale metadata: one fp32 absmax per 256-element chunk, int8 only.
+  EXPECT_EQ(wire_scale_bytes(WireDtype::kInt8, 0), 0u);
+  EXPECT_EQ(wire_scale_bytes(WireDtype::kInt8, 1), 4u);
+  EXPECT_EQ(wire_scale_bytes(WireDtype::kInt8, 256), 4u);
+  EXPECT_EQ(wire_scale_bytes(WireDtype::kInt8, 257), 8u);
+  EXPECT_EQ(wire_scale_bytes(WireDtype::kFp16, 1024), 0u);
+  EXPECT_EQ(wire_range_bytes(WireDtype::kFp32, 1024), 4096u);
+  EXPECT_EQ(wire_range_bytes(WireDtype::kFp16, 1024), 2048u);
+  EXPECT_EQ(wire_range_bytes(WireDtype::kInt8, 1024), 1024u + 16u);
   EXPECT_THROW(parse_wire_dtype("fp8"), InvalidArgument);
   EXPECT_THROW(parse_wire_dtype(nullptr), InvalidArgument);
   EXPECT_THROW(parse_allreduce_algo("tree"), InvalidArgument);

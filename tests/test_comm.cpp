@@ -396,7 +396,8 @@ TEST(CompressedAllreduce, AllRanksBitIdenticalAndDeterministic) {
   const std::size_t ranks = 5, n = 137;
   for (AllreduceAlgo algo : {AllreduceAlgo::kRing, AllreduceAlgo::kNaive,
                              AllreduceAlgo::kHierarchical}) {
-    for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16}) {
+    for (WireDtype dtype :
+         {WireDtype::kFp16, WireDtype::kBf16, WireDtype::kInt8}) {
       WorldOptions opt;
       opt.allreduce_algo = algo;
       opt.ranks_per_node = 2;
@@ -548,6 +549,268 @@ TEST(CompressedAllreduce, MismatchedDtypesThrow) {
                                                       : WireDtype::kBf16);
                           }),
                CommError);
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& c) {
+                            std::vector<float> data(8, 1.0f);
+                            c.allreduce_sum(data, c.rank() == 0
+                                                      ? WireDtype::kInt8
+                                                      : WireDtype::kFp16);
+                          }),
+               CommError);
+}
+
+// ---------------------------------------------------------------------------
+// Int8 collectives: block-scaled wire with per-chunk fp32 scales
+// ---------------------------------------------------------------------------
+
+/// Signed-grid test pattern: w[i] in {0, +127, -127}. Rank r holds
+/// (r+1) * w[i], so every partial sum any algorithm forms is S * w[i] for
+/// some positive integer S — each quantization chunk's values are exactly
+/// {0, +/-absmax}, which the symmetric int8 grid represents exactly at ANY
+/// chunk boundary (absmax = 127 S, quant = 0 or +/-127, dequant step = S).
+/// The whole reduction is therefore exact end to end regardless of segment
+/// offsets, hop order, or hierarchical node layout.
+float int8_grid_weight(std::size_t i) {
+  switch (i % 3) {
+    case 0: return 0.0f;
+    case 1: return 127.0f;
+    default: return -127.0f;
+  }
+}
+
+TEST(Int8Allreduce, ExactOnSignedGridAcrossAlgosAndRankCounts) {
+  for (AllreduceAlgo algo : {AllreduceAlgo::kRing, AllreduceAlgo::kNaive,
+                             AllreduceAlgo::kHierarchical}) {
+    for (std::size_t ranks : {1u, 2u, 3u, 4u, 7u}) {
+      for (std::size_t n : {1u, 5u, 64u, 523u, 1000u}) {
+        WorldOptions opt;
+        opt.allreduce_algo = algo;
+        opt.ranks_per_node = 3;
+        opt.wire_dtype = WireDtype::kInt8;
+        World::run(
+            ranks,
+            [&](Communicator& c) {
+              std::vector<float> data(n);
+              for (std::size_t i = 0; i < n; ++i)
+                data[i] = static_cast<float>(c.rank() + 1) *
+                          int8_grid_weight(i);
+              c.allreduce_sum(data);
+              const float s =
+                  static_cast<float>(ranks * (ranks + 1)) / 2.0f;
+              for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(data[i], s * int8_grid_weight(i))
+                    << allreduce_algo_name(algo) << " ranks=" << ranks
+                    << " n=" << n << " i=" << i;
+            },
+            opt);
+      }
+    }
+  }
+}
+
+TEST(Int8Allreduce, TracksExactAverageWithinChunkErrorBound) {
+  // Random same-sign data: each of the (P+1) quantizations a ring
+  // reduction can apply to an element adds at most chunk_absmax / 254,
+  // and every partial sum is bounded by P * max|data|.
+  const std::size_t ranks = 6, n = 700;
+  std::vector<float> exact(n);
+  std::vector<std::vector<float>> got(ranks);
+  World::run(ranks, [&](Communicator& c) {
+    Rng rng(78 + c.rank());
+    std::vector<float> data(n);
+    for (float& v : data) v = static_cast<float>(rng.uniform(0.5, 2.0));
+    c.allreduce_average(data);
+    if (c.rank() == 0) exact = data;
+  });
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kInt8;
+  World::run(
+      ranks,
+      [&](Communicator& c) {
+        Rng rng(78 + c.rank());
+        std::vector<float> data(n);
+        for (float& v : data) v = static_cast<float>(rng.uniform(0.5, 2.0));
+        c.allreduce_average(data);
+        got[c.rank()] = data;
+      },
+      opt);
+  const float bound = static_cast<float>(ranks + 1) *
+                      (static_cast<float>(ranks) * 2.0f / 254.0f) /
+                      static_cast<float>(ranks);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(got[0][i], exact[i], bound) << "i=" << i;
+}
+
+TEST(Int8Allreduce, WireByteCountersIncludeScaleMetadata) {
+  // Ring moves 2(P-1) segments of n/P elements per rank; at int8 each
+  // segment costs its payload bytes plus one fp32 scale per 256-element
+  // chunk (wire_range_bytes).
+  const std::size_t ranks = 4, n = 4096;
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kInt8;
+  const auto stats = World::run(
+      ranks,
+      [&](Communicator& c) {
+        std::vector<float> data(n, 1.0f);
+        c.allreduce_sum(data);
+      },
+      opt);
+  const std::size_t expected =
+      2 * (ranks - 1) * wire_range_bytes(WireDtype::kInt8, n / ranks);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.allreduce_wire_bytes[allreduce_algo_index(
+                  AllreduceAlgo::kRing)][wire_dtype_index(WireDtype::kInt8)],
+              expected);
+    EXPECT_EQ(s.wire_bytes(WireDtype::kInt8), expected);
+    EXPECT_EQ(s.wire_bytes(WireDtype::kFp32), 0u);
+    EXPECT_EQ(s.bytes_sent, expected);
+  }
+}
+
+TEST(Int8Allreduce, SingleRankIgnoresCompression) {
+  WorldOptions opt;
+  opt.wire_dtype = WireDtype::kInt8;
+  World::run(
+      1,
+      [](Communicator& c) {
+        std::vector<float> data{0.3333333f};  // far off any int8 grid
+        c.allreduce_sum(data);
+        EXPECT_EQ(data[0], 0.3333333f);
+      },
+      opt);
+}
+
+TEST(ReduceScatter, Int8ExactOnSignedGrid) {
+  for (std::size_t ranks : {2u, 3u, 5u}) {
+    WorldOptions opt;
+    opt.wire_dtype = WireDtype::kInt8;
+    World::run(
+        ranks,
+        [&](Communicator& c) {
+          const std::size_t n = 700;
+          std::vector<float> data(n);
+          for (std::size_t i = 0; i < n; ++i)
+            data[i] =
+                static_cast<float>(c.rank() + 1) * int8_grid_weight(i);
+          c.reduce_scatter(data);
+          const float s = static_cast<float>(ranks * (ranks + 1)) / 2.0f;
+          const std::size_t b = c.rank() * n / ranks;
+          const std::size_t e = (c.rank() + 1) * n / ranks;
+          for (std::size_t i = b; i < e; ++i)
+            ASSERT_EQ(data[i], s * int8_grid_weight(i))
+                << "ranks=" << ranks << " i=" << i;
+          // Compose with the allgather: every rank ends with the full sum.
+          c.allgather(std::span<float>(data));
+          for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(data[i], s * int8_grid_weight(i))
+                << "ranks=" << ranks << " i=" << i;
+        },
+        opt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical local-wire compression (WorldOptions::local_wire_dtype)
+// ---------------------------------------------------------------------------
+
+TEST(HierarchicalLocalWire, ExactOnSignedGridAcrossCombos) {
+  // All four (inter, intra) dtype combinations on a layout with a
+  // member-less tail node (5 ranks, 2 per node -> nodes {0,1},{2,3},{4}).
+  for (WireDtype wire : {WireDtype::kFp32, WireDtype::kInt8}) {
+    for (WireDtype local : {WireDtype::kFp32, WireDtype::kFp16,
+                            WireDtype::kInt8}) {
+      WorldOptions opt;
+      opt.allreduce_algo = AllreduceAlgo::kHierarchical;
+      opt.ranks_per_node = 2;
+      opt.wire_dtype = wire;
+      opt.local_wire_dtype = local;
+      const std::size_t ranks = 5, n = 523;
+      World::run(
+          ranks,
+          [&](Communicator& c) {
+            std::vector<float> data(n);
+            for (std::size_t i = 0; i < n; ++i)
+              data[i] =
+                  static_cast<float>(c.rank() + 1) * int8_grid_weight(i);
+            c.allreduce_sum(data);
+            const float s = static_cast<float>(ranks * (ranks + 1)) / 2.0f;
+            for (std::size_t i = 0; i < n; ++i)
+              ASSERT_EQ(data[i], s * int8_grid_weight(i))
+                  << wire_dtype_name(wire) << "/" << wire_dtype_name(local)
+                  << " i=" << i;
+          },
+          opt);
+    }
+  }
+}
+
+TEST(HierarchicalLocalWire, AllRanksBitIdenticalIncludingSingletonNode) {
+  // Random data: the rank-4 singleton node has no members, but its leader
+  // must round-trip through the local codec exactly like every other rank
+  // — otherwise it would keep exact values the rest of the world lost.
+  const std::size_t ranks = 5, n = 391;
+  for (WireDtype wire : {WireDtype::kFp32, WireDtype::kInt8}) {
+    WorldOptions opt;
+    opt.allreduce_algo = AllreduceAlgo::kHierarchical;
+    opt.ranks_per_node = 2;
+    opt.wire_dtype = wire;
+    opt.local_wire_dtype = WireDtype::kInt8;
+    std::vector<std::vector<float>> first(ranks), second(ranks);
+    for (auto* out : {&first, &second}) {
+      World::run(
+          ranks,
+          [&](Communicator& c) {
+            Rng rng(910 + c.rank());
+            std::vector<float> data(n);
+            for (float& v : data)
+              v = static_cast<float>(rng.normal(0.0, 1.0));
+            c.allreduce_average(data);
+            (*out)[c.rank()] = data;
+          },
+          opt);
+    }
+    for (std::size_t r = 0; r < ranks; ++r) {
+      ASSERT_EQ(0, std::memcmp(first[0].data(), first[r].data(),
+                               n * sizeof(float)))
+          << wire_dtype_name(wire) << " rank " << r;
+      ASSERT_EQ(0, std::memcmp(first[r].data(), second[r].data(),
+                               n * sizeof(float)))
+          << wire_dtype_name(wire) << " rerun, rank " << r;
+    }
+  }
+}
+
+TEST(HierarchicalLocalWire, LocalLegBytesChargedAtLocalDtype) {
+  // 4 ranks, 2 per node, fp32 leader ring, int8 local legs: each leader
+  // charges one int8 image inbound in phase 1, each member one outbound
+  // decode in phase 3, and leaders move the fp32 leader ring (2 hops of
+  // n/2 elements). All of it lands in the call's [kHierarchical][fp32]
+  // row — the local dtype is a property of the legs, not the call.
+  const std::size_t ranks = 4, n = 512;
+  WorldOptions opt;
+  opt.allreduce_algo = AllreduceAlgo::kHierarchical;
+  opt.ranks_per_node = 2;
+  opt.local_wire_dtype = WireDtype::kInt8;
+  const auto stats = World::run(
+      ranks,
+      [&](Communicator& c) {
+        std::vector<float> data(n, 1.0f);
+        c.allreduce_sum(data);
+      },
+      opt);
+  const std::size_t image = wire_range_bytes(WireDtype::kInt8, n);
+  const std::size_t leader_ring = 2 * (n / 2) * sizeof(float);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const std::size_t expected =
+        r % 2 == 0 ? image + leader_ring : image;
+    EXPECT_EQ(stats[r].bytes_sent, expected) << "rank " << r;
+    EXPECT_EQ(stats[r].allreduce_wire_bytes[allreduce_algo_index(
+                  AllreduceAlgo::kHierarchical)]
+                                           [wire_dtype_index(
+                                               WireDtype::kFp32)],
+              expected)
+        << "rank " << r;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -696,7 +959,8 @@ TEST(AllgatherInplace, CompressedEndsBitIdenticalAcrossRanks) {
   // With a compressed wire the owner round-trips its own segment through
   // the codec, so every rank — owner included — must end bit-identical.
   const std::size_t ranks = 5, n = 137;
-  for (WireDtype dtype : {WireDtype::kFp16, WireDtype::kBf16}) {
+  for (WireDtype dtype :
+       {WireDtype::kFp16, WireDtype::kBf16, WireDtype::kInt8}) {
     WorldOptions opt;
     opt.wire_dtype = dtype;
     std::vector<std::vector<float>> out(ranks);

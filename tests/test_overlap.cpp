@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -277,6 +278,68 @@ TEST(Scheduler, TsanStressManySmallBucketsManySteps) {
   });
 }
 
+TEST(Scheduler, TsanStressInt8ErrorFeedbackResiduals) {
+  // TSan-targeted: with error feedback the comm thread also read-modify-
+  // writes the persistent per-bucket residual buffers while rank threads
+  // mark buckets ready. Two identical runs must produce identical bits in
+  // both gradients and residuals — a race that altered ordering would show
+  // as a bitwise diff, and any unsynchronized access trips TSan directly.
+  const std::size_t ranks = 4, tensors = 24;
+  const int steps = 15;
+  std::vector<std::vector<float>> grad_runs(2), resid_runs(2);
+  for (int run = 0; run < 2; ++run) {
+    comm::World::run(ranks, [&](comm::Communicator& c) {
+      Context ctx(c);
+      FusionOptions fusion;
+      fusion.threshold_bytes = 64 * sizeof(float);
+      fusion.wire_dtype = comm::WireDtype::kInt8;
+      fusion.error_feedback = true;
+      fusion.compress_min_elems = 1;
+      FusionBuffer buffer;
+      hvd::ResidualState residuals;
+      BucketScheduler scheduler(ctx, fusion, buffer, &residuals);
+      std::vector<Tensor> grads;
+      for (std::size_t t = 0; t < tensors; ++t)
+        grads.emplace_back(t % 2 == 0 ? Shape{129}   // in-place bucket
+                                      : Shape{31});  // fuses with neighbors
+      std::vector<Tensor*> ptrs;
+      for (auto& g : grads) ptrs.push_back(&g);
+      scheduler.bind(ptrs);
+      for (int step = 0; step < steps; ++step) {
+        for (std::size_t t = 0; t < tensors; ++t) {
+          std::size_t i = 0;
+          for (float& v : grads[t].values())
+            v = 0.37f * static_cast<float>(c.rank() + 1) *
+                std::sin(static_cast<float>(i++ + t + 7 *
+                                            static_cast<std::size_t>(step)));
+        }
+        for (std::size_t t = tensors; t-- > 0;) scheduler.mark_ready(t, 1);
+        (void)scheduler.drain();
+      }
+      if (c.rank() == 0) {
+        std::vector<float>& g = grad_runs[run];
+        for (const auto& t : grads)
+          g.insert(g.end(), t.data(), t.data() + t.numel());
+        std::vector<float>& r = resid_runs[run];
+        for (std::size_t b = 0; b < residuals.buckets(); ++b) {
+          const std::span<float> s = residuals.buffer(b);
+          r.insert(r.end(), s.begin(), s.end());
+        }
+      }
+    });
+  }
+  ASSERT_EQ(grad_runs[0].size(), grad_runs[1].size());
+  ASSERT_EQ(0, std::memcmp(grad_runs[0].data(), grad_runs[1].data(),
+                           grad_runs[0].size() * sizeof(float)));
+  ASSERT_EQ(resid_runs[0].size(), resid_runs[1].size());
+  ASSERT_GT(resid_runs[0].size(), 0u);
+  ASSERT_EQ(0, std::memcmp(resid_runs[0].data(), resid_runs[1].data(),
+                           resid_runs[0].size() * sizeof(float)));
+  bool any_nonzero = false;
+  for (float v : resid_runs[0]) any_nonzero |= v != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+}
+
 // ---------------------------------------------------------------------------
 // Per-bucket timeline granularity
 // ---------------------------------------------------------------------------
@@ -333,27 +396,42 @@ struct FitOutcome {
   std::vector<float> losses;                // rank-0 per-epoch losses
   FusionStats stats;                        // rank-0 optimizer stats
   std::size_t epochs_run = 0;
+  std::vector<std::vector<float>> residuals;  // rank-0 per-bucket EF state
 };
 
 FitOutcome run_benchmark_fit(BenchmarkId id, std::size_t ranks, bool overlap,
                              std::size_t epochs = 2, bool early_stop = false,
-                             comm::WireDtype wire = comm::WireDtype::kFp32) {
+                             comm::WireDtype wire = comm::WireDtype::kFp32,
+                             bool error_feedback = false,
+                             std::size_t compress_min_elems = 1024,
+                             double lr = 0.01,
+                             std::size_t threshold_bytes = 4 * 1024,
+                             std::size_t batch_size = 16,
+                             bool shard_rows = false) {
   const ScaledGeometry geometry = scaled_geometry(id, 0.002);
   const BenchmarkData data = make_benchmark_data(id, geometry, /*seed=*/11);
   const std::size_t n = std::min<std::size_t>(64, data.train.size());
-  const nn::Dataset train{nn::take_rows(data.train.x, 0, n),
-                          nn::take_rows(data.train.y, 0, n)};
   FitOutcome out;
   out.weights.resize(ranks);
   comm::World::run(ranks, [&](comm::Communicator& c) {
+    // Default: every rank fits the same rows (the bit-exact sweeps).
+    // shard_rows: classic data parallelism — rank r trains its own slice,
+    // so per-rank gradients disagree and the allreduce average carries
+    // real information.
+    const std::size_t row0 = shard_rows ? c.rank() * n / ranks : 0;
+    const std::size_t row1 = shard_rows ? (c.rank() + 1) * n / ranks : n;
+    const nn::Dataset train{nn::take_rows(data.train.x, row0, row1 - row0),
+                            nn::take_rows(data.train.y, row0, row1 - row0)};
     Context ctx(c);
     nn::Model model = build_model(id, geometry);
     FusionOptions fusion;
-    fusion.threshold_bytes = 4 * 1024;  // several buckets per step
+    fusion.threshold_bytes = threshold_bytes;
     fusion.overlap = overlap;
     fusion.wire_dtype = wire;
+    fusion.error_feedback = error_feedback;
+    fusion.compress_min_elems = compress_min_elems;
     auto opt = std::make_unique<hvd::DistributedOptimizer>(
-        nn::make_optimizer(benchmark_optimizer(id), 0.01), ctx, fusion);
+        nn::make_optimizer(benchmark_optimizer(id), lr), ctx, fusion);
     hvd::DistributedOptimizer* dist = opt.get();
     model.compile({geometry.features}, std::move(opt),
                   nn::make_loss(benchmark_loss(id)),
@@ -367,7 +445,7 @@ FitOutcome run_benchmark_fit(BenchmarkId id, std::size_t ranks, bool overlap,
 
     nn::FitOptions fit;
     fit.epochs = epochs;
-    fit.batch_size = 16;
+    fit.batch_size = batch_size;
     fit.shuffle = false;  // identical batch order on every rank
     fit.classification = benchmark_is_classification(id);
     const nn::History history = model.fit(train, fit, callbacks);
@@ -380,6 +458,11 @@ FitOutcome run_benchmark_fit(BenchmarkId id, std::size_t ranks, bool overlap,
       for (const auto& e : history.epochs) out.losses.push_back(e.loss);
       out.stats = dist->fusion_stats();
       out.epochs_run = history.epochs.size();
+      const hvd::ResidualState& rs = dist->residual_state();
+      for (std::size_t b = 0; b < rs.buckets(); ++b) {
+        const std::span<const float> r = rs.buffer(b);
+        out.residuals.emplace_back(r.begin(), r.end());
+      }
     }
   });
   return out;
@@ -429,20 +512,84 @@ TEST(OverlapEquivalence, CompressedBucketsStayBitExactOverlappedVsSync) {
   // must produce the same bits as the synchronous sweep — the quantization
   // schedule depends only on the bucket plan and rank count, not on which
   // thread issues the collective.
-  for (comm::WireDtype wire : {comm::WireDtype::kFp16, comm::WireDtype::kBf16}) {
-    for (std::size_t ranks : {2u, 4u}) {
-      SCOPED_TRACE(std::string(comm::wire_dtype_name(wire)) + " ranks=" +
-                   std::to_string(ranks));
-      const FitOutcome sync = run_benchmark_fit(BenchmarkId::kNT3, ranks,
-                                                false, /*epochs=*/2,
-                                                /*early_stop=*/false, wire);
-      const FitOutcome ovl = run_benchmark_fit(BenchmarkId::kNT3, ranks,
-                                               true, /*epochs=*/2,
-                                               /*early_stop=*/false, wire);
-      expect_bit_identical(sync, ovl);
-      EXPECT_EQ(ovl.stats.buckets_overlapped, ovl.stats.collectives);
+  for (comm::WireDtype wire : {comm::WireDtype::kFp16, comm::WireDtype::kBf16,
+                               comm::WireDtype::kInt8}) {
+    for (const bool error_feedback : {false, true}) {
+      for (std::size_t ranks : {2u, 4u}) {
+        SCOPED_TRACE(std::string(comm::wire_dtype_name(wire)) +
+                     (error_feedback ? "+ef" : "") + " ranks=" +
+                     std::to_string(ranks));
+        const FitOutcome sync = run_benchmark_fit(
+            BenchmarkId::kNT3, ranks, false, /*epochs=*/2,
+            /*early_stop=*/false, wire, error_feedback,
+            /*compress_min_elems=*/64);
+        const FitOutcome ovl = run_benchmark_fit(
+            BenchmarkId::kNT3, ranks, true, /*epochs=*/2,
+            /*early_stop=*/false, wire, error_feedback,
+            /*compress_min_elems=*/64);
+        expect_bit_identical(sync, ovl);
+        EXPECT_EQ(ovl.stats.buckets_overlapped, ovl.stats.collectives);
+        if (error_feedback) {
+          // The two paths share one residual recurrence — the persistent
+          // per-bucket state must match bit for bit, not just the weights.
+          ASSERT_EQ(sync.residuals.size(), ovl.residuals.size());
+          ASSERT_GT(sync.residuals.size(), 0u);
+          bool any_nonzero = false;
+          for (std::size_t b = 0; b < sync.residuals.size(); ++b) {
+            ASSERT_EQ(sync.residuals[b].size(), ovl.residuals[b].size());
+            ASSERT_EQ(0, std::memcmp(sync.residuals[b].data(),
+                                     ovl.residuals[b].data(),
+                                     sync.residuals[b].size() *
+                                         sizeof(float)))
+                << "bucket " << b;
+            for (float v : sync.residuals[b]) any_nonzero |= v != 0.0f;
+          }
+          // A lossy wire must actually have left rounding error behind,
+          // or the feedback path was never exercised.
+          EXPECT_TRUE(any_nonzero);
+        }
+      }
     }
   }
+}
+
+TEST(ErrorFeedback, ResidualsDeterministicAcrossRerunsAndRankCounts) {
+  // The residual is a pure function of the rank's gradient stream: rerunning
+  // an identical fit reproduces it bit for bit at every rank count, and a
+  // different rank count still yields a valid (finite, bucket-shaped) state.
+  for (std::size_t ranks : {2u, 3u}) {
+    SCOPED_TRACE("ranks=" + std::to_string(ranks));
+    const FitOutcome a = run_benchmark_fit(
+        BenchmarkId::kP1B1, ranks, true, /*epochs=*/2, /*early_stop=*/false,
+        comm::WireDtype::kInt8, /*error_feedback=*/true,
+        /*compress_min_elems=*/64);
+    const FitOutcome b = run_benchmark_fit(
+        BenchmarkId::kP1B1, ranks, true, /*epochs=*/2, /*early_stop=*/false,
+        comm::WireDtype::kInt8, /*error_feedback=*/true,
+        /*compress_min_elems=*/64);
+    ASSERT_EQ(a.residuals.size(), b.residuals.size());
+    ASSERT_GT(a.residuals.size(), 0u);
+    for (std::size_t k = 0; k < a.residuals.size(); ++k) {
+      ASSERT_EQ(a.residuals[k].size(), b.residuals[k].size());
+      ASSERT_EQ(0, std::memcmp(a.residuals[k].data(), b.residuals[k].data(),
+                               a.residuals[k].size() * sizeof(float)))
+          << "bucket " << k;
+      for (float v : a.residuals[k]) ASSERT_TRUE(std::isfinite(v));
+    }
+    expect_bit_identical(a, b);
+  }
+}
+
+TEST(ErrorFeedback, Fp32WireLeavesResidualsAllZero) {
+  // EF with a lossless wire is the identity: C(p) == p, so e stays 0 and
+  // training matches plain fp32 bit for bit.
+  const FitOutcome plain = run_benchmark_fit(BenchmarkId::kNT3, 2, true);
+  const FitOutcome ef = run_benchmark_fit(
+      BenchmarkId::kNT3, 2, true, /*epochs=*/2, /*early_stop=*/false,
+      comm::WireDtype::kFp32, /*error_feedback=*/true);
+  expect_bit_identical(plain, ef);
+  for (const auto& bucket : ef.residuals)
+    for (float v : bucket) ASSERT_EQ(v, 0.0f);
 }
 
 TEST(OverlapEquivalence, CompressedTrainingTracksFp32Loss) {
@@ -468,6 +615,60 @@ TEST(OverlapEquivalence, CompressedTrainingTracksFp32Loss) {
             << "epoch " << e;
       }
     }
+  }
+}
+
+TEST(ErrorFeedback, ClosesInt8LossGapTowardFp32) {
+  // The acceptance bar for int8 wire gradients, in the regime where the
+  // codec's rounding error is actually correlated with the signal: four
+  // ranks train disjoint shards full-batch (deterministic per-rank
+  // gradient streams that disagree across ranks), every tensor fuses into
+  // one bucket, and all buckets compress. Raw int8 then drifts off the
+  // fp32 trajectory — each step re-rounds the same gradients the same way
+  // and the error is never repaid — while error feedback re-injects the
+  // rounding error into the next step and stays inside the band. With
+  // fresh stochastic batches the chunked codec is accurate enough that
+  // both variants track fp32; this pins the regime where they part ways.
+  ThreadCountGuard guard(4);  // fixed pool width: fits are deterministic
+  for (BenchmarkId id : {BenchmarkId::kNT3, BenchmarkId::kP1B1}) {
+    SCOPED_TRACE(benchmark_name(id));
+    const double lr = 0.02;
+    const std::size_t epochs = 100;
+    const std::size_t bucket = 64u << 20;  // one fused bucket
+    const std::size_t batch = 64;          // full shard per step
+    const bool shard = true;
+    const std::size_t ranks = 4;
+    const FitOutcome fp32 = run_benchmark_fit(
+        id, ranks, true, epochs, false, comm::WireDtype::kFp32, false, 1024,
+        lr, bucket, batch, shard);
+    const FitOutcome raw = run_benchmark_fit(
+        id, ranks, true, epochs, /*early_stop=*/false, comm::WireDtype::kInt8,
+        /*error_feedback=*/false, /*compress_min_elems=*/1, lr, bucket,
+        batch, shard);
+    const FitOutcome ef = run_benchmark_fit(
+        id, ranks, true, epochs, /*early_stop=*/false, comm::WireDtype::kInt8,
+        /*error_feedback=*/true, /*compress_min_elems=*/1, lr, bucket,
+        batch, shard);
+    ASSERT_EQ(fp32.losses.size(), epochs);
+    ASSERT_EQ(raw.losses.size(), epochs);
+    ASSERT_EQ(ef.losses.size(), epochs);
+    const double ref = static_cast<double>(fp32.losses.back());
+    const double gap_raw =
+        std::abs(static_cast<double>(raw.losses.back()) - ref);
+    const double gap_ef =
+        std::abs(static_cast<double>(ef.losses.back()) - ref);
+    std::printf("[loss-gap] %s fp32=%.6f raw-int8=%.6f (gap %.3e) "
+                "int8+ef=%.6f (gap %.3e)\n",
+                benchmark_name(id), ref,
+                static_cast<double>(raw.losses.back()), gap_raw,
+                static_cast<double>(ef.losses.back()), gap_ef);
+    for (float v : ef.losses) EXPECT_TRUE(std::isfinite(v));
+    // Error feedback lands within the band of fp32; raw int8 does not,
+    // and the feedback gap is decisively smaller, not marginally.
+    const double tolerance = 0.04 * std::abs(ref);
+    EXPECT_LE(gap_ef, tolerance);
+    EXPECT_GT(gap_raw, tolerance);
+    EXPECT_LT(gap_ef, 0.6 * gap_raw);
   }
 }
 

@@ -359,6 +359,97 @@ TEST(RunSimulator, WireDtypeModelPredictsTheBandwidthCrossover) {
   EXPECT_LT(hier_gain, ring_gain);
 }
 
+TEST(RunSimulator, Int8ModelPredictsTheMeasuredDtypeOrdering) {
+  // The committed sweep (BENCH_collectives.json, net_mbps=100) has int8
+  // ahead of fp16/bf16 ahead of fp32: quartered payload beats halved
+  // payload despite the steeper per-element quantizer. The model must
+  // reproduce that ordering on the congested wire — and flip it on an
+  // NVLink-class wire, where the int8 quantizer is the most expensive
+  // codec of the three and there is no transfer left to save.
+  Machine slow = Machine::summit();
+  slow.net_bw = 100.0e6;             // congested fat-tree share
+  slow.convert_elems_per_s = 1.5e9;  // measured single-core codec rates
+  slow.quantize_elems_per_s = 1.2e9;
+  Machine fast = slow;
+  fast.net_bw = 8.0e9;  // NVLink-class
+  RunSimulator on_slow(slow, BenchmarkProfile::nt3());
+  RunSimulator on_fast(fast, BenchmarkProfile::nt3());
+  for (comm::AllreduceAlgo algo :
+       {comm::AllreduceAlgo::kRing, comm::AllreduceAlgo::kNaive}) {
+    const double s_fp32 =
+        on_slow.allreduce_step_seconds(48, algo, comm::WireDtype::kFp32);
+    const double s_fp16 =
+        on_slow.allreduce_step_seconds(48, algo, comm::WireDtype::kFp16);
+    const double s_int8 =
+        on_slow.allreduce_step_seconds(48, algo, comm::WireDtype::kInt8);
+    EXPECT_LT(s_int8, s_fp16);
+    EXPECT_LT(s_fp16, s_fp32);
+    EXPECT_GT(
+        on_fast.allreduce_step_seconds(48, algo, comm::WireDtype::kInt8),
+        on_fast.allreduce_step_seconds(48, algo, comm::WireDtype::kFp32));
+  }
+  // The scale plane is charged: an int8 image costs strictly more than a
+  // quarter of fp32's bytes, so the slow-wire gain is below a pure 4x.
+  const double fp32_wire =
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kRing,
+                                     comm::WireDtype::kFp32);
+  const double int8_wire =
+      on_slow.allreduce_step_seconds(48, comm::AllreduceAlgo::kRing,
+                                     comm::WireDtype::kInt8);
+  EXPECT_GT(int8_wire, fp32_wire / 4.0);
+}
+
+TEST(RunSimulator, LocalWireDtypeModelsTheIntraNodeLegs) {
+  // Satellite: hierarchical's phase-1/phase-3 legs can run at their own
+  // dtype. The defaulted overload must collapse onto the 3-arg model, the
+  // local dtype must be inert for flat algorithms, and its sign must flip
+  // with the intra-node wire: cheaper when NVLink is the bottleneck,
+  // costlier when NVLink is fast and only the quantizer remains.
+  RunSimulator sim(Machine::summit(), BenchmarkProfile::nt3());
+  for (std::size_t ranks : {2u, 48u, 384u}) {
+    for (comm::AllreduceAlgo algo :
+         {comm::AllreduceAlgo::kRing, comm::AllreduceAlgo::kNaive,
+          comm::AllreduceAlgo::kHierarchical}) {
+      EXPECT_DOUBLE_EQ(
+          sim.allreduce_step_seconds(ranks, algo, comm::WireDtype::kFp16),
+          sim.allreduce_step_seconds(ranks, algo, comm::WireDtype::kFp16,
+                                     comm::WireDtype::kFp32));
+      if (algo != comm::AllreduceAlgo::kHierarchical) {
+        // Flat rings have no intra-node leg for the local dtype to touch.
+        EXPECT_DOUBLE_EQ(
+            sim.allreduce_step_seconds(ranks, algo, comm::WireDtype::kFp32,
+                                       comm::WireDtype::kInt8),
+            sim.allreduce_step_seconds(ranks, algo, comm::WireDtype::kFp32));
+      }
+    }
+  }
+  // Summit's NVLink is fast: compressing the local leg only buys quantizer
+  // time. On a PCIe-starved node the quartered local payload wins.
+  EXPECT_GT(sim.allreduce_step_seconds(48, comm::AllreduceAlgo::kHierarchical,
+                                       comm::WireDtype::kFp32,
+                                       comm::WireDtype::kInt8),
+            sim.allreduce_step_seconds(48, comm::AllreduceAlgo::kHierarchical,
+                                       comm::WireDtype::kFp32));
+  Machine starved = Machine::summit();
+  starved.local_bw = 100.0e6;
+  RunSimulator tight(starved, BenchmarkProfile::nt3());
+  EXPECT_LT(
+      tight.allreduce_step_seconds(48, comm::AllreduceAlgo::kHierarchical,
+                                   comm::WireDtype::kFp32,
+                                   comm::WireDtype::kInt8),
+      tight.allreduce_step_seconds(48, comm::AllreduceAlgo::kHierarchical,
+                                   comm::WireDtype::kFp32));
+  // RunPlan carries the knob end to end through simulate().
+  RunPlan plan;
+  plan.ranks = 48;
+  plan.allreduce_algo = comm::AllreduceAlgo::kHierarchical;
+  RunPlan compressed = plan;
+  compressed.local_wire_dtype = comm::WireDtype::kInt8;
+  const RunSimulator tight_sim(starved, BenchmarkProfile::nt3());
+  EXPECT_LT(tight_sim.simulate(compressed).phases.train_comm,
+            tight_sim.simulate(plan).phases.train_comm);
+}
+
 TEST(RunSimulator, DataParallelLayerCostIsExactlyTheRingAllreduce) {
   // The per-layer data-parallel comm model must be the ring allreduce of the
   // layer's gradient — same doubles, so the decomposition into the shared
@@ -368,7 +459,7 @@ TEST(RunSimulator, DataParallelLayerCostIsExactlyTheRingAllreduce) {
   for (std::size_t ranks : {2u, 6u, 48u}) {
     for (comm::WireDtype dtype :
          {comm::WireDtype::kFp32, comm::WireDtype::kFp16,
-          comm::WireDtype::kBf16}) {
+          comm::WireDtype::kBf16, comm::WireDtype::kInt8}) {
       EXPECT_DOUBLE_EQ(
           sim.data_parallel_layer_comm_seconds(ranks, n, dtype),
           sim.allreduce_step_seconds(ranks, comm::AllreduceAlgo::kRing,

@@ -1,0 +1,35 @@
+// candle-analyze-fixture: virtual-path=src/comm/fixture_quantizer.cpp
+// candle-analyze-fixture: expect=determinism-fp-reduction:31
+// Int8 quantizer hot-loop shapes under the src/comm determinism scope.
+// The chunked loops are the real patterns from wire_codec.cpp: each
+// parallel iteration owns one 256-element quantization chunk end to end
+// (its scale slot and its payload slice), so pool width and chunk
+// interleaving cannot change any byte and they must stay clean. The
+// captured scalar accumulating a global absmax across chunks is the one
+// genuine hazard: fp max is order-safe but the captured += tail is not.
+#include <cstddef>
+#include <cstdint>
+
+namespace candle::comm {
+
+float chunk_absmax(const float* data, std::size_t elems);
+void quantize_chunk(const float* data, std::uint8_t* payload, float scale,
+                    std::size_t elems);
+
+void encode_chunked(const float* data, std::uint8_t* payload, float* scales,
+                    std::size_t chunks, std::size_t chunk_elems) {
+  // One iteration per chunk: disjoint scale slot + disjoint payload slice.
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t base = c * chunk_elems;
+    scales[c] = chunk_absmax(data + base, chunk_elems);
+    quantize_chunk(data + base, payload + base, scales[c], chunk_elems);
+  });
+}
+
+float total_quantization_energy(const float* residual, std::size_t n) {
+  float energy = 0.0f;
+  parallel_for(n, [&](std::size_t i) { energy += residual[i] * residual[i]; });
+  return energy;
+}
+
+}  // namespace candle::comm
